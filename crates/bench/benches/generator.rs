@@ -1,0 +1,46 @@
+//! Trace-generator throughput: events per second at several scales, and
+//! the cost split between single-network and two-network (merge) modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use osn_genstream::{TraceConfig, TraceGenerator};
+
+fn config_with_nodes(final_nodes: u32, with_merge: bool) -> TraceConfig {
+    let mut cfg = TraceConfig::default_paper();
+    cfg.growth.final_nodes = final_nodes;
+    if !with_merge {
+        cfg.merge = None;
+    }
+    cfg
+}
+
+fn bench_generator_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generator/scaling");
+    group.sample_size(10);
+    for &nodes in &[2_000u32, 8_000, 20_000] {
+        let cfg = config_with_nodes(nodes, true);
+        // Measure throughput in events (nodes + edges) per second.
+        let probe = TraceGenerator::new(cfg.clone()).generate();
+        group.throughput(Throughput::Elements(
+            probe.num_nodes() as u64 + probe.num_edges(),
+        ));
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &cfg, |b, cfg| {
+            b.iter(|| TraceGenerator::new(cfg.clone()).generate())
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generator/merge_mode");
+    group.sample_size(10);
+    for (label, with_merge) in [("single_network", false), ("two_networks", true)] {
+        let cfg = config_with_nodes(8_000, with_merge);
+        group.bench_function(label, |b| {
+            b.iter(|| TraceGenerator::new(cfg.clone()).generate())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generator_scaling, bench_merge_overhead);
+criterion_main!(benches);

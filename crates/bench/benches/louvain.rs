@@ -1,0 +1,52 @@
+//! Louvain ablations: incremental (warm-started) vs from-scratch runs,
+//! and the cost of the δ threshold — the design choices DESIGN.md calls
+//! out for the Figure 4 pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osn_community::{louvain, LouvainConfig};
+use osn_genstream::{TraceConfig, TraceGenerator};
+use osn_graph::{CsrGraph, Replayer};
+
+/// Two consecutive snapshots of a generated trace (3 days apart), plus a
+/// converged partition of the first — the incremental-tracking workload.
+fn snapshot_pair() -> (CsrGraph, CsrGraph) {
+    let mut cfg = TraceConfig::small();
+    cfg.growth.final_nodes = 6_000;
+    let log = TraceGenerator::new(cfg).generate();
+    let mut r = Replayer::new(&log);
+    r.advance_through_day(700);
+    let g1 = r.freeze();
+    r.advance_through_day(703);
+    let g2 = r.freeze();
+    (g1, g2)
+}
+
+fn bench_incremental_vs_scratch(c: &mut Criterion) {
+    let (g1, g2) = snapshot_pair();
+    let cfg = LouvainConfig::with_delta(0.04);
+    let warm = louvain(&g1, &cfg, None).partition.extended_to(g2.num_nodes());
+
+    let mut group = c.benchmark_group("louvain/next_snapshot");
+    group.sample_size(12);
+    group.bench_function("from_scratch", |b| b.iter(|| louvain(&g2, &cfg, None)));
+    group.bench_function("incremental_warm_start", |b| {
+        b.iter(|| louvain(&g2, &cfg, Some(&warm)))
+    });
+    group.finish();
+}
+
+fn bench_delta_threshold(c: &mut Criterion) {
+    let (_, g2) = snapshot_pair();
+    let mut group = c.benchmark_group("louvain/delta");
+    group.sample_size(12);
+    for &delta in &[0.0001f64, 0.01, 0.3] {
+        group.bench_with_input(BenchmarkId::from_parameter(delta), &delta, |b, &d| {
+            let cfg = LouvainConfig::with_delta(d);
+            b.iter(|| louvain(&g2, &cfg, None))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental_vs_scratch, bench_delta_threshold);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Snapshot-metric ablations: exact vs sampled clustering, path-length
+//! sample sizes, assortativity, components — the Figure 1 workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osn_genstream::{TraceConfig, TraceGenerator};
+use osn_graph::{CsrGraph, Replayer};
+use osn_metrics::clustering::{average_clustering, average_clustering_exact};
+use osn_metrics::components::component_sizes;
+use osn_metrics::paths::avg_path_length_sampled;
+use osn_metrics::degree_assortativity;
+use osn_stats::rng_from_seed;
+
+fn late_snapshot() -> CsrGraph {
+    let mut cfg = TraceConfig::small();
+    cfg.growth.final_nodes = 6_000;
+    let log = TraceGenerator::new(cfg).generate();
+    let mut r = Replayer::new(&log);
+    r.advance_to_end();
+    r.freeze()
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let g = late_snapshot();
+    let mut group = c.benchmark_group("metrics/clustering");
+    group.sample_size(12);
+    group.bench_function("exact", |b| b.iter(|| average_clustering_exact(&g)));
+    for &sample in &[500usize, 2_000] {
+        group.bench_with_input(BenchmarkId::new("sampled", sample), &sample, |b, &s| {
+            b.iter(|| {
+                let mut rng = rng_from_seed(1);
+                average_clustering(&g, s, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_paths(c: &mut Criterion) {
+    let g = late_snapshot();
+    let mut group = c.benchmark_group("metrics/path_length");
+    group.sample_size(10);
+    for &sources in &[50usize, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(sources), &sources, |b, &s| {
+            b.iter(|| {
+                let mut rng = rng_from_seed(2);
+                avg_path_length_sampled(&g, s, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_assortativity_and_components(c: &mut Criterion) {
+    let g = late_snapshot();
+    let mut group = c.benchmark_group("metrics/whole_graph");
+    group.sample_size(20);
+    group.bench_function("assortativity", |b| b.iter(|| degree_assortativity(&g)));
+    group.bench_function("components", |b| b.iter(|| component_sizes(&g)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_clustering,
+    bench_paths,
+    bench_assortativity_and_components
+);
+criterion_main!(benches);

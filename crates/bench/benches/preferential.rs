@@ -1,0 +1,47 @@
+//! pe(d) estimator throughput: the full-trace α(t) sweep (Figure 3c) and
+//! the destination-rule ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use osn_core::preferential::{alpha_series, AlphaConfig, DestinationRule};
+use osn_genstream::{TraceConfig, TraceGenerator};
+use osn_graph::EventLog;
+
+fn small_log() -> EventLog {
+    let mut cfg = TraceConfig::small();
+    cfg.growth.final_nodes = 6_000;
+    TraceGenerator::new(cfg).generate()
+}
+
+fn bench_alpha_sweep(c: &mut Criterion) {
+    let log = small_log();
+    let cfg = AlphaConfig::default();
+    let mut group = c.benchmark_group("preferential/alpha_sweep");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(log.num_edges()));
+    group.bench_function("higher_degree", |b| {
+        b.iter(|| alpha_series(&log, DestinationRule::HigherDegree, &cfg))
+    });
+    group.bench_function("random", |b| {
+        b.iter(|| alpha_series(&log, DestinationRule::Random, &cfg))
+    });
+    group.finish();
+}
+
+fn bench_window_size(c: &mut Criterion) {
+    let log = small_log();
+    let mut group = c.benchmark_group("preferential/window");
+    group.sample_size(10);
+    for &window in &[2_000u64, 10_000] {
+        let cfg = AlphaConfig {
+            window,
+            ..Default::default()
+        };
+        group.bench_function(format!("window_{window}"), |b| {
+            b.iter(|| alpha_series(&log, DestinationRule::HigherDegree, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alpha_sweep, bench_window_size);
+criterion_main!(benches);

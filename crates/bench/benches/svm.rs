@@ -1,0 +1,62 @@
+//! Pegasos SVM training and inference cost at the Figure 6(b) workload
+//! shape: 13 features, thousands of samples, imbalanced labels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osn_mlkit::{LinearSvm, StandardScaler, SvmConfig};
+use osn_stats::rng_from_seed;
+use rand::Rng;
+
+/// Synthetic 13-feature dataset with a 5% positive class, mimicking the
+/// merge-prediction sample distribution.
+fn dataset(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = rng_from_seed(seed);
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for _ in 0..n {
+        let positive = rng.gen::<f64>() < 0.05;
+        let shift = if positive { 1.2 } else { 0.0 };
+        let row: Vec<f64> = (0..13).map(|_| rng.gen::<f64>() * 2.0 - 1.0 + shift).collect();
+        xs.push(row);
+        ys.push(if positive { 1.0 } else { -1.0 });
+    }
+    (xs, ys)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svm/train");
+    group.sample_size(10);
+    for &n in &[1_000usize, 5_000] {
+        let (xs, ys) = dataset(n, 1);
+        let scaler = StandardScaler::fit(&xs);
+        let xs = scaler.transform(&xs);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let cfg = SvmConfig {
+                iterations: 100_000,
+                positive_weight: 10.0,
+                ..Default::default()
+            };
+            b.iter(|| LinearSvm::train(&xs, &ys, &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let (xs, ys) = dataset(2_000, 2);
+    let scaler = StandardScaler::fit(&xs);
+    let xs = scaler.transform(&xs);
+    let svm = LinearSvm::train(
+        &xs,
+        &ys,
+        &SvmConfig {
+            iterations: 50_000,
+            ..Default::default()
+        },
+    );
+    c.bench_function("svm/predict_2000", |b| {
+        b.iter(|| xs.iter().map(|x| svm.predict(x)).sum::<f64>())
+    });
+}
+
+criterion_group!(benches, bench_training, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Dynamic community tracking throughput: the cost of one tracked
+//! snapshot (Louvain + matching + feature accumulation) and of a full
+//! multi-snapshot run — the Figure 4–6 workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use osn_community::{CommunityTracker, LouvainConfig, TrackerConfig};
+use osn_genstream::{TraceConfig, TraceGenerator};
+use osn_graph::{DailySnapshots, EventLog};
+
+fn small_log() -> EventLog {
+    let mut cfg = TraceConfig::small();
+    cfg.growth.final_nodes = 5_000;
+    TraceGenerator::new(cfg).generate()
+}
+
+fn tracker_config() -> TrackerConfig {
+    TrackerConfig {
+        min_size: 10,
+        louvain: LouvainConfig::with_delta(0.04),
+    }
+}
+
+fn bench_single_observation(c: &mut Criterion) {
+    let log = small_log();
+    // Warm the tracker up to day 700, then measure observing day 703.
+    let mut group = c.benchmark_group("tracker/one_snapshot");
+    group.sample_size(10);
+    group.bench_function("observe_late_snapshot", |b| {
+        b.iter_batched(
+            || {
+                let mut tracker = CommunityTracker::new(tracker_config());
+                let mut late = None;
+                for snap in DailySnapshots::new(&log, 650, 25) {
+                    if snap.day >= 700 {
+                        late = Some(snap.graph);
+                        break;
+                    }
+                    tracker.observe(snap.day, &snap.graph);
+                }
+                (tracker, late.expect("late snapshot"))
+            },
+            |(mut tracker, g)| tracker.observe(700, &g),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_full_run(c: &mut Criterion) {
+    let log = small_log();
+    let mut group = c.benchmark_group("tracker/full_run");
+    group.sample_size(10);
+    group.bench_function("stride_30", |b| {
+        b.iter(|| {
+            let mut tracker = CommunityTracker::new(tracker_config());
+            for snap in DailySnapshots::new(&log, 20, 30) {
+                tracker.observe(snap.day, &snap.graph);
+            }
+            tracker.finish()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_observation, bench_full_run);
+criterion_main!(benches);

@@ -1,0 +1,472 @@
+//! Subcommand implementations and flag parsing.
+
+use osn_core::communities::{track, CommunityAnalysisConfig};
+use osn_core::network::{growth_series, metric_series, MetricSeriesConfig};
+use osn_core::preferential::{alpha_series, AlphaConfig, DestinationRule};
+use osn_core::report::write_csv;
+use osn_genstream::{TraceConfig, TraceGenerator};
+use osn_graph::io::{read_log, write_log};
+use osn_graph::{EventLog, Origin, Replayer};
+use osn_stats::{Series, Table};
+use std::path::{Path, PathBuf};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+osn — synthetic OSN traces and the IMC'12 multi-scale analyses
+
+USAGE:
+  osn generate [--scale tiny|small|paper] [--seed N] [--nodes N] [--days D]
+               [--no-merge] --out trace.events
+  osn inspect  trace.events
+  osn metrics  trace.events [--stride D] [--out DIR]
+  osn communities trace.events [--delta X] [--stride D] [--min-size K] [--out DIR]
+  osn alpha    trace.events [--window E] [--out DIR]
+  osn compare  a.events b.events";
+
+/// Minimal flag parser: `--key value` pairs plus positional arguments.
+struct Flags {
+    positional: Vec<String>,
+    pairs: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String], switches: &[&str]) -> Result<Flags, String> {
+        let mut out = Flags {
+            positional: Vec::new(),
+            pairs: Vec::new(),
+            switches: Vec::new(),
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                if switches.contains(&key) {
+                    out.switches.push(key.to_string());
+                } else {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                    out.pairs.push((key.to_string(), value.clone()));
+                }
+            } else {
+                out.positional.push(a.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("bad value '{v}' for --{key}")),
+        }
+    }
+
+    fn has(&self, switch: &str) -> bool {
+        self.switches.iter().any(|s| s == switch)
+    }
+}
+
+fn load_log(path: &str) -> Result<EventLog, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    read_log(file).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn out_dir(flags: &Flags) -> PathBuf {
+    PathBuf::from(flags.get("out").unwrap_or("osn-out"))
+}
+
+/// `osn generate`
+pub fn generate(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["no-merge"])?;
+    let mut cfg = match flags.get("scale").unwrap_or("small") {
+        "tiny" => TraceConfig::tiny(),
+        "small" => TraceConfig::small(),
+        "paper" => TraceConfig::default_paper(),
+        other => return Err(format!("unknown scale '{other}' (tiny|small|paper)")),
+    };
+    if let Some(seed) = flags.get_parsed::<u64>("seed")? {
+        cfg.seed = seed;
+    }
+    if let Some(nodes) = flags.get_parsed::<u32>("nodes")? {
+        cfg.growth.final_nodes = nodes;
+    }
+    if let Some(days) = flags.get_parsed::<u32>("days")? {
+        cfg.days = days;
+        if let Some(m) = &cfg.merge {
+            if m.merge_day >= days {
+                return Err(format!(
+                    "merge day {} is outside a {days}-day trace; pass --no-merge or more days",
+                    m.merge_day
+                ));
+            }
+        }
+    }
+    if flags.has("no-merge") {
+        cfg.merge = None;
+    }
+    let out = flags
+        .get("out")
+        .ok_or("generate requires --out <file>")?
+        .to_string();
+    let log = TraceGenerator::new(cfg).generate();
+    let file = std::fs::File::create(&out).map_err(|e| format!("create {out}: {e}"))?;
+    write_log(&log, file).map_err(|e| format!("write {out}: {e}"))?;
+    println!(
+        "wrote {} nodes / {} edges over {} days to {out}",
+        log.num_nodes(),
+        log.num_edges(),
+        log.end_day() + 1
+    );
+    Ok(())
+}
+
+/// `osn inspect`
+pub fn inspect(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let path = flags
+        .positional
+        .first()
+        .ok_or("inspect requires a trace file")?;
+    let log = load_log(path)?;
+    println!("trace: {path}");
+    println!("  nodes: {}", log.num_nodes());
+    println!("  edges: {}", log.num_edges());
+    println!("  days:  {}", log.end_day() + 1);
+    let mut by_origin = [0u32; 3];
+    for &o in log.origins() {
+        let i = match o {
+            Origin::Core => 0,
+            Origin::Competitor => 1,
+            Origin::PostMerge => 2,
+        };
+        by_origin[i] += 1;
+    }
+    println!(
+        "  origins: core {} / competitor {} / post-merge {}",
+        by_origin[0], by_origin[1], by_origin[2]
+    );
+    let mut replayer = Replayer::new(&log);
+    replayer.advance_to_end();
+    let g = replayer.freeze();
+    println!("  average degree: {:.2}", g.average_degree());
+    println!("  max degree: {}", osn_metrics::degree::max_degree(&g));
+    let comps = osn_metrics::component_sizes(&g);
+    println!(
+        "  components: {} (largest {})",
+        comps.len(),
+        comps.first().copied().unwrap_or(0)
+    );
+    println!("  degeneracy: {}", osn_metrics::degeneracy(&g));
+    Ok(())
+}
+
+/// `osn metrics`
+pub fn metrics(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let path = flags
+        .positional
+        .first()
+        .ok_or("metrics requires a trace file")?;
+    let log = load_log(path)?;
+    let stride = flags.get_parsed::<u32>("stride")?.unwrap_or(7);
+    let dir = out_dir(&flags);
+    let cfg = MetricSeriesConfig {
+        stride,
+        ..Default::default()
+    };
+    let m = metric_series(&log, &cfg);
+    write_and_report(&dir, "growth", &growth_series(&log))?;
+    write_and_report(&dir, "metrics", &m.to_table())?;
+    println!(
+        "final: degree {:.2}, clustering {:.3}, assortativity {}",
+        m.avg_degree.last_y().unwrap_or(0.0),
+        m.clustering.last_y().unwrap_or(0.0),
+        m.assortativity
+            .last_y()
+            .map(|v| format!("{v:.3}"))
+            .unwrap_or_else(|| "-".into())
+    );
+    Ok(())
+}
+
+/// `osn communities`
+pub fn communities(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let path = flags
+        .positional
+        .first()
+        .ok_or("communities requires a trace file")?;
+    let log = load_log(path)?;
+    let cfg = CommunityAnalysisConfig {
+        stride: flags.get_parsed::<u32>("stride")?.unwrap_or(7),
+        delta: flags.get_parsed::<f64>("delta")?.unwrap_or(0.04),
+        min_size: flags.get_parsed::<u32>("min-size")?.unwrap_or(10),
+        ..Default::default()
+    };
+    let (summaries, output) = track(&log, &cfg);
+    let mut table = Table::new("day");
+    let mut q = Series::new("modularity");
+    let mut tracked = Series::new("tracked_communities");
+    let mut cov = Series::new("top5_coverage");
+    for s in &summaries {
+        q.push(s.day as f64, s.modularity);
+        tracked.push(s.day as f64, s.num_tracked as f64);
+        cov.push(s.day as f64, s.top5_coverage);
+    }
+    table.push(q);
+    table.push(tracked);
+    table.push(cov);
+    let dir = out_dir(&flags);
+    write_and_report(&dir, "communities", &table)?;
+    // Evolution-event log as CSV for external tooling.
+    {
+        use osn_community::EvolutionEvent;
+        let mut csv = String::from("day,event,community,size,partner
+");
+        for e in &output.events {
+            use std::fmt::Write as _;
+            match e {
+                EvolutionEvent::Birth { id, day, size, split_from } => {
+                    let partner = split_from.map(|p| p.to_string()).unwrap_or_default();
+                    let _ = writeln!(csv, "{day},birth,{id},{size},{partner}");
+                }
+                EvolutionEvent::Death { id, day, size, merged_into, .. } => {
+                    let partner = merged_into.map(|p| p.to_string()).unwrap_or_default();
+                    let kind = if merged_into.is_some() { "merge_death" } else { "death" };
+                    let _ = writeln!(csv, "{day},{kind},{id},{size},{partner}");
+                }
+                EvolutionEvent::Split { parent, day, largest, second } => {
+                    let _ = writeln!(csv, "{day},split,{parent},{largest},{second}");
+                }
+                EvolutionEvent::Merge { dest, day, largest, second } => {
+                    let _ = writeln!(csv, "{day},merge,{dest},{largest},{second}");
+                }
+            }
+        }
+        std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+        let path = dir.join("community_events.csv");
+        std::fs::write(&path, csv).map_err(|e| e.to_string())?;
+        println!("wrote {}", path.display());
+    }
+    let deaths = output
+        .records
+        .iter()
+        .filter(|r| r.death_day.is_some())
+        .count();
+    println!(
+        "{} snapshots tracked; {} community identities ({} died), {} evolution events",
+        summaries.len(),
+        output.records.len(),
+        deaths,
+        output.events.len()
+    );
+    Ok(())
+}
+
+/// `osn alpha`
+pub fn alpha(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let path = flags
+        .positional
+        .first()
+        .ok_or("alpha requires a trace file")?;
+    let log = load_log(path)?;
+    let cfg = AlphaConfig {
+        window: flags.get_parsed::<u64>("window")?.unwrap_or(5_000),
+        ..Default::default()
+    };
+    let hi = alpha_series(&log, DestinationRule::HigherDegree, &cfg);
+    let lo = alpha_series(&log, DestinationRule::Random, &cfg);
+    let table = Table::new("edge_count")
+        .with(hi.to_series())
+        .with(lo.to_series());
+    let dir = out_dir(&flags);
+    write_and_report(&dir, "alpha", &table)?;
+    if let (Some(first), Some(last)) = (hi.points.first(), hi.points.last()) {
+        println!(
+            "α (higher-degree rule): {:.2} at {} edges → {:.2} at {} edges",
+            first.alpha, first.edge_count, last.alpha, last.edge_count
+        );
+    }
+    Ok(())
+}
+
+/// `osn compare` — two-sample Kolmogorov–Smirnov tests between two
+/// traces, over the degree distribution and the per-user inter-arrival
+/// distribution. Useful for checking whether two seeds (or two
+/// configurations) are statistically distinguishable.
+pub fn compare(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let [pa, pb] = flags.positional.as_slice() else {
+        return Err("compare requires exactly two trace files".into());
+    };
+    let a = load_log(pa)?;
+    let b = load_log(pb)?;
+    let degrees = |log: &EventLog| {
+        let mut replayer = Replayer::new(log);
+        replayer.advance_to_end();
+        let g = replayer.freeze();
+        osn_stats::Cdf::from_samples(
+            (0..g.num_nodes() as u32).map(|u| g.degree(u) as f64).collect(),
+        )
+    };
+    let gaps = |log: &EventLog| {
+        let times = osn_core::edges::per_node_edge_times(log);
+        let mut out = Vec::new();
+        for list in &times {
+            for w in list.windows(2) {
+                out.push(w[1].since(w[0]).as_days_f64());
+            }
+        }
+        osn_stats::Cdf::from_samples(out)
+    };
+    for (label, ca, cb) in [
+        ("degree distribution", degrees(&a), degrees(&b)),
+        ("edge inter-arrival", gaps(&a), gaps(&b)),
+    ] {
+        match (osn_stats::ks_statistic(&ca, &cb), osn_stats::ks_pvalue(&ca, &cb)) {
+            (Some(d), Some(p)) => println!(
+                "{label}: KS D = {d:.4}, p ≈ {p:.3} ({})",
+                if p < 0.01 { "distinguishable" } else { "consistent" }
+            ),
+            _ => println!("{label}: not enough samples"),
+        }
+    }
+    Ok(())
+}
+
+fn write_and_report(dir: &Path, name: &str, table: &Table) -> Result<(), String> {
+    let path = write_csv(dir, name, table).map_err(|e| format!("write {name}.csv: {e}"))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_parse_pairs_switches_positionals() {
+        let args: Vec<String> = ["file.events", "--seed", "7", "--no-merge", "--out", "x"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = Flags::parse(&args, &["no-merge"]).unwrap();
+        assert_eq!(f.positional, vec!["file.events"]);
+        assert_eq!(f.get("seed"), Some("7"));
+        assert_eq!(f.get_parsed::<u64>("seed").unwrap(), Some(7));
+        assert!(f.has("no-merge"));
+        assert_eq!(f.get("out"), Some("x"));
+        assert_eq!(f.get("missing"), None);
+    }
+
+    #[test]
+    fn flags_reject_missing_value() {
+        let args: Vec<String> = ["--seed"].iter().map(|s| s.to_string()).collect();
+        assert!(Flags::parse(&args, &[]).is_err());
+    }
+
+    #[test]
+    fn flags_reject_bad_parse() {
+        let args: Vec<String> = ["--seed", "abc"].iter().map(|s| s.to_string()).collect();
+        let f = Flags::parse(&args, &[]).unwrap();
+        assert!(f.get_parsed::<u64>("seed").is_err());
+    }
+
+    #[test]
+    fn generate_and_inspect_roundtrip() {
+        let dir = std::env::temp_dir().join("osn_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.events");
+        let args: Vec<String> = [
+            "--scale",
+            "tiny",
+            "--seed",
+            "5",
+            "--out",
+            trace.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        generate(&args).unwrap();
+        assert!(trace.exists());
+        let args: Vec<String> = vec![trace.to_str().unwrap().to_string()];
+        inspect(&args).unwrap();
+        std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn generate_rejects_merge_beyond_days() {
+        let args: Vec<String> = ["--scale", "tiny", "--days", "40", "--out", "/tmp/x.events"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = generate(&args).unwrap_err();
+        assert!(err.contains("merge day"), "{err}");
+    }
+
+    #[test]
+    fn compare_distinguishes_configs_not_seeds() {
+        let dir = std::env::temp_dir().join("osn_cli_cmp");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.events");
+        let b = dir.join("b.events");
+        for (path, seed) in [(&a, "1"), (&b, "2")] {
+            generate(&[
+                "--scale".into(),
+                "tiny".into(),
+                "--seed".into(),
+                seed.into(),
+                "--out".into(),
+                path.to_str().unwrap().into(),
+            ])
+            .unwrap();
+        }
+        compare(&[a.to_str().unwrap().into(), b.to_str().unwrap().into()]).unwrap();
+        assert!(compare(&[a.to_str().unwrap().into()]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn analysis_commands_run_on_generated_trace() {
+        let dir = std::env::temp_dir().join("osn_cli_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.events");
+        let out = dir.join("out");
+        generate(
+            &[
+                "--scale".into(),
+                "tiny".into(),
+                "--out".into(),
+                trace.to_str().unwrap().into(),
+            ],
+        )
+        .unwrap();
+        let t = trace.to_str().unwrap().to_string();
+        let o = out.to_str().unwrap().to_string();
+        metrics(&[t.clone(), "--stride".into(), "30".into(), "--out".into(), o.clone()]).unwrap();
+        communities(&[t.clone(), "--stride".into(), "30".into(), "--out".into(), o.clone()])
+            .unwrap();
+        alpha(&[t.clone(), "--window".into(), "2000".into(), "--out".into(), o.clone()]).unwrap();
+        assert!(out.join("metrics.csv").exists());
+        assert!(out.join("communities.csv").exists());
+        assert!(out.join("community_events.csv").exists());
+        let events = std::fs::read_to_string(out.join("community_events.csv")).unwrap();
+        assert!(events.starts_with("day,event,community,size,partner"));
+        assert!(out.join("alpha.csv").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

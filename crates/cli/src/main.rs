@@ -1,0 +1,45 @@
+//! `osn` — command-line interface to the multiscale-osn workspace.
+//!
+//! ```text
+//! osn generate [--scale tiny|small|paper] [--seed N] [--nodes N] [--days D]
+//!              [--no-merge] --out trace.events
+//! osn inspect  trace.events
+//! osn metrics  trace.events [--stride D] [--out DIR]
+//! osn communities trace.events [--delta X] [--stride D] [--min-size K] [--out DIR]
+//! osn alpha    trace.events [--window E] [--out DIR]
+//! ```
+//!
+//! Traces are the plain-text event format of `osn_graph::io`, so anything
+//! generated here can be re-analysed later or consumed by external tools.
+
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{}", commands::USAGE);
+        return ExitCode::from(2);
+    };
+    let result = match cmd.as_str() {
+        "generate" => commands::generate(rest),
+        "inspect" => commands::inspect(rest),
+        "metrics" => commands::metrics(rest),
+        "communities" => commands::communities(rest),
+        "alpha" => commands::alpha(rest),
+        "compare" => commands::compare(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{}", commands::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

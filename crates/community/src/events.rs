@@ -1,0 +1,145 @@
+//! Community evolution events.
+
+use osn_graph::Day;
+
+/// A persistent community identity.
+pub type CommunityId = u64;
+
+/// An event in the life of tracked communities, as defined in §4.1 of the
+/// paper:
+///
+/// * a community **splits** at snapshot *i* when it is the
+///   highest-correlated predecessor of at least two communities at
+///   *i + 1*; the most-similar successor keeps its identity, the others
+///   are **born**;
+/// * at least two communities **merge** when they share the same
+///   best successor; the most-similar one keeps its identity, the others
+///   **die**;
+/// * a community with no overlapping successor **dies** outright; one
+///   with no overlapping predecessor is **born** out of nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvolutionEvent {
+    /// A community appeared that does not continue any previous one.
+    Birth {
+        /// New persistent id.
+        id: CommunityId,
+        /// Snapshot day of first appearance.
+        day: Day,
+        /// Size at birth.
+        size: u32,
+        /// If the community split off an existing one, that parent.
+        split_from: Option<CommunityId>,
+    },
+    /// A community ceased to exist (its identity was not continued).
+    Death {
+        /// The dying community.
+        id: CommunityId,
+        /// Snapshot day at which it no longer exists.
+        day: Day,
+        /// Its size in the last snapshot it existed in.
+        size: u32,
+        /// If it merged into a surviving community, that destination.
+        merged_into: Option<CommunityId>,
+        /// Whether the destination was the community it shared the most
+        /// inter-community edges with (`None` when it simply vanished or
+        /// the tie could not be evaluated). Figure 6(c) reports this flag
+        /// holding ≈99% of the time.
+        strongest_tie: Option<bool>,
+        /// 1-based rank of the destination among the dying community's
+        /// tie counts (1 = strongest tie; `None` when unevaluable). Used
+        /// for the paper's merge-destination prediction: even when the
+        /// destination is not rank 1, a low rank means inter-community
+        /// edge count remains a strong predictor.
+        tie_rank: Option<u32>,
+    },
+    /// A split was observed: `parent` correlates best with ≥2 successors.
+    Split {
+        /// The splitting community.
+        parent: CommunityId,
+        /// Snapshot day of the split products.
+        day: Day,
+        /// Size of the largest product.
+        largest: u32,
+        /// Size of the second-largest product.
+        second: u32,
+    },
+    /// A merge was observed: ≥2 predecessors correlate best with `dest`.
+    Merge {
+        /// The surviving community.
+        dest: CommunityId,
+        /// Snapshot day at which the merged community exists.
+        day: Day,
+        /// Size of the largest predecessor.
+        largest: u32,
+        /// Size of the second-largest predecessor.
+        second: u32,
+    },
+}
+
+impl EvolutionEvent {
+    /// The day the event was recorded at.
+    pub fn day(&self) -> Day {
+        match self {
+            EvolutionEvent::Birth { day, .. }
+            | EvolutionEvent::Death { day, .. }
+            | EvolutionEvent::Split { day, .. }
+            | EvolutionEvent::Merge { day, .. } => *day,
+        }
+    }
+
+    /// For [`EvolutionEvent::Merge`] and [`EvolutionEvent::Split`], the
+    /// size ratio `second / largest` used by Figure 6(a).
+    pub fn size_ratio(&self) -> Option<f64> {
+        match self {
+            EvolutionEvent::Split { largest, second, .. }
+            | EvolutionEvent::Merge { largest, second, .. } => {
+                if *largest == 0 {
+                    None
+                } else {
+                    Some(*second as f64 / *largest as f64)
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_of_merge() {
+        let e = EvolutionEvent::Merge {
+            dest: 1,
+            day: 10,
+            largest: 200,
+            second: 1,
+        };
+        assert_eq!(e.size_ratio(), Some(0.005));
+        assert_eq!(e.day(), 10);
+    }
+
+    #[test]
+    fn ratio_of_birth_is_none() {
+        let e = EvolutionEvent::Birth {
+            id: 1,
+            day: 3,
+            size: 12,
+            split_from: None,
+        };
+        assert_eq!(e.size_ratio(), None);
+        assert_eq!(e.day(), 3);
+    }
+
+    #[test]
+    fn zero_largest_guard() {
+        let e = EvolutionEvent::Split {
+            parent: 1,
+            day: 0,
+            largest: 0,
+            second: 0,
+        };
+        assert_eq!(e.size_ratio(), None);
+    }
+}

@@ -1,0 +1,564 @@
+//! The Louvain method with an explicit improvement threshold δ and an
+//! incremental (warm-start) mode.
+//!
+//! Louvain (Blondel et al. 2008) alternates two phases: a *local-moving*
+//! phase that migrates single nodes between communities while modularity
+//! improves, and an *aggregation* phase that collapses each community into
+//! one weighted node. The paper's δ parameter bounds both: a local-moving
+//! sweep stops once the modularity gained in a full pass drops below δ,
+//! and the level loop stops once a whole level gains less than δ. Small δ
+//! (1e-4) runs to convergence; large δ (0.3) terminates early, trading
+//! modularity for robustness to churn — exactly the trade-off Figure 4
+//! sweeps.
+//!
+//! In **incremental mode** the initial community assignment is the
+//! previous snapshot's partition (extended with singleton entries for
+//! newly arrived nodes) instead of all-singletons. This both speeds the
+//! run up dramatically (the assignment is already near-optimal) and ties
+//! community identities across snapshots, which is what makes Jaccard
+//! matching in [`crate::tracker`] stable.
+
+use crate::modularity::modularity;
+use crate::partition::Partition;
+use osn_graph::CsrGraph;
+use osn_stats::sampling::{rng_from_seed, shuffle};
+
+/// Tuning parameters for a Louvain run.
+#[derive(Debug, Clone, Copy)]
+pub struct LouvainConfig {
+    /// Improvement threshold δ: a local-moving pass or a whole level that
+    /// improves modularity by less than this stops the respective loop.
+    pub delta: f64,
+    /// Hard cap on aggregation levels (safety bound; convergence normally
+    /// happens in ≤ 10 levels).
+    pub max_levels: usize,
+    /// Hard cap on local-moving sweeps per level.
+    pub max_sweeps: usize,
+    /// RNG seed controlling node visit order (sweeps shuffle the order, a
+    /// standard Louvain detail that avoids pathological orderings).
+    pub seed: u64,
+}
+
+impl Default for LouvainConfig {
+    fn default() -> Self {
+        LouvainConfig {
+            delta: 0.04,
+            max_levels: 20,
+            max_sweeps: 50,
+            seed: 0,
+        }
+    }
+}
+
+impl LouvainConfig {
+    /// Config with a given δ, other fields default.
+    pub fn with_delta(delta: f64) -> Self {
+        LouvainConfig {
+            delta,
+            ..Default::default()
+        }
+    }
+}
+
+/// Result of a Louvain run.
+#[derive(Debug, Clone)]
+pub struct LouvainResult {
+    /// Final node→community partition over the input graph.
+    pub partition: Partition,
+    /// Modularity of that partition.
+    pub modularity: f64,
+    /// Number of aggregation levels performed.
+    pub levels: usize,
+}
+
+/// Weighted multigraph used for aggregated levels.
+struct WGraph {
+    /// Neighbour lists (no self entries): `(neighbor, weight)`.
+    adj: Vec<Vec<(u32, f64)>>,
+    /// Self-loop weight per node (counted once).
+    self_w: Vec<f64>,
+    /// Weighted degree `k_i` (self-loops count twice).
+    node_w: Vec<f64>,
+    /// Total edge weight `m` (each undirected edge once, self-loops once).
+    total_w: f64,
+}
+
+impl WGraph {
+    fn from_csr(g: &CsrGraph) -> Self {
+        let n = g.num_nodes();
+        let mut adj = vec![Vec::new(); n];
+        for u in 0..n as u32 {
+            let neigh = g.neighbors(u);
+            let mut list = Vec::with_capacity(neigh.len());
+            for &v in neigh {
+                list.push((v, 1.0));
+            }
+            adj[u as usize] = list;
+        }
+        let self_w = vec![0.0; n];
+        let node_w: Vec<f64> = adj.iter().map(|l| l.iter().map(|&(_, w)| w).sum()).collect();
+        let total_w = g.num_edges() as f64;
+        WGraph {
+            adj,
+            self_w,
+            node_w,
+            total_w,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.adj.len()
+    }
+}
+
+/// Run Louvain on `g`.
+///
+/// `init` supplies the warm-start partition (incremental mode); `None`
+/// starts from singletons. The returned partition always covers exactly
+/// `g.num_nodes()` nodes.
+pub fn louvain(g: &CsrGraph, cfg: &LouvainConfig, init: Option<&Partition>) -> LouvainResult {
+    let n = g.num_nodes();
+    if n == 0 {
+        return LouvainResult {
+            partition: Partition::singletons(0),
+            modularity: 0.0,
+            levels: 0,
+        };
+    }
+    let mut rng = rng_from_seed(cfg.seed);
+    // node_to_comm[v] maps ORIGINAL node v to its *level node* before each
+    // local-moving phase (identity at level 0) and to its community after
+    // composing with that phase's result.
+    let mut node_to_comm: Vec<u32> = (0..n as u32).collect();
+
+    let mut level_graph = WGraph::from_csr(g);
+    // Kept so the final result can never score below the warm start
+    // (fragment-and-remerge occasionally lands in a worse optimum).
+    let mut warm_backup: Option<Vec<u32>> = None;
+    // level_init: initial community of each *level node* — the warm-start
+    // partition at level 0 (incremental mode), singletons at deeper levels
+    // (the aggregation itself already encodes the grouping).
+    let mut level_init: Vec<u32> = match init {
+        Some(p) => {
+            assert_eq!(p.num_nodes(), n, "init partition must cover the graph");
+            // Degree-0 nodes contribute nothing to modularity but would
+            // keep stale warm-start labels forever (the tracker would see
+            // ghost communities of isolated nodes), so reset them to
+            // singletons, then renumber densely.
+            let mut raw = p.assignments().to_vec();
+            let mut next = raw.iter().copied().max().map_or(0, |m| m + 1);
+            for u in 0..n as u32 {
+                if g.degree(u) == 0 {
+                    raw[u as usize] = next;
+                    next += 1;
+                }
+            }
+            let warm_assign = Partition::from_assignments(&raw).assignments().to_vec();
+            let warm = warm_assign;
+            // Leiden-style refinement: re-cluster each warm-start community
+            // internally, starting from singletons with moves constrained to
+            // stay inside the community. Neighbour-only local moving cannot
+            // split a cohesive-looking community (every single-node exit is
+            // modularity-negative), so without this step a warm-started run
+            // could never track community splits. The main loop below will
+            // re-merge the refined chunks through aggregation whenever that
+            // is modularity-positive, so stable communities keep tracking
+            // cleanly.
+            let (refined, _, _) = local_moving(&level_graph, &identity(n), cfg, &mut rng, Some(&warm));
+            warm_backup = Some(warm);
+            refined
+        }
+        None => (0..n as u32).collect(),
+    };
+    let mut levels = 0;
+    let mut prev_q = modularity_weighted(&level_graph, &level_init);
+    // Warm-started runs must complete at least two levels: the refinement
+    // pass above deliberately fragments each warm community into chunks,
+    // and only the first aggregation + second local-moving phase can fuse
+    // chunks back together (single-node moves cannot cross chunk
+    // boundaries profitably). Breaking on δ before that would emit the
+    // fragmented partition and make tracking churn.
+    let min_levels = if init.is_some() { 2 } else { 1 };
+
+    loop {
+        let (assign, moved, q_after) =
+            local_moving(&level_graph, &level_init, cfg, &mut rng, None);
+
+        // Compose: node_to_comm maps original -> level node; `assign` maps
+        // level node -> community. After this, original -> community.
+        for c in node_to_comm.iter_mut() {
+            *c = assign[*c as usize];
+        }
+
+        levels += 1;
+        let gained = q_after - prev_q;
+        prev_q = q_after;
+        if (levels >= min_levels && (!moved || gained < cfg.delta)) || levels >= cfg.max_levels {
+            break;
+        }
+
+        // Aggregate: communities become nodes.
+        let (agg, renumber) = aggregate(&level_graph, &assign);
+        // Remap original nodes through the renumbering.
+        for c in node_to_comm.iter_mut() {
+            *c = renumber[*c as usize];
+        }
+        if agg.len() == level_graph.len() {
+            break; // no shrinkage: nothing further to gain
+        }
+        level_graph = agg;
+        level_init = (0..level_graph.len() as u32).collect();
+    }
+
+    let partition = Partition::from_assignments(&node_to_comm);
+    let q = modularity(g, &partition);
+    // Monotonicity guard: a warm-started run must never return something
+    // worse than the warm partition itself scored on this graph.
+    if let Some(warm) = warm_backup {
+        let warm_partition = Partition::from_assignments(&warm);
+        let warm_q = modularity(g, &warm_partition);
+        if warm_q > q {
+            return LouvainResult {
+                partition: warm_partition,
+                modularity: warm_q,
+                levels,
+            };
+        }
+    }
+    LouvainResult {
+        partition,
+        modularity: q,
+        levels,
+    }
+}
+
+/// Weighted modularity of an assignment on a `WGraph`.
+fn modularity_weighted(g: &WGraph, assign: &[u32]) -> f64 {
+    let two_m = 2.0 * g.total_w;
+    if two_m == 0.0 {
+        return 0.0;
+    }
+    let nc = assign.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let mut sigma_in = vec![0.0; nc]; // doubled intra weight
+    let mut sigma_tot = vec![0.0; nc];
+    for u in 0..g.len() {
+        let cu = assign[u] as usize;
+        sigma_tot[cu] += g.node_w[u] + 2.0 * g.self_w[u];
+        sigma_in[cu] += 2.0 * g.self_w[u];
+        for &(v, w) in &g.adj[u] {
+            if assign[v as usize] as usize == cu {
+                sigma_in[cu] += w; // each intra edge visited from both sides
+            }
+        }
+    }
+    let mut q = 0.0;
+    for c in 0..nc {
+        q += sigma_in[c] / two_m - (sigma_tot[c] / two_m).powi(2);
+    }
+    q
+}
+
+/// Identity assignment over `n` nodes.
+fn identity(n: usize) -> Vec<u32> {
+    (0..n as u32).collect()
+}
+
+/// One complete local-moving phase. Returns the final assignment (labels
+/// are arbitrary, not renumbered), whether any node moved, and the
+/// modularity after moving.
+///
+/// When `constraint` is `Some(labels)`, `init` must be the identity
+/// (singletons) and a node may only join communities whose members share
+/// its constraint label — this is the Leiden-style refinement pass that
+/// re-clusters each warm-start community internally.
+fn local_moving(
+    g: &WGraph,
+    init: &[u32],
+    cfg: &LouvainConfig,
+    rng: &mut rand::rngs::SmallRng,
+    constraint: Option<&[u32]>,
+) -> (Vec<u32>, bool, f64) {
+    let n = g.len();
+    let two_m = 2.0 * g.total_w;
+    let mut assign = init.to_vec();
+    let nc = assign.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let mut comm_tot = vec![0.0; nc.max(n)];
+    for u in 0..n {
+        comm_tot[assign[u] as usize] += g.node_w[u] + 2.0 * g.self_w[u];
+    }
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut any_moved = false;
+
+    // Scratch: neighbour-community weights, sparse via touched list.
+    let mut w_to = vec![0.0f64; comm_tot.len()];
+    let mut touched: Vec<u32> = Vec::new();
+
+    // Labels of currently-empty communities, so a node can be *isolated*
+    // into a fresh community when leaving its current one is profitable
+    // even though no neighbour community is attractive. Without this, a
+    // warm-started partition that should split apart is a fixed point of
+    // classic neighbour-only local moving.
+    let mut free_labels: Vec<u32> = (0..comm_tot.len() as u32)
+        .filter(|&c| comm_tot[c as usize] == 0.0)
+        .collect();
+
+    // Per-community constraint label (refinement mode only). Communities
+    // start as singletons there, so community label u belongs to node u.
+    let mut comm_constraint: Vec<u32> = match constraint {
+        Some(labels) => {
+            debug_assert!(init.iter().enumerate().all(|(i, &c)| c as usize == i),
+                "refinement requires a singleton init");
+            let mut v = labels.to_vec();
+            v.resize(comm_tot.len(), u32::MAX);
+            v
+        }
+        None => Vec::new(),
+    };
+
+    if two_m == 0.0 {
+        let q = modularity_weighted(g, &assign);
+        return (assign, false, q);
+    }
+
+    for _sweep in 0..cfg.max_sweeps {
+        shuffle(&mut order, rng);
+        let mut sweep_gain = 0.0;
+        let mut moved_this_sweep = false;
+        for &u in &order {
+            let ui = u as usize;
+            let k_u = g.node_w[ui] + 2.0 * g.self_w[ui];
+            if g.adj[ui].is_empty() {
+                continue;
+            }
+            let old_c = assign[ui];
+            // Collect weights to neighbouring communities (in refinement
+            // mode, only communities sharing this node's constraint label
+            // are candidates).
+            for &(v, w) in &g.adj[ui] {
+                let c = assign[v as usize];
+                if let Some(labels) = constraint {
+                    if comm_constraint[c as usize] != labels[ui] {
+                        continue;
+                    }
+                }
+                if w_to[c as usize] == 0.0 {
+                    touched.push(c);
+                }
+                w_to[c as usize] += w;
+            }
+            // Remove u from its community.
+            comm_tot[old_c as usize] -= k_u;
+            // Gain of (re-)inserting into community c:
+            //   ΔQ(c) = w_to(c)/m' − Σ_tot(c)·k_u/(2m'²)   (×2/two_m form)
+            // We evaluate the common form: w_to(c) − Σ_tot(c)·k_u/two_m,
+            // which is ΔQ·(two_m/2); consistent across candidates so both
+            // the argmax and gain *differences* scale by a constant — we
+            // rescale when accumulating sweep_gain.
+            let score = |c: u32| w_to[c as usize] - comm_tot[c as usize] * k_u / two_m;
+            let mut best_c = old_c;
+            let mut best_s = score(old_c);
+            for &c in &touched {
+                let s = score(c);
+                if s > best_s + 1e-12 {
+                    best_s = s;
+                    best_c = c;
+                }
+            }
+            // Isolating into an empty community scores exactly 0; prefer
+            // it when every candidate (including staying) is negative.
+            if best_s < -1e-12 {
+                while let Some(label) = free_labels.pop() {
+                    if comm_tot[label as usize] == 0.0 {
+                        best_c = label;
+                        best_s = 0.0;
+                        if let Some(labels) = constraint {
+                            comm_constraint[label as usize] = labels[ui];
+                        }
+                        break;
+                    }
+                }
+            }
+            let old_s = score(old_c);
+            comm_tot[best_c as usize] += k_u;
+            if best_c != old_c && comm_tot[old_c as usize] == 0.0 {
+                free_labels.push(old_c);
+            }
+            if best_c != old_c {
+                assign[ui] = best_c;
+                moved_this_sweep = true;
+                any_moved = true;
+                sweep_gain += (best_s - old_s) * 2.0 / two_m;
+            }
+            // Clear scratch.
+            for &c in &touched {
+                w_to[c as usize] = 0.0;
+            }
+            touched.clear();
+        }
+        if !moved_this_sweep || sweep_gain < cfg.delta.max(1e-9) {
+            break;
+        }
+    }
+    let q = modularity_weighted(g, &assign);
+    (assign, any_moved, q)
+}
+
+/// Collapse communities into nodes. Returns the aggregated graph and the
+/// dense renumbering `old community label -> new node id`.
+fn aggregate(g: &WGraph, assign: &[u32]) -> (WGraph, Vec<u32>) {
+    let max_label = assign.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let mut renumber = vec![u32::MAX; max_label];
+    let mut next = 0u32;
+    for &c in assign {
+        if renumber[c as usize] == u32::MAX {
+            renumber[c as usize] = next;
+            next += 1;
+        }
+    }
+    let nc = next as usize;
+    let mut self_w = vec![0.0; nc];
+    let mut maps: Vec<std::collections::HashMap<u32, f64>> = vec![Default::default(); nc];
+    for u in 0..g.len() {
+        let cu = renumber[assign[u] as usize];
+        self_w[cu as usize] += g.self_w[u];
+        for &(v, w) in &g.adj[u] {
+            let cv = renumber[assign[v as usize] as usize];
+            if cu == cv {
+                // intra edge seen from both endpoints: add half each time
+                self_w[cu as usize] += w / 2.0;
+            } else {
+                *maps[cu as usize].entry(cv).or_insert(0.0) += w;
+            }
+        }
+    }
+    let adj: Vec<Vec<(u32, f64)>> = maps
+        .into_iter()
+        .map(|m| {
+            let mut l: Vec<(u32, f64)> = m.into_iter().collect();
+            l.sort_unstable_by_key(|&(v, _)| v);
+            l
+        })
+        .collect();
+    let node_w: Vec<f64> = adj.iter().map(|l| l.iter().map(|&(_, w)| w).sum()).collect();
+    let total_w = g.total_w;
+    (
+        WGraph {
+            adj,
+            self_w,
+            node_w,
+            total_w,
+        },
+        renumber,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `k` cliques of `size` nodes, neighbouring cliques joined by one edge.
+    fn ring_of_cliques(k: usize, size: usize) -> CsrGraph {
+        let mut edges = Vec::new();
+        for c in 0..k {
+            let base = (c * size) as u32;
+            for i in 0..size as u32 {
+                for j in (i + 1)..size as u32 {
+                    edges.push((base + i, base + j));
+                }
+            }
+            let next_base = (((c + 1) % k) * size) as u32;
+            edges.push((base, next_base));
+        }
+        CsrGraph::from_edges(k * size, &edges)
+    }
+
+    #[test]
+    fn recovers_planted_cliques() {
+        let g = ring_of_cliques(6, 8);
+        let cfg = LouvainConfig {
+            delta: 1e-6,
+            ..Default::default()
+        };
+        let res = louvain(&g, &cfg, None);
+        assert!(res.modularity > 0.6, "modularity {}", res.modularity);
+        // Every clique should be one community.
+        for c in 0..6 {
+            let base = c * 8;
+            let label = res.partition.community_of(base as u32);
+            for i in 0..8 {
+                assert_eq!(res.partition.community_of((base + i) as u32), label);
+            }
+        }
+        assert_eq!(res.partition.num_communities(), 6);
+    }
+
+    #[test]
+    fn internal_modularity_matches_public() {
+        let g = ring_of_cliques(4, 5);
+        let res = louvain(&g, &LouvainConfig::with_delta(1e-6), None);
+        let q = modularity(&g, &res.partition);
+        assert!((q - res.modularity).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_delta_terminates_early_with_lower_quality() {
+        let g = ring_of_cliques(6, 8);
+        let fine = louvain(&g, &LouvainConfig::with_delta(1e-6), None);
+        let coarse = louvain(&g, &LouvainConfig::with_delta(0.5), None);
+        assert!(coarse.modularity <= fine.modularity + 1e-9);
+        assert!(coarse.levels <= fine.levels);
+    }
+
+    #[test]
+    fn incremental_warm_start_preserves_good_partition() {
+        let g = ring_of_cliques(6, 8);
+        let fine = louvain(&g, &LouvainConfig::with_delta(1e-6), None);
+        // Warm-start from the converged partition: must not degrade.
+        let warm = louvain(&g, &LouvainConfig::with_delta(1e-6), Some(&fine.partition));
+        assert!(warm.modularity >= fine.modularity - 1e-9);
+        assert_eq!(warm.partition.num_communities(), 6);
+    }
+
+    #[test]
+    fn incremental_handles_grown_graph() {
+        let g1 = ring_of_cliques(4, 6);
+        let fine = louvain(&g1, &LouvainConfig::with_delta(1e-6), None);
+        // Grow: add a new clique of 6 (nodes 24..30) bridged to clique 0.
+        let mut edges: Vec<(u32, u32)> = g1.edges().collect();
+        for i in 24..30u32 {
+            for j in (i + 1)..30 {
+                edges.push((i, j));
+            }
+        }
+        edges.push((0, 24));
+        let g2 = CsrGraph::from_edges(30, &edges);
+        let init = fine.partition.extended_to(30);
+        let res = louvain(&g2, &LouvainConfig::with_delta(1e-6), Some(&init));
+        assert_eq!(res.partition.num_communities(), 5);
+        // New clique forms a single community.
+        let label = res.partition.community_of(24);
+        for i in 24..30 {
+            assert_eq!(res.partition.community_of(i), label);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = ring_of_cliques(5, 7);
+        let a = louvain(&g, &LouvainConfig::with_delta(1e-6), None);
+        let b = louvain(&g, &LouvainConfig::with_delta(1e-6), None);
+        assert_eq!(a.partition, b.partition);
+        assert_eq!(a.modularity, b.modularity);
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let empty = CsrGraph::from_edges(0, &[]);
+        let res = louvain(&empty, &LouvainConfig::default(), None);
+        assert_eq!(res.partition.num_nodes(), 0);
+        let edgeless = CsrGraph::from_edges(5, &[]);
+        let res = louvain(&edgeless, &LouvainConfig::default(), None);
+        assert_eq!(res.partition.num_nodes(), 5);
+        assert_eq!(res.modularity, 0.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Node→community assignments.
+
+/// A partition of nodes `0..n` into communities.
+///
+/// Community labels are dense (`0..num_communities`): every constructor
+/// in this crate renumbers labels in order of first appearance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    assign: Vec<u32>,
+    num_comms: u32,
+}
+
+impl Partition {
+    /// The singleton partition: every node its own community.
+    pub fn singletons(n: usize) -> Self {
+        Partition {
+            assign: (0..n as u32).collect(),
+            num_comms: n as u32,
+        }
+    }
+
+    /// Build from raw assignments, renumbering labels densely in order of
+    /// first appearance.
+    pub fn from_assignments(raw: &[u32]) -> Self {
+        let mut map = std::collections::HashMap::new();
+        let mut assign = Vec::with_capacity(raw.len());
+        for &c in raw {
+            let next = map.len() as u32;
+            let label = *map.entry(c).or_insert(next);
+            assign.push(label);
+        }
+        Partition {
+            assign,
+            num_comms: map.len() as u32,
+        }
+    }
+
+    /// Number of nodes covered.
+    pub fn num_nodes(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of communities.
+    pub fn num_communities(&self) -> usize {
+        self.num_comms as usize
+    }
+
+    /// The community of `node`.
+    pub fn community_of(&self, node: u32) -> u32 {
+        self.assign[node as usize]
+    }
+
+    /// Raw assignment slice, indexed by node.
+    pub fn assignments(&self) -> &[u32] {
+        &self.assign
+    }
+
+    /// Community sizes, indexed by community label.
+    pub fn sizes(&self) -> Vec<u32> {
+        let mut sizes = vec![0u32; self.num_comms as usize];
+        for &c in &self.assign {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Members of every community, sorted ascending within each community.
+    pub fn members(&self) -> Vec<Vec<u32>> {
+        let mut out = vec![Vec::new(); self.num_comms as usize];
+        for (node, &c) in self.assign.iter().enumerate() {
+            out[c as usize].push(node as u32);
+        }
+        out
+    }
+
+    /// Extend the partition to cover `new_n >= num_nodes()` nodes; the new
+    /// nodes become fresh singleton communities. Used to project a
+    /// previous snapshot's partition onto a grown graph before an
+    /// incremental Louvain run.
+    pub fn extended_to(&self, new_n: usize) -> Partition {
+        assert!(new_n >= self.assign.len(), "cannot shrink a partition");
+        let mut assign = self.assign.clone();
+        let mut next = self.num_comms;
+        for _ in self.assign.len()..new_n {
+            assign.push(next);
+            next += 1;
+        }
+        Partition {
+            assign,
+            num_comms: next,
+        }
+    }
+
+    /// Distribution of community sizes as `(size, count)` pairs sorted by
+    /// size, considering only communities of at least `min_size` nodes.
+    pub fn size_distribution(&self, min_size: u32) -> Vec<(u32, u32)> {
+        let mut by_size = std::collections::BTreeMap::new();
+        for s in self.sizes() {
+            if s >= min_size {
+                *by_size.entry(s).or_insert(0u32) += 1;
+            }
+        }
+        by_size.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons() {
+        let p = Partition::singletons(3);
+        assert_eq!(p.num_communities(), 3);
+        assert_eq!(p.community_of(2), 2);
+    }
+
+    #[test]
+    fn renumbering() {
+        let p = Partition::from_assignments(&[7, 7, 3, 7, 3, 9]);
+        assert_eq!(p.num_communities(), 3);
+        assert_eq!(p.assignments(), &[0, 0, 1, 0, 1, 2]);
+        assert_eq!(p.sizes(), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn members_sorted() {
+        let p = Partition::from_assignments(&[1, 0, 1, 0]);
+        let m = p.members();
+        assert_eq!(m[0], vec![0, 2]);
+        assert_eq!(m[1], vec![1, 3]);
+    }
+
+    #[test]
+    fn extension() {
+        let p = Partition::from_assignments(&[0, 0, 1]);
+        let q = p.extended_to(5);
+        assert_eq!(q.num_nodes(), 5);
+        assert_eq!(q.num_communities(), 4);
+        assert_eq!(q.community_of(3), 2);
+        assert_eq!(q.community_of(4), 3);
+        // unchanged prefix
+        assert_eq!(q.community_of(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn extension_cannot_shrink() {
+        Partition::singletons(3).extended_to(2);
+    }
+
+    #[test]
+    fn size_distribution_filters() {
+        let p = Partition::from_assignments(&[0, 0, 0, 1, 1, 2]);
+        assert_eq!(p.size_distribution(1), vec![(1, 1), (2, 1), (3, 1)]);
+        assert_eq!(p.size_distribution(2), vec![(2, 1), (3, 1)]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Jaccard similarity between communities.
+//!
+//! The paper (following Greene et al. 2010) quantifies community overlap
+//! across snapshots as "the ratio of common nodes in two communities to
+//! the total number of different nodes in both communities" — the Jaccard
+//! coefficient.
+
+/// Jaccard coefficient `|A ∩ B| / |A ∪ B|` of two **sorted** member
+/// lists. Returns 0 when both are empty.
+pub fn jaccard(a: &[u32], b: &[u32]) -> f64 {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(b.windows(2).all(|w| w[0] < w[1]));
+    let inter = sorted_intersection_count(a, b);
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Size of the intersection of two sorted slices.
+pub fn sorted_intersection_count(a: &[u32], b: &[u32]) -> usize {
+    let mut i = 0;
+    let mut j = 0;
+    let mut count = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Jaccard computed from a pre-counted overlap (avoids re-intersecting
+/// when overlaps were accumulated in bulk by the tracker).
+pub fn jaccard_from_overlap(size_a: usize, size_b: usize, overlap: usize) -> f64 {
+    let union = size_a + size_b - overlap;
+    if union == 0 {
+        0.0
+    } else {
+        overlap as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sets() {
+        assert_eq!(jaccard(&[1, 2, 3], &[1, 2, 3]), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets() {
+        assert_eq!(jaccard(&[1, 2], &[3, 4]), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // {1,2,3} vs {2,3,4}: inter 2, union 4
+        assert_eq!(jaccard(&[1, 2, 3], &[2, 3, 4]), 0.5);
+    }
+
+    #[test]
+    fn empty_sets() {
+        assert_eq!(jaccard(&[], &[]), 0.0);
+        assert_eq!(jaccard(&[1], &[]), 0.0);
+    }
+
+    #[test]
+    fn overlap_form_matches() {
+        let a = [1u32, 2, 3, 7, 9];
+        let b = [2u32, 3, 4, 9];
+        let inter = sorted_intersection_count(&a, &b);
+        assert_eq!(inter, 3);
+        assert_eq!(jaccard(&a, &b), jaccard_from_overlap(a.len(), b.len(), inter));
+    }
+}

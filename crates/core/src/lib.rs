@@ -1,0 +1,27 @@
+//! # osn-core — the paper's analysis suite
+//!
+//! One module per analysis family of *"Multi-scale Dynamics in a Massive
+//! Online Social Network"* (IMC 2012). Every public function consumes an
+//! [`osn_graph::EventLog`] (normally produced by `osn-genstream`) and
+//! returns typed series/tables from `osn-stats`, ready for CSV export by
+//! the reproduction harness in `osn-bench`.
+//!
+//! | Module | Paper section | Figures |
+//! |---|---|---|
+//! | [`network`] | §2 network-level analysis | 1(a)–(f) |
+//! | [`edges`] | §3.1 time dynamics of edge creation | 2(a)–(c) |
+//! | [`preferential`] | §3.2 strength of preferential attachment | 3(a)–(c) |
+//! | [`communities`] | §4.1–4.3 community evolution | 4(a)–(c), 5(a)–(c), 6(a)–(c) |
+//! | [`impact`] | §4.4 impact of community on users | 7(a)–(c) |
+//! | [`merge`] | §5 merging of two OSNs | 8(a)–(c), 9(a)–(c) |
+//! | [`models`] | §3.3 hypothesis / §6 baselines | generative-model comparison |
+//! | [`report`] | — | CSV/text rendering, paper-vs-measured checks |
+
+pub mod communities;
+pub mod edges;
+pub mod impact;
+pub mod merge;
+pub mod models;
+pub mod network;
+pub mod preferential;
+pub mod report;

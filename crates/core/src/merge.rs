@@ -1,0 +1,550 @@
+//! §5 — merging of two OSNs (Figures 8 and 9).
+//!
+//! Post-merge edges are classified exactly as the paper defines:
+//! *internal* edges connect users of the same pre-merge OSN, *external*
+//! edges connect a core (Xiaonei) user to a competitor (5Q) user, and
+//! *new* edges touch at least one account created after the merge.
+//!
+//! "Active" follows the paper's §5.2 definition with its look-ahead
+//! consequence: a user is active at day `x` (after the merge) if they
+//! create an edge of the relevant class within the following
+//! `threshold` days — which is why the curves stop `threshold` days
+//! before the end of the trace ("we cannot determine whether users have
+//! become inactive during the tail").
+
+use osn_graph::{CsrGraph, Day, EventLog, NodeId, Origin, Time};
+use osn_metrics::paths::distance_to_group;
+use osn_stats::sampling::{derive_seed, rng_from_seed, sample_without_replacement};
+use osn_stats::{Series, Table};
+
+/// Classification of a post-merge edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeClass {
+    /// Both endpoints from the core network (Xiaonei–Xiaonei).
+    InternalCore,
+    /// Both endpoints from the competitor (5Q–5Q).
+    InternalComp,
+    /// One core endpoint, one competitor endpoint.
+    External,
+    /// At least one endpoint joined after the merge.
+    New,
+}
+
+/// Classify an edge by its endpoints' origins.
+pub fn classify(log: &EventLog, u: NodeId, v: NodeId) -> EdgeClass {
+    match (log.origin(u), log.origin(v)) {
+        (Origin::PostMerge, _) | (_, Origin::PostMerge) => EdgeClass::New,
+        (Origin::Core, Origin::Core) => EdgeClass::InternalCore,
+        (Origin::Competitor, Origin::Competitor) => EdgeClass::InternalComp,
+        _ => EdgeClass::External,
+    }
+}
+
+/// Parameters of the merge analyses.
+#[derive(Debug, Clone, Copy)]
+pub struct MergeAnalysisConfig {
+    /// Activity threshold in days (paper: 94 — "99% of Renren users
+    /// create at least one edge every 94 days").
+    pub activity_threshold_days: u32,
+    /// BFS sources sampled per OSN per measured day (paper: 1000).
+    pub distance_sample: usize,
+    /// Days between distance measurements.
+    pub distance_stride: Day,
+    /// Rolling-sum window (days) for the noisy daily ratios of Figure 9.
+    pub ratio_window_days: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MergeAnalysisConfig {
+    fn default() -> Self {
+        MergeAnalysisConfig {
+            activity_threshold_days: 94,
+            distance_sample: 300,
+            distance_stride: 5,
+            ratio_window_days: 7,
+            seed: 0,
+        }
+    }
+}
+
+/// Figure 8(a)–(b) output: one table per pre-merge OSN.
+#[derive(Debug, Clone)]
+pub struct ActiveUsers {
+    /// Xiaonei/core users (Figure 8a).
+    pub core: Table,
+    /// 5Q/competitor users (Figure 8b).
+    pub competitor: Table,
+}
+
+const CAT_ALL: usize = 0;
+const CAT_NEW: usize = 1;
+const CAT_INT: usize = 2;
+const CAT_EXT: usize = 3;
+const CAT_NAMES: [&str; 4] = ["all_edges", "new_users", "internal", "external"];
+
+/// Figure 8(a)–(b): percentage of each OSN's accounts active over time,
+/// per edge class.
+pub fn active_users(log: &EventLog, merge_day: Day, cfg: &MergeAnalysisConfig) -> ActiveUsers {
+    let thr = cfg.activity_threshold_days as i64;
+    let end_day = log.end_day() as i64;
+    let horizon = (end_day - merge_day as i64 - thr).max(0) as usize;
+
+    // Per (pre-merge user, category): sorted post-merge edge days.
+    let n = log.num_nodes() as usize;
+    let mut day_lists: Vec<[Vec<u32>; 4]> = Vec::new();
+    day_lists.resize_with(n, Default::default);
+    let merge_t = Time::day_start(merge_day);
+    for (t, u, v) in log.edge_events() {
+        if t < merge_t {
+            continue;
+        }
+        let class = classify(log, u, v);
+        let d = t.day();
+        for node in [u, v] {
+            let origin = log.origin(node);
+            if origin == Origin::PostMerge {
+                continue;
+            }
+            let cat = match class {
+                EdgeClass::New => CAT_NEW,
+                EdgeClass::External => CAT_EXT,
+                EdgeClass::InternalCore | EdgeClass::InternalComp => CAT_INT,
+            };
+            day_lists[node.index()][CAT_ALL].push(d);
+            day_lists[node.index()][cat].push(d);
+        }
+    }
+
+    // Per origin, per category: difference array of active-user counts
+    // over x = 0..horizon, where an edge on day e makes the user active
+    // for x in [e - merge - thr + 1, e - merge].
+    let mut diffs = [[(); 4]; 2].map(|row| row.map(|_| vec![0i64; horizon + 1]));
+    let mut totals = [0u64; 2];
+    for node in 0..n {
+        let oi = match log.origins()[node] {
+            Origin::Core => 0,
+            Origin::Competitor => 1,
+            Origin::PostMerge => continue,
+        };
+        totals[oi] += 1;
+        for cat in 0..4 {
+            let days = &day_lists[node][cat];
+            if days.is_empty() || horizon == 0 {
+                continue;
+            }
+            // Merge overlapping activity intervals before writing.
+            let mut cur: Option<(i64, i64)> = None;
+            for &e in days {
+                let rel = e as i64 - merge_day as i64;
+                let lo = (rel - thr + 1).max(0);
+                let hi = rel.min(horizon as i64 - 1);
+                if hi < lo {
+                    continue;
+                }
+                match cur {
+                    Some((s, t)) if lo <= t + 1 => cur = Some((s, t.max(hi))),
+                    Some((s, t)) => {
+                        diffs[oi][cat][s as usize] += 1;
+                        diffs[oi][cat][(t + 1) as usize] -= 1;
+                        cur = Some((lo, hi));
+                    }
+                    None => cur = Some((lo, hi)),
+                }
+            }
+            if let Some((s, t)) = cur {
+                diffs[oi][cat][s as usize] += 1;
+                diffs[oi][cat][(t + 1) as usize] -= 1;
+            }
+        }
+    }
+
+    let build = |oi: usize| -> Table {
+        let mut table = Table::new("days_after_merge");
+        for cat in 0..4 {
+            let mut s = Series::new(format!("active_pct_{}", CAT_NAMES[cat]));
+            let mut acc = 0i64;
+            for x in 0..horizon {
+                acc += diffs[oi][cat][x];
+                let pct = if totals[oi] == 0 {
+                    0.0
+                } else {
+                    100.0 * acc as f64 / totals[oi] as f64
+                };
+                s.push(x as f64, pct);
+            }
+            table.push(s);
+        }
+        table
+    };
+    ActiveUsers {
+        core: build(0),
+        competitor: build(1),
+    }
+}
+
+/// In-text §5.2: duplicate-account estimate — the fraction of each OSN's
+/// accounts inactive at day 0 after the merge. Returns
+/// `(core_inactive_fraction, competitor_inactive_fraction)`.
+pub fn duplicate_estimate(log: &EventLog, merge_day: Day, cfg: &MergeAnalysisConfig) -> (f64, f64) {
+    let merge_t = Time::day_start(merge_day);
+    let cutoff = Time::day_start(merge_day + cfg.activity_threshold_days);
+    let n = log.num_nodes() as usize;
+    let mut active = vec![false; n];
+    for (t, u, v) in log.edge_events() {
+        if t < merge_t || t >= cutoff {
+            continue;
+        }
+        active[u.index()] = true;
+        active[v.index()] = true;
+    }
+    let mut counts = [0u64; 2];
+    let mut inactive = [0u64; 2];
+    for node in 0..n {
+        let oi = match log.origins()[node] {
+            Origin::Core => 0,
+            Origin::Competitor => 1,
+            Origin::PostMerge => continue,
+        };
+        counts[oi] += 1;
+        if !active[node] {
+            inactive[oi] += 1;
+        }
+    }
+    let frac = |i: usize| {
+        if counts[i] == 0 {
+            0.0
+        } else {
+            inactive[i] as f64 / counts[i] as f64
+        }
+    };
+    (frac(0), frac(1))
+}
+
+/// Per-day post-merge edge counts by class. Internal is reported in
+/// total and split by OSN (the splits feed Figure 9's ratios).
+struct DailyClassCounts {
+    new: Vec<u64>,
+    int_core: Vec<u64>,
+    int_comp: Vec<u64>,
+    external: Vec<u64>,
+}
+
+fn daily_class_counts(log: &EventLog, merge_day: Day) -> DailyClassCounts {
+    let days = (log.end_day() as usize + 1).saturating_sub(merge_day as usize);
+    let mut c = DailyClassCounts {
+        new: vec![0; days],
+        int_core: vec![0; days],
+        int_comp: vec![0; days],
+        external: vec![0; days],
+    };
+    let merge_t = Time::day_start(merge_day);
+    for (t, u, v) in log.edge_events() {
+        if t < merge_t {
+            continue;
+        }
+        let x = (t.day() - merge_day) as usize;
+        match classify(log, u, v) {
+            EdgeClass::New => c.new[x] += 1,
+            EdgeClass::InternalCore => c.int_core[x] += 1,
+            EdgeClass::InternalComp => c.int_comp[x] += 1,
+            EdgeClass::External => c.external[x] += 1,
+        }
+    }
+    c
+}
+
+/// Figure 8(c): number of new / internal / external edges created per day
+/// after the merge.
+pub fn edges_per_day(log: &EventLog, merge_day: Day) -> Table {
+    let c = daily_class_counts(log, merge_day);
+    let days = c.new.len();
+    let series = |name: &str, data: Vec<u64>| {
+        Series::from_points(
+            name,
+            (0..days).map(|x| (x as f64, data[x] as f64)).collect(),
+        )
+    };
+    let internal: Vec<u64> = (0..days).map(|x| c.int_core[x] + c.int_comp[x]).collect();
+    Table::new("days_after_merge")
+        .with(series("new_users", c.new))
+        .with(series("internal", internal))
+        .with(series("external", c.external))
+}
+
+/// Rolling-sum ratio of two daily series, skipping windows with a zero
+/// denominator.
+fn rolling_ratio(name: &str, num: &[u64], den: &[u64], window: usize) -> Series {
+    let mut s = Series::new(name);
+    let w = window.max(1);
+    for x in 0..num.len().saturating_sub(w - 1) {
+        let n: u64 = num[x..x + w].iter().sum();
+        let d: u64 = den[x..x + w].iter().sum();
+        if d > 0 {
+            s.push(x as f64, n as f64 / d as f64);
+        }
+    }
+    s
+}
+
+/// Figure 9(a): ratio of internal to external edges per day, for each
+/// OSN and combined.
+pub fn internal_external_ratio(log: &EventLog, merge_day: Day, cfg: &MergeAnalysisConfig) -> Table {
+    let c = daily_class_counts(log, merge_day);
+    let both: Vec<u64> = c
+        .int_core
+        .iter()
+        .zip(&c.int_comp)
+        .map(|(&a, &b)| a + b)
+        .collect();
+    let w = cfg.ratio_window_days;
+    Table::new("days_after_merge")
+        .with(rolling_ratio("int_ext_core", &c.int_core, &c.external, w))
+        .with(rolling_ratio("int_ext_both", &both, &c.external, w))
+        .with(rolling_ratio("int_ext_competitor", &c.int_comp, &c.external, w))
+}
+
+/// Figure 9(b): ratio of new-user edges to external edges per day, split
+/// by which OSN the pre-merge endpoint belongs to.
+pub fn new_external_ratio(log: &EventLog, merge_day: Day, cfg: &MergeAnalysisConfig) -> Table {
+    let days = (log.end_day() as usize + 1).saturating_sub(merge_day as usize);
+    let mut new_core = vec![0u64; days];
+    let mut new_comp = vec![0u64; days];
+    let mut new_all = vec![0u64; days];
+    let mut external = vec![0u64; days];
+    let merge_t = Time::day_start(merge_day);
+    for (t, u, v) in log.edge_events() {
+        if t < merge_t {
+            continue;
+        }
+        let x = (t.day() - merge_day) as usize;
+        match classify(log, u, v) {
+            EdgeClass::New => {
+                new_all[x] += 1;
+                for node in [u, v] {
+                    match log.origin(node) {
+                        Origin::Core => new_core[x] += 1,
+                        Origin::Competitor => new_comp[x] += 1,
+                        Origin::PostMerge => {}
+                    }
+                }
+            }
+            EdgeClass::External => external[x] += 1,
+            _ => {}
+        }
+    }
+    let w = cfg.ratio_window_days;
+    Table::new("days_after_merge")
+        .with(rolling_ratio("new_ext_core", &new_core, &external, w))
+        .with(rolling_ratio("new_ext_both", &new_all, &external, w))
+        .with(rolling_ratio("new_ext_competitor", &new_comp, &external, w))
+}
+
+/// Figure 9(c): average hop distance from sampled users of each OSN to
+/// the nearest user of the other OSN, over days after the merge. New
+/// users and their edges are excluded, as in the paper.
+pub fn cross_distance(log: &EventLog, merge_day: Day, cfg: &MergeAnalysisConfig) -> Table {
+    // Pre-merge node ids are a prefix (ids are dense in arrival order and
+    // every post-merge arrival comes later).
+    let origins = log.origins();
+    let n_pre = origins
+        .iter()
+        .position(|&o| o == Origin::PostMerge)
+        .unwrap_or(origins.len());
+    let core_nodes: Vec<u32> = (0..n_pre as u32)
+        .filter(|&u| origins[u as usize] == Origin::Core)
+        .collect();
+    let comp_nodes: Vec<u32> = (0..n_pre as u32)
+        .filter(|&u| origins[u as usize] == Origin::Competitor)
+        .collect();
+
+    // Incrementally maintain the pre-merge-only adjacency.
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n_pre];
+    let mut rng = rng_from_seed(derive_seed(cfg.seed, 0x9c));
+    let mut table = Table::new("days_after_merge");
+    let mut core_to_comp = Series::new("dist_core_to_competitor");
+    let mut comp_to_core = Series::new("dist_competitor_to_core");
+
+    let events = log.events();
+    let mut pos = 0usize;
+    let end_day = log.end_day();
+    let mut day = merge_day;
+    while day <= end_day {
+        let cutoff = Time::day_end(day);
+        while pos < events.len() && events[pos].time < cutoff {
+            if let osn_graph::EventKind::AddEdge { u, v } = events[pos].kind {
+                if (u.index()) < n_pre && (v.index()) < n_pre {
+                    if let Err(i) = adj[u.index()].binary_search(&v.0) {
+                        adj[u.index()].insert(i, v.0);
+                    }
+                    if let Err(i) = adj[v.index()].binary_search(&u.0) {
+                        adj[v.index()].insert(i, u.0);
+                    }
+                }
+            }
+            pos += 1;
+        }
+        let g = CsrGraph::from_sorted_adjacency(&adj, cutoff);
+        let x = (day - merge_day) as f64;
+        if let Some(d) = avg_group_distance(&g, &core_nodes, origins, Origin::Competitor, cfg, &mut rng) {
+            core_to_comp.push(x, d);
+        }
+        if let Some(d) = avg_group_distance(&g, &comp_nodes, origins, Origin::Core, cfg, &mut rng) {
+            comp_to_core.push(x, d);
+        }
+        day += cfg.distance_stride.max(1);
+    }
+    table.push(core_to_comp);
+    table.push(comp_to_core);
+    table
+}
+
+fn avg_group_distance(
+    g: &CsrGraph,
+    sources: &[u32],
+    origins: &[Origin],
+    target: Origin,
+    cfg: &MergeAnalysisConfig,
+    rng: &mut rand::rngs::SmallRng,
+) -> Option<f64> {
+    if sources.is_empty() {
+        return None;
+    }
+    let sample = sample_without_replacement(sources, cfg.distance_sample, rng);
+    let is_target = |u: u32| origins[u as usize] == target;
+    let allowed = |_: u32| true;
+    let mut total = 0u64;
+    let mut count = 0u64;
+    for &s in &sample {
+        if let Some(d) = distance_to_group(g, s, &is_target, &allowed) {
+            total += d as u64;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        None
+    } else {
+        Some(total as f64 / count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_genstream::{TraceConfig, TraceGenerator};
+
+    fn setup() -> (EventLog, Day, MergeAnalysisConfig) {
+        let cfg = TraceConfig::tiny();
+        let merge_day = cfg.merge.as_ref().unwrap().merge_day;
+        let log = TraceGenerator::new(cfg).generate();
+        let mcfg = MergeAnalysisConfig {
+            activity_threshold_days: 30,
+            distance_sample: 80,
+            distance_stride: 10,
+            ratio_window_days: 7,
+            seed: 5,
+        };
+        (log, merge_day, mcfg)
+    }
+
+    #[test]
+    fn classification_matches_origins() {
+        let (log, _, _) = setup();
+        for (_, u, v) in log.edge_events().take(5000) {
+            let class = classify(&log, u, v);
+            let (ou, ov) = (log.origin(u), log.origin(v));
+            match class {
+                EdgeClass::New => {
+                    assert!(ou == Origin::PostMerge || ov == Origin::PostMerge)
+                }
+                EdgeClass::External => {
+                    assert_ne!(ou, ov);
+                    assert!(ou != Origin::PostMerge && ov != Origin::PostMerge);
+                }
+                EdgeClass::InternalCore => assert!(ou == Origin::Core && ov == Origin::Core),
+                EdgeClass::InternalComp => {
+                    assert!(ou == Origin::Competitor && ov == Origin::Competitor)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn active_users_bounded_and_declining() {
+        let (log, merge_day, mcfg) = setup();
+        let a = active_users(&log, merge_day, &mcfg);
+        for table in [&a.core, &a.competitor] {
+            for s in &table.series {
+                assert!(s.points.iter().all(|&(_, y)| (0.0..=100.0).contains(&y)));
+            }
+            let all = &table.series[0];
+            assert!(!all.is_empty());
+            // overall activity declines over the window
+            let first = all.points.first().unwrap().1;
+            let last = all.last_y().unwrap();
+            assert!(last <= first + 5.0, "activity rose: {first} -> {last}");
+        }
+    }
+
+    #[test]
+    fn duplicates_detected() {
+        let (log, merge_day, mcfg) = setup();
+        let (core_inactive, comp_inactive) = duplicate_estimate(&log, merge_day, &mcfg);
+        // configured: 11% core and 28% competitor duplicates, plus natural
+        // dormancy — but the tiny trace has only ~60 accounts per side, so
+        // allow generous binomial slack.
+        assert!(core_inactive > 0.015, "core inactive {core_inactive}");
+        assert!(comp_inactive > core_inactive, "comp {comp_inactive} core {core_inactive}");
+        assert!(comp_inactive < 0.9);
+    }
+
+    #[test]
+    fn new_edges_take_over() {
+        let (log, merge_day, _) = setup();
+        let t = edges_per_day(&log, merge_day);
+        let new = &t.series[0];
+        let internal = &t.series[1];
+        // late in the window, new-user edges dominate internal edges
+        let horizon = new.len();
+        assert!(horizon > 30);
+        let late_new: f64 = new.points[horizon - 15..].iter().map(|&(_, y)| y).sum();
+        let late_int: f64 = internal.points[horizon - 15..].iter().map(|&(_, y)| y).sum();
+        assert!(late_new > late_int, "new {late_new} vs internal {late_int}");
+    }
+
+    #[test]
+    fn ratios_have_points_and_positive_values() {
+        let (log, merge_day, mcfg) = setup();
+        let ie = internal_external_ratio(&log, merge_day, &mcfg);
+        let ne = new_external_ratio(&log, merge_day, &mcfg);
+        for t in [&ie, &ne] {
+            assert_eq!(t.series.len(), 3);
+            for s in &t.series {
+                assert!(s.points.iter().all(|&(_, y)| y >= 0.0));
+            }
+        }
+        // internal/external for the combined network starts above 1
+        // (homophily) somewhere in the first days
+        let both = &ie.series[1];
+        assert!(!both.is_empty());
+        assert!(both.points[0].1 > 0.5, "both ratio {:?}", both.points[0]);
+        // new/external eventually exceeds 1 for the combined line
+        let newb = &ne.series[1];
+        assert!(
+            newb.first_x_where(|y| y >= 1.0).is_some(),
+            "new edges never overtook external"
+        );
+    }
+
+    #[test]
+    fn distance_declines_after_merge() {
+        let (log, merge_day, mcfg) = setup();
+        let t = cross_distance(&log, merge_day, &mcfg);
+        let c2c = &t.series[0];
+        assert!(c2c.len() >= 3, "too few distance points");
+        let first = c2c.points.first().unwrap().1;
+        let last = c2c.last_y().unwrap();
+        assert!(last <= first, "distance rose: {first} -> {last}");
+        assert!(last >= 1.0);
+    }
+}

@@ -1,0 +1,437 @@
+//! §3.2 — strength of preferential attachment (Figure 3).
+//!
+//! Implements the edge-probability estimator of Leskovec et al. (2008) as
+//! used by the paper:
+//!
+//! `pe(d) = Σ_t 1[dest of e_t has degree d] / Σ_t |{v : deg_{t-1}(v) = d}|`
+//!
+//! evaluated over windows of `window` consecutive edge events, fitted to
+//! `pe(d) ∝ d^α` in log–log space. Because the trace has no edge
+//! directionality, the destination of each edge is chosen by a
+//! [`DestinationRule`]: always the higher-degree endpoint (biased in
+//! favour of PA — an upper bound) or a uniformly random endpoint (a lower
+//! bound). The paper finds the two resulting α(t) curves differ by a
+//! roughly constant ≈0.2.
+//!
+//! The denominator sums a full degree histogram per edge event; we keep
+//! that O(1) amortised with a *last-touched* trick: each degree class `d`
+//! accumulates `hist[d] × (steps since hist[d] last changed)` lazily.
+
+use osn_graph::{EventKind, EventLog};
+use osn_stats::fit::{polyfit, powerlaw_fit, PowerLawFit};
+use osn_stats::sampling::rng_from_seed;
+use osn_stats::Series;
+use rand::Rng;
+
+/// How the undirected trace's edge destination is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DestinationRule {
+    /// Pick the higher-degree endpoint (upper bound for PA strength).
+    HigherDegree,
+    /// Pick a uniformly random endpoint (lower bound).
+    Random,
+}
+
+impl DestinationRule {
+    /// Short label for CSV headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            DestinationRule::HigherDegree => "higher_degree",
+            DestinationRule::Random => "random",
+        }
+    }
+}
+
+/// Configuration of the α(t) sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct AlphaConfig {
+    /// Edge events per measurement window (paper: 5000 on 199M edges).
+    pub window: u64,
+    /// Skip windows until the network has at least this many edges
+    /// (paper starts at 600K of 199M ≈ 0.3%).
+    pub start_edges: u64,
+    /// Log-bins per decade of degree when aggregating pe(d). At Renren's
+    /// scale every integer degree class is well populated; at laptop
+    /// scale sparse high-degree classes (one hub, one hit) would dominate
+    /// an unbinned fit, so numerator and denominator are pooled over
+    /// log-spaced degree bins first. 0 disables binning.
+    pub bins_per_decade: usize,
+    /// Minimum pooled denominator (node-steps) for a bin to enter the fit.
+    pub min_denom: u64,
+    /// RNG seed (used by [`DestinationRule::Random`]).
+    pub seed: u64,
+}
+
+impl Default for AlphaConfig {
+    fn default() -> Self {
+        AlphaConfig {
+            window: 5_000,
+            start_edges: 3_000,
+            bins_per_decade: 8,
+            min_denom: 40,
+            seed: 0,
+        }
+    }
+}
+
+/// One measured window.
+#[derive(Debug, Clone)]
+pub struct AlphaPoint {
+    /// Total edges in the network at the end of the window.
+    pub edge_count: u64,
+    /// Fitted exponent α.
+    pub alpha: f64,
+    /// Linear-space MSE of the fit.
+    pub mse: f64,
+}
+
+/// Full α(t) sweep result.
+#[derive(Debug, Clone)]
+pub struct AlphaSeries {
+    /// Destination rule used.
+    pub rule: DestinationRule,
+    /// Window measurements in edge order.
+    pub points: Vec<AlphaPoint>,
+}
+
+impl AlphaSeries {
+    /// As a plot series: x = edge count, y = α.
+    pub fn to_series(&self) -> Series {
+        Series::from_points(
+            format!("alpha_{}", self.rule.label()),
+            self.points.iter().map(|p| (p.edge_count as f64, p.alpha)).collect(),
+        )
+    }
+
+    /// Degree-5 polynomial fit of α against the edge count, as the paper
+    /// overlays in Figure 3(c). `None` if there are too few windows.
+    pub fn polynomial_fit(&self, degree: usize) -> Option<Vec<f64>> {
+        let xs: Vec<f64> = self.points.iter().map(|p| p.edge_count as f64).collect();
+        let ys: Vec<f64> = self.points.iter().map(|p| p.alpha).collect();
+        polyfit(&xs, &ys, degree)
+    }
+}
+
+/// The pe(d) scatter of a single window (Figure 3a/b).
+#[derive(Debug, Clone)]
+pub struct EdgeProbability {
+    /// `(degree, pe(degree))` points.
+    pub points: Series,
+    /// Power-law fit of those points.
+    pub fit: Option<PowerLawFit>,
+    /// Edge count at the end of the measured window.
+    pub edge_count: u64,
+}
+
+/// Streaming pe(d) accumulator over one window.
+struct Window {
+    /// numerator: edges whose destination had degree d
+    numer: Vec<u64>,
+    /// denominator accumulator per degree
+    denom: Vec<u64>,
+    /// step at which hist[d] last changed
+    last: Vec<u64>,
+    /// node count per degree
+    hist: Vec<u64>,
+    /// edge-event steps taken in this window
+    steps: u64,
+}
+
+impl Window {
+    fn new(max_degree: usize) -> Self {
+        Window {
+            numer: vec![0; max_degree + 2],
+            denom: vec![0; max_degree + 2],
+            last: vec![0; max_degree + 2],
+            hist: vec![0; max_degree + 2],
+            steps: 0,
+        }
+    }
+
+    /// Account for `hist[d]` being constant from `last[d]` until now.
+    #[inline]
+    fn settle(&mut self, d: usize) {
+        let dt = self.steps - self.last[d];
+        if dt > 0 {
+            self.denom[d] += self.hist[d] * dt;
+        }
+        self.last[d] = self.steps;
+    }
+
+    #[inline]
+    fn bump_degree(&mut self, d: usize) {
+        self.settle(d);
+        self.settle(d + 1);
+        self.hist[d] -= 1;
+        self.hist[d + 1] += 1;
+    }
+
+    #[inline]
+    fn add_node(&mut self) {
+        self.settle(0);
+        self.hist[0] += 1;
+    }
+
+    /// Flush all degree classes and reset the per-window counters,
+    /// returning the `(degree, pe)` points of the finished window —
+    /// pooled over log-spaced degree bins when `bins_per_decade > 0`.
+    fn flush(&mut self, bins_per_decade: usize, min_denom: u64) -> Vec<(f64, f64)> {
+        for d in 0..self.hist.len() {
+            self.settle(d);
+        }
+        let mut pts = Vec::new();
+        if bins_per_decade == 0 {
+            for d in 1..self.hist.len() {
+                if self.numer[d] > 0 && self.denom[d] >= min_denom.max(1) {
+                    pts.push((d as f64, self.numer[d] as f64 / self.denom[d] as f64));
+                }
+            }
+        } else {
+            // Pool numerator/denominator over log-spaced degree bins.
+            let ratio = 10f64.powf(1.0 / bins_per_decade as f64);
+            let mut lo = 1.0f64;
+            while (lo as usize) < self.hist.len() {
+                let hi = (lo * ratio).max(lo + 1.0);
+                let (lo_i, hi_i) = (lo as usize, (hi as usize).min(self.hist.len()));
+                let mut num = 0u64;
+                let mut den = 0u64;
+                let mut weighted_d = 0.0f64;
+                for d in lo_i..hi_i {
+                    num += self.numer[d];
+                    den += self.denom[d];
+                    weighted_d += d as f64 * self.denom[d] as f64;
+                }
+                if num > 0 && den >= min_denom.max(1) {
+                    pts.push((weighted_d / den as f64, num as f64 / den as f64));
+                }
+                lo = hi;
+            }
+        }
+        for d in 0..self.hist.len() {
+            self.numer[d] = 0;
+            self.denom[d] = 0;
+            self.last[d] = 0;
+        }
+        self.steps = 0;
+        pts
+    }
+}
+
+/// Measure α over consecutive windows of edge events.
+pub fn alpha_series(log: &EventLog, rule: DestinationRule, cfg: &AlphaConfig) -> AlphaSeries {
+    sweep(log, rule, cfg, None).0
+}
+
+/// Measure the pe(d) scatter for the window ending nearest to
+/// `at_edge_count` (Figure 3a/b), along with its fit.
+pub fn edge_probability(
+    log: &EventLog,
+    rule: DestinationRule,
+    cfg: &AlphaConfig,
+    at_edge_count: u64,
+) -> Option<EdgeProbability> {
+    sweep(log, rule, cfg, Some(at_edge_count)).1
+}
+
+fn sweep(
+    log: &EventLog,
+    rule: DestinationRule,
+    cfg: &AlphaConfig,
+    capture_at: Option<u64>,
+) -> (AlphaSeries, Option<EdgeProbability>) {
+    let mut rng = rng_from_seed(cfg.seed);
+    let max_deg = 4096; // generator caps at 2000; clamp defensively
+    let mut w = Window::new(max_deg);
+    let mut deg: Vec<u32> = Vec::with_capacity(log.num_nodes() as usize);
+    let mut points = Vec::new();
+    let mut captured: Option<EdgeProbability> = None;
+    let mut best_capture_gap = u64::MAX;
+    let mut edges_seen = 0u64;
+
+    for e in log.events() {
+        match e.kind {
+            EventKind::AddNode { .. } => {
+                deg.push(0);
+                w.add_node();
+            }
+            EventKind::AddEdge { u, v } => {
+                edges_seen += 1;
+                w.steps += 1;
+                let du = deg[u.index()] as usize;
+                let dv = deg[v.index()] as usize;
+                let dest_deg = match rule {
+                    DestinationRule::HigherDegree => du.max(dv),
+                    DestinationRule::Random => {
+                        if rng.gen::<bool>() {
+                            du
+                        } else {
+                            dv
+                        }
+                    }
+                };
+                if dest_deg <= max_deg {
+                    w.numer[dest_deg] += 1;
+                }
+                w.bump_degree(du.min(max_deg - 1));
+                w.bump_degree(dv.min(max_deg - 1));
+                deg[u.index()] += 1;
+                deg[v.index()] += 1;
+
+                if w.steps >= cfg.window {
+                    let pts = w.flush(cfg.bins_per_decade, cfg.min_denom);
+                    if edges_seen >= cfg.start_edges && pts.len() >= 3 {
+                        let xs: Vec<f64> = pts.iter().map(|&(x, _)| x).collect();
+                        let ys: Vec<f64> = pts.iter().map(|&(_, y)| y).collect();
+                        if let Some(fit) = powerlaw_fit(&xs, &ys) {
+                            points.push(AlphaPoint {
+                                edge_count: edges_seen,
+                                alpha: fit.exponent,
+                                mse: fit.mse,
+                            });
+                            if let Some(target) = capture_at {
+                                let gap = target.abs_diff(edges_seen);
+                                if gap < best_capture_gap {
+                                    best_capture_gap = gap;
+                                    captured = Some(EdgeProbability {
+                                        points: Series::from_points(
+                                            format!("pe_{}", rule.label()),
+                                            pts.clone(),
+                                        ),
+                                        fit: Some(fit),
+                                        edge_count: edges_seen,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (
+        AlphaSeries { rule, points },
+        captured,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_genstream::{TraceConfig, TraceGenerator};
+
+    fn tiny_log() -> EventLog {
+        TraceGenerator::new(TraceConfig::tiny()).generate()
+    }
+
+    fn tiny_cfg() -> AlphaConfig {
+        AlphaConfig {
+            window: 1_000,
+            start_edges: 1_000,
+            bins_per_decade: 8,
+            min_denom: 20,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn alpha_is_positive_and_decays() {
+        let log = tiny_log();
+        let s = alpha_series(&log, DestinationRule::HigherDegree, &tiny_cfg());
+        assert!(s.points.len() >= 5, "only {} windows", s.points.len());
+        for p in &s.points {
+            assert!(p.alpha > 0.0 && p.alpha < 3.0, "alpha {}", p.alpha);
+        }
+        let k = s.points.len();
+        let early: f64 = s.points[..3].iter().map(|p| p.alpha).sum::<f64>() / 3.0;
+        let late: f64 = s.points[k - 3..].iter().map(|p| p.alpha).sum::<f64>() / 3.0;
+        assert!(late < early, "alpha did not decay: {early} -> {late}");
+    }
+
+    #[test]
+    fn higher_degree_rule_gives_larger_alpha() {
+        let log = tiny_log();
+        let hi = alpha_series(&log, DestinationRule::HigherDegree, &tiny_cfg());
+        let lo = alpha_series(&log, DestinationRule::Random, &tiny_cfg());
+        let avg = |s: &AlphaSeries| s.points.iter().map(|p| p.alpha).sum::<f64>() / s.points.len() as f64;
+        assert!(
+            avg(&hi) > avg(&lo),
+            "higher-degree {} vs random {}",
+            avg(&hi),
+            avg(&lo)
+        );
+    }
+
+    #[test]
+    fn edge_probability_capture() {
+        let log = tiny_log();
+        let target = log.num_edges() / 2;
+        let ep = edge_probability(&log, DestinationRule::HigherDegree, &tiny_cfg(), target)
+            .expect("capture");
+        assert!(ep.points.len() >= 3);
+        assert!(ep.edge_count.abs_diff(target) <= tiny_cfg().window);
+        let fit = ep.fit.expect("fit");
+        assert!(fit.mse >= 0.0);
+        // pe values are probabilities-ish: small and positive
+        assert!(ep.points.points.iter().all(|&(_, y)| y > 0.0 && y < 1.0));
+    }
+
+    #[test]
+    fn polynomial_fit_available() {
+        let log = tiny_log();
+        let s = alpha_series(&log, DestinationRule::HigherDegree, &tiny_cfg());
+        if s.points.len() >= 7 {
+            let c = s.polynomial_fit(5).expect("polyfit");
+            assert_eq!(c.len(), 6);
+        }
+        // degree 2 always fits with ≥ 3 windows
+        if s.points.len() >= 3 {
+            assert!(s.polynomial_fit(2).is_some());
+        }
+    }
+
+    #[test]
+    fn denominator_accounting_exact_on_small_case() {
+        // Hand-check the lazy denominator on a 3-edge log.
+        use osn_graph::{EventLogBuilder, Origin, Time};
+        let mut b = EventLogBuilder::new();
+        let n: Vec<_> = (0..4)
+            .map(|_| b.add_node(Time::ZERO, Origin::Core).unwrap())
+            .collect();
+        b.add_edge(Time(1), n[0], n[1]).unwrap();
+        b.add_edge(Time(2), n[0], n[2]).unwrap();
+        b.add_edge(Time(3), n[0], n[3]).unwrap();
+        let log = b.build();
+        let cfg = AlphaConfig {
+            window: 3,
+            start_edges: 0,
+            bins_per_decade: 0,
+            min_denom: 1,
+            seed: 0,
+        };
+        // HigherDegree: destinations have degrees 0 (tie 0,0 → max 0), 1, 2.
+        // Denominators per step (degrees before each edge):
+        //  step1: hist = {0:4}
+        //  step2: hist = {0:2, 1:2}
+        //  step3: hist = {0:1, 1:2, 2:1}
+        // Σ|deg=1| = 0 + 2 + 2 = 4 ; numer[1] = 1 → pe(1) = 0.25
+        // Σ|deg=2| = 0 + 0 + 1 = 1 ; numer[2] = 1 → pe(2) = 1.0
+        let (series, cap) = sweep(&log, DestinationRule::HigherDegree, &cfg, Some(3));
+        // Only 2 usable points -> no fit recorded (needs >= 3), so check via capture absence.
+        assert!(series.points.is_empty());
+        assert!(cap.is_none());
+        // Re-run with a tiny window to reach flush and inspect manually:
+        // use the Window struct directly.
+        let mut w = Window::new(8);
+        for _ in 0..4 {
+            w.add_node();
+        }
+        for (du, dv, dest) in [(0usize, 0usize, 0usize), (1, 0, 1), (2, 0, 2)] {
+            w.steps += 1;
+            w.numer[dest] += 1;
+            w.bump_degree(du);
+            w.bump_degree(dv);
+        }
+        let pts = w.flush(0, 1);
+        assert_eq!(pts, vec![(1.0, 0.25), (2.0, 1.0)]);
+    }
+}

@@ -1,0 +1,219 @@
+//! Destination selection: preferential attachment pools.
+//!
+//! A [`Pool`] holds the member nodes of one attachable population (the
+//! core network, the competitor, or post-merge arrivals) together with an
+//! edge-endpoint multiset. Drawing an endpoint uniformly from that
+//! multiset samples nodes proportionally to degree — classic linear
+//! preferential attachment without any tree or bucket structure.
+//!
+//! The generator mixes three draw modes whose weights drift as the
+//! network grows, which is what produces the paper's decaying attachment
+//! exponent α(t) (Figure 3c):
+//!
+//! * **super-linear**: take two PA draws and keep the higher-degree one
+//!   (biases beyond linear PA; dominates early, weight → 0);
+//! * **linear PA**: one endpoint draw;
+//! * **uniform**: a uniformly random member (weight grows over time —
+//!   "supernodes become hard to find in a massive network").
+
+use crate::config::BehaviorConfig;
+use rand::Rng;
+
+/// One attachable population.
+#[derive(Debug, Clone, Default)]
+pub struct Pool {
+    nodes: Vec<u32>,
+    endpoints: Vec<u32>,
+}
+
+impl Pool {
+    /// Empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a member.
+    pub fn add_node(&mut self, node: u32) {
+        self.nodes.push(node);
+    }
+
+    /// Register an edge endpoint (call once per endpoint per edge).
+    pub fn add_endpoint(&mut self, node: u32) {
+        self.endpoints.push(node);
+    }
+
+    /// Number of members.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of recorded endpoints (= 2 × intra-pool edges + cross-pool
+    /// endpoints charged to this pool).
+    pub fn num_endpoints(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Uniform member draw.
+    pub fn draw_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<u32> {
+        if self.nodes.is_empty() {
+            None
+        } else {
+            Some(self.nodes[rng.gen_range(0..self.nodes.len())])
+        }
+    }
+
+    /// Linear-PA draw (endpoint multiset); falls back to uniform while the
+    /// pool has no edges yet.
+    pub fn draw_pa<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<u32> {
+        if self.endpoints.is_empty() {
+            self.draw_uniform(rng)
+        } else {
+            Some(self.endpoints[rng.gen_range(0..self.endpoints.len())])
+        }
+    }
+
+    /// Mixture draw: super-linear with probability `super_p`, uniform with
+    /// probability `uniform_p`, linear PA otherwise. `degree` resolves a
+    /// node's current degree for the super-linear comparison.
+    pub fn draw<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        super_p: f64,
+        uniform_p: f64,
+        degree: &dyn Fn(u32) -> usize,
+    ) -> Option<u32> {
+        let roll: f64 = rng.gen();
+        if roll < super_p {
+            let a = self.draw_pa(rng)?;
+            let b = self.draw_pa(rng)?;
+            Some(if degree(a) >= degree(b) { a } else { b })
+        } else if roll < super_p + uniform_p {
+            self.draw_uniform(rng)
+        } else {
+            self.draw_pa(rng)
+        }
+    }
+}
+
+/// Mixture weights `(super_p, uniform_p)` at growth progress
+/// `progress ∈ [0, 1]` (fraction of final nodes already present).
+///
+/// Super-linear weight decays quadratically from
+/// [`BehaviorConfig::super_linear_start`] to zero; uniform weight rises
+/// from `uniform_start` to `uniform_end` on a square-root ramp (fast
+/// early movement, settling later — mirroring how quickly α(t) falls in
+/// the paper's Figure 3c before flattening).
+pub fn mixture_weights(cfg: &BehaviorConfig, progress: f64) -> (f64, f64) {
+    let p = progress.clamp(0.0, 1.0);
+    let super_p = cfg.super_linear_start * (1.0 - p).powi(3);
+    let uniform_p = cfg.uniform_start + (cfg.uniform_end - cfg.uniform_start) * p.powf(1.25);
+    (super_p, uniform_p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_stats::rng_from_seed;
+
+    #[test]
+    fn empty_pool_draws_nothing() {
+        let p = Pool::new();
+        let mut rng = rng_from_seed(1);
+        assert_eq!(p.draw_uniform(&mut rng), None);
+        assert_eq!(p.draw_pa(&mut rng), None);
+    }
+
+    #[test]
+    fn pa_falls_back_to_uniform_without_edges() {
+        let mut p = Pool::new();
+        p.add_node(3);
+        let mut rng = rng_from_seed(1);
+        assert_eq!(p.draw_pa(&mut rng), Some(3));
+    }
+
+    #[test]
+    fn pa_prefers_high_degree() {
+        let mut p = Pool::new();
+        for n in 0..10 {
+            p.add_node(n);
+        }
+        // node 0 has degree 9 (star centre), others degree 1
+        for n in 1..10 {
+            p.add_endpoint(0);
+            p.add_endpoint(n);
+        }
+        let mut rng = rng_from_seed(2);
+        let mut zero = 0;
+        for _ in 0..2000 {
+            if p.draw_pa(&mut rng) == Some(0) {
+                zero += 1;
+            }
+        }
+        // Expect ≈ half the draws.
+        assert!(zero > 800 && zero < 1200, "zero drawn {zero}");
+    }
+
+    #[test]
+    fn super_linear_beats_linear() {
+        let mut p = Pool::new();
+        for n in 0..10 {
+            p.add_node(n);
+        }
+        for n in 1..10 {
+            p.add_endpoint(0);
+            p.add_endpoint(n);
+        }
+        let degree = |n: u32| if n == 0 { 9 } else { 1 };
+        let mut rng = rng_from_seed(3);
+        let mut zero = 0;
+        for _ in 0..2000 {
+            if p.draw(&mut rng, 1.0, 0.0, &degree) == Some(0) {
+                zero += 1;
+            }
+        }
+        // P(max of two draws is the hub) = 1 − 0.25 = 0.75.
+        assert!(zero > 1350 && zero < 1650, "zero drawn {zero}");
+    }
+
+    #[test]
+    fn uniform_mode_ignores_degree() {
+        let mut p = Pool::new();
+        for n in 0..10 {
+            p.add_node(n);
+        }
+        for n in 1..10 {
+            p.add_endpoint(0);
+            p.add_endpoint(n);
+        }
+        let degree = |_: u32| 1usize;
+        let mut rng = rng_from_seed(4);
+        let mut zero = 0;
+        for _ in 0..2000 {
+            if p.draw(&mut rng, 0.0, 1.0, &degree) == Some(0) {
+                zero += 1;
+            }
+        }
+        // uniform over 10 nodes → ≈200 hits
+        assert!(zero > 120 && zero < 300, "zero drawn {zero}");
+    }
+
+    #[test]
+    fn weights_decay_and_rise() {
+        let cfg = BehaviorConfig::default();
+        let (s0, u0) = mixture_weights(&cfg, 0.0);
+        let (s1, u1) = mixture_weights(&cfg, 1.0);
+        assert!((s0 - cfg.super_linear_start).abs() < 1e-12);
+        assert_eq!(s1, 0.0);
+        assert!((u0 - cfg.uniform_start).abs() < 1e-12);
+        assert!((u1 - cfg.uniform_end).abs() < 1e-12);
+        // monotone directions at midpoints
+        let (sm, um) = mixture_weights(&cfg, 0.5);
+        assert!(sm < s0 && sm > s1);
+        assert!(um > u0 && um < u1);
+        // weights always form a valid mixture
+        for i in 0..=10 {
+            let (s, u) = mixture_weights(&cfg, i as f64 / 10.0);
+            assert!(s >= 0.0 && u >= 0.0 && s + u <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! Generator configuration.
+//!
+//! All knobs are plain data (serde-derived) so configurations can be
+//! recorded next to generated traces. The defaults are calibrated to the
+//! shape of the Renren trace scaled to laptop size; `TraceConfig::small`
+//! and `TraceConfig::tiny` shrink it for tests and examples.
+
+use serde::{Deserialize, Serialize};
+
+/// A multiplicative modulation window on daily arrivals (holiday dips
+/// below 1.0, publicity surges above 1.0).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DipWindow {
+    /// First affected day.
+    pub start_day: u32,
+    /// Number of affected days.
+    pub len: u32,
+    /// Multiplier applied to arrivals within the window.
+    pub factor: f64,
+}
+
+impl DipWindow {
+    /// Does `day` fall inside this window?
+    pub fn contains(&self, day: u32) -> bool {
+        day >= self.start_day && day < self.start_day + self.len
+    }
+}
+
+/// Node-arrival schedule parameters.
+///
+/// The target cumulative curve is `N(d) = N0 · (Nf/N0)^((d/D)^beta)`:
+/// with `beta < 1` the *relative* daily growth is large early and settles
+/// later, matching Figure 1(b). Renren's real curve passes ≈3% of its
+/// final size on merge day 386; `beta ≈ 0.6` reproduces that fraction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GrowthConfig {
+    /// Nodes present on day 0.
+    pub initial_nodes: u32,
+    /// Nodes at the end of the trace (core network).
+    pub final_nodes: u32,
+    /// Curvature of the cumulative growth curve (0 < beta ≤ 1).
+    pub beta: f64,
+    /// Holiday dips / publicity surges.
+    pub dips: Vec<DipWindow>,
+    /// Multiplicative log-normal jitter σ on daily arrivals (0 disables).
+    pub daily_jitter: f64,
+}
+
+impl GrowthConfig {
+    /// The paper-shaped default windows: two Lunar New Year dips, two
+    /// summer-vacation dips, one publicity surge around day 305.
+    pub fn paper_windows() -> Vec<DipWindow> {
+        vec![
+            DipWindow { start_day: 56, len: 14, factor: 0.35 },
+            DipWindow { start_day: 222, len: 60, factor: 0.5 },
+            DipWindow { start_day: 305, len: 40, factor: 2.2 },
+            DipWindow { start_day: 432, len: 14, factor: 0.35 },
+            DipWindow { start_day: 587, len: 60, factor: 0.5 },
+        ]
+    }
+}
+
+/// Per-node behaviour parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BehaviorConfig {
+    /// Pareto scale of the lifetime edge budget.
+    pub budget_xm: f64,
+    /// Pareto shape of the lifetime edge budget (smaller = heavier tail).
+    pub budget_alpha: f64,
+    /// Default friend cap (paper: 1000).
+    pub friend_cap: u32,
+    /// Fraction of users with the raised cap (paper: "negligibly small").
+    pub raised_cap_fraction: f64,
+    /// The raised cap (paper: 2000).
+    pub raised_cap: u32,
+    /// Max edges created immediately on arrival (offline friends found at
+    /// sign-up).
+    pub initial_edges_max: u32,
+    /// Pareto shape of inter-edge gaps (paper measures 1.8–2.5).
+    pub gap_alpha: f64,
+    /// Base Pareto scale of inter-edge gaps, in days.
+    pub gap_xm_days: f64,
+    /// Gap scale multiplier per day of account age (front-loads activity).
+    pub gap_aging_per_day: f64,
+    /// Probability an edge is created by triadic closure.
+    pub triadic_prob: f64,
+    /// Early extra super-linear PA share (decays to 0 with growth).
+    pub super_linear_start: f64,
+    /// Uniform-random destination share at the start of the trace.
+    pub uniform_start: f64,
+    /// Uniform-random destination share at the end of the trace.
+    pub uniform_end: f64,
+    /// Probability a new user founds a new affinity group (school
+    /// cohort). Otherwise they join an existing group with probability
+    /// proportional to its size, which yields the power-law community
+    /// sizes of Figure 4(c)/5(a).
+    pub group_new_prob: f64,
+    /// Probability a new user joins no group at all ("stand-alone"
+    /// users — the paper's non-community population of Figure 7).
+    pub solo_prob: f64,
+    /// Probability a (grouped) user's edge targets their own group.
+    pub local_prob: f64,
+    /// Budget multiplier for solo users (they are less engaged).
+    pub solo_budget_scale: f64,
+    /// Inter-edge gap multiplier for solo users (they are slower).
+    pub solo_gap_mult: f64,
+    /// Uniform-draw share used for within-group destination picks
+    /// (floor; the progress-based global uniform share applies when
+    /// larger, so attachment randomises inside groups too as the network
+    /// matures).
+    pub group_uniform: f64,
+    /// Maximum members per affinity group (school cohorts are bounded);
+    /// 0 disables the cap.
+    pub group_size_cap: u32,
+    /// Degree-saturation scale: a candidate with degree `d` accepts a new
+    /// friendship with probability `(1 + d/saturation)^-receive_exponent`.
+    /// Popular users accept proportionally fewer of the requests aimed at
+    /// them, which is what bends preferential attachment sublinear as the
+    /// network matures (the paper's decaying α of Figure 3c).
+    pub receive_saturation: f64,
+    /// Exponent of the saturation law (0 disables saturation).
+    pub receive_exponent: f64,
+    /// Probability a new group is founded in a brand-new *region*
+    /// (university/city). Otherwise the region is picked proportionally
+    /// to its group count. Regions concentrate inter-group edges, so
+    /// when Louvain absorbs a community it absorbs it into the community
+    /// it shares the most edges with (Figure 6c's strongest-tie rule).
+    pub region_new_prob: f64,
+    /// Probability a grouped user's edge targets their own region
+    /// (evaluated after the own-group roll fails).
+    pub region_prob: f64,
+    /// Probability a budget-exhausted (dormant) account still accepts an
+    /// incoming friendship. Real lapsed accounts stop generating *and*
+    /// receiving edges, which is what makes the paper's active-user
+    /// curves (Figure 8a–b) decline over time.
+    pub dormant_receive_prob: f64,
+    /// E-folding time (days) of cohort cohesion: as a group ages, its
+    /// members' new edges drift from the group to the region, dissolving
+    /// old cohorts into their regional community. This is what makes
+    /// dying communities merge along their strongest tie (Figure 6c) and
+    /// keeps community-level churn high (Figure 5c).
+    pub group_age_tau_days: f64,
+}
+
+impl Default for BehaviorConfig {
+    fn default() -> Self {
+        BehaviorConfig {
+            budget_xm: 7.0,
+            budget_alpha: 1.5,
+            friend_cap: 1000,
+            raised_cap_fraction: 0.01,
+            raised_cap: 2000,
+            initial_edges_max: 1,
+            gap_alpha: 2.0,
+            gap_xm_days: 0.8,
+            gap_aging_per_day: 0.02,
+            triadic_prob: 0.25,
+            super_linear_start: 0.6,
+            uniform_start: 0.05,
+            uniform_end: 0.80,
+            group_new_prob: 0.03,
+            solo_prob: 0.20,
+            local_prob: 0.50,
+            solo_budget_scale: 0.4,
+            solo_gap_mult: 2.5,
+            group_uniform: 0.10,
+            group_size_cap: 3_500,
+            receive_saturation: 80.0,
+            receive_exponent: 0.4,
+            region_new_prob: 0.09,
+            region_prob: 0.30,
+            dormant_receive_prob: 0.15,
+            group_age_tau_days: 280.0,
+        }
+    }
+}
+
+/// Two-network merge parameters (the Renren/5Q event).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MergeConfig {
+    /// Day the competitor network opens (5Q: ≈ day 135).
+    pub competitor_start_day: u32,
+    /// Merge day (Renren/5Q: day 386).
+    pub merge_day: u32,
+    /// Competitor size at merge relative to the core network at merge
+    /// (5Q/Xiaonei: 670K/624K ≈ 1.07).
+    pub competitor_size_ratio: f64,
+    /// Competitor edge-budget multiplier (5Q was much sparser: 3M edges
+    /// vs 8.2M on a similar user count).
+    pub competitor_budget_scale: f64,
+    /// Fraction of core users discarded as duplicates at the merge
+    /// (paper: 11%).
+    pub duplicate_fraction_core: f64,
+    /// Fraction of competitor users discarded as duplicates (paper: 28%).
+    pub duplicate_fraction_competitor: f64,
+    /// Homophily weight on internal edges after the merge.
+    pub internal_bias: f64,
+    /// Baseline weight on external edges after the merge.
+    pub external_bias: f64,
+    /// Additional external weight immediately after the merge…
+    pub external_burst: f64,
+    /// …decaying with this e-folding time (days).
+    pub external_burst_decay_days: f64,
+    /// Weight on edges to post-merge users.
+    pub new_user_bias: f64,
+    /// Fraction of surviving pre-merge users that fire a burst edge right
+    /// after the merge.
+    pub burst_participation: f64,
+    /// Length of the post-merge activity burst window (days).
+    pub burst_window_days: f64,
+    /// Gap multiplier during the burst window (< 1 = more active).
+    pub burst_gap_scale: f64,
+    /// Mean extra edge budget granted to surviving core users at merge.
+    pub extra_budget_core: f64,
+    /// Mean extra edge budget granted to surviving competitor users.
+    pub extra_budget_competitor: f64,
+    /// Multiplier on the external-edge weight for competitor users: 5Q
+    /// users are drawn into the larger Xiaonei orbit, keeping their
+    /// external preference alive longer (the paper's Figure 9b finds 5Q's
+    /// new-vs-external crossover at day 32 vs Xiaonei's day 5).
+    pub competitor_external_factor: f64,
+}
+
+impl Default for MergeConfig {
+    fn default() -> Self {
+        MergeConfig {
+            competitor_start_day: 135,
+            merge_day: 386,
+            competitor_size_ratio: 1.07,
+            competitor_budget_scale: 0.4,
+            duplicate_fraction_core: 0.11,
+            duplicate_fraction_competitor: 0.28,
+            internal_bias: 6.0,
+            external_bias: 0.3,
+            external_burst: 2.5,
+            external_burst_decay_days: 12.0,
+            new_user_bias: 2.0,
+            burst_participation: 0.35,
+            burst_window_days: 14.0,
+            burst_gap_scale: 0.3,
+            extra_budget_core: 10.0,
+            extra_budget_competitor: 4.0,
+            competitor_external_factor: 2.5,
+        }
+    }
+}
+
+/// Complete generator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Master seed; every derived RNG stream comes from it.
+    pub seed: u64,
+    /// Trace length in days (paper: 771).
+    pub days: u32,
+    /// Growth schedule of the core network.
+    pub growth: GrowthConfig,
+    /// Per-node behaviour.
+    pub behavior: BehaviorConfig,
+    /// Two-network merge; `None` generates a single network.
+    pub merge: Option<MergeConfig>,
+}
+
+impl TraceConfig {
+    /// The default full-scale configuration (≈55K nodes, ≈1M edges over
+    /// 771 days — the workspace's stand-in for Renren's 19.4M/199.6M).
+    pub fn default_paper() -> Self {
+        TraceConfig {
+            seed: 42,
+            days: 771,
+            growth: GrowthConfig {
+                initial_nodes: 2,
+                final_nodes: 55_000,
+                beta: 0.6,
+                dips: GrowthConfig::paper_windows(),
+                daily_jitter: 0.08,
+            },
+            behavior: BehaviorConfig::default(),
+            merge: Some(MergeConfig::default()),
+        }
+    }
+
+    /// A reduced configuration (≈8K nodes) for fast exploratory runs.
+    pub fn small() -> Self {
+        let mut cfg = Self::default_paper();
+        cfg.growth.final_nodes = 8_000;
+        cfg.behavior.group_size_cap = 500;
+        cfg
+    }
+
+    /// A minimal configuration for unit tests and doctests: ≈600 nodes
+    /// over 160 days with a merge at day 80.
+    pub fn tiny() -> Self {
+        TraceConfig {
+            seed: 7,
+            days: 160,
+            growth: GrowthConfig {
+                initial_nodes: 2,
+                final_nodes: 600,
+                beta: 0.7,
+                dips: vec![DipWindow { start_day: 30, len: 7, factor: 0.4 }],
+                daily_jitter: 0.05,
+            },
+            behavior: BehaviorConfig {
+                budget_xm: 5.0,
+                group_size_cap: 60,
+                ..BehaviorConfig::default()
+            },
+            merge: Some(MergeConfig {
+                competitor_start_day: 30,
+                merge_day: 80,
+                ..MergeConfig::default()
+            }),
+        }
+    }
+
+    /// Days after the merge covered by the trace (`None` without merge).
+    pub fn days_after_merge(&self) -> Option<u32> {
+        self.merge
+            .as_ref()
+            .map(|m| self.days.saturating_sub(m.merge_day))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dip_window_membership() {
+        let w = DipWindow {
+            start_day: 10,
+            len: 5,
+            factor: 0.5,
+        };
+        assert!(!w.contains(9));
+        assert!(w.contains(10));
+        assert!(w.contains(14));
+        assert!(!w.contains(15));
+    }
+
+    #[test]
+    fn presets_are_consistent() {
+        for cfg in [TraceConfig::default_paper(), TraceConfig::small(), TraceConfig::tiny()] {
+            assert!(cfg.growth.final_nodes > cfg.growth.initial_nodes);
+            assert!(cfg.growth.beta > 0.0 && cfg.growth.beta <= 1.0);
+            if let Some(m) = &cfg.merge {
+                assert!(m.competitor_start_day < m.merge_day);
+                assert!(m.merge_day < cfg.days);
+            }
+        }
+    }
+
+    #[test]
+    fn days_after_merge() {
+        let cfg = TraceConfig::tiny();
+        assert_eq!(cfg.days_after_merge(), Some(80));
+        let mut solo = cfg.clone();
+        solo.merge = None;
+        assert_eq!(solo.days_after_merge(), None);
+    }
+
+    #[test]
+    fn serde_roundtrip_via_debug() {
+        // serde derive compiles; spot-check Clone/PartialEq semantics.
+        let a = TraceConfig::default_paper();
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+}

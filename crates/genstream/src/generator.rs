@@ -1,0 +1,751 @@
+//! The event-driven trace simulator.
+//!
+//! Discrete-event simulation over a binary heap: node arrivals are pushed
+//! day by day from the growth schedules; every live node keeps one pending
+//! *edge action* in the queue. Popping in global time order guarantees
+//! the produced [`EventLog`] is time-sorted, which the builder verifies.
+
+use crate::attachment::{mixture_weights, Pool};
+use crate::config::TraceConfig;
+use crate::growth::GrowthSchedule;
+use crate::lifecycle::NodeState;
+use osn_graph::{EventLog, EventLogBuilder, NodeId, Origin, Time, SECONDS_PER_DAY};
+use osn_stats::distribution::Pareto;
+use osn_stats::sampling::{derive_seed, rng_from_seed};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// What a queued item does when popped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Kind {
+    /// A new account of the given origin is created.
+    Arrive(u8),
+    /// An existing node attempts to create one edge.
+    Act(u32),
+}
+
+/// Heap item: ordered by time then insertion sequence (determinism).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct QItem {
+    t: u64,
+    seq: u64,
+    kind: Kind,
+}
+
+const ORIGIN_CORE: u8 = 0;
+const ORIGIN_COMP: u8 = 1;
+const ORIGIN_POST: u8 = 2;
+
+fn origin_of(tag: u8) -> Origin {
+    match tag {
+        ORIGIN_CORE => Origin::Core,
+        ORIGIN_COMP => Origin::Competitor,
+        _ => Origin::PostMerge,
+    }
+}
+
+/// Synthetic trace generator. See the crate docs for the model.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    cfg: TraceConfig,
+}
+
+struct Sim {
+    cfg: TraceConfig,
+    rng: SmallRng,
+    builder: EventLogBuilder,
+    states: Vec<NodeState>,
+    origins: Vec<Origin>,
+    core: Pool,
+    comp: Pool,
+    post: Pool,
+    heap: BinaryHeap<Reverse<QItem>>,
+    /// Latent affinity groups (school cohorts): a PA pool per group.
+    groups: Vec<Pool>,
+    /// Which pre-merge network each group belongs to (0 = core, 1 = comp).
+    group_net: Vec<u8>,
+    /// Size-proportional sampling tokens: one group-id entry per member,
+    /// per network, so a uniform token draw picks groups ∝ size.
+    group_tokens: [Vec<u32>; 2],
+    /// Regions (universities/cities): a PA pool per region, aggregating
+    /// all member nodes of the region's groups.
+    regions: Vec<Pool>,
+    /// Region of each group.
+    group_region: Vec<u32>,
+    /// Day each group was founded (drives cohesion decay).
+    group_birth: Vec<u32>,
+    /// Region sampling tokens per network: one region-id entry per group.
+    region_tokens: [Vec<u32>; 2],
+    seq: u64,
+    merged: bool,
+    /// Day currently being simulated.
+    current_day: u32,
+    expected_total_nodes: f64,
+    comp_schedule: Option<GrowthSchedule>,
+    attempts: u64,
+    failures: u64,
+}
+
+impl TraceGenerator {
+    /// Create a generator for the given configuration.
+    pub fn new(cfg: TraceConfig) -> Self {
+        TraceGenerator { cfg }
+    }
+
+    /// The configuration this generator runs.
+    pub fn config(&self) -> &TraceConfig {
+        &self.cfg
+    }
+
+    /// Run the simulation and return the validated event log.
+    pub fn generate(&self) -> EventLog {
+        let cfg = self.cfg.clone();
+        let core_schedule = GrowthSchedule::build(
+            &cfg.growth,
+            cfg.days,
+            0,
+            derive_seed(cfg.seed, 1),
+        );
+        // The competitor's own growth curve runs from its start day to the
+        // merge day, targeting `ratio × N_core(merge_day)` users.
+        let comp_schedule = cfg.merge.as_ref().map(|m| {
+            let span = m.merge_day - m.competitor_start_day;
+            let core_at_merge = expected_nodes_at(&cfg, m.merge_day);
+            let comp_cfg = crate::config::GrowthConfig {
+                initial_nodes: 2,
+                final_nodes: ((core_at_merge * m.competitor_size_ratio) as u32).max(4),
+                beta: cfg.growth.beta,
+                dips: cfg.growth.dips.clone(),
+                daily_jitter: cfg.growth.daily_jitter,
+            };
+            GrowthSchedule::build(&comp_cfg, span, m.competitor_start_day, derive_seed(cfg.seed, 2))
+        });
+
+        let expected_total_nodes = cfg.growth.final_nodes as f64
+            + comp_schedule.as_ref().map_or(0.0, |s| s.total() as f64);
+        let total_hint = expected_total_nodes as usize;
+
+        let mut sim = Sim {
+            rng: rng_from_seed(derive_seed(cfg.seed, 3)),
+            builder: EventLogBuilder::with_capacity(total_hint, total_hint * 16),
+            states: Vec::with_capacity(total_hint),
+            origins: Vec::with_capacity(total_hint),
+            core: Pool::new(),
+            comp: Pool::new(),
+            post: Pool::new(),
+            heap: BinaryHeap::new(),
+            groups: Vec::new(),
+            group_net: Vec::new(),
+            group_tokens: [Vec::new(), Vec::new()],
+            regions: Vec::new(),
+            group_region: Vec::new(),
+            group_birth: Vec::new(),
+            region_tokens: [Vec::new(), Vec::new()],
+            seq: 0,
+            merged: false,
+            current_day: 0,
+            expected_total_nodes,
+            comp_schedule,
+            attempts: 0,
+            failures: 0,
+            cfg,
+        };
+        sim.run(&core_schedule);
+        sim.builder.build()
+    }
+}
+
+/// Expected core-network size on `day` under the growth curve (no dips).
+fn expected_nodes_at(cfg: &TraceConfig, day: u32) -> f64 {
+    let n0 = cfg.growth.initial_nodes.max(1) as f64;
+    let nf = cfg.growth.final_nodes as f64;
+    let frac = (day as f64 / cfg.days.max(1) as f64).min(1.0);
+    n0 * (nf / n0).powf(frac.powf(cfg.growth.beta))
+}
+
+impl Sim {
+    fn push(&mut self, t: u64, kind: Kind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(QItem { t, seq, kind }));
+    }
+
+    fn pool_of_mut(&mut self, origin: Origin) -> &mut Pool {
+        match origin {
+            Origin::Core => &mut self.core,
+            Origin::Competitor => &mut self.comp,
+            Origin::PostMerge => &mut self.post,
+        }
+    }
+
+    fn run(&mut self, core_schedule: &GrowthSchedule) {
+        let days = self.cfg.days;
+        for day in 0..days {
+            self.current_day = day;
+            if let Some(m) = self.cfg.merge.clone() {
+                if day == m.merge_day {
+                    self.execute_merge(&m, day);
+                }
+            }
+            self.push_arrivals(core_schedule, day);
+            // Drain everything scheduled before the end of this day.
+            let day_end = (day as u64 + 1) * SECONDS_PER_DAY;
+            while let Some(&Reverse(item)) = self.heap.peek() {
+                if item.t >= day_end {
+                    break;
+                }
+                let Reverse(item) = self.heap.pop().expect("peeked");
+                match item.kind {
+                    Kind::Arrive(tag) => self.handle_arrival(Time(item.t), origin_of(tag)),
+                    Kind::Act(node) => self.handle_action(Time(item.t), node),
+                }
+            }
+        }
+    }
+
+    fn push_arrivals(&mut self, core_schedule: &GrowthSchedule, day: u32) {
+        let merge_day = self.cfg.merge.as_ref().map(|m| m.merge_day);
+        // Core-curve arrivals; after the merge they are post-merge users.
+        let n_core = core_schedule.arrivals_on(day);
+        let tag = match merge_day {
+            Some(md) if day >= md => ORIGIN_POST,
+            _ => ORIGIN_CORE,
+        };
+        self.push_sorted_arrivals(day, n_core, tag);
+        // Competitor arrivals between its start day and the merge.
+        if let Some(m) = self.cfg.merge.clone() {
+            if day >= m.competitor_start_day && day < m.merge_day {
+                let rel = day - m.competitor_start_day;
+                let n_comp = self
+                    .comp_schedule
+                    .as_ref()
+                    .map_or(0, |s| s.arrivals_on(rel));
+                self.push_sorted_arrivals(day, n_comp, ORIGIN_COMP);
+            }
+        }
+    }
+
+    fn push_sorted_arrivals(&mut self, day: u32, count: u32, tag: u8) {
+        if count == 0 {
+            return;
+        }
+        let base = day as u64 * SECONDS_PER_DAY;
+        let mut offsets: Vec<u64> = (0..count)
+            .map(|_| self.rng.gen_range(0..SECONDS_PER_DAY))
+            .collect();
+        offsets.sort_unstable();
+        for off in offsets {
+            self.push(base + off, Kind::Arrive(tag));
+        }
+    }
+
+    fn handle_arrival(&mut self, t: Time, origin: Origin) {
+        let budget_scale = match (origin, self.cfg.merge.as_ref()) {
+            (Origin::Competitor, Some(m)) => m.competitor_budget_scale,
+            _ => 1.0,
+        };
+        let solo = self.rng.gen::<f64>() < self.cfg.behavior.solo_prob;
+        let mut state = NodeState::sample(&self.cfg.behavior, t, budget_scale, solo, &mut self.rng);
+        if !solo {
+            state.group = Some(self.choose_group(origin));
+        }
+        let id = self
+            .builder
+            .add_node(t, origin)
+            .expect("arrival times are monotone");
+        debug_assert_eq!(id.index(), self.states.len());
+        if let Some(g) = state.group {
+            self.groups[g as usize].add_node(id.0);
+            self.group_tokens[self.group_net[g as usize] as usize].push(g);
+            let r = self.group_region[g as usize];
+            self.regions[r as usize].add_node(id.0);
+        }
+        self.states.push(state);
+        self.origins.push(origin);
+        self.pool_of_mut(origin).add_node(id.0);
+
+        // Initial burst of edges (offline friends found at sign-up).
+        let k = self.states[id.index()].initial_edges(&self.cfg.behavior, &mut self.rng);
+        for _ in 0..k {
+            self.try_create_edge(t, id.0);
+        }
+        self.schedule_next(t, id.0);
+    }
+
+    /// Pick (or found) an affinity group for a new user. Pre-merge users
+    /// only see their own network's groups; post-merge users see all.
+    /// Existing groups are chosen with probability proportional to size,
+    /// which yields power-law group sizes (Yule–Simon).
+    fn choose_group(&mut self, origin: Origin) -> u32 {
+        let nets: &[usize] = match origin {
+            Origin::Core => &[0],
+            Origin::Competitor => &[1],
+            Origin::PostMerge => &[0, 1],
+        };
+        let total: usize = nets.iter().map(|&n| self.group_tokens[n].len()).sum();
+        let cap = self.cfg.behavior.group_size_cap;
+        if total > 0 && self.rng.gen::<f64>() >= self.cfg.behavior.group_new_prob {
+            // Size-proportional pick, resampling a few times when the
+            // chosen cohort is already full.
+            for _ in 0..6 {
+                let mut idx = self.rng.gen_range(0..total);
+                for &n in nets {
+                    if idx < self.group_tokens[n].len() {
+                        let g = self.group_tokens[n][idx];
+                        if cap == 0 || (self.groups[g as usize].num_nodes() as u32) < cap {
+                            return g;
+                        }
+                        break;
+                    }
+                    idx -= self.group_tokens[n].len();
+                }
+            }
+        }
+        // Found a new group. Post-merge-founded groups are filed under the
+        // core network (the merged product kept Xiaonei's infrastructure).
+        let g = self.groups.len() as u32;
+        self.groups.push(Pool::new());
+        let net = if origin == Origin::Competitor { 1 } else { 0 };
+        self.group_net.push(net);
+        // Assign the new group to a region of the same network: a fresh
+        // one with probability `region_new_prob`, else proportional to
+        // existing regions' group counts.
+        let tokens = &self.region_tokens[net as usize];
+        let region = if tokens.is_empty() || self.rng.gen::<f64>() < self.cfg.behavior.region_new_prob
+        {
+            let r = self.regions.len() as u32;
+            self.regions.push(Pool::new());
+            r
+        } else {
+            tokens[self.rng.gen_range(0..tokens.len())]
+        };
+        self.group_region.push(region);
+        self.group_birth.push(self.current_day);
+        self.region_tokens[net as usize].push(region);
+        g
+    }
+
+    fn handle_action(&mut self, t: Time, node: u32) {
+        let deg = self.builder.degree(NodeId(node));
+        if !self.states[node as usize].can_initiate(deg) {
+            return; // dormant, silenced, or capped: drop silently
+        }
+        self.try_create_edge(t, node);
+        self.schedule_next(t, node);
+    }
+
+    fn schedule_next(&mut self, t: Time, node: u32) {
+        let state = &self.states[node as usize];
+        if state.silenced || state.budget_left == 0 {
+            return;
+        }
+        let gap_scale = self.burst_gap_scale(t, node);
+        let gap = self.states[node as usize].next_gap_days(
+            &self.cfg.behavior,
+            t,
+            gap_scale,
+            &mut self.rng,
+        );
+        let next = t.plus_days_f64(gap.max(1.0 / SECONDS_PER_DAY as f64));
+        self.push(next.seconds().max(t.seconds() + 1), Kind::Act(node));
+    }
+
+    /// Post-merge pre-merge-origin users fire faster for a short window.
+    fn burst_gap_scale(&self, t: Time, node: u32) -> f64 {
+        let Some(m) = self.cfg.merge.as_ref() else {
+            return 1.0;
+        };
+        if !self.merged || self.origins[node as usize] == Origin::PostMerge {
+            return 1.0;
+        }
+        let since = t.as_days_f64() - m.merge_day as f64;
+        if since >= 0.0 && since < m.burst_window_days {
+            m.burst_gap_scale
+        } else {
+            1.0
+        }
+    }
+
+    /// Attempt to create one edge from `node` at time `t`.
+    fn try_create_edge(&mut self, t: Time, node: u32) {
+        self.attempts += 1;
+        let Some(dest) = self.pick_destination(t, node) else {
+            self.failures += 1;
+            return;
+        };
+        self.builder
+            .add_edge(t, NodeId(node), NodeId(dest))
+            .expect("candidate was validated");
+        self.states[node as usize].budget_left =
+            self.states[node as usize].budget_left.saturating_sub(1);
+        let o_node = self.origins[node as usize];
+        let o_dest = self.origins[dest as usize];
+        self.pool_of_mut(o_node).add_endpoint(node);
+        self.pool_of_mut(o_dest).add_endpoint(dest);
+        if let Some(g) = self.states[node as usize].group {
+            self.groups[g as usize].add_endpoint(node);
+            self.regions[self.group_region[g as usize] as usize].add_endpoint(node);
+        }
+        if let Some(g) = self.states[dest as usize].group {
+            self.groups[g as usize].add_endpoint(dest);
+            self.regions[self.group_region[g as usize] as usize].add_endpoint(dest);
+        }
+    }
+
+    /// Destination choice: triadic closure, else pool mixture draw.
+    fn pick_destination(&mut self, t: Time, node: u32) -> Option<u32> {
+        const MAX_TRIES: usize = 24;
+        let progress =
+            (self.builder.num_nodes() as f64 / self.expected_total_nodes).clamp(0.0, 1.0);
+        let (super_p, uniform_p) = mixture_weights(&self.cfg.behavior, progress);
+        // Local (own-group) attachment first — this is what plants dense
+        // community structure — then own-region attachment, which
+        // concentrates a cohort's external edges on sibling cohorts. The
+        // same progress-based mixture applies so preferential attachment
+        // weakens inside groups and regions too.
+        if let Some(g) = self.states[node as usize].group {
+            let uniform = self.cfg.behavior.group_uniform.max(uniform_p);
+            // Cohort cohesion decays with group age; the lost share leaks
+            // into the region (and implicitly, beyond).
+            let age = (self.current_day.saturating_sub(self.group_birth[g as usize])) as f64;
+            let cohesion = (-age / self.cfg.behavior.group_age_tau_days.max(1.0)).exp();
+            let local_w = self.cfg.behavior.local_prob * cohesion;
+            let region_w =
+                self.cfg.behavior.region_prob + self.cfg.behavior.local_prob * (1.0 - cohesion) * 0.8;
+            let roll: f64 = self.rng.gen();
+            if roll < local_w {
+                for _ in 0..8 {
+                    let pool = &self.groups[g as usize];
+                    if pool.num_nodes() < 2 {
+                        break;
+                    }
+                    let builder = &self.builder;
+                    let degree = |n: u32| builder.degree(NodeId(n));
+                    let Some(cand) = pool.draw(&mut self.rng, super_p, uniform, &degree) else {
+                        break;
+                    };
+                    if self.valid_target(node, cand) {
+                        return Some(cand);
+                    }
+                }
+            } else if roll < local_w + region_w {
+                let r = self.group_region[g as usize] as usize;
+                for _ in 0..8 {
+                    let pool = &self.regions[r];
+                    if pool.num_nodes() < 2 {
+                        break;
+                    }
+                    let builder = &self.builder;
+                    let degree = |n: u32| builder.degree(NodeId(n));
+                    let Some(cand) = pool.draw(&mut self.rng, super_p, uniform, &degree) else {
+                        break;
+                    };
+                    if self.valid_target(node, cand) {
+                        return Some(cand);
+                    }
+                }
+            }
+        }
+        // Triadic closure weakens as the network matures: in a young,
+        // campus-dense network most new friendships close triangles; in a
+        // massive mature one they increasingly do not. This is also a key
+        // driver of the measured attachment exponent's decay (triangle
+        // closure is implicitly degree-biased).
+        let triadic_p = self.cfg.behavior.triadic_prob * (1.0 - 0.6 * progress);
+        let triadic = self.rng.gen::<f64>() < triadic_p;
+        if triadic {
+            if let Some(dest) = self.pick_triadic(node) {
+                return Some(dest);
+            }
+            // fall through to pool draw
+        }
+        for _ in 0..MAX_TRIES {
+            let tag = self.select_pool_tag(t, node);
+            // Split borrows: pools/builder immutably, rng mutably.
+            let pool = match tag {
+                Origin::Core => &self.core,
+                Origin::Competitor => &self.comp,
+                Origin::PostMerge => &self.post,
+            };
+            let builder = &self.builder;
+            let degree = |n: u32| builder.degree(NodeId(n));
+            let cand = pool.draw(&mut self.rng, super_p, uniform_p, &degree)?;
+            if self.valid_target(node, cand) {
+                return Some(cand);
+            }
+        }
+        None
+    }
+
+    /// Friend-of-friend candidate (few retries, validated).
+    fn pick_triadic(&mut self, node: u32) -> Option<u32> {
+        for _ in 0..8 {
+            let neigh = self.builder.neighbors(NodeId(node));
+            if neigh.is_empty() {
+                return None;
+            }
+            let v = neigh[self.rng.gen_range(0..neigh.len())];
+            let second = self.builder.neighbors(NodeId(v));
+            if second.is_empty() {
+                continue;
+            }
+            let w = second[self.rng.gen_range(0..second.len())];
+            if w != node && self.valid_target(node, w) {
+                return Some(w);
+            }
+        }
+        None
+    }
+
+    fn valid_target(&mut self, node: u32, cand: u32) -> bool {
+        if cand == node {
+            return false;
+        }
+        let deg = self.builder.degree(NodeId(cand));
+        if !self.states[cand as usize].can_receive(deg) {
+            return false;
+        }
+        let b = &self.cfg.behavior;
+        // Lapsed accounts rarely accept new friendships.
+        if self.states[cand as usize].budget_left == 0
+            && self.rng.gen::<f64>() > b.dormant_receive_prob
+        {
+            return false;
+        }
+        // Degree saturation: popular users accept proportionally fewer
+        // requests, bending attachment sublinear as degrees grow.
+        if b.receive_exponent > 0.0 && deg > 0 {
+            let accept = (1.0 + deg as f64 / b.receive_saturation).powf(-b.receive_exponent);
+            if self.rng.gen::<f64>() > accept {
+                return false;
+            }
+        }
+        // Pre-merge: strictly intra-network (pools already enforce this
+        // for pool draws; triadic closure cannot cross either, but keep
+        // the check as defence in depth).
+        if !self.merged && self.origins[node as usize] != self.origins[cand as usize] {
+            return false;
+        }
+        !self.builder.has_edge(NodeId(node), NodeId(cand))
+    }
+
+    /// Which pool (by origin tag) the initiator draws from.
+    fn select_pool_tag(&mut self, t: Time, node: u32) -> Origin {
+        let origin = self.origins[node as usize];
+        if !self.merged {
+            return origin;
+        }
+        let m = self.cfg.merge.as_ref().expect("merged implies config");
+        match origin {
+            Origin::PostMerge => {
+                // New users have no old allegiances: weight pools by size.
+                let w_core = self.core.num_nodes() as f64;
+                let w_comp = self.comp.num_nodes() as f64;
+                let w_post = self.post.num_nodes() as f64;
+                self.weighted_pool_tag(w_core, w_comp, w_post)
+            }
+            Origin::Core | Origin::Competitor => {
+                let since = (t.as_days_f64() - m.merge_day as f64).max(0.0);
+                let mut ext_w =
+                    m.external_bias + m.external_burst * (-since / m.external_burst_decay_days).exp();
+                if origin == Origin::Competitor {
+                    ext_w *= m.competitor_external_factor;
+                }
+                let (own, other) = match origin {
+                    Origin::Core => (&self.core, &self.comp),
+                    _ => (&self.comp, &self.core),
+                };
+                let w_own = m.internal_bias * own.num_nodes() as f64;
+                let w_other = ext_w * other.num_nodes() as f64;
+                let w_new = m.new_user_bias * self.post.num_nodes() as f64;
+                let roll = self.rng.gen::<f64>() * (w_own + w_other + w_new);
+                if roll < w_own {
+                    origin
+                } else if roll < w_own + w_other {
+                    match origin {
+                        Origin::Core => Origin::Competitor,
+                        _ => Origin::Core,
+                    }
+                } else {
+                    Origin::PostMerge
+                }
+            }
+        }
+    }
+
+    fn weighted_pool_tag(&mut self, w_core: f64, w_comp: f64, w_post: f64) -> Origin {
+        let total = w_core + w_comp + w_post;
+        if total <= 0.0 {
+            return Origin::PostMerge;
+        }
+        let roll = self.rng.gen::<f64>() * total;
+        if roll < w_core {
+            Origin::Core
+        } else if roll < w_core + w_comp {
+            Origin::Competitor
+        } else {
+            Origin::PostMerge
+        }
+    }
+
+    /// Merge-day operations: silence duplicates, grant fresh budgets,
+    /// schedule the cross-network burst.
+    fn execute_merge(&mut self, m: &crate::config::MergeConfig, day: u32) {
+        self.merged = true;
+        let t0 = Time::day_start(day);
+        let extra_core = Pareto::new((m.extra_budget_core / 2.0).max(0.1), 2.0);
+        let extra_comp = Pareto::new((m.extra_budget_competitor / 2.0).max(0.1), 2.0);
+        for node in 0..self.states.len() as u32 {
+            let origin = self.origins[node as usize];
+            let dup_frac = match origin {
+                Origin::Core => m.duplicate_fraction_core,
+                Origin::Competitor => m.duplicate_fraction_competitor,
+                Origin::PostMerge => continue,
+            };
+            if self.rng.gen::<f64>() < dup_frac {
+                self.states[node as usize].silenced = true;
+                continue;
+            }
+            let extra = match origin {
+                Origin::Core => extra_core.sample(&mut self.rng),
+                _ => extra_comp.sample(&mut self.rng),
+            };
+            self.states[node as usize].budget_left += extra.round() as u32;
+            if self.rng.gen::<f64>() < m.burst_participation {
+                let delay = self.rng.gen_range(0..(3 * SECONDS_PER_DAY));
+                self.push(t0.seconds() + delay, Kind::Act(node));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_graph::EventKind;
+
+    fn tiny_log() -> EventLog {
+        TraceGenerator::new(TraceConfig::tiny()).generate()
+    }
+
+    #[test]
+    fn produces_nodes_and_edges() {
+        let log = tiny_log();
+        let target = TraceConfig::tiny().growth.final_nodes;
+        assert!(log.num_nodes() as f64 > target as f64 * 0.8, "{}", log.num_nodes());
+        assert!(log.num_edges() > log.num_nodes() as u64, "{}", log.num_edges());
+        assert!(log.end_day() < TraceConfig::tiny().days);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = tiny_log();
+        let b = tiny_log();
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.num_edges(), b.num_edges());
+        for (x, y) in a.events().iter().zip(b.events()) {
+            assert_eq!(x.time, y.time);
+            assert_eq!(x.kind, y.kind);
+        }
+        let mut cfg = TraceConfig::tiny();
+        cfg.seed = 999;
+        let c = TraceGenerator::new(cfg).generate();
+        assert_ne!(a.num_edges(), c.num_edges());
+    }
+
+    #[test]
+    fn all_origins_present() {
+        let log = tiny_log();
+        let mut core = 0;
+        let mut comp = 0;
+        let mut post = 0;
+        for &o in log.origins() {
+            match o {
+                Origin::Core => core += 1,
+                Origin::Competitor => comp += 1,
+                Origin::PostMerge => post += 1,
+            }
+        }
+        assert!(core > 0 && comp > 0 && post > 0, "core {core} comp {comp} post {post}");
+        // competitor roughly matches its ratio target vs core-at-merge
+        assert!(comp as f64 > core as f64 * 0.1);
+    }
+
+    #[test]
+    fn no_cross_network_edges_before_merge() {
+        let log = tiny_log();
+        let merge_day = TraceConfig::tiny().merge.unwrap().merge_day;
+        let merge_t = Time::day_start(merge_day);
+        for (t, u, v) in log.edge_events() {
+            if t < merge_t {
+                assert_eq!(
+                    log.origin(u),
+                    log.origin(v),
+                    "cross-network edge {u}-{v} at {t} before merge"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn external_edges_exist_after_merge() {
+        let log = tiny_log();
+        let merge_day = TraceConfig::tiny().merge.unwrap().merge_day;
+        let merge_t = Time::day_start(merge_day);
+        let ext = log
+            .edge_events()
+            .filter(|&(t, u, v)| {
+                t >= merge_t
+                    && ((log.origin(u) == Origin::Core && log.origin(v) == Origin::Competitor)
+                        || (log.origin(u) == Origin::Competitor && log.origin(v) == Origin::Core))
+            })
+            .count();
+        assert!(ext > 0, "no external edges after merge");
+    }
+
+    #[test]
+    fn post_merge_users_only_after_merge_day() {
+        let log = tiny_log();
+        let merge_day = TraceConfig::tiny().merge.unwrap().merge_day;
+        for e in log.events() {
+            if let EventKind::AddNode { origin, .. } = e.kind {
+                match origin {
+                    Origin::PostMerge => assert!(e.time.day() >= merge_day),
+                    Origin::Core => assert!(e.time.day() < merge_day),
+                    Origin::Competitor => {
+                        let m = TraceConfig::tiny().merge.unwrap();
+                        assert!(e.time.day() >= m.competitor_start_day);
+                        assert!(e.time.day() < m.merge_day);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_network_mode() {
+        let mut cfg = TraceConfig::tiny();
+        cfg.merge = None;
+        let log = TraceGenerator::new(cfg).generate();
+        assert!(log.origins().iter().all(|&o| o == Origin::Core));
+        assert!(log.num_edges() > 0);
+    }
+
+    #[test]
+    fn degrees_respect_cap() {
+        let mut cfg = TraceConfig::tiny();
+        cfg.behavior.friend_cap = 30;
+        cfg.behavior.raised_cap = 60;
+        let log = TraceGenerator::new(cfg).generate();
+        let mut deg = vec![0u32; log.num_nodes() as usize];
+        for (_, u, v) in log.edge_events() {
+            deg[u.index()] += 1;
+            deg[v.index()] += 1;
+        }
+        assert!(deg.iter().all(|&d| d <= 60), "max {}", deg.iter().max().unwrap());
+        // the cap binds for at least someone
+        assert!(deg.iter().any(|&d| d >= 25));
+    }
+}

@@ -1,0 +1,189 @@
+//! Arrival schedules.
+//!
+//! Converts a [`crate::config::GrowthConfig`] into concrete
+//! per-day arrival counts. The cumulative target is
+//! `N(d) = N0 · (Nf/N0)^((d/D)^β)`; daily arrivals are the increments of
+//! that curve, modulated by dip/surge windows and log-normal jitter, with
+//! a fractional accumulator so rounding never loses users.
+
+use crate::config::GrowthConfig;
+use osn_stats::sampling::rng_from_seed;
+use rand::Rng;
+
+/// Materialised per-day arrival counts for one network.
+#[derive(Debug, Clone)]
+pub struct GrowthSchedule {
+    arrivals: Vec<u32>,
+}
+
+impl GrowthSchedule {
+    /// Build the schedule for `days` days.
+    ///
+    /// `day_offset` shifts the curve (used for the competitor network,
+    /// which starts mid-trace); dips are indexed by *absolute* day.
+    pub fn build(cfg: &GrowthConfig, days: u32, day_offset: u32, seed: u64) -> Self {
+        let mut rng = rng_from_seed(seed);
+        let n0 = cfg.initial_nodes.max(1) as f64;
+        let nf = cfg.final_nodes as f64;
+        let d_total = days.max(1) as f64;
+        let cumulative = |d: f64| -> f64 {
+            if d <= 0.0 {
+                return n0;
+            }
+            let frac = (d / d_total).min(1.0);
+            n0 * (nf / n0).powf(frac.powf(cfg.beta))
+        };
+        let mut arrivals = Vec::with_capacity(days as usize);
+        let mut carry = 0.0f64;
+        for day in 0..days {
+            let raw = cumulative(day as f64 + 1.0) - cumulative(day as f64);
+            let mut x = raw;
+            let abs_day = day + day_offset;
+            for w in &cfg.dips {
+                if w.contains(abs_day) {
+                    x *= w.factor;
+                }
+            }
+            if cfg.daily_jitter > 0.0 {
+                // log-normal multiplicative jitter with σ = daily_jitter
+                let gauss = sample_standard_normal(&mut rng);
+                x *= (cfg.daily_jitter * gauss).exp();
+            }
+            x += carry;
+            let whole = x.floor().max(0.0);
+            carry = x - whole;
+            arrivals.push(whole as u32);
+        }
+        GrowthSchedule { arrivals }
+    }
+
+    /// Arrivals on relative day `d` (0 beyond the schedule).
+    pub fn arrivals_on(&self, d: u32) -> u32 {
+        self.arrivals.get(d as usize).copied().unwrap_or(0)
+    }
+
+    /// Total scheduled arrivals.
+    pub fn total(&self) -> u64 {
+        self.arrivals.iter().map(|&a| a as u64).sum()
+    }
+
+    /// Number of scheduled days.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// True if no days are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+}
+
+/// Box–Muller standard normal.
+fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DipWindow;
+
+    fn plain_cfg(final_nodes: u32) -> GrowthConfig {
+        GrowthConfig {
+            initial_nodes: 2,
+            final_nodes,
+            beta: 0.6,
+            dips: vec![],
+            daily_jitter: 0.0,
+        }
+    }
+
+    #[test]
+    fn total_close_to_target() {
+        let cfg = plain_cfg(10_000);
+        let s = GrowthSchedule::build(&cfg, 500, 0, 1);
+        let total = s.total();
+        // total arrivals ≈ final − initial
+        assert!(
+            (total as i64 - 9_998).abs() <= 2,
+            "total {total} too far from target"
+        );
+    }
+
+    #[test]
+    fn growth_accelerates_in_absolute_terms() {
+        let cfg = plain_cfg(50_000);
+        let s = GrowthSchedule::build(&cfg, 700, 0, 1);
+        let early: u64 = (0..100).map(|d| s.arrivals_on(d) as u64).sum();
+        let late: u64 = (600..700).map(|d| s.arrivals_on(d) as u64).sum();
+        assert!(late > early * 5, "late {late} vs early {early}");
+    }
+
+    #[test]
+    fn relative_growth_decelerates() {
+        let cfg = plain_cfg(50_000);
+        let s = GrowthSchedule::build(&cfg, 700, 0, 1);
+        let mut n = cfg.initial_nodes as f64;
+        let mut rel = Vec::new();
+        for d in 0..700 {
+            let a = s.arrivals_on(d) as f64;
+            rel.push(a / n);
+            n += a;
+        }
+        let early_rel: f64 = rel[5..50].iter().sum::<f64>() / 45.0;
+        let late_rel: f64 = rel[600..690].iter().sum::<f64>() / 90.0;
+        assert!(early_rel > late_rel * 3.0, "early {early_rel} late {late_rel}");
+    }
+
+    #[test]
+    fn dips_suppress_arrivals() {
+        let mut cfg = plain_cfg(20_000);
+        cfg.dips = vec![DipWindow {
+            start_day: 300,
+            len: 10,
+            factor: 0.2,
+        }];
+        let dipped = GrowthSchedule::build(&cfg, 500, 0, 1);
+        cfg.dips.clear();
+        let plain = GrowthSchedule::build(&cfg, 500, 0, 1);
+        let dip_sum: u64 = (300..310).map(|d| dipped.arrivals_on(d) as u64).sum();
+        let plain_sum: u64 = (300..310).map(|d| plain.arrivals_on(d) as u64).sum();
+        assert!((dip_sum as f64) < plain_sum as f64 * 0.3);
+    }
+
+    #[test]
+    fn offset_shifts_dip_indexing() {
+        let mut cfg = plain_cfg(5_000);
+        cfg.dips = vec![DipWindow {
+            start_day: 100,
+            len: 10,
+            factor: 0.0,
+        }];
+        // Relative day 0 with offset 100 is absolute day 100: zeroed out.
+        let s = GrowthSchedule::build(&cfg, 50, 100, 1);
+        for d in 0..10 {
+            assert_eq!(s.arrivals_on(d), 0);
+        }
+        assert!(s.arrivals_on(20) > 0);
+    }
+
+    #[test]
+    fn deterministic_with_jitter() {
+        let mut cfg = plain_cfg(10_000);
+        cfg.daily_jitter = 0.1;
+        let a = GrowthSchedule::build(&cfg, 300, 0, 9);
+        let b = GrowthSchedule::build(&cfg, 300, 0, 9);
+        assert_eq!(a.arrivals, b.arrivals);
+        let c = GrowthSchedule::build(&cfg, 300, 0, 10);
+        assert_ne!(a.arrivals, c.arrivals);
+    }
+
+    #[test]
+    fn out_of_range_is_zero() {
+        let s = GrowthSchedule::build(&plain_cfg(100), 10, 0, 1);
+        assert_eq!(s.arrivals_on(99), 0);
+        assert_eq!(s.len(), 10);
+    }
+}

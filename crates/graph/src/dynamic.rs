@@ -1,0 +1,204 @@
+//! Mutable, replayable adjacency structure.
+//!
+//! A [`DynamicGraph`] is the in-memory state of the network at a moment in
+//! trace time. It is built by applying events in order (normally via
+//! [`Replayer`](crate::snapshots::Replayer)) and can be frozen into a
+//! [`crate::csr::CsrGraph`] whenever a read-optimised snapshot is
+//! needed.
+//!
+//! Neighbour lists are kept sorted so that membership checks are
+//! `O(log deg)` and CSR freezing is a straight copy.
+
+use crate::csr::CsrGraph;
+use crate::event::{Event, EventKind, Origin};
+use crate::time::{NodeId, Time};
+
+/// Mutable dynamic graph with per-node metadata.
+#[derive(Debug, Clone, Default)]
+pub struct DynamicGraph {
+    adj: Vec<Vec<u32>>,
+    origins: Vec<Origin>,
+    join_times: Vec<Time>,
+    num_edges: u64,
+    now: Time,
+}
+
+impl DynamicGraph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an empty graph with a node-capacity hint.
+    pub fn with_capacity(nodes: usize) -> Self {
+        DynamicGraph {
+            adj: Vec::with_capacity(nodes),
+            origins: Vec::with_capacity(nodes),
+            join_times: Vec::with_capacity(nodes),
+            num_edges: 0,
+            now: Time::ZERO,
+        }
+    }
+
+    /// Number of nodes currently in the graph.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges currently in the graph.
+    pub fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    /// Timestamp of the most recently applied event.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Degree of a node (0 for ids not yet added).
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adj.get(node.index()).map_or(0, |v| v.len())
+    }
+
+    /// Sorted neighbour list of a node.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range.
+    pub fn neighbors(&self, node: NodeId) -> &[u32] {
+        &self.adj[node.index()]
+    }
+
+    /// Origin network of a node.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range.
+    pub fn origin(&self, node: NodeId) -> Origin {
+        self.origins[node.index()]
+    }
+
+    /// Join time of a node.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range.
+    pub fn join_time(&self, node: NodeId) -> Time {
+        self.join_times[node.index()]
+    }
+
+    /// True if the undirected edge `a-b` exists.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        match self.adj.get(a.index()) {
+            Some(list) => list.binary_search(&b.0).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Apply one event.
+    ///
+    /// Events are assumed to come from a validated
+    /// [`EventLog`](crate::log::EventLog), so malformed input (unknown
+    /// nodes, duplicates) is a logic error and triggers a panic in debug
+    /// builds; in release builds duplicates would silently corrupt the
+    /// edge count, hence the `debug_assert`s.
+    pub fn apply(&mut self, event: &Event) {
+        self.now = event.time;
+        match event.kind {
+            EventKind::AddNode { node, origin } => {
+                debug_assert_eq!(node.index(), self.adj.len(), "node ids must be dense");
+                self.adj.push(Vec::new());
+                self.origins.push(origin);
+                self.join_times.push(event.time);
+            }
+            EventKind::AddEdge { u, v } => {
+                debug_assert!(u.index() < self.adj.len() && v.index() < self.adj.len());
+                let pos = self.adj[u.index()]
+                    .binary_search(&v.0)
+                    .expect_err("duplicate edge in validated log");
+                self.adj[u.index()].insert(pos, v.0);
+                let pos = self.adj[v.index()]
+                    .binary_search(&u.0)
+                    .expect_err("duplicate edge in validated log");
+                self.adj[v.index()].insert(pos, u.0);
+                self.num_edges += 1;
+            }
+        }
+    }
+
+    /// Freeze the current state into a read-optimised CSR snapshot.
+    pub fn freeze(&self) -> CsrGraph {
+        CsrGraph::from_sorted_adjacency(&self.adj, self.now)
+    }
+
+    /// Average degree `2E / N` (0 for an empty graph).
+    pub fn average_degree(&self) -> f64 {
+        if self.adj.is_empty() {
+            0.0
+        } else {
+            2.0 * self.num_edges as f64 / self.adj.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::EventLogBuilder;
+
+    fn sample_log() -> crate::log::EventLog {
+        let mut b = EventLogBuilder::new();
+        let n0 = b.add_node(Time(0), Origin::Core).unwrap();
+        let n1 = b.add_node(Time(1), Origin::Core).unwrap();
+        let n2 = b.add_node(Time(2), Origin::Competitor).unwrap();
+        b.add_edge(Time(3), n0, n1).unwrap();
+        b.add_edge(Time(4), n2, n0).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn replays_events() {
+        let log = sample_log();
+        let mut g = DynamicGraph::new();
+        for e in log.events() {
+            g.apply(e);
+        }
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(NodeId(0)), 2);
+        assert_eq!(g.degree(NodeId(1)), 1);
+        assert!(g.has_edge(NodeId(0), NodeId(2)));
+        assert!(g.has_edge(NodeId(2), NodeId(0)));
+        assert!(!g.has_edge(NodeId(1), NodeId(2)));
+        assert_eq!(g.now(), Time(4));
+        assert_eq!(g.origin(NodeId(2)), Origin::Competitor);
+        assert_eq!(g.join_time(NodeId(1)), Time(1));
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let mut b = EventLogBuilder::new();
+        let n0 = b.add_node(Time(0), Origin::Core).unwrap();
+        for _ in 1..6 {
+            b.add_node(Time(0), Origin::Core).unwrap();
+        }
+        // insert in scrambled order
+        for other in [4u32, 1, 5, 2, 3] {
+            b.add_edge(Time(1), n0, NodeId(other)).unwrap();
+        }
+        let log = b.build();
+        let mut g = DynamicGraph::new();
+        for e in log.events() {
+            g.apply(e);
+        }
+        assert_eq!(g.neighbors(n0), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn average_degree() {
+        let log = sample_log();
+        let mut g = DynamicGraph::new();
+        for e in log.events() {
+            g.apply(e);
+        }
+        assert!((g.average_degree() - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(DynamicGraph::new().average_degree(), 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Creation events and node origin labels.
+
+use crate::time::{NodeId, Time};
+use std::fmt;
+
+/// Which network a user originally joined.
+///
+/// The Renren trace contains two pre-merge populations (Xiaonei — which we
+/// call the *core* network — and the competitor 5Q) plus everyone who
+/// joined after the merge. The merge analysis (Figures 8–9 of the paper)
+/// classifies every post-merge edge by the origins of its endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Origin {
+    /// The core network (Xiaonei/Renren in the paper).
+    Core,
+    /// The competitor network (5Q in the paper).
+    Competitor,
+    /// A user who joined after the two networks merged.
+    PostMerge,
+}
+
+impl Origin {
+    /// Short label used in CSV headers and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Origin::Core => "core",
+            Origin::Competitor => "competitor",
+            Origin::PostMerge => "postmerge",
+        }
+    }
+}
+
+impl fmt::Display for Origin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What happened at an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A user account was created.
+    AddNode {
+        /// The new node. Ids must be dense and assigned in arrival order.
+        node: NodeId,
+        /// Which network the account was created on.
+        origin: Origin,
+    },
+    /// A friendship link was created. Edges are undirected; `u < v` is
+    /// enforced by [`EventLogBuilder`](crate::log::EventLogBuilder) so each
+    /// edge has a canonical form.
+    AddEdge {
+        /// Canonical smaller endpoint.
+        u: NodeId,
+        /// Canonical larger endpoint.
+        v: NodeId,
+    },
+}
+
+/// A timestamped creation event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// When the event occurred.
+    pub time: Time,
+    /// What occurred.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Convenience constructor for a node arrival.
+    pub fn node(time: Time, node: NodeId, origin: Origin) -> Self {
+        Event {
+            time,
+            kind: EventKind::AddNode { node, origin },
+        }
+    }
+
+    /// Convenience constructor for an edge arrival. Endpoints are put into
+    /// canonical `u < v` order.
+    pub fn edge(time: Time, a: NodeId, b: NodeId) -> Self {
+        let (u, v) = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        Event {
+            time,
+            kind: EventKind::AddEdge { u, v },
+        }
+    }
+
+    /// True if this is an edge-creation event.
+    pub fn is_edge(&self) -> bool {
+        matches!(self.kind, EventKind::AddEdge { .. })
+    }
+
+    /// True if this is a node-creation event.
+    pub fn is_node(&self) -> bool {
+        matches!(self.kind, EventKind::AddNode { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_is_canonicalised() {
+        let e = Event::edge(Time(1), NodeId(9), NodeId(3));
+        match e.kind {
+            EventKind::AddEdge { u, v } => {
+                assert_eq!(u, NodeId(3));
+                assert_eq!(v, NodeId(9));
+            }
+            _ => panic!("expected edge"),
+        }
+    }
+
+    #[test]
+    fn kind_predicates() {
+        let n = Event::node(Time(0), NodeId(0), Origin::Core);
+        let e = Event::edge(Time(0), NodeId(0), NodeId(1));
+        assert!(n.is_node() && !n.is_edge());
+        assert!(e.is_edge() && !e.is_node());
+    }
+
+    #[test]
+    fn origin_labels() {
+        assert_eq!(Origin::Core.label(), "core");
+        assert_eq!(Origin::Competitor.to_string(), "competitor");
+        assert_eq!(Origin::PostMerge.label(), "postmerge");
+    }
+}

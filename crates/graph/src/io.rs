@@ -1,0 +1,225 @@
+//! Plain-text (de)serialisation of event logs.
+//!
+//! Format: one event per line.
+//!
+//! ```text
+//! # comment lines start with '#'
+//! N <seconds> <origin>        # node arrival; ids are implicit (dense)
+//! E <seconds> <u> <v>         # edge arrival
+//! ```
+//!
+//! The format is deliberately trivial: it exists so generated traces can be
+//! cached on disk and re-analysed without re-running the generator, and so
+//! external tools (gnuplot, pandas) can consume them. Origins are encoded
+//! as `core`, `competitor`, `postmerge`.
+
+use crate::event::Origin;
+use crate::log::{EventLog, EventLogBuilder, LogError};
+use crate::time::{NodeId, Time};
+use std::fmt;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+/// Errors raised while parsing a textual event log.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line could not be parsed.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Description of what went wrong.
+        reason: String,
+    },
+    /// The parsed events violated an [`EventLog`] invariant.
+    Invalid(LogError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "io error: {e}"),
+            ParseError::Malformed { line, reason } => write!(f, "line {line}: {reason}"),
+            ParseError::Invalid(e) => write!(f, "invalid log: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+impl From<LogError> for ParseError {
+    fn from(e: LogError) -> Self {
+        ParseError::Invalid(e)
+    }
+}
+
+fn origin_token(o: Origin) -> &'static str {
+    o.label()
+}
+
+fn parse_origin(tok: &str, line: usize) -> Result<Origin, ParseError> {
+    match tok {
+        "core" => Ok(Origin::Core),
+        "competitor" => Ok(Origin::Competitor),
+        "postmerge" => Ok(Origin::PostMerge),
+        other => Err(ParseError::Malformed {
+            line,
+            reason: format!("unknown origin '{other}'"),
+        }),
+    }
+}
+
+/// Write a log in the plain-text format.
+pub fn write_log<W: Write>(log: &EventLog, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(
+        w,
+        "# multiscale-osn event log: {} nodes, {} edges, {} days",
+        log.num_nodes(),
+        log.num_edges(),
+        log.end_day() + 1
+    )?;
+    for e in log.events() {
+        match e.kind {
+            crate::event::EventKind::AddNode { origin, .. } => {
+                writeln!(w, "N {} {}", e.time.seconds(), origin_token(origin))?;
+            }
+            crate::event::EventKind::AddEdge { u, v } => {
+                writeln!(w, "E {} {} {}", e.time.seconds(), u.0, v.0)?;
+            }
+        }
+    }
+    w.flush()
+}
+
+/// Read a log in the plain-text format.
+pub fn read_log<R: Read>(reader: R) -> Result<EventLog, ParseError> {
+    let r = BufReader::new(reader);
+    let mut b = EventLogBuilder::new();
+    for (idx, line) in r.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_ascii_whitespace();
+        let tag = parts.next().unwrap_or_default();
+        let malformed = |reason: &str| ParseError::Malformed {
+            line: lineno,
+            reason: reason.to_string(),
+        };
+        let secs: u64 = parts
+            .next()
+            .ok_or_else(|| malformed("missing timestamp"))?
+            .parse()
+            .map_err(|_| malformed("bad timestamp"))?;
+        match tag {
+            "N" => {
+                let origin = parse_origin(
+                    parts.next().ok_or_else(|| malformed("missing origin"))?,
+                    lineno,
+                )?;
+                b.add_node(Time(secs), origin)?;
+            }
+            "E" => {
+                let u: u32 = parts
+                    .next()
+                    .ok_or_else(|| malformed("missing endpoint u"))?
+                    .parse()
+                    .map_err(|_| malformed("bad endpoint u"))?;
+                let v: u32 = parts
+                    .next()
+                    .ok_or_else(|| malformed("missing endpoint v"))?
+                    .parse()
+                    .map_err(|_| malformed("bad endpoint v"))?;
+                b.add_edge(Time(secs), NodeId(u), NodeId(v))?;
+            }
+            other => {
+                return Err(malformed(&format!("unknown record tag '{other}'")));
+            }
+        }
+        if parts.next().is_some() {
+            return Err(malformed("trailing tokens"));
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn sample() -> EventLog {
+        let mut b = EventLogBuilder::new();
+        let a = b.add_node(Time(0), Origin::Core).unwrap();
+        let c = b.add_node(Time(5), Origin::Competitor).unwrap();
+        let d = b.add_node(Time(9), Origin::PostMerge).unwrap();
+        b.add_edge(Time(10), a, c).unwrap();
+        b.add_edge(Time(12), d, a).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let log = sample();
+        let mut buf = Vec::new();
+        write_log(&log, &mut buf).unwrap();
+        let parsed = read_log(&buf[..]).unwrap();
+        assert_eq!(parsed.num_nodes(), log.num_nodes());
+        assert_eq!(parsed.num_edges(), log.num_edges());
+        assert_eq!(parsed.events().len(), log.events().len());
+        for (a, b) in parsed.events().iter().zip(log.events()) {
+            assert_eq!(a.time, b.time);
+            match (a.kind, b.kind) {
+                (EventKind::AddNode { origin: oa, .. }, EventKind::AddNode { origin: ob, .. }) => {
+                    assert_eq!(oa, ob)
+                }
+                (EventKind::AddEdge { u: ua, v: va }, EventKind::AddEdge { u: ub, v: vb }) => {
+                    assert_eq!((ua, va), (ub, vb))
+                }
+                _ => panic!("kind mismatch"),
+            }
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# header\n\nN 0 core\nN 1 core\nE 2 0 1\n";
+        let log = read_log(text.as_bytes()).unwrap();
+        assert_eq!(log.num_nodes(), 2);
+        assert_eq!(log.num_edges(), 1);
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let err = read_log("X 0 core\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ParseError::Malformed { line: 1, .. }));
+    }
+
+    #[test]
+    fn bad_origin_rejected() {
+        let err = read_log("N 0 martian\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("unknown origin"));
+    }
+
+    #[test]
+    fn invalid_log_rejected() {
+        // edge before nodes exist
+        let err = read_log("E 0 0 1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ParseError::Invalid(_)));
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        let err = read_log("N 0 core extra\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+}

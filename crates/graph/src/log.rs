@@ -1,0 +1,411 @@
+//! The validated, time-ordered event stream.
+//!
+//! An [`EventLog`] is the canonical representation of a dynamic social
+//! network in this workspace: every analysis in `osn-core` consumes one.
+//! Logs are constructed through [`EventLogBuilder`], which enforces the
+//! invariants the downstream code relies on:
+//!
+//! 1. events are sorted by time (ties keep insertion order);
+//! 2. node ids are dense and appear before any edge that uses them;
+//! 3. no self-loops and no duplicate edges.
+
+use crate::event::{Event, EventKind, Origin};
+use crate::time::{Day, NodeId, Time};
+use std::fmt;
+
+/// Errors raised while building an [`EventLog`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogError {
+    /// An event's timestamp was earlier than its predecessor's.
+    OutOfOrder {
+        /// Index of the offending event.
+        index: usize,
+        /// Its timestamp.
+        time: Time,
+        /// The previous event's timestamp.
+        prev: Time,
+    },
+    /// A node id skipped ahead (ids must be dense: 0, 1, 2, …).
+    NonDenseNode {
+        /// The id that was added.
+        got: NodeId,
+        /// The id that was expected.
+        expected: NodeId,
+    },
+    /// An edge referenced a node that has not been added yet.
+    UnknownNode {
+        /// The unknown endpoint.
+        node: NodeId,
+    },
+    /// An edge connected a node to itself.
+    SelfLoop {
+        /// The node in question.
+        node: NodeId,
+    },
+    /// The same undirected edge was added twice.
+    DuplicateEdge {
+        /// Smaller endpoint.
+        u: NodeId,
+        /// Larger endpoint.
+        v: NodeId,
+    },
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogError::OutOfOrder { index, time, prev } => write!(
+                f,
+                "event {index} at {time} is earlier than its predecessor at {prev}"
+            ),
+            LogError::NonDenseNode { got, expected } => {
+                write!(f, "node {got} added but {expected} was expected (ids must be dense)")
+            }
+            LogError::UnknownNode { node } => write!(f, "edge references unknown node {node}"),
+            LogError::SelfLoop { node } => write!(f, "self-loop on {node}"),
+            LogError::DuplicateEdge { u, v } => write!(f, "duplicate edge {u}-{v}"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+/// A validated, time-sorted stream of creation events.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    events: Vec<Event>,
+    num_nodes: u32,
+    num_edges: u64,
+    /// `origins[i]` is the origin network of `NodeId(i)`.
+    origins: Vec<Origin>,
+    /// `join_times[i]` is the creation time of `NodeId(i)`.
+    join_times: Vec<Time>,
+}
+
+impl EventLog {
+    /// All events, in time order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Total number of node-creation events.
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// Total number of edge-creation events.
+    pub fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    /// Timestamp of the last event (zero for an empty log).
+    pub fn end_time(&self) -> Time {
+        self.events.last().map(|e| e.time).unwrap_or(Time::ZERO)
+    }
+
+    /// Day index of the last event.
+    pub fn end_day(&self) -> Day {
+        self.end_time().day()
+    }
+
+    /// The origin network of a node.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range.
+    pub fn origin(&self, node: NodeId) -> Origin {
+        self.origins[node.index()]
+    }
+
+    /// The join (creation) time of a node.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range.
+    pub fn join_time(&self, node: NodeId) -> Time {
+        self.join_times[node.index()]
+    }
+
+    /// Per-node origins, indexed by node id.
+    pub fn origins(&self) -> &[Origin] {
+        &self.origins
+    }
+
+    /// Per-node join times, indexed by node id.
+    pub fn join_times(&self) -> &[Time] {
+        &self.join_times
+    }
+
+    /// Index of the first event with `time >= t` (binary search).
+    pub fn first_event_at_or_after(&self, t: Time) -> usize {
+        self.events.partition_point(|e| e.time < t)
+    }
+
+    /// Iterate the edge events only, as `(time, u, v)` triples.
+    pub fn edge_events(&self) -> impl Iterator<Item = (Time, NodeId, NodeId)> + '_ {
+        self.events.iter().filter_map(|e| match e.kind {
+            EventKind::AddEdge { u, v } => Some((e.time, u, v)),
+            _ => None,
+        })
+    }
+
+    /// Count nodes and edges created on each day, over `0..=end_day`.
+    ///
+    /// Returns `(nodes_per_day, edges_per_day)`.
+    pub fn daily_counts(&self) -> (Vec<u64>, Vec<u64>) {
+        let days = self.end_day() as usize + 1;
+        let mut nodes = vec![0u64; days];
+        let mut edges = vec![0u64; days];
+        for e in &self.events {
+            let d = e.time.day() as usize;
+            match e.kind {
+                EventKind::AddNode { .. } => nodes[d] += 1,
+                EventKind::AddEdge { .. } => edges[d] += 1,
+            }
+        }
+        (nodes, edges)
+    }
+}
+
+/// Incremental builder enforcing [`EventLog`]'s invariants.
+///
+/// Duplicate-edge detection uses a per-node sorted neighbour list, which
+/// keeps the builder allocation-friendly for multi-million-edge traces.
+#[derive(Debug, Default)]
+pub struct EventLogBuilder {
+    events: Vec<Event>,
+    origins: Vec<Origin>,
+    join_times: Vec<Time>,
+    /// Sorted adjacency used only for duplicate detection.
+    adj: Vec<Vec<u32>>,
+    num_edges: u64,
+    last_time: Time,
+}
+
+impl EventLogBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a builder with capacity hints.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        EventLogBuilder {
+            events: Vec::with_capacity(nodes + edges),
+            origins: Vec::with_capacity(nodes),
+            join_times: Vec::with_capacity(nodes),
+            adj: Vec::with_capacity(nodes),
+            num_edges: 0,
+            last_time: Time::ZERO,
+        }
+    }
+
+    /// Number of nodes added so far.
+    pub fn num_nodes(&self) -> u32 {
+        self.origins.len() as u32
+    }
+
+    /// Number of edges added so far.
+    pub fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    /// Append a node-creation event. The new node's id is returned and is
+    /// always `NodeId(n)` where `n` is the number of nodes added before.
+    pub fn add_node(&mut self, time: Time, origin: Origin) -> Result<NodeId, LogError> {
+        self.check_time(time)?;
+        let id = NodeId(self.origins.len() as u32);
+        self.origins.push(origin);
+        self.join_times.push(time);
+        self.adj.push(Vec::new());
+        self.events.push(Event::node(time, id, origin));
+        Ok(id)
+    }
+
+    /// Append an edge-creation event between two existing nodes.
+    pub fn add_edge(&mut self, time: Time, a: NodeId, b: NodeId) -> Result<(), LogError> {
+        self.check_time(time)?;
+        let n = self.origins.len() as u32;
+        for node in [a, b] {
+            if node.0 >= n {
+                return Err(LogError::UnknownNode { node });
+            }
+        }
+        if a == b {
+            return Err(LogError::SelfLoop { node: a });
+        }
+        let (u, v) = if a.0 < b.0 { (a, b) } else { (b, a) };
+        // Duplicate check against the smaller-degree endpoint's list.
+        let (probe, other) = if self.adj[u.index()].len() <= self.adj[v.index()].len() {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        if self.adj[probe.index()].binary_search(&other.0).is_ok() {
+            return Err(LogError::DuplicateEdge { u, v });
+        }
+        let pos = self.adj[u.index()].binary_search(&v.0).unwrap_err();
+        self.adj[u.index()].insert(pos, v.0);
+        let pos = self.adj[v.index()].binary_search(&u.0).unwrap_err();
+        self.adj[v.index()].insert(pos, u.0);
+        self.num_edges += 1;
+        self.events.push(Event::edge(time, u, v));
+        Ok(())
+    }
+
+    /// True if the undirected edge `a-b` has already been added.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        if a.index() >= self.adj.len() || b.index() >= self.adj.len() {
+            return false;
+        }
+        let (probe, other) = if self.adj[a.index()].len() <= self.adj[b.index()].len() {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        self.adj[probe.index()].binary_search(&other.0).is_ok()
+    }
+
+    /// Current degree of a node (0 for unknown ids).
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adj.get(node.index()).map_or(0, |v| v.len())
+    }
+
+    /// Current sorted neighbour list of a node (empty for unknown ids).
+    ///
+    /// Exposed so trace generators can implement triadic closure
+    /// (friend-of-friend attachment) against the graph built so far.
+    pub fn neighbors(&self, node: NodeId) -> &[u32] {
+        self.adj.get(node.index()).map_or(&[], |v| v.as_slice())
+    }
+
+    fn check_time(&mut self, time: Time) -> Result<(), LogError> {
+        if time < self.last_time {
+            return Err(LogError::OutOfOrder {
+                index: self.events.len(),
+                time,
+                prev: self.last_time,
+            });
+        }
+        self.last_time = time;
+        Ok(())
+    }
+
+    /// Finish building and return the validated log.
+    pub fn build(self) -> EventLog {
+        EventLog {
+            num_nodes: self.origins.len() as u32,
+            num_edges: self.num_edges,
+            events: self.events,
+            origins: self.origins,
+            join_times: self.join_times,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(d: u64) -> Time {
+        Time::from_days(d)
+    }
+
+    #[test]
+    fn build_small_log() {
+        let mut b = EventLogBuilder::new();
+        let a = b.add_node(t(0), Origin::Core).unwrap();
+        let c = b.add_node(t(0), Origin::Core).unwrap();
+        let d = b.add_node(t(1), Origin::Competitor).unwrap();
+        b.add_edge(t(1), a, c).unwrap();
+        b.add_edge(t(2), c, d).unwrap();
+        let log = b.build();
+        assert_eq!(log.num_nodes(), 3);
+        assert_eq!(log.num_edges(), 2);
+        assert_eq!(log.end_day(), 2);
+        assert_eq!(log.origin(d), Origin::Competitor);
+        assert_eq!(log.join_time(a), t(0));
+    }
+
+    #[test]
+    fn rejects_out_of_order() {
+        let mut b = EventLogBuilder::new();
+        b.add_node(t(5), Origin::Core).unwrap();
+        let err = b.add_node(t(4), Origin::Core).unwrap_err();
+        assert!(matches!(err, LogError::OutOfOrder { .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_node() {
+        let mut b = EventLogBuilder::new();
+        b.add_node(t(0), Origin::Core).unwrap();
+        let err = b.add_edge(t(0), NodeId(0), NodeId(7)).unwrap_err();
+        assert_eq!(err, LogError::UnknownNode { node: NodeId(7) });
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = EventLogBuilder::new();
+        let a = b.add_node(t(0), Origin::Core).unwrap();
+        assert_eq!(b.add_edge(t(0), a, a).unwrap_err(), LogError::SelfLoop { node: a });
+    }
+
+    #[test]
+    fn rejects_duplicate_edge_both_orders() {
+        let mut b = EventLogBuilder::new();
+        let a = b.add_node(t(0), Origin::Core).unwrap();
+        let c = b.add_node(t(0), Origin::Core).unwrap();
+        b.add_edge(t(1), a, c).unwrap();
+        assert!(matches!(b.add_edge(t(1), a, c), Err(LogError::DuplicateEdge { .. })));
+        assert!(matches!(b.add_edge(t(2), c, a), Err(LogError::DuplicateEdge { .. })));
+        assert!(b.has_edge(a, c));
+        assert!(b.has_edge(c, a));
+    }
+
+    #[test]
+    fn daily_counts_cover_gap_days() {
+        let mut b = EventLogBuilder::new();
+        let a = b.add_node(t(0), Origin::Core).unwrap();
+        let c = b.add_node(t(0), Origin::Core).unwrap();
+        b.add_edge(t(3), a, c).unwrap();
+        let log = b.build();
+        let (nodes, edges) = log.daily_counts();
+        assert_eq!(nodes, vec![2, 0, 0, 0]);
+        assert_eq!(edges, vec![0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn binary_search_boundary() {
+        let mut b = EventLogBuilder::new();
+        let a = b.add_node(t(0), Origin::Core).unwrap();
+        let c = b.add_node(t(1), Origin::Core).unwrap();
+        b.add_edge(t(2), a, c).unwrap();
+        let log = b.build();
+        assert_eq!(log.first_event_at_or_after(t(0)), 0);
+        assert_eq!(log.first_event_at_or_after(t(1)), 1);
+        assert_eq!(log.first_event_at_or_after(t(2)), 2);
+        assert_eq!(log.first_event_at_or_after(t(3)), 3);
+    }
+
+    #[test]
+    fn edge_event_iterator_skips_nodes() {
+        let mut b = EventLogBuilder::new();
+        let a = b.add_node(t(0), Origin::Core).unwrap();
+        let c = b.add_node(t(0), Origin::Core).unwrap();
+        b.add_edge(t(1), c, a).unwrap();
+        let log = b.build();
+        let edges: Vec<_> = log.edge_events().collect();
+        assert_eq!(edges, vec![(t(1), a, c)]);
+    }
+
+    #[test]
+    fn degree_tracking() {
+        let mut b = EventLogBuilder::new();
+        let a = b.add_node(t(0), Origin::Core).unwrap();
+        let c = b.add_node(t(0), Origin::Core).unwrap();
+        let d = b.add_node(t(0), Origin::Core).unwrap();
+        b.add_edge(t(1), a, c).unwrap();
+        b.add_edge(t(1), a, d).unwrap();
+        assert_eq!(b.degree(a), 2);
+        assert_eq!(b.degree(c), 1);
+        assert_eq!(b.degree(NodeId(99)), 0);
+    }
+}

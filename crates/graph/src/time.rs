@@ -1,0 +1,169 @@
+//! Timestamps, day indices and node identifiers.
+//!
+//! The Renren trace spans 771 days; every event in the paper carries an
+//! absolute timestamp. We represent time as whole **seconds since the start
+//! of the trace** (`Time`), which gives sub-day resolution for inter-arrival
+//! statistics while staying integral (and therefore hashable, orderable and
+//! exactly reproducible). A `Day` is the coarse index used for snapshotting.
+
+use std::fmt;
+
+/// Number of seconds in one trace day.
+pub const SECONDS_PER_DAY: u64 = 86_400;
+
+/// A point in trace time, in whole seconds since the first event.
+///
+/// `Time` is `Copy`, 8 bytes, and totally ordered, so it can be used as a
+/// sort key for event logs and as a binary-search probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+/// A day index (day 0 is the day of the first event).
+pub type Day = u32;
+
+impl Time {
+    /// The zero timestamp (start of the trace).
+    pub const ZERO: Time = Time(0);
+
+    /// Construct a timestamp from a whole number of days.
+    pub fn from_days(days: u64) -> Self {
+        Time(days * SECONDS_PER_DAY)
+    }
+
+    /// Construct a timestamp from a fractional number of days.
+    ///
+    /// Negative inputs saturate to zero; this keeps generator arithmetic
+    /// (which subtracts jitter) safe without panicking.
+    pub fn from_days_f64(days: f64) -> Self {
+        if days <= 0.0 {
+            Time(0)
+        } else {
+            Time((days * SECONDS_PER_DAY as f64).round() as u64)
+        }
+    }
+
+    /// The day index this timestamp falls in.
+    pub fn day(self) -> Day {
+        (self.0 / SECONDS_PER_DAY) as Day
+    }
+
+    /// This timestamp expressed in fractional days.
+    pub fn as_days_f64(self) -> f64 {
+        self.0 as f64 / SECONDS_PER_DAY as f64
+    }
+
+    /// Raw seconds since trace start.
+    pub fn seconds(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference `self - earlier`, as a `Time`-valued duration.
+    pub fn since(self, earlier: Time) -> Time {
+        Time(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Add a duration expressed in seconds.
+    pub fn plus_seconds(self, secs: u64) -> Time {
+        Time(self.0 + secs)
+    }
+
+    /// Add a duration expressed in fractional days.
+    pub fn plus_days_f64(self, days: f64) -> Time {
+        Time(self.0 + Time::from_days_f64(days).0)
+    }
+
+    /// First instant of the given day.
+    pub fn day_start(day: Day) -> Time {
+        Time(day as u64 * SECONDS_PER_DAY)
+    }
+
+    /// First instant *after* the given day (i.e. start of `day + 1`).
+    pub fn day_end(day: Day) -> Time {
+        Time((day as u64 + 1) * SECONDS_PER_DAY)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}+{}s", self.day(), self.0 % SECONDS_PER_DAY)
+    }
+}
+
+/// A node (user) identifier: dense, zero-based.
+///
+/// Node ids are assigned in arrival order by the trace generator, so
+/// `NodeId(k)` is always the `k`-th user to join (this mirrors how the
+/// anonymised Renren data numbered accounts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn day_roundtrip() {
+        for d in [0u64, 1, 5, 386, 770] {
+            assert_eq!(Time::from_days(d).day(), d as Day);
+        }
+    }
+
+    #[test]
+    fn fractional_days() {
+        let t = Time::from_days_f64(1.5);
+        assert_eq!(t.0, SECONDS_PER_DAY + SECONDS_PER_DAY / 2);
+        assert_eq!(t.day(), 1);
+        assert!((t.as_days_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_days_saturate() {
+        assert_eq!(Time::from_days_f64(-3.0), Time::ZERO);
+    }
+
+    #[test]
+    fn since_is_saturating() {
+        let a = Time(10);
+        let b = Time(30);
+        assert_eq!(b.since(a).0, 20);
+        assert_eq!(a.since(b).0, 0);
+    }
+
+    #[test]
+    fn day_bounds() {
+        assert_eq!(Time::day_start(3).0, 3 * SECONDS_PER_DAY);
+        assert_eq!(Time::day_end(3).0, 4 * SECONDS_PER_DAY);
+        assert_eq!(Time::day_end(3).day(), 4);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Time(5) < Time(6));
+        assert!(NodeId(1) < NodeId(2));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Time::from_days(2).plus_seconds(7).to_string(), "d2+7s");
+        assert_eq!(NodeId(42).to_string(), "n42");
+    }
+}

@@ -1,0 +1,61 @@
+//! Degree assortativity.
+
+use osn_graph::CsrGraph;
+use osn_stats::correlation::PearsonAccumulator;
+
+/// Degree assortativity: the Pearson correlation coefficient of the
+/// degrees at either end of every edge (Figure 1f).
+///
+/// Each undirected edge contributes both orderings `(deg u, deg v)` and
+/// `(deg v, deg u)`, the standard symmetrisation. Returns `None` when the
+/// correlation is undefined (fewer than two edges, or all degrees equal).
+pub fn degree_assortativity(g: &CsrGraph) -> Option<f64> {
+    let mut acc = PearsonAccumulator::new();
+    for (u, v) in g.edges() {
+        let du = g.degree(u) as f64;
+        let dv = g.degree(v) as f64;
+        acc.push(du, dv);
+        acc.push(dv, du);
+    }
+    acc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_is_disassortative() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let a = degree_assortativity(&g).unwrap();
+        assert!((a + 1.0).abs() < 1e-12, "star should be -1, got {a}");
+    }
+
+    #[test]
+    fn regular_graph_is_undefined() {
+        // cycle: every node degree 2 — zero variance
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(degree_assortativity(&g).is_none());
+    }
+
+    #[test]
+    fn assortative_example() {
+        // two cliques of different sizes joined by a bridge: mildly negative
+        // and a paired-degree graph: two K2s plus a K3 — here just check range.
+        let g = CsrGraph::from_edges(7, &[(0, 1), (1, 2), (0, 2), (3, 4), (5, 6)]);
+        let a = degree_assortativity(&g).unwrap();
+        assert!((-1.0..=1.0).contains(&a));
+        // triangle nodes (deg 2) pair with deg 2; K2 nodes (deg 1) with deg 1:
+        // perfectly assortative.
+        assert!((a - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_single_edge() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert!(degree_assortativity(&g).is_none());
+        let g = CsrGraph::from_edges(2, &[(0, 1)]);
+        // both endpoints degree 1: zero variance
+        assert!(degree_assortativity(&g).is_none());
+    }
+}

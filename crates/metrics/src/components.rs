@@ -1,0 +1,85 @@
+//! Connected components.
+
+use osn_graph::{CsrGraph, UnionFind};
+
+/// Sizes of all connected components, largest first. Isolated nodes count
+/// as size-1 components.
+pub fn component_sizes(g: &CsrGraph) -> Vec<u32> {
+    let mut uf = UnionFind::new(g.num_nodes());
+    for (u, v) in g.edges() {
+        uf.union(u, v);
+    }
+    let n = g.num_nodes() as u32;
+    let mut sizes = Vec::new();
+    for x in 0..n {
+        if uf.find(x) == x {
+            sizes.push(uf.set_size(x));
+        }
+    }
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    sizes
+}
+
+/// The node ids of the largest connected component (empty for an empty
+/// graph). Ties are broken by the smallest representative.
+pub fn largest_component(g: &CsrGraph) -> Vec<u32> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut uf = UnionFind::new(n);
+    for (u, v) in g.edges() {
+        uf.union(u, v);
+    }
+    let (rep, _) = uf.largest_set().expect("non-empty graph");
+    (0..n as u32).filter(|&x| uf.find(x) == rep).collect()
+}
+
+/// Membership mask of the largest component: `mask[u]` is true if `u` is
+/// in the giant component.
+pub fn largest_component_mask(g: &CsrGraph) -> Vec<bool> {
+    let n = g.num_nodes();
+    let mut mask = vec![false; n];
+    for u in largest_component(g) {
+        mask[u as usize] = true;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_components() -> CsrGraph {
+        // {0,1,2} triangle, {3,4} edge, {5} isolated
+        CsrGraph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4)])
+    }
+
+    #[test]
+    fn sizes() {
+        let g = two_components();
+        assert_eq!(component_sizes(&g), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn largest() {
+        let g = two_components();
+        assert_eq!(largest_component(&g), vec![0, 1, 2]);
+        let mask = largest_component_mask(&g);
+        assert_eq!(mask, vec![true, true, true, false, false, false]);
+    }
+
+    #[test]
+    fn empty() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert!(component_sizes(&g).is_empty());
+        assert!(largest_component(&g).is_empty());
+    }
+
+    #[test]
+    fn all_isolated() {
+        let g = CsrGraph::from_edges(3, &[]);
+        assert_eq!(component_sizes(&g), vec![1, 1, 1]);
+        assert_eq!(largest_component(&g).len(), 1);
+    }
+}

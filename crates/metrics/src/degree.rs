@@ -1,0 +1,98 @@
+//! Degree statistics.
+
+use osn_graph::CsrGraph;
+
+/// Average degree `2E / N` (0 for an empty graph).
+pub fn average_degree(g: &CsrGraph) -> f64 {
+    g.average_degree()
+}
+
+/// Degree distribution: `dist[d]` = number of nodes with degree `d`.
+pub fn degree_distribution(g: &CsrGraph) -> Vec<u64> {
+    let mut max_deg = 0;
+    for u in 0..g.num_nodes() as u32 {
+        max_deg = max_deg.max(g.degree(u));
+    }
+    let mut dist = vec![0u64; max_deg + 1];
+    for u in 0..g.num_nodes() as u32 {
+        dist[g.degree(u)] += 1;
+    }
+    dist
+}
+
+/// Maximum degree in the graph (0 for an empty graph).
+pub fn max_degree(g: &CsrGraph) -> usize {
+    (0..g.num_nodes() as u32).map(|u| g.degree(u)).max().unwrap_or(0)
+}
+
+/// Number of nodes with degree at least `k`.
+pub fn nodes_with_degree_at_least(g: &CsrGraph, k: usize) -> usize {
+    (0..g.num_nodes() as u32).filter(|&u| g.degree(u) >= k).count()
+}
+
+/// Complementary CDF of the degree distribution: `(d, P(deg ≥ d))`
+/// points for every degree that occurs, suitable for log–log plotting
+/// and power-law fitting. Degree-0 nodes are included in the totals.
+pub fn degree_ccdf(g: &CsrGraph) -> Vec<(f64, f64)> {
+    let dist = degree_distribution(g);
+    let n: u64 = dist.iter().sum();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut at_least = n;
+    for (d, &count) in dist.iter().enumerate() {
+        if count > 0 && d > 0 {
+            out.push((d as f64, at_least as f64 / n as f64));
+        }
+        at_least -= count;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star() -> CsrGraph {
+        CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)])
+    }
+
+    #[test]
+    fn average() {
+        let g = star();
+        assert!((average_degree(&g) - 8.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distribution() {
+        let g = star();
+        let d = degree_distribution(&g);
+        assert_eq!(d, vec![0, 4, 0, 0, 1]);
+    }
+
+    #[test]
+    fn ccdf_is_monotone_and_normalised() {
+        let g = star();
+        let ccdf = degree_ccdf(&g);
+        // degrees 1 and 4 occur
+        assert_eq!(ccdf.len(), 2);
+        assert_eq!(ccdf[0], (1.0, 1.0)); // everyone has degree >= 1
+        assert_eq!(ccdf[1], (4.0, 0.2)); // only the hub has degree >= 4
+        for w in ccdf.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        assert!(degree_ccdf(&CsrGraph::from_edges(0, &[])).is_empty());
+    }
+
+    #[test]
+    fn extremes() {
+        let g = star();
+        assert_eq!(max_degree(&g), 4);
+        assert_eq!(nodes_with_degree_at_least(&g, 1), 5);
+        assert_eq!(nodes_with_degree_at_least(&g, 2), 1);
+        let empty = CsrGraph::from_edges(0, &[]);
+        assert_eq!(max_degree(&empty), 0);
+        assert_eq!(degree_distribution(&empty), vec![0]);
+    }
+}

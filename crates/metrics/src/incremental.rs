@@ -1,0 +1,357 @@
+//! Streaming (incremental) graph metrics.
+//!
+//! The Figure 1 pipeline recomputes metrics on frozen snapshots — simple
+//! and parallel, but every snapshot pays O(N + E). This module maintains
+//! a set of *exact* metrics incrementally as edges stream in, paying
+//! O(deg) per insertion, so a per-day metric series over the whole trace
+//! costs one pass:
+//!
+//! * edge/node counts and average degree — O(1) per event;
+//! * exact triangle count and global transitivity (3△/triples) — one
+//!   sorted-adjacency intersection per insertion;
+//! * exact degree assortativity — maintained from closed-form sufficient
+//!   statistics over edge-endpoint degree pairs.
+//!
+//! `cargo bench --bench incremental` measures the crossover against
+//! snapshot recomputation, and the unit tests cross-check every value
+//! against the batch implementations in this crate.
+//!
+//! Deletions are deliberately unsupported: the Renren trace (and this
+//! workspace's event model) is append-only.
+
+use osn_graph::CsrGraph;
+
+/// Exact streaming metrics over an append-only undirected graph.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalMetrics {
+    adj: Vec<Vec<u32>>,
+    num_edges: u64,
+    /// Exact number of triangles.
+    triangles: u64,
+    /// Σ_v deg(v)·(deg(v)−1)/2 — connected triples.
+    triples: u64,
+    // Assortativity sufficient statistics over directed edge-endpoint
+    // pairs (each undirected edge contributes both (du,dv) and (dv,du)):
+    //   sum_x  = Σ du        (= sum_y by symmetry)
+    //   sum_x2 = Σ du²       (= sum_y2)
+    //   sum_xy = Σ du·dv
+    sum_x: f64,
+    sum_x2: f64,
+    sum_xy: f64,
+}
+
+impl IncrementalMetrics {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-size for `nodes`.
+    pub fn with_capacity(nodes: usize) -> Self {
+        IncrementalMetrics {
+            adj: Vec::with_capacity(nodes),
+            ..Default::default()
+        }
+    }
+
+    /// Add an isolated node; returns its id.
+    pub fn add_node(&mut self) -> u32 {
+        self.adj.push(Vec::new());
+        (self.adj.len() - 1) as u32
+    }
+
+    /// Current number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Current number of edges.
+    pub fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    /// Exact triangle count.
+    pub fn triangles(&self) -> u64 {
+        self.triangles
+    }
+
+    /// Degree of a node.
+    pub fn degree(&self, u: u32) -> usize {
+        self.adj[u as usize].len()
+    }
+
+    /// Average degree `2E/N` (0 when empty).
+    pub fn average_degree(&self) -> f64 {
+        if self.adj.is_empty() {
+            0.0
+        } else {
+            2.0 * self.num_edges as f64 / self.adj.len() as f64
+        }
+    }
+
+    /// Global transitivity `3△ / triples` (0 when no triples exist).
+    pub fn transitivity(&self) -> f64 {
+        if self.triples == 0 {
+            0.0
+        } else {
+            3.0 * self.triangles as f64 / self.triples as f64
+        }
+    }
+
+    /// Exact degree assortativity, or `None` while undefined.
+    pub fn assortativity(&self) -> Option<f64> {
+        let n = 2.0 * self.num_edges as f64; // directed pair count
+        if self.num_edges < 2 {
+            return None;
+        }
+        let cov = self.sum_xy - self.sum_x * self.sum_x / n;
+        let var = self.sum_x2 - self.sum_x * self.sum_x / n;
+        if var <= 1e-12 {
+            None
+        } else {
+            Some(cov / var)
+        }
+    }
+
+    /// Insert the undirected edge `u-v`.
+    ///
+    /// # Panics
+    /// Panics (debug) on self-loops, unknown nodes, or duplicates — feed
+    /// events from a validated [`osn_graph::EventLog`].
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        debug_assert_ne!(u, v, "self-loop");
+        debug_assert!((u as usize) < self.adj.len() && (v as usize) < self.adj.len());
+
+        // 1. Triangles closed by this edge = |N(u) ∩ N(v)| before insert.
+        let common = sorted_intersection_count(&self.adj[u as usize], &self.adj[v as usize]);
+        self.triangles += common;
+
+        let du = self.adj[u as usize].len() as f64; // degrees BEFORE insert
+        let dv = self.adj[v as usize].len() as f64;
+
+        // 2. Triples: node u gains C(du+1, 2) − C(du, 2) = du new triples.
+        self.triples += du as u64 + dv as u64;
+
+        // 3. Assortativity statistics.
+        //    (a) all existing pairs where u participates see du → du+1:
+        //        u appears in 2·du directed pairs: du as the x-side of
+        //        (u, w) pairs and du as the y-side of (w, u) pairs.
+        //        For x-side pairs: Σx += du·(+1), Σx² += ((du+1)²−du²)·du,
+        //        Σxy += Σ_w deg(w) (each partner's degree once).
+        //    We need Σ_w∈N(u) deg(w): maintain it by scanning u's list —
+        //    O(deg(u)) per insert, same order as the triangle step.
+        let sum_nb_u: f64 = self.adj[u as usize].iter().map(|&w| self.adj[w as usize].len() as f64).sum();
+        let sum_nb_v: f64 = self.adj[v as usize].iter().map(|&w| self.adj[w as usize].len() as f64).sum();
+        // u's degree bump affects its du existing pairs on each side:
+        self.sum_x += du + dv; // x-side of u's pairs + x-side of v's pairs
+        self.sum_x2 += ((du + 1.0) * (du + 1.0) - du * du) * du
+            + ((dv + 1.0) * (dv + 1.0) - dv * dv) * dv;
+        // Each of u's 2·du directed pairs has deg(u) on exactly one side,
+        // so Σxy gains deg(w) twice per neighbour w (once for (u,w), once
+        // for (w,u)); same for v.
+        self.sum_xy += 2.0 * (sum_nb_u + sum_nb_v);
+        // (b) the new edge itself contributes pairs (du+1, dv+1) and
+        //     (dv+1, du+1):
+        let nu = du + 1.0;
+        let nv = dv + 1.0;
+        self.sum_x += nu + nv;
+        self.sum_x2 += nu * nu + nv * nv;
+        self.sum_xy += 2.0 * nu * nv;
+
+        // 4. Insert into sorted adjacency.
+        let pos = self.adj[u as usize].binary_search(&v).expect_err("duplicate edge");
+        self.adj[u as usize].insert(pos, v);
+        let pos = self.adj[v as usize].binary_search(&u).expect_err("duplicate edge");
+        self.adj[v as usize].insert(pos, u);
+        self.num_edges += 1;
+    }
+
+    /// Freeze the current adjacency into a CSR snapshot (for cross-checks
+    /// or one-off batch metrics).
+    pub fn freeze(&self) -> CsrGraph {
+        CsrGraph::from_sorted_adjacency(&self.adj, osn_graph::Time::ZERO)
+    }
+}
+
+fn sorted_intersection_count(a: &[u32], b: &[u32]) -> u64 {
+    let mut i = 0;
+    let mut j = 0;
+    let mut count = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assortativity::degree_assortativity;
+    use crate::clustering::transitivity;
+    use osn_stats::rng_from_seed;
+    use rand::Rng;
+
+    fn batch_triangles(g: &CsrGraph) -> u64 {
+        let mut t3 = 0u64;
+        for u in 0..g.num_nodes() as u32 {
+            let neigh = g.neighbors(u);
+            for (i, &a) in neigh.iter().enumerate() {
+                t3 += super::sorted_intersection_count(g.neighbors(a), &neigh[i + 1..]);
+            }
+        }
+        t3 / 3
+    }
+
+    #[test]
+    fn triangle_counting_on_known_graphs() {
+        let mut m = IncrementalMetrics::new();
+        for _ in 0..4 {
+            m.add_node();
+        }
+        m.add_edge(0, 1);
+        m.add_edge(1, 2);
+        assert_eq!(m.triangles(), 0);
+        m.add_edge(0, 2); // closes one triangle
+        assert_eq!(m.triangles(), 1);
+        m.add_edge(0, 3);
+        m.add_edge(1, 3); // closes 0-1-3
+        assert_eq!(m.triangles(), 2);
+        m.add_edge(2, 3); // closes 0-2-3 and 1-2-3
+        assert_eq!(m.triangles(), 4); // K4 has 4 triangles
+        assert_eq!(m.num_edges(), 6);
+        assert!((m.transitivity() - 1.0).abs() < 1e-12); // K4 is fully transitive
+    }
+
+    #[test]
+    fn matches_batch_on_random_growth() {
+        let mut rng = rng_from_seed(42);
+        let mut m = IncrementalMetrics::new();
+        let n = 120u32;
+        for _ in 0..n {
+            m.add_node();
+        }
+        let mut inserted = std::collections::HashSet::new();
+        let mut checks = 0;
+        for step in 0..900 {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if !inserted.insert(key) {
+                continue;
+            }
+            m.add_edge(u, v);
+            if step % 120 == 0 {
+                checks += 1;
+                let g = m.freeze();
+                assert_eq!(m.triangles(), batch_triangles(&g), "triangles at step {step}");
+                assert!(
+                    (m.transitivity() - transitivity(&g)).abs() < 1e-9,
+                    "transitivity at step {step}"
+                );
+                match (m.assortativity(), degree_assortativity(&g)) {
+                    (Some(a), Some(b)) => {
+                        assert!((a - b).abs() < 1e-6, "assortativity {a} vs {b} at step {step}")
+                    }
+                    (None, None) => {}
+                    (a, b) => panic!("definedness mismatch {a:?} vs {b:?} at step {step}"),
+                }
+            }
+        }
+        assert!(checks > 3);
+        // final full check
+        let g = m.freeze();
+        assert_eq!(m.num_edges(), g.num_edges());
+        assert_eq!(m.triangles(), batch_triangles(&g));
+        let (a, b) = (m.assortativity().unwrap(), degree_assortativity(&g).unwrap());
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn star_is_perfectly_disassortative() {
+        let mut m = IncrementalMetrics::new();
+        for _ in 0..5 {
+            m.add_node();
+        }
+        for v in 1..5 {
+            m.add_edge(0, v);
+        }
+        let a = m.assortativity().unwrap();
+        assert!((a + 1.0).abs() < 1e-9, "star assortativity {a}");
+        assert_eq!(m.triangles(), 0);
+        assert_eq!(m.transitivity(), 0.0);
+    }
+
+    #[test]
+    fn average_degree_tracks() {
+        let mut m = IncrementalMetrics::new();
+        assert_eq!(m.average_degree(), 0.0);
+        m.add_node();
+        m.add_node();
+        m.add_edge(0, 1);
+        assert!((m.average_degree() - 1.0).abs() < 1e-12);
+        assert!(m.assortativity().is_none()); // single edge: undefined
+    }
+
+    #[test]
+    fn on_generated_trace_matches_snapshot() {
+        use osn_genstream_probe::*;
+        // (helper below builds a tiny trace inline without a dev-dependency
+        // cycle: a deterministic pseudo-random growth)
+        let (edges, n) = tiny_growth(400, 2_000, 9);
+        let mut m = IncrementalMetrics::new();
+        for _ in 0..n {
+            m.add_node();
+        }
+        for &(u, v) in &edges {
+            m.add_edge(u, v);
+        }
+        let g = CsrGraph::from_edges(n as usize, &edges);
+        assert_eq!(m.num_edges(), g.num_edges());
+        assert_eq!(m.triangles(), batch_triangles(&g));
+        assert!((m.transitivity() - transitivity(&g)).abs() < 1e-9);
+    }
+
+    /// Tiny deterministic preferential-attachment growth for tests.
+    mod osn_genstream_probe {
+        use osn_stats::rng_from_seed;
+        use rand::Rng;
+
+        pub fn tiny_growth(n: u32, target_edges: usize, seed: u64) -> (Vec<(u32, u32)>, u32) {
+            let mut rng = rng_from_seed(seed);
+            let mut edges = Vec::new();
+            let mut endpoints: Vec<u32> = vec![0, 1];
+            let mut seen = std::collections::HashSet::new();
+            edges.push((0u32, 1u32));
+            seen.insert((0u32, 1u32));
+            while edges.len() < target_edges {
+                let u = rng.gen_range(0..n);
+                let v = if rng.gen::<bool>() && !endpoints.is_empty() {
+                    endpoints[rng.gen_range(0..endpoints.len())]
+                } else {
+                    rng.gen_range(0..n)
+                };
+                if u == v {
+                    continue;
+                }
+                let key = (u.min(v), u.max(v));
+                if seen.insert(key) {
+                    edges.push(key);
+                    endpoints.push(u);
+                    endpoints.push(v);
+                }
+            }
+            (edges, n)
+        }
+    }
+}

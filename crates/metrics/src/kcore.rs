@@ -1,0 +1,169 @@
+//! k-core decomposition.
+//!
+//! The coreness of a node is the largest `k` such that the node belongs
+//! to a maximal subgraph where every member has degree ≥ `k` inside the
+//! subgraph. Core structure is a standard lens on OSN cohesion: the
+//! paper's "supernode"-dominated early phase shows up as a shallow core
+//! profile, the mature campus-cohort phase as a deep one.
+//!
+//! Linear-time peeling (Batagelj–Zaversnik) via bucket queues.
+
+use osn_graph::CsrGraph;
+
+/// Coreness of every node.
+pub fn core_numbers(g: &CsrGraph) -> Vec<u32> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut degree: Vec<u32> = (0..n as u32).map(|u| g.degree(u) as u32).collect();
+    let max_deg = degree.iter().copied().max().unwrap_or(0) as usize;
+
+    // Bucket sort nodes by degree.
+    let mut bin = vec![0usize; max_deg + 2];
+    for &d in &degree {
+        bin[d as usize] += 1;
+    }
+    let mut start = 0usize;
+    for b in bin.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    let mut pos = vec![0usize; n];
+    let mut vert = vec![0u32; n];
+    {
+        let mut cursor = bin.clone();
+        for u in 0..n as u32 {
+            let d = degree[u as usize] as usize;
+            pos[u as usize] = cursor[d];
+            vert[cursor[d]] = u;
+            cursor[d] += 1;
+        }
+    }
+
+    // Peel in degree order.
+    let mut core = degree.clone();
+    for i in 0..n {
+        let u = vert[i];
+        core[u as usize] = degree[u as usize];
+        for &v in g.neighbors(u) {
+            if degree[v as usize] > degree[u as usize] {
+                // Move v one bucket down: swap it with the first vertex of
+                // its current bucket, then shrink the bucket boundary.
+                let dv = degree[v as usize] as usize;
+                let pv = pos[v as usize];
+                let pw = bin[dv];
+                let w = vert[pw];
+                if v != w {
+                    vert.swap(pv, pw);
+                    pos[v as usize] = pw;
+                    pos[w as usize] = pv;
+                }
+                bin[dv] += 1;
+                degree[v as usize] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// The degeneracy (maximum coreness) of the graph.
+pub fn degeneracy(g: &CsrGraph) -> u32 {
+    core_numbers(g).into_iter().max().unwrap_or(0)
+}
+
+/// Size of each k-core: `sizes[k]` = number of nodes with coreness ≥ k.
+pub fn core_profile(g: &CsrGraph) -> Vec<u32> {
+    let cores = core_numbers(g);
+    let max = cores.iter().copied().max().unwrap_or(0) as usize;
+    let mut counts = vec![0u32; max + 1];
+    for &c in &cores {
+        counts[c as usize] += 1;
+    }
+    // suffix-sum: nodes with coreness >= k
+    for k in (0..max).rev() {
+        counts[k] += counts[k + 1];
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clique_core() {
+        // K5: everyone has coreness 4.
+        let mut edges = Vec::new();
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                edges.push((i, j));
+            }
+        }
+        let g = CsrGraph::from_edges(5, &edges);
+        assert_eq!(core_numbers(&g), vec![4; 5]);
+        assert_eq!(degeneracy(&g), 4);
+    }
+
+    #[test]
+    fn clique_with_tail() {
+        // K4 (0..4) + path 3-4-5: tail nodes have coreness 1.
+        let g = CsrGraph::from_edges(
+            6,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+        );
+        let c = core_numbers(&g);
+        assert_eq!(&c[0..4], &[3, 3, 3, 3]);
+        assert_eq!(&c[4..6], &[1, 1]);
+    }
+
+    #[test]
+    fn star_core() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(core_numbers(&g), vec![1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn isolated_nodes_are_zero_core() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]);
+        assert_eq!(core_numbers(&g), vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn profile_is_monotone() {
+        let g = CsrGraph::from_edges(
+            6,
+            &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5)],
+        );
+        let p = core_profile(&g);
+        // everyone is ≥ 0-core; counts shrink with k
+        assert_eq!(p[0], 6);
+        for w in p.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert_eq!(*p.last().unwrap() > 0, true);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert!(core_numbers(&g).is_empty());
+        assert_eq!(degeneracy(&g), 0);
+    }
+
+    #[test]
+    fn core_is_lower_bound_of_degree() {
+        // random-ish check on a fixed mid-size graph
+        let mut edges = Vec::new();
+        for i in 0..40u32 {
+            edges.push((i, (i + 1) % 40));
+            edges.push((i, (i + 7) % 40));
+        }
+        let g = CsrGraph::from_edges(40, &edges);
+        let c = core_numbers(&g);
+        for u in 0..40u32 {
+            assert!(c[u as usize] as usize <= g.degree(u));
+        }
+    }
+}

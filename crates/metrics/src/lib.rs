@@ -1,0 +1,47 @@
+//! # osn-metrics — whole-graph metrics over snapshots
+//!
+//! Implements every first-order graph metric the paper monitors over the
+//! lifetime of the network (Figure 1) plus the distance machinery used by
+//! the merge analysis (Figure 9c):
+//!
+//! * [`degree`] — average degree and degree distributions.
+//! * [`components`] — connected components via union-find, largest
+//!   component extraction.
+//! * [`clustering`] — exact and sampled average clustering coefficient.
+//! * [`paths`] — BFS, sampled average shortest-path length (the paper
+//!   samples 1000 nodes of the giant component), and early-exit distance
+//!   to a node group.
+//! * [`diameter`] — sampled effective (90th-percentile) diameter, the
+//!   robust diameter of the graphs-over-time literature.
+//! * [`kcore`] — linear-time k-core decomposition (Batagelj–Zaversnik).
+//! * [`incremental`] — exact streaming triangle count, transitivity and
+//!   assortativity for append-only graphs (O(deg) per edge insert).
+//! * [`rewire`] — degree-preserving double-edge-swap rewiring, the
+//!   configuration-model null for modularity-significance claims.
+//! * [`assortativity`] — degree assortativity as the Pearson correlation
+//!   over edge-endpoint degrees.
+//! * [`parallel`] — an order-preserving, bounded-memory parallel map used
+//!   to fan per-snapshot metric jobs out to worker threads (crossbeam
+//!   scoped threads; the workload is CPU-bound so there is no async).
+
+pub mod assortativity;
+pub mod clustering;
+pub mod components;
+pub mod degree;
+pub mod diameter;
+pub mod incremental;
+pub mod kcore;
+pub mod parallel;
+pub mod rewire;
+pub mod paths;
+
+pub use assortativity::degree_assortativity;
+pub use clustering::{average_clustering, local_clustering};
+pub use components::{component_sizes, largest_component};
+pub use degree::{average_degree, degree_ccdf, degree_distribution};
+pub use diameter::effective_diameter;
+pub use incremental::IncrementalMetrics;
+pub use kcore::{core_numbers, core_profile, degeneracy};
+pub use parallel::par_map;
+pub use rewire::degree_preserving_shuffle;
+pub use paths::{avg_path_length_sampled, bfs_distances, distance_to_group};

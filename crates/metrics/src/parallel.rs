@@ -1,0 +1,120 @@
+//! Order-preserving, bounded-memory parallel map.
+//!
+//! The Figure 1 pipeline computes expensive metrics on hundreds of
+//! growing snapshots. Snapshots are produced *lazily* (replaying the event
+//! log) but can be analysed independently, so we stream them through a
+//! bounded channel to a small pool of crossbeam scoped threads. The bound
+//! keeps at most `workers + queue` frozen snapshots in memory at once —
+//! important because a late snapshot of a multi-million-edge trace is tens
+//! of megabytes.
+
+use crossbeam::channel;
+
+/// Map `f` over `items` using `workers` threads, preserving input order in
+/// the output. At most `workers * 2` items are in flight at a time.
+///
+/// Falls back to a sequential map when `workers <= 1`.
+pub fn par_map<I, T, R, F>(items: I, workers: usize, f: F) -> Vec<R>
+where
+    I: IntoIterator<Item = T>,
+    I::IntoIter: Send,
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let (task_tx, task_rx) = channel::bounded::<(usize, T)>(workers * 2);
+    let (result_tx, result_rx) = channel::unbounded::<(usize, R)>();
+    let f = &f;
+    let mut results: Vec<(usize, R)> = Vec::new();
+    crossbeam::scope(|scope| {
+        // Feeder: pushes indexed items; blocks when the queue is full.
+        let iter = items.into_iter();
+        scope.spawn(move |_| {
+            for pair in iter.enumerate() {
+                if task_tx.send(pair).is_err() {
+                    break; // all workers gone (panic downstream)
+                }
+            }
+            // Dropping task_tx closes the channel; workers drain and exit.
+        });
+        for _ in 0..workers {
+            let task_rx = task_rx.clone();
+            let result_tx = result_tx.clone();
+            scope.spawn(move |_| {
+                for (idx, item) in task_rx.iter() {
+                    let out = f(item);
+                    if result_tx.send((idx, out)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(task_rx);
+        drop(result_tx);
+        for pair in result_rx.iter() {
+            results.push(pair);
+        }
+    })
+    .expect("worker thread panicked");
+    results.sort_unstable_by_key(|&(idx, _)| idx);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+/// A reasonable worker count for CPU-bound fan-out: the number of
+/// available hardware threads, minus one for the coordinating thread,
+/// clamped to `[1, 16]`.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(1))
+        .unwrap_or(1)
+        .clamp(1, 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = par_map(0..100u64, 4, |x| x * x);
+        let expected: Vec<u64> = (0..100).map(|x| x * x).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn sequential_fallback() {
+        let out = par_map(0..10u64, 1, |x| x + 1);
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uneven_work() {
+        // items with wildly different costs must still come back in order
+        let out = par_map(0..32u64, 4, |x| {
+            let spin = if x % 7 == 0 { 200_000 } else { 10 };
+            let mut acc = 0u64;
+            for i in 0..spin {
+                acc = acc.wrapping_add(i ^ x);
+            }
+            (x, acc & 1)
+        });
+        for (i, &(x, _)) in out.iter().enumerate() {
+            assert_eq!(i as u64, x);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u64> = par_map(std::iter::empty::<u64>(), 4, |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn default_workers_positive() {
+        let w = default_workers();
+        assert!(w >= 1 && w <= 16);
+    }
+}

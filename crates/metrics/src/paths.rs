@@ -1,0 +1,203 @@
+//! Shortest paths: BFS, sampled average path length, distance to a group.
+
+use osn_graph::CsrGraph;
+use osn_stats::sampling::sample_without_replacement;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Sentinel distance for unreachable nodes.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// BFS distances from `src` to every node (`UNREACHABLE` if disconnected).
+pub fn bfs_distances(g: &CsrGraph, src: u32) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.num_nodes()];
+    let mut queue = VecDeque::new();
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Average shortest-path length estimated from `sample_size` BFS sources
+/// drawn uniformly from the largest connected component, averaging finite
+/// pairwise distances — the paper's methodology for Figure 1(d)
+/// ("a sample of 1000 nodes from the SCC for each snapshot").
+///
+/// Returns `None` if the giant component has fewer than two nodes.
+pub fn avg_path_length_sampled<R: Rng + ?Sized>(
+    g: &CsrGraph,
+    sample_size: usize,
+    rng: &mut R,
+) -> Option<f64> {
+    let giant = crate::components::largest_component(g);
+    if giant.len() < 2 {
+        return None;
+    }
+    let sources = sample_without_replacement(&giant, sample_size, rng);
+    let mut total = 0u64;
+    let mut count = 0u64;
+    for &s in &sources {
+        let dist = bfs_distances(g, s);
+        for &u in &giant {
+            let d = dist[u as usize];
+            if d != UNREACHABLE && u != s {
+                total += d as u64;
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        None
+    } else {
+        Some(total as f64 / count as f64)
+    }
+}
+
+/// Shortest distance from `src` to any node for which `is_target` holds,
+/// traversing only nodes for which `allowed` holds (`src` itself is always
+/// traversed). Early-exits as soon as a target is dequeued.
+///
+/// This is the primitive behind Figure 9(c): distance from a sampled
+/// pre-merge user of one OSN to the nearest user of the other OSN,
+/// ignoring post-merge users entirely.
+pub fn distance_to_group(
+    g: &CsrGraph,
+    src: u32,
+    is_target: &dyn Fn(u32) -> bool,
+    allowed: &dyn Fn(u32) -> bool,
+) -> Option<u32> {
+    if is_target(src) {
+        return Some(0);
+    }
+    let mut dist = vec![UNREACHABLE; g.num_nodes()];
+    let mut queue = VecDeque::new();
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] != UNREACHABLE || !allowed(v) {
+                continue;
+            }
+            if is_target(v) {
+                return Some(du + 1);
+            }
+            dist[v as usize] = du + 1;
+            queue.push_back(v);
+        }
+    }
+    None
+}
+
+/// Eccentricity-style diameter lower bound: the largest BFS distance seen
+/// from `rounds` random sources. Exposed for exploratory use and tests.
+pub fn diameter_lower_bound<R: Rng + ?Sized>(g: &CsrGraph, rounds: usize, rng: &mut R) -> u32 {
+    let n = g.num_nodes();
+    if n == 0 {
+        return 0;
+    }
+    let mut best = 0;
+    for _ in 0..rounds {
+        let src = rng.gen_range(0..n as u32);
+        let dist = bfs_distances(g, src);
+        for d in dist {
+            if d != UNREACHABLE {
+                best = best.max(d);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_stats::rng_from_seed;
+
+    fn path5() -> CsrGraph {
+        CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path5();
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+    }
+
+    #[test]
+    fn exact_apl_on_path() {
+        // Path of 5: sum of pairwise distances = 2*(4*1+3*2+2*3+1*4)=40 over 20 ordered pairs = 2.0
+        let g = path5();
+        let mut rng = rng_from_seed(1);
+        let apl = avg_path_length_sampled(&g, 100, &mut rng).unwrap();
+        assert!((apl - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apl_ignores_other_components() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let mut rng = rng_from_seed(1);
+        let apl = avg_path_length_sampled(&g, 100, &mut rng).unwrap();
+        // giant component is the path 0-1-2: avg over ordered pairs = (1+2+1+1+2+1)/6
+        assert!((apl - 8.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apl_undefined_for_empty() {
+        let g = CsrGraph::from_edges(1, &[]);
+        let mut rng = rng_from_seed(1);
+        assert!(avg_path_length_sampled(&g, 10, &mut rng).is_none());
+    }
+
+    #[test]
+    fn group_distance_basic() {
+        let g = path5();
+        let is_target = |u: u32| u == 4;
+        let allowed = |_: u32| true;
+        assert_eq!(distance_to_group(&g, 0, &is_target, &allowed), Some(4));
+        assert_eq!(distance_to_group(&g, 4, &is_target, &allowed), Some(0));
+    }
+
+    #[test]
+    fn group_distance_respects_filter() {
+        let g = path5();
+        let is_target = |u: u32| u == 4;
+        // node 2 is blocked: 4 becomes unreachable from 0
+        let allowed = |u: u32| u != 2;
+        assert_eq!(distance_to_group(&g, 0, &is_target, &allowed), None);
+    }
+
+    #[test]
+    fn group_distance_shortcut_through_target() {
+        // 0-1, 1-2; target = {1}; distance from 0 is 1 even though 1 is a "gateway"
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let is_target = |u: u32| u == 1;
+        let allowed = |_: u32| true;
+        assert_eq!(distance_to_group(&g, 0, &is_target, &allowed), Some(1));
+    }
+
+    #[test]
+    fn diameter_bound() {
+        let g = path5();
+        let mut rng = rng_from_seed(9);
+        let d = diameter_lower_bound(&g, 10, &mut rng);
+        assert!(d >= 2 && d <= 4);
+    }
+}

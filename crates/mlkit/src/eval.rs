@@ -1,0 +1,167 @@
+//! Evaluation: confusion matrices and train/test splitting.
+
+use osn_stats::sampling::{rng_from_seed, shuffle};
+
+/// Binary confusion matrix over labels in `{-1, +1}`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// True positives.
+    pub tp: u64,
+    /// True negatives.
+    pub tn: u64,
+    /// False positives.
+    pub fp: u64,
+    /// False negatives.
+    pub fn_: u64,
+}
+
+impl ConfusionMatrix {
+    /// Record one `(truth, prediction)` pair.
+    pub fn push(&mut self, truth: f64, pred: f64) {
+        match (truth > 0.0, pred > 0.0) {
+            (true, true) => self.tp += 1,
+            (false, false) => self.tn += 1,
+            (false, true) => self.fp += 1,
+            (true, false) => self.fn_ += 1,
+        }
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.tp + self.tn + self.fp + self.fn_
+    }
+
+    /// Overall accuracy (`None` if empty).
+    pub fn accuracy(&self) -> Option<f64> {
+        let t = self.total();
+        if t == 0 {
+            None
+        } else {
+            Some((self.tp + self.tn) as f64 / t as f64)
+        }
+    }
+
+    /// Recall of the positive class — the paper's "ratio of communities
+    /// predicted to merge to those that actually merge".
+    pub fn positive_recall(&self) -> Option<f64> {
+        let p = self.tp + self.fn_;
+        if p == 0 {
+            None
+        } else {
+            Some(self.tp as f64 / p as f64)
+        }
+    }
+
+    /// Recall of the negative class — the paper's "predicted not to merge
+    /// / did not merge".
+    pub fn negative_recall(&self) -> Option<f64> {
+        let n = self.tn + self.fp;
+        if n == 0 {
+            None
+        } else {
+            Some(self.tn as f64 / n as f64)
+        }
+    }
+
+    /// Precision of the positive class.
+    pub fn positive_precision(&self) -> Option<f64> {
+        let p = self.tp + self.fp;
+        if p == 0 {
+            None
+        } else {
+            Some(self.tp as f64 / p as f64)
+        }
+    }
+
+    /// Merge another matrix into this one.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.tp += other.tp;
+        self.tn += other.tn;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+    }
+}
+
+/// Split indices `0..n` into a shuffled `(train, test)` pair where the
+/// train side receives `train_frac` of the items (rounded down, but at
+/// least one item on each side when `n >= 2`).
+pub fn train_test_split(n: usize, train_frac: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!((0.0..=1.0).contains(&train_frac), "train_frac must be in [0,1]");
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = rng_from_seed(seed);
+    shuffle(&mut idx, &mut rng);
+    let mut k = (n as f64 * train_frac) as usize;
+    if n >= 2 {
+        k = k.clamp(1, n - 1);
+    }
+    let test = idx.split_off(k);
+    (idx, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_counts() {
+        let mut m = ConfusionMatrix::default();
+        m.push(1.0, 1.0);
+        m.push(1.0, -1.0);
+        m.push(-1.0, -1.0);
+        m.push(-1.0, -1.0);
+        m.push(-1.0, 1.0);
+        assert_eq!(m.total(), 5);
+        assert_eq!(m.accuracy(), Some(0.6));
+        assert_eq!(m.positive_recall(), Some(0.5));
+        assert_eq!(m.negative_recall(), Some(2.0 / 3.0));
+        assert_eq!(m.positive_precision(), Some(0.5));
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = ConfusionMatrix::default();
+        assert!(m.accuracy().is_none());
+        assert!(m.positive_recall().is_none());
+        assert!(m.negative_recall().is_none());
+    }
+
+    #[test]
+    fn matrices_merge() {
+        let mut a = ConfusionMatrix {
+            tp: 1,
+            tn: 2,
+            fp: 3,
+            fn_: 4,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.total(), 20);
+        assert_eq!(a.tp, 2);
+    }
+
+    #[test]
+    fn split_sizes_and_coverage() {
+        let (train, test) = train_test_split(100, 0.7, 1);
+        assert_eq!(train.len(), 70);
+        assert_eq!(test.len(), 30);
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_never_empty_sides() {
+        let (train, test) = train_test_split(2, 0.0, 1);
+        assert_eq!(train.len(), 1);
+        assert_eq!(test.len(), 1);
+        let (train, test) = train_test_split(2, 1.0, 1);
+        assert_eq!(train.len(), 1);
+        assert_eq!(test.len(), 1);
+    }
+
+    #[test]
+    fn split_deterministic_per_seed() {
+        assert_eq!(train_test_split(50, 0.5, 9), train_test_split(50, 0.5, 9));
+        assert_ne!(train_test_split(50, 0.5, 9).0, train_test_split(50, 0.5, 10).0);
+    }
+}

@@ -1,0 +1,23 @@
+//! # osn-mlkit — minimal machine-learning toolkit
+//!
+//! Just enough supervised learning to reproduce the paper's community
+//! merge predictor (Figure 6b): a linear soft-margin SVM trained with the
+//! Pegasos stochastic subgradient method, plus feature standardisation
+//! and binary-classification evaluation. Written from scratch — no BLAS,
+//! no external solver.
+//!
+//! * [`svm`] — [`svm::LinearSvm`] and [`svm::SvmConfig`].
+//! * [`scale`] — [`scale::StandardScaler`] (zero mean / unit variance).
+//! * [`eval`] — [`eval::ConfusionMatrix`], train/test splitting.
+//! * [`logistic`] — logistic regression and k-fold cross-validation,
+//!   the robustness ablation for the merge predictor.
+
+pub mod eval;
+pub mod logistic;
+pub mod scale;
+pub mod svm;
+
+pub use eval::{train_test_split, ConfusionMatrix};
+pub use logistic::{k_fold, LogisticConfig, LogisticRegression};
+pub use scale::StandardScaler;
+pub use svm::{LinearSvm, SvmConfig};

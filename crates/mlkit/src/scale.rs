@@ -1,0 +1,115 @@
+//! Feature standardisation.
+
+/// Per-feature zero-mean / unit-variance scaler.
+///
+/// Fitted on training data and applied to both splits; features with zero
+/// variance pass through centred but unscaled (divide-by-zero guard).
+#[derive(Debug, Clone)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fit on a set of feature vectors (all the same length).
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty or rows have inconsistent lengths.
+    pub fn fit(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a scaler on no data");
+        let d = rows[0].len();
+        let n = rows.len() as f64;
+        let mut means = vec![0.0; d];
+        for r in rows {
+            assert_eq!(r.len(), d, "inconsistent feature dimension");
+            for (m, &x) in means.iter_mut().zip(r) {
+                *m += x;
+            }
+        }
+        for m in means.iter_mut() {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; d];
+        for r in rows {
+            for j in 0..d {
+                let dx = r[j] - means[j];
+                vars[j] += dx * dx;
+            }
+        }
+        let stds = vars
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s > 0.0 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        StandardScaler { means, stds }
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Transform one row in place.
+    pub fn transform_row(&self, row: &mut [f64]) {
+        assert_eq!(row.len(), self.dim(), "inconsistent feature dimension");
+        for j in 0..row.len() {
+            row[j] = (row[j] - self.means[j]) / self.stds[j];
+        }
+    }
+
+    /// Transform a whole dataset, returning a new copy.
+    pub fn transform(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter()
+            .map(|r| {
+                let mut r = r.clone();
+                self.transform_row(&mut r);
+                r
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_mean_unit_variance() {
+        let rows = vec![vec![1.0, 10.0], vec![3.0, 30.0], vec![5.0, 50.0]];
+        let scaler = StandardScaler::fit(&rows);
+        let out = scaler.transform(&rows);
+        for j in 0..2 {
+            let mean: f64 = out.iter().map(|r| r[j]).sum::<f64>() / 3.0;
+            let var: f64 = out.iter().map(|r| (r[j] - mean).powi(2)).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_feature_passes_through() {
+        let rows = vec![vec![7.0], vec![7.0]];
+        let scaler = StandardScaler::fit(&rows);
+        let out = scaler.transform(&rows);
+        assert_eq!(out[0][0], 0.0);
+        assert_eq!(out[1][0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_fit_panics() {
+        StandardScaler::fit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent feature dimension")]
+    fn ragged_rows_panic() {
+        StandardScaler::fit(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

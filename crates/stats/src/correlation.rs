@@ -1,0 +1,142 @@
+//! Pearson correlation.
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// Returns `None` if fewer than two points are given or either sample has
+/// zero variance. Degree assortativity (Figure 1f) is computed as the
+/// Pearson correlation of the degrees at either end of every edge.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mean_x = xs.iter().sum::<f64>() / nf;
+    let mean_y = ys.iter().sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mean_x;
+        let dy = ys[i] - mean_y;
+        sxx += dx * dx;
+        syy += dy * dy;
+        sxy += dx * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx.sqrt() * syy.sqrt()))
+}
+
+/// Streaming Pearson accumulator for very large edge sets.
+///
+/// Avoids materialising two `Vec<f64>` of length `2E` when computing
+/// assortativity over multi-million-edge snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct PearsonAccumulator {
+    n: u64,
+    sum_x: f64,
+    sum_y: f64,
+    sum_xx: f64,
+    sum_yy: f64,
+    sum_xy: f64,
+}
+
+impl PearsonAccumulator {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one `(x, y)` observation.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.n += 1;
+        self.sum_x += x;
+        self.sum_y += y;
+        self.sum_xx += x * x;
+        self.sum_yy += y * y;
+        self.sum_xy += x * y;
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// True if nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Finish and return the correlation, if defined.
+    pub fn finish(&self) -> Option<f64> {
+        if self.n < 2 {
+            return None;
+        }
+        let n = self.n as f64;
+        let cov = self.sum_xy - self.sum_x * self.sum_y / n;
+        let var_x = self.sum_xx - self.sum_x * self.sum_x / n;
+        let var_y = self.sum_yy - self.sum_y * self.sum_y / n;
+        if var_x <= 0.0 || var_y <= 0.0 {
+            return None;
+        }
+        Some(cov / (var_x.sqrt() * var_y.sqrt()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [2.0, 4.0, 6.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_negative() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &ys).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated() {
+        let xs = [1.0, 2.0, 1.0, 2.0];
+        let ys = [1.0, 1.0, 2.0, 2.0];
+        assert!(pearson(&xs, &ys).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate() {
+        assert!(pearson(&[1.0], &[1.0]).is_none());
+        assert!(pearson(&[1.0, 1.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn accumulator_matches_batch() {
+        let xs = [1.0, 5.0, 2.0, 8.0, 3.0];
+        let ys = [2.0, 4.0, 1.0, 9.0, 2.5];
+        let batch = pearson(&xs, &ys).unwrap();
+        let mut acc = PearsonAccumulator::new();
+        for i in 0..xs.len() {
+            acc.push(xs[i], ys[i]);
+        }
+        assert_eq!(acc.len(), 5);
+        assert!((acc.finish().unwrap() - batch).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_degenerate() {
+        let mut acc = PearsonAccumulator::new();
+        assert!(acc.is_empty());
+        acc.push(1.0, 1.0);
+        assert!(acc.finish().is_none());
+        acc.push(1.0, 2.0);
+        assert!(acc.finish().is_none()); // zero x variance
+    }
+}

@@ -1,0 +1,208 @@
+//! Empirical CDFs and the Pareto distribution.
+
+use rand::Rng;
+
+/// An empirical cumulative distribution function built from samples.
+///
+/// Construction sorts the samples once; evaluation is `O(log n)`.
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from raw samples (NaNs are dropped).
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        samples.retain(|v| !v.is_nan());
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Cdf { sorted: samples }
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if no samples were retained.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X <= x)`; 0 for an empty CDF.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let cnt = self.sorted.partition_point(|&v| v <= x);
+        cnt as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`0 <= q <= 1`), by nearest-rank.
+    ///
+    /// Returns `None` for an empty CDF.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).saturating_sub(1);
+        Some(self.sorted[idx.min(self.sorted.len() - 1)])
+    }
+
+    /// Median (0.5-quantile).
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Emit `(x, P(X <= x))` points at `k` evenly spaced sample ranks,
+    /// suitable for plotting. Always includes the extremes.
+    pub fn points(&self, k: usize) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        if n == 0 || k == 0 {
+            return Vec::new();
+        }
+        let k = k.min(n);
+        let mut out = Vec::with_capacity(k);
+        for j in 0..k {
+            let idx = if k == 1 { n - 1 } else { j * (n - 1) / (k - 1) };
+            out.push((self.sorted[idx], (idx + 1) as f64 / n as f64));
+        }
+        out
+    }
+
+    /// Arithmetic mean of the samples.
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+        }
+    }
+}
+
+/// Pareto (power-law) distribution with scale `x_min` and shape `alpha`.
+///
+/// The paper observes power-law edge inter-arrival gaps with exponents
+/// between 1.8 and 2.5; the generator samples gaps from this distribution
+/// via inverse-CDF: `x = x_min * u^(-1/alpha)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Pareto {
+    x_min: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Create a Pareto distribution.
+    ///
+    /// # Panics
+    /// Panics if `x_min <= 0` or `alpha <= 0`.
+    pub fn new(x_min: f64, alpha: f64) -> Self {
+        assert!(x_min > 0.0, "x_min must be positive");
+        assert!(alpha > 0.0, "alpha must be positive");
+        Pareto { x_min, alpha }
+    }
+
+    /// Scale parameter (minimum value).
+    pub fn x_min(&self) -> f64 {
+        self.x_min
+    }
+
+    /// Shape parameter (PDF exponent is `alpha + 1`).
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // u in (0, 1]; avoid u == 0 which would blow up.
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        self.x_min * u.powf(-1.0 / self.alpha)
+    }
+
+    /// Draw one sample, capped at `max` (rejection-free: clamps).
+    pub fn sample_capped<R: Rng + ?Sized>(&self, rng: &mut R, max: f64) -> f64 {
+        self.sample(rng).min(max)
+    }
+
+    /// Theoretical mean; `None` if `alpha <= 1` (infinite mean).
+    pub fn mean(&self) -> Option<f64> {
+        if self.alpha <= 1.0 {
+            None
+        } else {
+            Some(self.alpha * self.x_min / (self.alpha - 1.0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::rng_from_seed;
+
+    #[test]
+    fn cdf_eval() {
+        let c = Cdf::from_samples(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.eval(0.0), 0.0);
+        assert_eq!(c.eval(2.0), 0.5);
+        assert_eq!(c.eval(10.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_quantiles() {
+        let c = Cdf::from_samples(vec![5.0, 1.0, 3.0]);
+        assert_eq!(c.quantile(0.0), Some(1.0));
+        assert_eq!(c.median(), Some(3.0));
+        assert_eq!(c.quantile(1.0), Some(5.0));
+        assert!(Cdf::from_samples(vec![]).median().is_none());
+    }
+
+    #[test]
+    fn cdf_drops_nan() {
+        let c = Cdf::from_samples(vec![f64::NAN, 1.0]);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn cdf_points_monotone() {
+        let c = Cdf::from_samples((0..100).map(|i| i as f64).collect());
+        let pts = c.points(10);
+        assert_eq!(pts.len(), 10);
+        assert_eq!(pts[0].0, 0.0);
+        assert_eq!(pts[9].0, 99.0);
+        for w in pts.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn cdf_mean() {
+        let c = Cdf::from_samples(vec![2.0, 4.0]);
+        assert_eq!(c.mean(), Some(3.0));
+    }
+
+    #[test]
+    fn pareto_bounds_and_mean() {
+        let p = Pareto::new(1.0, 2.0);
+        let mut rng = rng_from_seed(7);
+        let mut sum = 0.0;
+        let n = 50_000;
+        for _ in 0..n {
+            let x = p.sample(&mut rng);
+            assert!(x >= 1.0);
+            sum += x;
+        }
+        let empirical = sum / n as f64;
+        let theoretical = p.mean().unwrap();
+        assert!((empirical - theoretical).abs() / theoretical < 0.1);
+    }
+
+    #[test]
+    fn pareto_capped() {
+        let p = Pareto::new(1.0, 0.5); // heavy tail
+        let mut rng = rng_from_seed(3);
+        for _ in 0..1000 {
+            assert!(p.sample_capped(&mut rng, 10.0) <= 10.0);
+        }
+        assert!(p.mean().is_none());
+    }
+}

@@ -1,0 +1,251 @@
+//! Least-squares fitting: lines, polynomials, and power laws.
+
+/// Result of a straight-line least-squares fit `y = slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]` (1 = perfect fit).
+    pub r2: f64,
+}
+
+/// Ordinary least-squares line fit.
+///
+/// Returns `None` if fewer than two points are given or x has zero
+/// variance.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LineFit> {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mean_x = xs.iter().sum::<f64>() / nf;
+    let mean_y = ys.iter().sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mean_x;
+        let dy = ys[i] - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    Some(LineFit {
+        slope,
+        intercept,
+        r2,
+    })
+}
+
+/// Result of a power-law fit `y = c · x^exponent`.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerLawFit {
+    /// Fitted exponent (α in the paper's `pe(d) ∝ d^α`).
+    pub exponent: f64,
+    /// Fitted multiplicative constant.
+    pub coefficient: f64,
+    /// Mean-square error of the fit **in linear space**, as the paper
+    /// reports for Figure 3(a)–(b).
+    pub mse: f64,
+    /// R² of the underlying log–log line fit.
+    pub log_r2: f64,
+}
+
+/// Fit `y = c · x^α` by least squares in log–log space.
+///
+/// Points with non-positive `x` or `y` are skipped (they have no
+/// logarithm); returns `None` if fewer than two usable points remain.
+pub fn powerlaw_fit(xs: &[f64], ys: &[f64]) -> Option<PowerLawFit> {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    let mut lx = Vec::with_capacity(xs.len());
+    let mut ly = Vec::with_capacity(xs.len());
+    let mut keep = Vec::with_capacity(xs.len());
+    for i in 0..xs.len() {
+        if xs[i] > 0.0 && ys[i] > 0.0 {
+            lx.push(xs[i].ln());
+            ly.push(ys[i].ln());
+            keep.push(i);
+        }
+    }
+    let line = linear_fit(&lx, &ly)?;
+    let coefficient = line.intercept.exp();
+    let exponent = line.slope;
+    let mut mse = 0.0;
+    for &i in &keep {
+        let pred = coefficient * xs[i].powf(exponent);
+        let err = pred - ys[i];
+        mse += err * err;
+    }
+    mse /= keep.len() as f64;
+    Some(PowerLawFit {
+        exponent,
+        coefficient,
+        mse,
+        log_r2: line.r2,
+    })
+}
+
+/// Least-squares polynomial fit of the given degree.
+///
+/// Returns the coefficients `[a0, a1, …, a_deg]` of
+/// `y = a0 + a1·x + … + a_deg·x^deg`, solved via the normal equations and
+/// Gaussian elimination with partial pivoting. Returns `None` when the
+/// system is singular or there are fewer points than coefficients.
+///
+/// The paper fits α(t) with a degree-5 polynomial of the edge count
+/// (Figure 3c); this is the routine that reproduces those coefficients.
+pub fn polyfit(xs: &[f64], ys: &[f64], deg: usize) -> Option<Vec<f64>> {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    let m = deg + 1;
+    if xs.len() < m {
+        return None;
+    }
+    // Normal equations: A^T A c = A^T y, where A is the Vandermonde matrix.
+    // Accumulate power sums directly to avoid materialising A.
+    let mut pow_sums = vec![0.0f64; 2 * deg + 1];
+    let mut rhs = vec![0.0f64; m];
+    for (&x, &y) in xs.iter().zip(ys) {
+        let mut xp = 1.0;
+        for s in pow_sums.iter_mut() {
+            *s += xp;
+            xp *= x;
+        }
+        let mut xp = 1.0;
+        for r in rhs.iter_mut() {
+            *r += y * xp;
+            xp *= x;
+        }
+    }
+    let mut a = vec![vec![0.0f64; m + 1]; m];
+    for i in 0..m {
+        for j in 0..m {
+            a[i][j] = pow_sums[i + j];
+        }
+        a[i][m] = rhs[i];
+    }
+    gaussian_solve(&mut a)
+}
+
+/// Solve an augmented `m × (m+1)` system in place. Returns the solution
+/// vector or `None` if singular.
+fn gaussian_solve(a: &mut [Vec<f64>]) -> Option<Vec<f64>> {
+    let m = a.len();
+    for col in 0..m {
+        // partial pivot
+        let pivot = (col..m).max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        for row in 0..m {
+            if row != col {
+                let f = a[row][col] / a[col][col];
+                for k in col..=m {
+                    a[row][k] -= f * a[col][k];
+                }
+            }
+        }
+    }
+    Some((0..m).map(|i| a[i][m] / a[i][i]).collect())
+}
+
+/// Evaluate a polynomial (coefficients low-order first) at `x`.
+pub fn polyval(coeffs: &[f64], x: f64) -> f64 {
+    coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 3.0, 5.0, 7.0];
+        let f = linear_fit(&xs, &ys).unwrap();
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 1.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(linear_fit(&[1.0], &[2.0]).is_none());
+        assert!(linear_fit(&[1.0, 1.0], &[2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn noisy_line_r2() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| 3.0 * x + if (x as i32) % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let f = linear_fit(&xs, &ys).unwrap();
+        assert!((f.slope - 3.0).abs() < 0.01);
+        assert!(f.r2 > 0.99);
+    }
+
+    #[test]
+    fn exact_power_law() {
+        let xs: Vec<f64> = (1..100).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.5 * x.powf(0.78)).collect();
+        let f = powerlaw_fit(&xs, &ys).unwrap();
+        assert!((f.exponent - 0.78).abs() < 1e-9);
+        assert!((f.coefficient - 2.5).abs() < 1e-9);
+        assert!(f.mse < 1e-15);
+        assert!((f.log_r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_law_skips_nonpositive() {
+        let xs = [0.0, -1.0, 1.0, 2.0, 4.0];
+        let ys = [5.0, 5.0, 1.0, 2.0, 4.0];
+        let f = powerlaw_fit(&xs, &ys).unwrap();
+        assert!((f.exponent - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_law_insufficient() {
+        assert!(powerlaw_fit(&[1.0], &[1.0]).is_none());
+        assert!(powerlaw_fit(&[0.0, -1.0], &[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn polyfit_recovers_cubic() {
+        let truth = [1.0, -2.0, 0.5, 0.25];
+        let xs: Vec<f64> = (-10..=10).map(|i| i as f64 / 2.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| polyval(&truth, x)).collect();
+        let c = polyfit(&xs, &ys, 3).unwrap();
+        for (got, want) in c.iter().zip(truth.iter()) {
+            assert!((got - want).abs() < 1e-8, "got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn polyfit_degree_zero_is_mean() {
+        let c = polyfit(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0], 0).unwrap();
+        assert!((c[0] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polyfit_underdetermined() {
+        assert!(polyfit(&[1.0, 2.0], &[1.0, 2.0], 2).is_none());
+    }
+
+    #[test]
+    fn polyval_horner() {
+        assert_eq!(polyval(&[1.0, 0.0, 2.0], 3.0), 19.0);
+        assert_eq!(polyval(&[], 3.0), 0.0);
+    }
+}

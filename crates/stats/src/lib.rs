@@ -1,0 +1,31 @@
+//! # osn-stats — statistics toolkit
+//!
+//! Self-contained statistics used throughout the workspace:
+//!
+//! * [`histogram`] — linear and logarithmic histograms, empirical PDFs.
+//! * [`distribution`] — empirical CDF/CCDF helpers and Pareto sampling
+//!   (the only non-uniform distribution the generator needs, implemented
+//!   here instead of pulling in `rand_distr`).
+//! * [`fit`] — least-squares line fits, polynomial fits (normal equations
+//!   + Gaussian elimination), and log–log power-law fits with linear-space
+//!   mean-square error, matching the paper's `pe(d) ∝ d^α` methodology.
+//! * [`correlation`] — Pearson correlation (used for assortativity).
+//! * [`sampling`] — seeded RNG construction, reservoir sampling and
+//!   partial Fisher–Yates sampling without replacement.
+//! * [`series`] — small time-series/table containers with CSV rendering.
+
+pub mod compare;
+pub mod correlation;
+pub mod distribution;
+pub mod fit;
+pub mod histogram;
+pub mod sampling;
+pub mod series;
+
+pub use compare::{ks_pvalue, ks_statistic};
+pub use correlation::pearson;
+pub use distribution::{Cdf, Pareto};
+pub use fit::{linear_fit, polyfit, powerlaw_fit, LineFit, PowerLawFit};
+pub use histogram::{Histogram, LogHistogram};
+pub use sampling::{reservoir_sample, rng_from_seed, sample_without_replacement};
+pub use series::{Series, Table};

@@ -1,0 +1,144 @@
+//! Seeded RNG construction and sampling utilities.
+//!
+//! Every stochastic component in the workspace takes an explicit 64-bit
+//! seed and derives its RNG through [`rng_from_seed`], so whole analysis
+//! runs are bit-for-bit reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Construct the workspace-standard RNG from a 64-bit seed.
+pub fn rng_from_seed(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Derive a child seed from a parent seed and a stream label.
+///
+/// Used to give independent substreams (e.g. one per analysis) without
+/// correlated output; this is SplitMix64's finaliser over the XOR of the
+/// inputs.
+pub fn derive_seed(parent: u64, stream: u64) -> u64 {
+    let mut z = parent ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Reservoir-sample `k` items from an iterator of unknown length
+/// (Algorithm R). Order of the result is arbitrary.
+pub fn reservoir_sample<T, I, R>(iter: I, k: usize, rng: &mut R) -> Vec<T>
+where
+    I: IntoIterator<Item = T>,
+    R: Rng + ?Sized,
+{
+    let mut reservoir: Vec<T> = Vec::with_capacity(k);
+    if k == 0 {
+        return reservoir;
+    }
+    for (i, item) in iter.into_iter().enumerate() {
+        if i < k {
+            reservoir.push(item);
+        } else {
+            let j = rng.gen_range(0..=i);
+            if j < k {
+                reservoir[j] = item;
+            }
+        }
+    }
+    reservoir
+}
+
+/// Sample `k` distinct elements from a slice without replacement via a
+/// partial Fisher–Yates shuffle. If `k >= len`, returns a full shuffle.
+pub fn sample_without_replacement<T: Clone, R: Rng + ?Sized>(
+    items: &[T],
+    k: usize,
+    rng: &mut R,
+) -> Vec<T> {
+    let n = items.len();
+    let k = k.min(n);
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        idx.swap(i, j);
+    }
+    idx[..k].iter().map(|&i| items[i].clone()).collect()
+}
+
+/// In-place Fisher–Yates shuffle.
+pub fn shuffle<T, R: Rng + ?Sized>(items: &mut [T], rng: &mut R) {
+    let n = items.len();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = rng_from_seed(42);
+        let mut b = rng_from_seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn derived_seeds_differ() {
+        let s = 123;
+        let children: HashSet<u64> = (0..100).map(|i| derive_seed(s, i)).collect();
+        assert_eq!(children.len(), 100);
+    }
+
+    #[test]
+    fn reservoir_size() {
+        let mut rng = rng_from_seed(1);
+        let s = reservoir_sample(0..1000, 10, &mut rng);
+        assert_eq!(s.len(), 10);
+        let s = reservoir_sample(0..5, 10, &mut rng);
+        assert_eq!(s.len(), 5);
+        let s: Vec<i32> = reservoir_sample(0..5, 0, &mut rng);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn reservoir_is_roughly_uniform() {
+        let mut rng = rng_from_seed(2);
+        let mut counts = [0u32; 10];
+        for _ in 0..2000 {
+            for v in reservoir_sample(0..10, 3, &mut rng) {
+                counts[v as usize] += 1;
+            }
+        }
+        // each element expected 600 times; allow generous slack
+        for &c in &counts {
+            assert!(c > 400 && c < 800, "count {c} out of range");
+        }
+    }
+
+    #[test]
+    fn without_replacement_distinct() {
+        let mut rng = rng_from_seed(3);
+        let items: Vec<u32> = (0..100).collect();
+        let s = sample_without_replacement(&items, 20, &mut rng);
+        let set: HashSet<_> = s.iter().collect();
+        assert_eq!(set.len(), 20);
+        let all = sample_without_replacement(&items, 1000, &mut rng);
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = rng_from_seed(4);
+        let mut v: Vec<u32> = (0..50).collect();
+        shuffle(&mut v, &mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

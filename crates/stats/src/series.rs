@@ -1,0 +1,259 @@
+//! Small series/table containers with CSV rendering.
+//!
+//! Every analysis in `osn-core` returns its figure data as [`Series`] or
+//! [`Table`] values; the reproduction harness writes them with
+//! [`Table::to_csv`] and pretty-prints them with [`Table::render_text`].
+
+use std::fmt::Write as _;
+
+/// A named `(x, y)` series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Series name (becomes the CSV column header).
+    pub name: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Create an empty named series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Create from points.
+    pub fn from_points(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.into(),
+            points,
+        }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Last y value, if any.
+    pub fn last_y(&self) -> Option<f64> {
+        self.points.last().map(|&(_, y)| y)
+    }
+
+    /// y value at the first point with `x >= target`, if any.
+    pub fn y_at_or_after(&self, target: f64) -> Option<f64> {
+        self.points.iter().find(|&&(x, _)| x >= target).map(|&(_, y)| y)
+    }
+
+    /// Smallest x whose y satisfies the predicate, scanning left to right.
+    pub fn first_x_where(&self, pred: impl Fn(f64) -> bool) -> Option<f64> {
+        self.points.iter().find(|&&(_, y)| pred(y)).map(|&(x, _)| x)
+    }
+
+    /// Minimum and maximum y over the series, if non-empty.
+    pub fn y_range(&self) -> Option<(f64, f64)> {
+        let mut it = self.points.iter().map(|&(_, y)| y);
+        let first = it.next()?;
+        let mut lo = first;
+        let mut hi = first;
+        for y in it {
+            lo = lo.min(y);
+            hi = hi.max(y);
+        }
+        Some((lo, hi))
+    }
+}
+
+/// A table of aligned series sharing one x column.
+///
+/// Series need not have identical x grids; rows are emitted on the sorted
+/// union of all x values, with blanks where a series has no point.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Header name for the shared x column.
+    pub x_name: String,
+    /// Member series.
+    pub series: Vec<Series>,
+}
+
+impl Table {
+    /// Create an empty table with a named x column.
+    pub fn new(x_name: impl Into<String>) -> Self {
+        Table {
+            x_name: x_name.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Add a series (builder style).
+    pub fn with(mut self, s: Series) -> Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Add a series.
+    pub fn push(&mut self, s: Series) {
+        self.series.push(s);
+    }
+
+    /// Sorted union of all x values (exact float equality de-duplicated).
+    fn x_grid(&self) -> Vec<f64> {
+        let mut xs: Vec<f64> = self.series.iter().flat_map(|s| s.points.iter().map(|&(x, _)| x)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.dedup();
+        xs
+    }
+
+    /// Render as CSV: header row, then one row per distinct x.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.x_name);
+        for s in &self.series {
+            out.push(',');
+            out.push_str(&s.name);
+        }
+        out.push('\n');
+        let grid = self.x_grid();
+        // Per-series cursor: points are usually already x-sorted; fall back
+        // to a scan otherwise.
+        for x in grid {
+            let _ = write!(out, "{x}");
+            for s in &self.series {
+                out.push(',');
+                if let Some(&(_, y)) = s.points.iter().find(|&&(px, _)| px == x) {
+                    let _ = write!(out, "{y}");
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as an aligned text table (for terminal output), showing at
+    /// most `max_rows` evenly spaced rows.
+    pub fn render_text(&self, max_rows: usize) -> String {
+        let grid = self.x_grid();
+        let mut headers = vec![self.x_name.clone()];
+        headers.extend(self.series.iter().map(|s| s.name.clone()));
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        let n = grid.len();
+        let take: Vec<usize> = if n <= max_rows || max_rows == 0 {
+            (0..n).collect()
+        } else {
+            (0..max_rows).map(|j| j * (n - 1) / (max_rows - 1)).collect()
+        };
+        for &i in &take {
+            let x = grid[i];
+            let mut row = vec![format_num(x)];
+            for s in &self.series {
+                match s.points.iter().find(|&&(px, _)| px == x) {
+                    Some(&(_, y)) => row.push(format_num(y)),
+                    None => row.push(String::new()),
+                }
+            }
+            rows.push(row);
+        }
+        let ncols = headers.len();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        for row in &rows {
+            for c in 0..ncols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        for c in 0..ncols {
+            let _ = write!(out, "{:>w$}  ", headers[c], w = widths[c]);
+        }
+        out.push('\n');
+        for row in &rows {
+            for c in 0..ncols {
+                let _ = write!(out, "{:>w$}  ", row[c], w = widths[c]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Compact numeric formatting for tables.
+fn format_num(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.fract() == 0.0 && v.abs() < 1e12 {
+        format!("{v:.0}")
+    } else if v.abs() >= 0.01 && v.abs() < 1e6 {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_helpers() {
+        let s = Series::from_points("s", vec![(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.last_y(), Some(2.0));
+        assert_eq!(s.y_at_or_after(0.5), Some(3.0));
+        assert_eq!(s.first_x_where(|y| y > 2.5), Some(1.0));
+        assert_eq!(s.y_range(), Some((1.0, 3.0)));
+        assert!(Series::new("e").y_range().is_none());
+    }
+
+    #[test]
+    fn csv_with_shared_grid() {
+        let t = Table::new("day")
+            .with(Series::from_points("a", vec![(0.0, 1.0), (1.0, 2.0)]))
+            .with(Series::from_points("b", vec![(0.0, 5.0), (1.0, 6.0)]));
+        let csv = t.to_csv();
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines[0], "day,a,b");
+        assert_eq!(lines[1], "0,1,5");
+        assert_eq!(lines[2], "1,2,6");
+    }
+
+    #[test]
+    fn csv_with_missing_points() {
+        let t = Table::new("x")
+            .with(Series::from_points("a", vec![(0.0, 1.0)]))
+            .with(Series::from_points("b", vec![(1.0, 6.0)]));
+        let csv = t.to_csv();
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines[1], "0,1,");
+        assert_eq!(lines[2], "1,,6");
+    }
+
+    #[test]
+    fn text_render_subsamples() {
+        let s = Series::from_points("y", (0..100).map(|i| (i as f64, i as f64)).collect());
+        let t = Table::new("x").with(s);
+        let text = t.render_text(5);
+        // header + 5 rows
+        assert_eq!(text.lines().count(), 6);
+        assert!(text.lines().nth(1).unwrap().trim_start().starts_with('0'));
+        assert!(text.lines().last().unwrap().contains("99"));
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(format_num(0.0), "0");
+        assert_eq!(format_num(3.0), "3");
+        assert_eq!(format_num(0.5), "0.5000");
+        assert!(format_num(1e-9).contains('e'));
+    }
+}

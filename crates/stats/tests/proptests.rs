@@ -1,0 +1,99 @@
+//! Property-based tests for the statistics toolkit.
+
+use osn_stats::fit::{linear_fit, polyfit, polyval};
+use osn_stats::{Histogram, LogHistogram, Pareto};
+use osn_stats::sampling::{reservoir_sample, rng_from_seed, sample_without_replacement};
+use proptest::prelude::*;
+
+proptest! {
+    /// Histograms conserve mass: total equals pushes, fractions sum to 1.
+    #[test]
+    fn histogram_conserves_mass(values in prop::collection::vec(-100f64..100.0, 1..300)) {
+        let mut h = Histogram::new(-50.0, 50.0, 20);
+        for &v in &values {
+            h.push(v);
+        }
+        prop_assert_eq!(h.total(), values.len() as u64);
+        let sum: f64 = h.fractions().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        let count_sum: u64 = h.counts().iter().sum();
+        prop_assert_eq!(count_sum, values.len() as u64);
+    }
+
+    /// Log histograms drop non-positive samples and conserve the rest.
+    #[test]
+    fn log_histogram_mass(values in prop::collection::vec(-10f64..1000.0, 1..300)) {
+        let mut h = LogHistogram::new(0.1, 500.0, 16);
+        let positive = values.iter().filter(|&&v| v > 0.0).count() as u64;
+        for &v in &values {
+            h.push(v);
+        }
+        prop_assert_eq!(h.total(), positive);
+    }
+
+    /// Linear fit residual-optimality: the least-squares line never loses
+    /// to a perturbed line on the same data.
+    #[test]
+    fn linear_fit_is_optimal(points in prop::collection::vec((-100f64..100.0, -100f64..100.0), 3..50),
+                             ds in -1.0f64..1.0, di in -10.0f64..10.0) {
+        let xs: Vec<f64> = points.iter().map(|&(x, _)| x).collect();
+        let ys: Vec<f64> = points.iter().map(|&(_, y)| y).collect();
+        prop_assume!(xs.iter().any(|&x| (x - xs[0]).abs() > 1e-9));
+        let fit = linear_fit(&xs, &ys).expect("fit");
+        let sse = |slope: f64, icept: f64| -> f64 {
+            xs.iter().zip(&ys).map(|(&x, &y)| (slope * x + icept - y).powi(2)).sum()
+        };
+        let best = sse(fit.slope, fit.intercept);
+        let perturbed = sse(fit.slope + ds, fit.intercept + di);
+        prop_assert!(best <= perturbed + 1e-6, "best {best} vs perturbed {perturbed}");
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&fit.r2));
+    }
+
+    /// Polynomial fit interpolates exactly when the data is polynomial.
+    #[test]
+    fn polyfit_interpolates(coeffs in prop::collection::vec(-5f64..5.0, 1..5)) {
+        let deg = coeffs.len() - 1;
+        let xs: Vec<f64> = (0..(deg + 4)).map(|i| i as f64 - 2.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| polyval(&coeffs, x)).collect();
+        let est = polyfit(&xs, &ys, deg).expect("solvable");
+        for (a, b) in est.iter().zip(&coeffs) {
+            prop_assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    /// Pareto samples respect the scale bound and determinism per seed.
+    #[test]
+    fn pareto_bounds(xm in 0.1f64..10.0, alpha in 0.5f64..4.0, seed in any::<u64>()) {
+        let p = Pareto::new(xm, alpha);
+        let mut a = rng_from_seed(seed);
+        let mut b = rng_from_seed(seed);
+        for _ in 0..50 {
+            let x = p.sample(&mut a);
+            prop_assert!(x >= xm);
+            prop_assert_eq!(x, p.sample(&mut b));
+        }
+    }
+
+    /// Reservoir sampling returns min(k, n) items, all from the input.
+    #[test]
+    fn reservoir_membership(n in 0usize..200, k in 0usize..50, seed in any::<u64>()) {
+        let mut rng = rng_from_seed(seed);
+        let sample = reservoir_sample(0..n, k, &mut rng);
+        prop_assert_eq!(sample.len(), k.min(n));
+        prop_assert!(sample.iter().all(|&x| x < n));
+        // distinct (indices are unique in a reservoir over a range)
+        let set: std::collections::HashSet<_> = sample.iter().collect();
+        prop_assert_eq!(set.len(), sample.len());
+    }
+
+    /// Sampling without replacement yields distinct elements of the input.
+    #[test]
+    fn without_replacement_distinct(n in 1usize..120, k in 0usize..150, seed in any::<u64>()) {
+        let items: Vec<u32> = (0..n as u32).collect();
+        let mut rng = rng_from_seed(seed);
+        let sample = sample_without_replacement(&items, k, &mut rng);
+        prop_assert_eq!(sample.len(), k.min(n));
+        let set: std::collections::HashSet<_> = sample.iter().collect();
+        prop_assert_eq!(set.len(), sample.len());
+    }
+}

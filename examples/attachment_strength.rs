@@ -1,0 +1,69 @@
+//! Preferential-attachment strength over time: the §3.2 analysis.
+//!
+//! Measures the edge probability pe(d), fits pe(d) ∝ d^α per window of
+//! edge events, and shows α decaying as the network grows — the paper's
+//! headline node-level finding.
+//!
+//! ```sh
+//! cargo run --release --example attachment_strength
+//! ```
+
+use multiscale_osn::core::network::import_view;
+use multiscale_osn::core::preferential::{
+    alpha_series, edge_probability, AlphaConfig, DestinationRule,
+};
+use multiscale_osn::genstream::{TraceConfig, TraceGenerator};
+use multiscale_osn::stats::fit::polyval;
+
+fn main() {
+    let cfg = TraceConfig::small();
+    let merge_day = cfg.merge.as_ref().expect("merge configured").merge_day;
+    let raw = TraceGenerator::new(cfg).generate();
+    // Use the paper's data layout: the competitor's history is a bulk
+    // import on the merge day (this is what produces the α ripple).
+    let log = import_view(&raw, merge_day);
+
+    let acfg = AlphaConfig::default();
+
+    // A single pe(d) snapshot mid-trace, under both destination rules.
+    let mid = log.num_edges() * 3 / 10;
+    for rule in [DestinationRule::HigherDegree, DestinationRule::Random] {
+        if let Some(ep) = edge_probability(&log, rule, &acfg, mid) {
+            let fit = ep.fit.expect("fit");
+            println!(
+                "pe(d) at {} edges, {:?} destinations: α = {:.2} (MSE {:.1e}, {} degree bins)",
+                ep.edge_count,
+                rule,
+                fit.exponent,
+                fit.mse,
+                ep.points.len()
+            );
+        }
+    }
+
+    // α(t) under both rules.
+    println!("\nα as the network grows:");
+    let hi = alpha_series(&log, DestinationRule::HigherDegree, &acfg);
+    let lo = alpha_series(&log, DestinationRule::Random, &acfg);
+    println!("{:>10} {:>10} {:>10}", "edges", "α(higher)", "α(random)");
+    let step = (hi.points.len() / 12).max(1);
+    for (h, l) in hi.points.iter().zip(lo.points.iter()).step_by(step) {
+        println!("{:>10} {:>10.2} {:>10.2}", h.edge_count, h.alpha, l.alpha);
+    }
+
+    if let Some(coeffs) = hi.polynomial_fit(5) {
+        let first = hi.points.first().expect("non-empty").edge_count as f64;
+        let last = hi.points.last().expect("non-empty").edge_count as f64;
+        println!(
+            "\ndegree-5 polynomial fit of α(n): α({:.0}) ≈ {:.2}, α({:.0}) ≈ {:.2}",
+            first,
+            polyval(&coeffs, first),
+            last,
+            polyval(&coeffs, last)
+        );
+    }
+    println!(
+        "\nthe paper's Renren measurement: α decays 1.25 → 0.65 over 199M edges,\n\
+         with the higher-degree rule ≈0.2 above the random rule throughout."
+    );
+}

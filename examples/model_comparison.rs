@@ -1,0 +1,48 @@
+//! Generative-model comparison: the paper's §3.3 hypothesis, measured.
+//!
+//! Runs the same measurement pipeline (attachment exponent α, clustering,
+//! modularity) over the classic baselines — Barabási–Albert, uniform
+//! attachment, the PA+uniform mixture the paper hypothesises, and the
+//! forest-fire model — and over the full Renren-shaped generator, to
+//! show which lenses separate the real-network shape from the models.
+//!
+//! ```sh
+//! cargo run --release --example model_comparison
+//! ```
+
+use multiscale_osn::core::models::{profile_model, render_profiles, ModelComparisonConfig};
+use multiscale_osn::genstream::baselines::{
+    barabasi_albert, forest_fire, mixed_attachment, uniform_attachment, BaselineConfig,
+};
+use multiscale_osn::genstream::{TraceConfig, TraceGenerator};
+
+fn main() {
+    let bcfg = BaselineConfig {
+        nodes: 6_000,
+        edges_per_node: 6,
+        days: 500,
+        seed: 3,
+    };
+    let mcfg = ModelComparisonConfig::default();
+
+    println!("profiling five generative models under the paper's lenses…\n");
+    let mut profiles = Vec::new();
+    profiles.push(profile_model("barabasi_albert", &barabasi_albert(&bcfg), &mcfg));
+    profiles.push(profile_model("uniform", &uniform_attachment(&bcfg), &mcfg));
+    profiles.push(profile_model("pa+uniform(0.5)", &mixed_attachment(&bcfg, 0.5), &mcfg));
+    profiles.push(profile_model("forest_fire(0.35)", &forest_fire(&bcfg, 0.35), &mcfg));
+    let mut full_cfg = TraceConfig::small();
+    full_cfg.growth.final_nodes = 6_000;
+    let full = TraceGenerator::new(full_cfg).generate();
+    profiles.push(profile_model("full_generator", &full, &mcfg));
+
+    print!("{}", render_profiles(&profiles));
+
+    println!(
+        "\nreading: pure attachment models hold α flat and produce no clustering or\n\
+         community structure; only the full generator reproduces the paper's package —\n\
+         decaying α, high-but-decaying clustering, and strong modularity. This is the\n\
+         quantitative form of §3.3's conclusion that a realistic model needs preferential\n\
+         attachment, a growing randomised component, and locality, together."
+    );
+}

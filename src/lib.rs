@@ -1,0 +1,38 @@
+//! # multiscale-osn — facade crate
+//!
+//! Umbrella crate for the reproduction of *"Multi-scale Dynamics in a
+//! Massive Online Social Network"* (Zhao et al., IMC 2012). It re-exports
+//! every subsystem of the workspace under one roof so examples and
+//! downstream users can depend on a single crate:
+//!
+//! * [`graph`] — dynamic-graph substrate (event logs, snapshots, CSR).
+//! * [`stats`] — statistics toolkit (histograms, fits, sampling).
+//! * [`metrics`] — whole-graph metrics (degree, clustering, paths,
+//!   assortativity, components).
+//! * [`community`] — Louvain detection and dynamic community tracking.
+//! * [`mlkit`] — linear SVM and evaluation utilities.
+//! * [`genstream`] — the synthetic Renren-like trace generator.
+//! * [`core`] — the paper's analysis suite, one module per figure family.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use multiscale_osn::genstream::{TraceConfig, TraceGenerator};
+//! use multiscale_osn::graph::DailySnapshots;
+//!
+//! // A tiny deterministic trace (see `examples/quickstart.rs` for more).
+//! let cfg = TraceConfig::tiny();
+//! let log = TraceGenerator::new(cfg).generate();
+//! assert!(log.num_nodes() > 0);
+//! for snap in DailySnapshots::new(&log, 0, 30) {
+//!     let _avg_degree = snap.graph.average_degree();
+//! }
+//! ```
+
+pub use osn_community as community;
+pub use osn_core as core;
+pub use osn_genstream as genstream;
+pub use osn_graph as graph;
+pub use osn_metrics as metrics;
+pub use osn_mlkit as mlkit;
+pub use osn_stats as stats;

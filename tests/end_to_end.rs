@@ -1,0 +1,121 @@
+//! End-to-end integration: a generated trace flows through every
+//! analysis family and produces consistent, deterministic output.
+
+use multiscale_osn::core::communities::{track, CommunityAnalysisConfig};
+use multiscale_osn::core::edges::{interarrival_pdf, lifetime_activity, min_age_series};
+use multiscale_osn::core::impact::{interarrival_cdf, membership};
+use multiscale_osn::core::merge::{duplicate_estimate, edges_per_day, MergeAnalysisConfig};
+use multiscale_osn::core::network::{growth_series, relative_growth};
+use multiscale_osn::core::preferential::{alpha_series, AlphaConfig, DestinationRule};
+use multiscale_osn::genstream::{TraceConfig, TraceGenerator};
+use multiscale_osn::graph::EventLog;
+
+fn tiny() -> (TraceConfig, EventLog) {
+    let cfg = TraceConfig::tiny();
+    let log = TraceGenerator::new(cfg.clone()).generate();
+    (cfg, log)
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let (_, a) = tiny();
+    let (_, b) = tiny();
+    assert_eq!(a.events().len(), b.events().len());
+    // Growth tables identical.
+    assert_eq!(growth_series(&a).to_csv(), growth_series(&b).to_csv());
+    // Alpha series identical.
+    let cfg = AlphaConfig {
+        window: 2_000,
+        start_edges: 2_000,
+        ..Default::default()
+    };
+    let sa = alpha_series(&a, DestinationRule::Random, &cfg);
+    let sb = alpha_series(&b, DestinationRule::Random, &cfg);
+    assert_eq!(sa.points.len(), sb.points.len());
+    for (x, y) in sa.points.iter().zip(sb.points.iter()) {
+        assert_eq!(x.alpha, y.alpha);
+    }
+    // Tracking identical.
+    let tcfg = CommunityAnalysisConfig {
+        stride: 20,
+        ..Default::default()
+    };
+    let (sum_a, out_a) = track(&a, &tcfg);
+    let (sum_b, out_b) = track(&b, &tcfg);
+    assert_eq!(sum_a.len(), sum_b.len());
+    for (x, y) in sum_a.iter().zip(sum_b.iter()) {
+        assert_eq!(x.modularity, y.modularity);
+        assert_eq!(x.sizes, y.sizes);
+    }
+    assert_eq!(out_a.events.len(), out_b.events.len());
+}
+
+#[test]
+fn growth_tables_are_conservative() {
+    let (_, log) = tiny();
+    let growth = growth_series(&log);
+    let nodes_total: f64 = growth.series[0].points.iter().map(|&(_, y)| y).sum();
+    let edges_total: f64 = growth.series[1].points.iter().map(|&(_, y)| y).sum();
+    assert_eq!(nodes_total as u64, log.num_nodes() as u64);
+    assert_eq!(edges_total as u64, log.num_edges());
+    // relative growth defined once totals are nonzero
+    let rel = relative_growth(&log);
+    assert!(!rel.series[0].is_empty());
+    assert!(!rel.series[1].is_empty());
+}
+
+#[test]
+fn edge_dynamics_pipeline() {
+    let (_, log) = tiny();
+    let buckets = interarrival_pdf(&log, 24);
+    assert_eq!(buckets.len(), 6);
+    let total: u64 = buckets.iter().map(|b| b.count).sum();
+    assert!(total > 0);
+    let activity = lifetime_activity(&log, 20.0, 5, 10);
+    let sum: f64 = activity.points.iter().map(|&(_, y)| y).sum();
+    assert!((sum - 1.0).abs() < 1e-9, "normalised activity sums to {sum}");
+    let min_age = min_age_series(&log);
+    assert_eq!(min_age.series.len(), 3);
+}
+
+#[test]
+fn merge_pipeline_consistency() {
+    let (cfg, log) = tiny();
+    let merge_day = cfg.merge.as_ref().unwrap().merge_day;
+    let mcfg = MergeAnalysisConfig {
+        activity_threshold_days: 20,
+        distance_sample: 40,
+        distance_stride: 20,
+        ratio_window_days: 7,
+        seed: 1,
+    };
+    let (core_dup, comp_dup) = duplicate_estimate(&log, merge_day, &mcfg);
+    assert!((0.0..1.0).contains(&core_dup));
+    assert!((0.0..1.0).contains(&comp_dup));
+    // Per-day class counts sum to total post-merge edges.
+    let epd = edges_per_day(&log, merge_day);
+    let classified: f64 = epd
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(_, y)| y))
+        .sum();
+    let merge_t = multiscale_osn::graph::Time::day_start(merge_day);
+    let post: u64 = log.edge_events().filter(|&(t, _, _)| t >= merge_t).count() as u64;
+    assert_eq!(classified as u64, post);
+}
+
+#[test]
+fn community_membership_reaches_users() {
+    let (_, log) = tiny();
+    let tcfg = CommunityAnalysisConfig {
+        stride: 15,
+        min_size: 8,
+        ..Default::default()
+    };
+    let (_, output) = track(&log, &tcfg);
+    let members = membership(&output);
+    let inside = members.community_size.iter().filter(|s| s.is_some()).count();
+    assert!(inside > 0, "tracking found no community members");
+    let (in_cdf, _out_cdf) = interarrival_cdf(&log, &members);
+    assert!(in_cdf.len() > 0);
+}

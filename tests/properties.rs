@@ -1,0 +1,165 @@
+//! Property-based tests over randomly drawn generator configurations and
+//! the statistical toolkit, spanning crates.
+
+use multiscale_osn::community::{louvain, modularity, LouvainConfig, Partition};
+use multiscale_osn::genstream::{GrowthConfig, MergeConfig, TraceConfig, TraceGenerator};
+use multiscale_osn::graph::{CsrGraph, Origin, Time};
+use multiscale_osn::stats::{Cdf, rng_from_seed};
+use proptest::prelude::*;
+use rand::Rng;
+
+/// A random-but-small trace configuration.
+fn small_config_strategy() -> impl Strategy<Value = TraceConfig> {
+    (
+        any::<u64>(),
+        60u32..140,
+        150u32..500,
+        0.4f64..0.9,
+        prop::bool::ANY,
+    )
+        .prop_map(|(seed, days, final_nodes, beta, with_merge)| {
+            let merge = with_merge.then(|| MergeConfig {
+                competitor_start_day: days / 5,
+                merge_day: days / 2,
+                ..MergeConfig::default()
+            });
+            TraceConfig {
+                seed,
+                days,
+                growth: GrowthConfig {
+                    initial_nodes: 2,
+                    final_nodes,
+                    beta,
+                    dips: vec![],
+                    daily_jitter: 0.05,
+                },
+                behavior: Default::default(),
+                merge,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every generated trace satisfies the structural invariants the
+    /// analyses rely on, for any seed/shape in range.
+    #[test]
+    fn generated_traces_are_well_formed(cfg in small_config_strategy()) {
+        let merge_day = cfg.merge.as_ref().map(|m| m.merge_day);
+        let days = cfg.days;
+        let log = TraceGenerator::new(cfg).generate();
+        // Non-degenerate.
+        prop_assert!(log.num_nodes() >= 2);
+        prop_assert!(log.num_edges() >= 1);
+        prop_assert!(log.end_day() < days);
+        // Time-sorted events (the builder enforces it; double-check).
+        let mut last = Time::ZERO;
+        for e in log.events() {
+            prop_assert!(e.time >= last);
+            last = e.time;
+        }
+        // Pre-merge edges never cross networks; post-merge origins exist.
+        if let Some(md) = merge_day {
+            let merge_t = Time::day_start(md);
+            for (t, u, v) in log.edge_events() {
+                if t < merge_t {
+                    prop_assert_eq!(log.origin(u), log.origin(v));
+                }
+            }
+            for e in log.events() {
+                if let multiscale_osn::graph::EventKind::AddNode { origin, .. } = e.kind {
+                    if origin == Origin::PostMerge {
+                        prop_assert!(e.time >= merge_t);
+                    }
+                }
+            }
+        } else {
+            prop_assert!(log.origins().iter().all(|&o| o == Origin::Core));
+        }
+        // Degrees respect the hard cap.
+        let mut deg = vec![0u32; log.num_nodes() as usize];
+        for (_, u, v) in log.edge_events() {
+            deg[u.index()] += 1;
+            deg[v.index()] += 1;
+        }
+        prop_assert!(deg.iter().all(|&d| d <= 2000));
+    }
+
+    /// Louvain output is always a valid partition and never scores below
+    /// the trivial all-in-one partition by more than numerical noise.
+    #[test]
+    fn louvain_beats_trivial_partition(seed in any::<u64>(), n in 20usize..80, extra in 0usize..60) {
+        // Random connected-ish graph: a ring plus `extra` chords.
+        let mut rng = rng_from_seed(seed);
+        let mut edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        for _ in 0..extra {
+            let a = rng.gen_range(0..n as u32);
+            let b = rng.gen_range(0..n as u32);
+            if a != b && !edges.contains(&(a, b)) && !edges.contains(&(b, a)) {
+                edges.push((a, b));
+            }
+        }
+        let g = CsrGraph::from_edges(n, &edges);
+        let res = louvain(&g, &LouvainConfig::with_delta(1e-6), None);
+        prop_assert_eq!(res.partition.num_nodes(), n);
+        // modularity consistent with the public function
+        let q = modularity(&g, &res.partition);
+        prop_assert!((q - res.modularity).abs() < 1e-9);
+        // never worse than all-in-one (Q = 0)
+        prop_assert!(res.modularity >= -1e-9, "Q = {}", res.modularity);
+        // warm restart from own output never degrades
+        let warm = louvain(&g, &LouvainConfig::with_delta(1e-6), Some(&res.partition));
+        prop_assert!(warm.modularity >= res.modularity - 1e-9);
+    }
+
+    /// Partition extension preserves the prefix and adds singletons.
+    #[test]
+    fn partition_extension_properties(assign in prop::collection::vec(0u32..8, 1..60), extra in 0usize..20) {
+        let p = Partition::from_assignments(&assign);
+        let q = p.extended_to(assign.len() + extra);
+        prop_assert_eq!(q.num_nodes(), assign.len() + extra);
+        for i in 0..assign.len() as u32 {
+            prop_assert_eq!(p.community_of(i), q.community_of(i));
+        }
+        // new nodes are singletons
+        let sizes = q.sizes();
+        for i in assign.len()..assign.len() + extra {
+            prop_assert_eq!(sizes[q.community_of(i as u32) as usize], 1);
+        }
+    }
+
+    /// CDF evaluation is monotone and hits its quantile definitions.
+    #[test]
+    fn cdf_properties(samples in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let cdf = Cdf::from_samples(samples.clone());
+        prop_assert_eq!(cdf.len(), samples.len());
+        // monotone over probes
+        let mut probes: Vec<f64> = samples.clone();
+        probes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0.0;
+        for &x in &probes {
+            let v = cdf.eval(x);
+            prop_assert!(v >= prev - 1e-12);
+            prop_assert!((0.0..=1.0).contains(&v));
+            prev = v;
+        }
+        // extremes
+        let min = probes.first().copied().unwrap();
+        let max = probes.last().copied().unwrap();
+        prop_assert_eq!(cdf.eval(max), 1.0);
+        prop_assert!(cdf.eval(min) > 0.0);
+        prop_assert_eq!(cdf.quantile(0.0), Some(min));
+        prop_assert_eq!(cdf.quantile(1.0), Some(max));
+    }
+
+    /// Power-law fits recover the exponent on exact synthetic data.
+    #[test]
+    fn powerlaw_fit_recovers_exponent(exp in -3.0f64..3.0, coeff in 0.1f64..10.0) {
+        let xs: Vec<f64> = (1..60).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| coeff * x.powf(exp)).collect();
+        let fit = multiscale_osn::stats::powerlaw_fit(&xs, &ys).expect("fit");
+        prop_assert!((fit.exponent - exp).abs() < 1e-6);
+        prop_assert!((fit.coefficient - coeff).abs() / coeff < 1e-6);
+    }
+}
