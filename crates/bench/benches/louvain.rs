@@ -24,7 +24,9 @@ fn snapshot_pair() -> (CsrGraph, CsrGraph) {
 fn bench_incremental_vs_scratch(c: &mut Criterion) {
     let (g1, g2) = snapshot_pair();
     let cfg = LouvainConfig::with_delta(0.04);
-    let warm = louvain(&g1, &cfg, None).partition.extended_to(g2.num_nodes());
+    let warm = louvain(&g1, &cfg, None)
+        .partition
+        .extended_to(g2.num_nodes());
 
     let mut group = c.benchmark_group("louvain/next_snapshot");
     group.sample_size(12);

@@ -6,8 +6,8 @@ use osn_genstream::{TraceConfig, TraceGenerator};
 use osn_graph::{CsrGraph, Replayer};
 use osn_metrics::clustering::{average_clustering, average_clustering_exact};
 use osn_metrics::components::component_sizes;
-use osn_metrics::paths::avg_path_length_sampled;
 use osn_metrics::degree_assortativity;
+use osn_metrics::paths::avg_path_length_sampled;
 use osn_stats::rng_from_seed;
 
 fn late_snapshot() -> CsrGraph {

@@ -15,7 +15,9 @@ fn dataset(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
     for _ in 0..n {
         let positive = rng.gen::<f64>() < 0.05;
         let shift = if positive { 1.2 } else { 0.0 };
-        let row: Vec<f64> = (0..13).map(|_| rng.gen::<f64>() * 2.0 - 1.0 + shift).collect();
+        let row: Vec<f64> = (0..13)
+            .map(|_| rng.gen::<f64>() * 2.0 - 1.0 + shift)
+            .collect();
         xs.push(row);
         ys.push(if positive { 1.0 } else { -1.0 });
     }

@@ -71,8 +71,10 @@ impl Ctx {
     }
 
     fn check(&mut self, name: &str, expected: &str, measured: String, pass: bool) {
-        println!("  [{}] {name}: paper \"{expected}\" | measured \"{measured}\"",
-            if pass { "PASS" } else { "WARN" });
+        println!(
+            "  [{}] {name}: paper \"{expected}\" | measured \"{measured}\"",
+            if pass { "PASS" } else { "WARN" }
+        );
         self.checks.push(Check::new(name, expected, measured, pass));
     }
 }
@@ -92,7 +94,10 @@ fn head_mean(s: &Series, k: usize) -> f64 {
 
 fn tail_mean(s: &Series, k: usize) -> f64 {
     let n = s.len();
-    let ys: Vec<f64> = s.points[n.saturating_sub(k)..].iter().map(|&(_, y)| y).collect();
+    let ys: Vec<f64> = s.points[n.saturating_sub(k)..]
+        .iter()
+        .map(|&(_, y)| y)
+        .collect();
     mean(&ys)
 }
 
@@ -126,13 +131,31 @@ fn fig1(ctx: &mut Ctx) {
     let t0 = Instant::now();
     let m = metric_series(&ctx.import_log, &cfg);
     println!("  (metric sweep took {:?})", t0.elapsed());
-    ctx.csv("fig1c_avg_degree", &Table::new("day").with(m.avg_degree.clone()));
-    ctx.csv("fig1d_path_length", &Table::new("day").with(m.path_length.clone()));
-    ctx.csv("fig1e_clustering", &Table::new("day").with(m.clustering.clone()));
-    ctx.csv("fig1f_assortativity", &Table::new("day").with(m.assortativity.clone()));
+    ctx.csv(
+        "fig1c_avg_degree",
+        &Table::new("day").with(m.avg_degree.clone()),
+    );
+    ctx.csv(
+        "fig1d_path_length",
+        &Table::new("day").with(m.path_length.clone()),
+    );
+    ctx.csv(
+        "fig1e_clustering",
+        &Table::new("day").with(m.clustering.clone()),
+    );
+    ctx.csv(
+        "fig1f_assortativity",
+        &Table::new("day").with(m.assortativity.clone()),
+    );
 
     let md = ctx.merge_day as f64;
-    let deg_before = m.avg_degree.points.iter().rev().find(|&&(x, _)| x < md).map(|&(_, y)| y);
+    let deg_before = m
+        .avg_degree
+        .points
+        .iter()
+        .rev()
+        .find(|&&(x, _)| x < md)
+        .map(|&(_, y)| y);
     let deg_after = m.avg_degree.y_at_or_after(md + 1.0);
     let deg_drop = match (deg_before, deg_after) {
         (Some(b), Some(a)) => a < b,
@@ -150,7 +173,13 @@ fn fig1(ctx: &mut Ctx) {
         ),
         m.avg_degree.last_y().unwrap_or(0.0) > head_mean(&m.avg_degree, 5) && deg_drop,
     );
-    let path_before = m.path_length.points.iter().rev().find(|&&(x, _)| x < md).map(|&(_, y)| y);
+    let path_before = m
+        .path_length
+        .points
+        .iter()
+        .rev()
+        .find(|&&(x, _)| x < md)
+        .map(|&(_, y)| y);
     let path_after = m.path_length.y_at_or_after(md);
     let jump = match (path_before, path_after) {
         (Some(b), Some(a)) => a > b,
@@ -220,18 +249,30 @@ fn fig2(ctx: &mut Ctx) {
     ctx.check(
         "fig2a",
         "inter-arrival gaps power-law, exponent ≈1.8–2.5 per age bucket",
-        format!("decay exponents {:.2}–{:.2} over {} populated buckets", lo, hi, exponents.len()),
+        format!(
+            "decay exponents {:.2}–{:.2} over {} populated buckets",
+            lo,
+            hi,
+            exponents.len()
+        ),
         !exponents.is_empty() && lo > 1.0 && hi < 4.0,
     );
 
     let activity = lifetime_activity(&ctx.log, 30.0, 20, 20);
-    ctx.csv("fig2b_lifetime_activity", &Table::new("normalized_lifetime").with(activity.clone()));
+    ctx.csv(
+        "fig2b_lifetime_activity",
+        &Table::new("normalized_lifetime").with(activity.clone()),
+    );
     let front: f64 = activity.points.iter().take(4).map(|&(_, y)| y).sum();
     let back: f64 = activity.points.iter().rev().take(4).map(|&(_, y)| y).sum();
     ctx.check(
         "fig2b",
         "users create most friendships early in their lifetime",
-        format!("first 20% of lifetime holds {:.0}% of edges vs {:.0}% in last 20%", front * 100.0, back * 100.0),
+        format!(
+            "first 20% of lifetime holds {:.0}% of edges vs {:.0}% in last 20%",
+            front * 100.0,
+            back * 100.0
+        ),
         front > back * 1.5,
     );
 
@@ -239,14 +280,23 @@ fn fig2(ctx: &mut Ctx) {
     ctx.csv("fig2c_min_age", &min_age);
     let le30 = &min_age.series[2];
     let early = {
-        let ys: Vec<f64> = le30.points.iter().filter(|&&(x, _)| x > 60.0 && x <= 160.0).map(|&(_, y)| y).collect();
+        let ys: Vec<f64> = le30
+            .points
+            .iter()
+            .filter(|&&(x, _)| x > 60.0 && x <= 160.0)
+            .map(|&(_, y)| y)
+            .collect();
         mean(&ys)
     };
     let late = tail_mean(le30, 40);
     ctx.check(
         "fig2c",
         "share of edges driven by young nodes (≤30d) declines as network matures (95% → 48%)",
-        format!("≤30d share {:.0}% around day 100 vs {:.0}% at trace end", early * 100.0, late * 100.0),
+        format!(
+            "≤30d share {:.0}% around day 100 vs {:.0}% at trace end",
+            early * 100.0,
+            late * 100.0
+        ),
         early > late,
     );
 }
@@ -263,11 +313,18 @@ fn fig3(ctx: &mut Ctx) {
         if let Some(ep) = edge_probability(&log, rule, &acfg, mid) {
             ctx.csv(name, &Table::new("degree").with(ep.points.clone()));
             let fit = ep.fit.expect("fit exists");
-            let label = if rule == DestinationRule::HigherDegree { "fig3a" } else { "fig3b" };
+            let label = if rule == DestinationRule::HigherDegree {
+                "fig3a"
+            } else {
+                "fig3b"
+            };
             ctx.check(
                 label,
                 "pe(d) ∝ d^α fits tightly (paper MSE ≈ 1e-10 at its scale)",
-                format!("α {:.2}, MSE {:.2e} at {} edges", fit.exponent, fit.mse, ep.edge_count),
+                format!(
+                    "α {:.2}, MSE {:.2e} at {} edges",
+                    fit.exponent, fit.mse, ep.edge_count
+                ),
                 fit.mse < 1e-2 && fit.exponent > 0.0,
             );
         }
@@ -290,7 +347,10 @@ fn fig3(ctx: &mut Ctx) {
     ctx.check(
         "fig3c-decay",
         "α decays as the network grows (1.25 → 0.65)",
-        format!("higher-degree α {:.2} early → {:.2} late over {} windows", early, late, n),
+        format!(
+            "higher-degree α {:.2} early → {:.2} late over {} windows",
+            early, late, n
+        ),
         late < early,
     );
     let gap: Vec<f64> = hs
@@ -342,21 +402,46 @@ fn fig4(ctx: &mut Ctx, scale: Scale) {
     }
     ctx.csv("fig4c_size_distribution", &sizes);
 
-    let late_q: Vec<f64> = sweep.modularity.series.iter().map(|s| tail_mean(s, 8)).collect();
+    let late_q: Vec<f64> = sweep
+        .modularity
+        .series
+        .iter()
+        .map(|s| tail_mean(s, 8))
+        .collect();
     ctx.check(
         "fig4a",
         "modularity ≥ 0.3–0.4 for every δ once the network matures",
-        format!("late modularity per δ: {:?}", late_q.iter().map(|q| (q * 100.0).round() / 100.0).collect::<Vec<_>>()),
+        format!(
+            "late modularity per δ: {:?}",
+            late_q
+                .iter()
+                .map(|q| (q * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
+        ),
         late_q.iter().all(|&q| q > 0.25),
     );
-    let sims: Vec<f64> = sweep.similarity.series.iter().map(|s| tail_mean(s, 8)).collect();
+    let sims: Vec<f64> = sweep
+        .similarity
+        .series
+        .iter()
+        .map(|s| tail_mean(s, 8))
+        .collect();
     ctx.check(
         "fig4b",
         "tracking similarity is substantial (communities are stable between snapshots)",
-        format!("late avg similarity per δ: {:?}", sims.iter().map(|q| (q * 100.0).round() / 100.0).collect::<Vec<_>>()),
+        format!(
+            "late avg similarity per δ: {:?}",
+            sims.iter()
+                .map(|q| (q * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
+        ),
         sims.iter().any(|&s| s > 0.4),
     );
-    let spans: Vec<usize> = sweep.size_distributions.iter().map(|(_, s)| s.len()).collect();
+    let spans: Vec<usize> = sweep
+        .size_distributions
+        .iter()
+        .map(|(_, s)| s.len())
+        .collect();
     ctx.check(
         "fig4c",
         "community sizes span orders of magnitude at the reference day",
@@ -381,7 +466,11 @@ fn fig5_6(ctx: &mut Ctx, scale: Scale) {
     let cfg = community_cfg(scale);
     let t0 = Instant::now();
     let (summaries, output) = track(&ctx.log, &cfg);
-    println!("  (tracking {} snapshots took {:?})", summaries.len(), t0.elapsed());
+    println!(
+        "  (tracking {} snapshots took {:?})",
+        summaries.len(),
+        t0.elapsed()
+    );
 
     // Figure 5(a): size distributions at three days after the merge.
     let end = ctx.log.end_day();
@@ -396,7 +485,10 @@ fn fig5_6(ctx: &mut Ctx, scale: Scale) {
         t.push(s.clone());
     }
     ctx.csv("fig5a_size_over_time", &t);
-    let counts: Vec<usize> = dists.iter().map(|(_, s)| s.points.iter().map(|&(_, c)| c as usize).sum()).collect();
+    let counts: Vec<usize> = dists
+        .iter()
+        .map(|(_, s)| s.points.iter().map(|&(_, c)| c as usize).sum())
+        .collect();
     ctx.check(
         "fig5a",
         "many small communities, long tail of large ones, drift to larger over time",
@@ -409,7 +501,10 @@ fn fig5_6(ctx: &mut Ctx, scale: Scale) {
     ctx.check(
         "fig5b",
         "top-5 communities cover a growing majority of the network (→ >60%)",
-        format!("final top-5 coverage {:.0}%", cov.last_y().unwrap_or(0.0) * 100.0),
+        format!(
+            "final top-5 coverage {:.0}%",
+            cov.last_y().unwrap_or(0.0) * 100.0
+        ),
         cov.last_y().unwrap_or(0.0) > 0.4,
     );
 
@@ -447,7 +542,7 @@ fn fig5_6(ctx: &mut Ctx, scale: Scale) {
             splits.median().unwrap_or(f64::NAN),
             splits.len()
         ),
-        merges.len() > 0
+        !merges.is_empty()
             && (splits.is_empty()
                 || merges.median().unwrap_or(1.0) < splits.median().unwrap_or(0.0)),
     );
@@ -517,7 +612,13 @@ fn fig7(ctx: &mut Ctx, output: &osn_community::TrackerOutput) {
     let (inside, outside) = interarrival_cdf(&ctx.log, &members);
     ctx.csv(
         "fig7a_interarrival",
-        &cdfs_table(&[("community_users", &inside), ("non_community_users", &outside)], 64),
+        &cdfs_table(
+            &[
+                ("community_users", &inside),
+                ("non_community_users", &outside),
+            ],
+            64,
+        ),
     );
     ctx.check(
         "fig7a",
@@ -543,7 +644,10 @@ fn fig7(ctx: &mut Ctx, output: &osn_community::TrackerOutput) {
     }
     named.push(("non_community", &non));
     ctx.csv("fig7b_lifetime", &cdfs_table(&named, 64));
-    let medians: Vec<f64> = banded.iter().map(|c| c.median().unwrap_or(f64::NAN)).collect();
+    let medians: Vec<f64> = banded
+        .iter()
+        .map(|c| c.median().unwrap_or(f64::NAN))
+        .collect();
     ctx.check(
         "fig7b",
         "larger communities retain users longer; non-community users have the shortest lifetimes",
@@ -555,7 +659,9 @@ fn fig7(ctx: &mut Ctx, output: &osn_community::TrackerOutput) {
         {
             let populated: Vec<f64> = medians.iter().copied().filter(|m| m.is_finite()).collect();
             !populated.is_empty()
-                && non.median().map_or(true, |nm| populated.iter().any(|&m| m > nm))
+                && non
+                    .median()
+                    .is_none_or(|nm| populated.iter().any(|&m| m > nm))
         },
     );
 
@@ -565,12 +671,25 @@ fn fig7(ctx: &mut Ctx, output: &osn_community::TrackerOutput) {
         named.push((&bands.bands[i].2, c));
     }
     ctx.csv("fig7c_indegree_ratio", &cdfs_table(&named, 64));
-    let r_medians: Vec<f64> = ratios.iter().map(|c| c.median().unwrap_or(f64::NAN)).collect();
-    let populated: Vec<f64> = r_medians.iter().copied().filter(|m| m.is_finite()).collect();
+    let r_medians: Vec<f64> = ratios
+        .iter()
+        .map(|c| c.median().unwrap_or(f64::NAN))
+        .collect();
+    let populated: Vec<f64> = r_medians
+        .iter()
+        .copied()
+        .filter(|m| m.is_finite())
+        .collect();
     ctx.check(
         "fig7c",
         "users in larger communities keep a larger share of their edges inside (in-degree ratio)",
-        format!("median in-degree ratio by band {:?}", r_medians.iter().map(|m| (m * 100.0).round() / 100.0).collect::<Vec<_>>()),
+        format!(
+            "median in-degree ratio by band {:?}",
+            r_medians
+                .iter()
+                .map(|m| (m * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
+        ),
         populated.len() >= 2 && populated.last().unwrap() >= populated.first().unwrap(),
     );
 }
@@ -587,7 +706,11 @@ fn fig8(ctx: &mut Ctx) {
     ctx.check(
         "fig8-duplicates",
         "11% of Xiaonei and 28% of 5Q accounts go silent at the merge (duplicates)",
-        format!("{:.0}% core and {:.0}% competitor accounts inactive at day 0", core_inactive * 100.0, comp_inactive * 100.0),
+        format!(
+            "{:.0}% core and {:.0}% competitor accounts inactive at day 0",
+            core_inactive * 100.0,
+            comp_inactive * 100.0
+        ),
         comp_inactive > core_inactive && core_inactive > 0.05 && comp_inactive > 0.15,
     );
 
@@ -666,7 +789,9 @@ fn fig9(ctx: &mut Ctx) {
     ctx.check(
         "fig9b",
         "new edges overtake external for Xiaonei by ≈day 5 and 5Q by ≈day 32",
-        format!("new/ext crosses 1 at day {core_cross:?} (core) vs day {comp_cross:?} (competitor)"),
+        format!(
+            "new/ext crosses 1 at day {core_cross:?} (core) vs day {comp_cross:?} (competitor)"
+        ),
         match (core_cross, comp_cross) {
             (Some(a), Some(b)) => a <= b,
             _ => false,
@@ -707,7 +832,10 @@ fn extras(ctx: &mut Ctx, scale: Scale) {
 
     // Effective diameter over time.
     let ed = effective_diameter_series(&ctx.import_log, 30, 15, 120, 0, 7);
-    ctx.csv("extra_effective_diameter", &Table::new("day").with(ed.clone()));
+    ctx.csv(
+        "extra_effective_diameter",
+        &Table::new("day").with(ed.clone()),
+    );
     if let (Some((_, first)), Some(last)) = (ed.points.first().copied(), ed.last_y()) {
         ctx.check(
             "extra-diameter",
@@ -734,7 +862,11 @@ fn extras(ctx: &mut Ctx, scale: Scale) {
         ctx.check(
             "extra-degree-tail",
             "heavy-tailed degree distribution (power-law-ish CCDF)",
-            format!("CCDF exponent {:.2} over {} degree classes", fit.exponent, ccdf.len()),
+            format!(
+                "CCDF exponent {:.2} over {} degree classes",
+                fit.exponent,
+                ccdf.len()
+            ),
             fit.exponent < -0.5,
         );
     }
@@ -795,10 +927,17 @@ fn extras(ctx: &mut Ctx, scale: Scale) {
         "extra_kcore_profile",
         &Table::new("k").with(Series::from_points(
             "nodes_in_k_core",
-            profile.iter().enumerate().map(|(k, &c)| (k as f64, c as f64)).collect(),
+            profile
+                .iter()
+                .enumerate()
+                .map(|(k, &c)| (k as f64, c as f64))
+                .collect(),
         )),
     );
-    println!("  degeneracy (max coreness): {}", profile.len().saturating_sub(1));
+    println!(
+        "  degeneracy (max coreness): {}",
+        profile.len().saturating_sub(1)
+    );
 
     // Generative-model comparison (skip at tiny scale: too noisy).
     if scale != Scale::Tiny {
@@ -967,6 +1106,9 @@ fn run_once(scale: Scale, seed: Option<u64>, out: PathBuf, figs: &[String]) -> V
     let md = render_checks_markdown(&ctx.checks);
     std::fs::create_dir_all(&ctx.out).ok();
     std::fs::write(ctx.out.join("checks.md"), md).expect("write checks.md");
-    println!("CSVs, gnuplot scripts and checks.md written to {}", ctx.out.display());
+    println!(
+        "CSVs, gnuplot scripts and checks.md written to {}",
+        ctx.out.display()
+    );
     ctx.checks
 }

@@ -1,11 +1,13 @@
 //! Subcommand implementations and flag parsing.
 
+use crate::error::CliError;
+use osn_core::checkpoint::{metric_series_checkpointed, track_checkpointed};
 use osn_core::communities::{track, CommunityAnalysisConfig};
 use osn_core::network::{growth_series, metric_series, MetricSeriesConfig};
 use osn_core::preferential::{alpha_series, AlphaConfig, DestinationRule};
 use osn_core::report::write_csv;
 use osn_genstream::{TraceConfig, TraceGenerator};
-use osn_graph::io::{read_log, write_log};
+use osn_graph::io::{read_log, read_log_with_policy, save_log_v2, RecoveryPolicy};
 use osn_graph::{EventLog, Origin, Replayer};
 use osn_stats::{Series, Table};
 use std::path::{Path, PathBuf};
@@ -18,12 +20,20 @@ USAGE:
   osn generate [--scale tiny|small|paper] [--seed N] [--nodes N] [--days D]
                [--no-merge] --out trace.events
   osn inspect  trace.events
-  osn metrics  trace.events [--stride D] [--out DIR]
-  osn communities trace.events [--delta X] [--stride D] [--min-size K] [--out DIR]
+  osn verify   trace.events [--policy strict|skip|repair] [--max-errors N]
+               [--window SECONDS]
+  osn metrics  trace.events [--stride D] [--out DIR] [--checkpoint DIR]
+  osn communities trace.events [--delta X] [--stride D] [--min-size K]
+               [--out DIR] [--checkpoint DIR]
   osn alpha    trace.events [--window E] [--out DIR]
-  osn compare  a.events b.events";
+  osn compare  a.events b.events
+
+Traces are written in the checksummed v2 format; v1 traces stay readable.
+With --checkpoint DIR, a killed metrics/communities run resumes from the
+last completed snapshot and produces byte-identical output.";
 
 /// Minimal flag parser: `--key value` pairs plus positional arguments.
+#[derive(Debug)]
 struct Flags {
     positional: Vec<String>,
     pairs: Vec<(String, String)>,
@@ -31,7 +41,7 @@ struct Flags {
 }
 
 impl Flags {
-    fn parse(args: &[String], switches: &[&str]) -> Result<Flags, String> {
+    fn parse(args: &[String], switches: &[&str]) -> Result<Flags, CliError> {
         let mut out = Flags {
             positional: Vec::new(),
             pairs: Vec::new(),
@@ -45,7 +55,7 @@ impl Flags {
                 } else {
                     let value = it
                         .next()
-                        .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                        .ok_or_else(|| CliError::Usage(format!("flag --{key} needs a value")))?;
                     out.pairs.push((key.to_string(), value.clone()));
                 }
             } else {
@@ -63,38 +73,56 @@ impl Flags {
             .map(|(_, v)| v.as_str())
     }
 
-    fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, CliError> {
         match self.get(key) {
             None => Ok(None),
             Some(v) => v
                 .parse()
                 .map(Some)
-                .map_err(|_| format!("bad value '{v}' for --{key}")),
+                .map_err(|_| CliError::Usage(format!("bad value '{v}' for --{key}"))),
         }
     }
 
     fn has(&self, switch: &str) -> bool {
         self.switches.iter().any(|s| s == switch)
     }
+
+    fn trace_arg(&self, cmd: &str) -> Result<&str, CliError> {
+        self.positional
+            .first()
+            .map(String::as_str)
+            .ok_or_else(|| CliError::Usage(format!("{cmd} requires a trace file")))
+    }
 }
 
-fn load_log(path: &str) -> Result<EventLog, String> {
-    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-    read_log(file).map_err(|e| format!("parse {path}: {e}"))
+fn load_log(path: &str) -> Result<EventLog, CliError> {
+    let file = std::fs::File::open(path).map_err(|e| CliError::io(format!("open {path}"), e))?;
+    read_log(std::io::BufReader::new(file)).map_err(|e| CliError::Trace {
+        path: PathBuf::from(path),
+        source: e,
+    })
 }
 
 fn out_dir(flags: &Flags) -> PathBuf {
     PathBuf::from(flags.get("out").unwrap_or("osn-out"))
 }
 
+fn checkpoint_dir(flags: &Flags) -> Option<PathBuf> {
+    flags.get("checkpoint").map(PathBuf::from)
+}
+
 /// `osn generate`
-pub fn generate(args: &[String]) -> Result<(), String> {
+pub fn generate(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args, &["no-merge"])?;
     let mut cfg = match flags.get("scale").unwrap_or("small") {
         "tiny" => TraceConfig::tiny(),
         "small" => TraceConfig::small(),
         "paper" => TraceConfig::default_paper(),
-        other => return Err(format!("unknown scale '{other}' (tiny|small|paper)")),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown scale '{other}' (tiny|small|paper)"
+            )))
+        }
     };
     if let Some(seed) = flags.get_parsed::<u64>("seed")? {
         cfg.seed = seed;
@@ -106,10 +134,10 @@ pub fn generate(args: &[String]) -> Result<(), String> {
         cfg.days = days;
         if let Some(m) = &cfg.merge {
             if m.merge_day >= days {
-                return Err(format!(
+                return Err(CliError::Usage(format!(
                     "merge day {} is outside a {days}-day trace; pass --no-merge or more days",
                     m.merge_day
-                ));
+                )));
             }
         }
     }
@@ -118,13 +146,14 @@ pub fn generate(args: &[String]) -> Result<(), String> {
     }
     let out = flags
         .get("out")
-        .ok_or("generate requires --out <file>")?
+        .ok_or_else(|| CliError::Usage("generate requires --out <file>".to_string()))?
         .to_string();
     let log = TraceGenerator::new(cfg).generate();
-    let file = std::fs::File::create(&out).map_err(|e| format!("create {out}: {e}"))?;
-    write_log(&log, file).map_err(|e| format!("write {out}: {e}"))?;
+    // Checksummed v2, written atomically: a crash mid-generate leaves
+    // either no file or the previous one, never a torn trace.
+    save_log_v2(&log, &out).map_err(|e| CliError::io(format!("write {out}"), e))?;
     println!(
-        "wrote {} nodes / {} edges over {} days to {out}",
+        "wrote {} nodes / {} edges over {} days to {out} (format v2)",
         log.num_nodes(),
         log.num_edges(),
         log.end_day() + 1
@@ -133,17 +162,15 @@ pub fn generate(args: &[String]) -> Result<(), String> {
 }
 
 /// `osn inspect`
-pub fn inspect(args: &[String]) -> Result<(), String> {
+pub fn inspect(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args, &[])?;
-    let path = flags
-        .positional
-        .first()
-        .ok_or("inspect requires a trace file")?;
+    let path = flags.trace_arg("inspect")?;
     let log = load_log(path)?;
     println!("trace: {path}");
     println!("  nodes: {}", log.num_nodes());
     println!("  edges: {}", log.num_edges());
     println!("  days:  {}", log.end_day() + 1);
+    println!("  fingerprint: {:016x}", log.fingerprint());
     let mut by_origin = [0u32; 3];
     for &o in log.origins() {
         let i = match o {
@@ -172,21 +199,81 @@ pub fn inspect(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `osn metrics`
-pub fn metrics(args: &[String]) -> Result<(), String> {
+/// `osn verify` — check a trace's checksums and event-stream invariants,
+/// print the ingest report, and exit non-zero when anything is wrong.
+pub fn verify(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args, &[])?;
-    let path = flags
-        .positional
-        .first()
-        .ok_or("metrics requires a trace file")?;
+    let path = flags.trace_arg("verify")?;
+    let policy = match flags.get("policy").unwrap_or("strict") {
+        "strict" => RecoveryPolicy::Strict,
+        "skip" => RecoveryPolicy::Skip {
+            max_errors: flags
+                .get_parsed::<usize>("max-errors")?
+                .unwrap_or(usize::MAX),
+        },
+        "repair" => RecoveryPolicy::Repair {
+            window: flags.get_parsed::<u64>("window")?.unwrap_or(86_400),
+        },
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown policy '{other}' (strict|skip|repair)"
+            )))
+        }
+    };
+    let file = std::fs::File::open(path).map_err(|e| CliError::io(format!("open {path}"), e))?;
+    let (log, report) =
+        read_log_with_policy(std::io::BufReader::new(file), &policy).map_err(|e| {
+            CliError::Trace {
+                path: PathBuf::from(path),
+                source: e,
+            }
+        })?;
+    println!("{path}:");
+    print!("{}", report.summary());
+    println!(
+        "  log: {} nodes, {} edges, {} days, fingerprint {:016x}",
+        log.num_nodes(),
+        log.num_edges(),
+        log.end_day() + 1,
+        log.fingerprint()
+    );
+    if report.is_clean() {
+        println!("  verdict: clean");
+        Ok(())
+    } else {
+        let problems = report.skipped.len() as u64
+            + report.repairs.len() as u64
+            + report.chunks_dropped
+            + u64::from(report.truncated)
+            + u64::from(report.format_version >= 2 && !report.footer_verified && !report.truncated);
+        println!("  verdict: NOT clean ({problems} problem(s) — see above)");
+        Err(CliError::Corrupt {
+            path: PathBuf::from(path),
+            problems,
+        })
+    }
+}
+
+/// `osn metrics`
+pub fn metrics(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &[])?;
+    let path = flags.trace_arg("metrics")?;
     let log = load_log(path)?;
     let stride = flags.get_parsed::<u32>("stride")?.unwrap_or(7);
     let dir = out_dir(&flags);
     let cfg = MetricSeriesConfig {
         stride,
+        seed: flags.get_parsed::<u64>("seed")?.unwrap_or(0),
         ..Default::default()
     };
-    let m = metric_series(&log, &cfg);
+    let m = match checkpoint_dir(&flags) {
+        Some(ckpt) => {
+            let m = metric_series_checkpointed(&log, &cfg, &ckpt)?;
+            println!("checkpoint: {}", ckpt.display());
+            m
+        }
+        None => metric_series(&log, &cfg),
+    };
     write_and_report(&dir, "growth", &growth_series(&log))?;
     write_and_report(&dir, "metrics", &m.to_table())?;
     println!(
@@ -202,20 +289,25 @@ pub fn metrics(args: &[String]) -> Result<(), String> {
 }
 
 /// `osn communities`
-pub fn communities(args: &[String]) -> Result<(), String> {
+pub fn communities(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args, &[])?;
-    let path = flags
-        .positional
-        .first()
-        .ok_or("communities requires a trace file")?;
+    let path = flags.trace_arg("communities")?;
     let log = load_log(path)?;
     let cfg = CommunityAnalysisConfig {
         stride: flags.get_parsed::<u32>("stride")?.unwrap_or(7),
         delta: flags.get_parsed::<f64>("delta")?.unwrap_or(0.04),
         min_size: flags.get_parsed::<u32>("min-size")?.unwrap_or(10),
+        seed: flags.get_parsed::<u64>("seed")?.unwrap_or(0),
         ..Default::default()
     };
-    let (summaries, output) = track(&log, &cfg);
+    let (summaries, output) = match checkpoint_dir(&flags) {
+        Some(ckpt) => {
+            let out = track_checkpointed(&log, &cfg, &ckpt)?;
+            println!("checkpoint: {}", ckpt.display());
+            out
+        }
+        None => track(&log, &cfg),
+    };
     let mut table = Table::new("day");
     let mut q = Series::new("modularity");
     let mut tracked = Series::new("tracked_communities");
@@ -233,31 +325,58 @@ pub fn communities(args: &[String]) -> Result<(), String> {
     // Evolution-event log as CSV for external tooling.
     {
         use osn_community::EvolutionEvent;
-        let mut csv = String::from("day,event,community,size,partner
-");
+        let mut csv = String::from(
+            "day,event,community,size,partner
+",
+        );
         for e in &output.events {
             use std::fmt::Write as _;
             match e {
-                EvolutionEvent::Birth { id, day, size, split_from } => {
+                EvolutionEvent::Birth {
+                    id,
+                    day,
+                    size,
+                    split_from,
+                } => {
                     let partner = split_from.map(|p| p.to_string()).unwrap_or_default();
                     let _ = writeln!(csv, "{day},birth,{id},{size},{partner}");
                 }
-                EvolutionEvent::Death { id, day, size, merged_into, .. } => {
+                EvolutionEvent::Death {
+                    id,
+                    day,
+                    size,
+                    merged_into,
+                    ..
+                } => {
                     let partner = merged_into.map(|p| p.to_string()).unwrap_or_default();
-                    let kind = if merged_into.is_some() { "merge_death" } else { "death" };
+                    let kind = if merged_into.is_some() {
+                        "merge_death"
+                    } else {
+                        "death"
+                    };
                     let _ = writeln!(csv, "{day},{kind},{id},{size},{partner}");
                 }
-                EvolutionEvent::Split { parent, day, largest, second } => {
+                EvolutionEvent::Split {
+                    parent,
+                    day,
+                    largest,
+                    second,
+                } => {
                     let _ = writeln!(csv, "{day},split,{parent},{largest},{second}");
                 }
-                EvolutionEvent::Merge { dest, day, largest, second } => {
+                EvolutionEvent::Merge {
+                    dest,
+                    day,
+                    largest,
+                    second,
+                } => {
                     let _ = writeln!(csv, "{day},merge,{dest},{largest},{second}");
                 }
             }
         }
-        std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
         let path = dir.join("community_events.csv");
-        std::fs::write(&path, csv).map_err(|e| e.to_string())?;
+        osn_graph::atomicfile::write_bytes_atomic(&path, csv.as_bytes())
+            .map_err(|e| CliError::io(format!("write {}", path.display()), e))?;
         println!("wrote {}", path.display());
     }
     let deaths = output
@@ -276,12 +395,9 @@ pub fn communities(args: &[String]) -> Result<(), String> {
 }
 
 /// `osn alpha`
-pub fn alpha(args: &[String]) -> Result<(), String> {
+pub fn alpha(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args, &[])?;
-    let path = flags
-        .positional
-        .first()
-        .ok_or("alpha requires a trace file")?;
+    let path = flags.trace_arg("alpha")?;
     let log = load_log(path)?;
     let cfg = AlphaConfig {
         window: flags.get_parsed::<u64>("window")?.unwrap_or(5_000),
@@ -307,10 +423,12 @@ pub fn alpha(args: &[String]) -> Result<(), String> {
 /// traces, over the degree distribution and the per-user inter-arrival
 /// distribution. Useful for checking whether two seeds (or two
 /// configurations) are statistically distinguishable.
-pub fn compare(args: &[String]) -> Result<(), String> {
+pub fn compare(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args, &[])?;
     let [pa, pb] = flags.positional.as_slice() else {
-        return Err("compare requires exactly two trace files".into());
+        return Err(CliError::Usage(
+            "compare requires exactly two trace files".into(),
+        ));
     };
     let a = load_log(pa)?;
     let b = load_log(pb)?;
@@ -319,7 +437,9 @@ pub fn compare(args: &[String]) -> Result<(), String> {
         replayer.advance_to_end();
         let g = replayer.freeze();
         osn_stats::Cdf::from_samples(
-            (0..g.num_nodes() as u32).map(|u| g.degree(u) as f64).collect(),
+            (0..g.num_nodes() as u32)
+                .map(|u| g.degree(u) as f64)
+                .collect(),
         )
     };
     let gaps = |log: &EventLog| {
@@ -336,10 +456,17 @@ pub fn compare(args: &[String]) -> Result<(), String> {
         ("degree distribution", degrees(&a), degrees(&b)),
         ("edge inter-arrival", gaps(&a), gaps(&b)),
     ] {
-        match (osn_stats::ks_statistic(&ca, &cb), osn_stats::ks_pvalue(&ca, &cb)) {
+        match (
+            osn_stats::ks_statistic(&ca, &cb),
+            osn_stats::ks_pvalue(&ca, &cb),
+        ) {
             (Some(d), Some(p)) => println!(
                 "{label}: KS D = {d:.4}, p ≈ {p:.3} ({})",
-                if p < 0.01 { "distinguishable" } else { "consistent" }
+                if p < 0.01 {
+                    "distinguishable"
+                } else {
+                    "consistent"
+                }
             ),
             _ => println!("{label}: not enough samples"),
         }
@@ -347,8 +474,9 @@ pub fn compare(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn write_and_report(dir: &Path, name: &str, table: &Table) -> Result<(), String> {
-    let path = write_csv(dir, name, table).map_err(|e| format!("write {name}.csv: {e}"))?;
+fn write_and_report(dir: &Path, name: &str, table: &Table) -> Result<(), CliError> {
+    let path =
+        write_csv(dir, name, table).map_err(|e| CliError::io(format!("write {name}.csv"), e))?;
     println!("wrote {}", path.display());
     Ok(())
 }
@@ -375,7 +503,9 @@ mod tests {
     #[test]
     fn flags_reject_missing_value() {
         let args: Vec<String> = ["--seed"].iter().map(|s| s.to_string()).collect();
-        assert!(Flags::parse(&args, &[]).is_err());
+        let err = Flags::parse(&args, &[]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        assert_eq!(err.exit_code(), 2);
     }
 
     #[test]
@@ -403,9 +533,29 @@ mod tests {
         .collect();
         generate(&args).unwrap();
         assert!(trace.exists());
+        // v2 header present on disk
+        let head = std::fs::read_to_string(&trace).unwrap();
+        assert!(head.starts_with("#%osn-events v2"));
         let args: Vec<String> = vec![trace.to_str().unwrap().to_string()];
         inspect(&args).unwrap();
+        verify(&args).unwrap();
         std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn generate_creates_missing_parent_dirs() {
+        let dir = std::env::temp_dir().join("osn_cli_parents/deep/nested");
+        let _ = std::fs::remove_dir_all(std::env::temp_dir().join("osn_cli_parents"));
+        let trace = dir.join("t.events");
+        generate(&[
+            "--scale".into(),
+            "tiny".into(),
+            "--out".into(),
+            trace.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        assert!(trace.exists());
+        std::fs::remove_dir_all(std::env::temp_dir().join("osn_cli_parents")).ok();
     }
 
     #[test]
@@ -415,7 +565,38 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         let err = generate(&args).unwrap_err();
-        assert!(err.contains("merge day"), "{err}");
+        assert!(err.to_string().contains("merge day"), "{err}");
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn verify_flags_corruption_with_exit_code_3() {
+        let dir = std::env::temp_dir().join("osn_cli_verify");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.events");
+        generate(&[
+            "--scale".into(),
+            "tiny".into(),
+            "--out".into(),
+            trace.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        // Flip a byte in the middle of the payload.
+        let mut bytes = std::fs::read(&trace).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&trace, &bytes).unwrap();
+        let args = vec![trace.to_str().unwrap().to_string()];
+        // Strict: typed parse error.
+        let err = verify(&args).unwrap_err();
+        assert!(
+            matches!(err, CliError::Trace { .. }),
+            "strict verify should fail on corruption: {err}"
+        );
+        // Skip: recovers, but reports the problems and exits 3.
+        let err = verify(&[args[0].clone(), "--policy".into(), "skip".into()]).unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -446,27 +627,80 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let trace = dir.join("t.events");
         let out = dir.join("out");
-        generate(
-            &[
-                "--scale".into(),
-                "tiny".into(),
-                "--out".into(),
-                trace.to_str().unwrap().into(),
-            ],
-        )
+        generate(&[
+            "--scale".into(),
+            "tiny".into(),
+            "--out".into(),
+            trace.to_str().unwrap().into(),
+        ])
         .unwrap();
         let t = trace.to_str().unwrap().to_string();
         let o = out.to_str().unwrap().to_string();
-        metrics(&[t.clone(), "--stride".into(), "30".into(), "--out".into(), o.clone()]).unwrap();
-        communities(&[t.clone(), "--stride".into(), "30".into(), "--out".into(), o.clone()])
-            .unwrap();
-        alpha(&[t.clone(), "--window".into(), "2000".into(), "--out".into(), o.clone()]).unwrap();
+        metrics(&[
+            t.clone(),
+            "--stride".into(),
+            "30".into(),
+            "--out".into(),
+            o.clone(),
+        ])
+        .unwrap();
+        communities(&[
+            t.clone(),
+            "--stride".into(),
+            "30".into(),
+            "--out".into(),
+            o.clone(),
+        ])
+        .unwrap();
+        alpha(&[
+            t.clone(),
+            "--window".into(),
+            "2000".into(),
+            "--out".into(),
+            o.clone(),
+        ])
+        .unwrap();
         assert!(out.join("metrics.csv").exists());
         assert!(out.join("communities.csv").exists());
         assert!(out.join("community_events.csv").exists());
         let events = std::fs::read_to_string(out.join("community_events.csv")).unwrap();
         assert!(events.starts_with("day,event,community,size,partner"));
         assert!(out.join("alpha.csv").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_with_checkpoint_dir_resumes() {
+        let dir = std::env::temp_dir().join("osn_cli_ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.events");
+        generate(&[
+            "--scale".into(),
+            "tiny".into(),
+            "--out".into(),
+            trace.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        let t = trace.to_str().unwrap().to_string();
+        let o = dir.join("out").to_str().unwrap().to_string();
+        let c = dir.join("ckpt").to_str().unwrap().to_string();
+        let args = vec![
+            t.clone(),
+            "--stride".into(),
+            "40".into(),
+            "--out".into(),
+            o.clone(),
+            "--checkpoint".into(),
+            c.clone(),
+        ];
+        metrics(&args).unwrap();
+        let first = std::fs::read(dir.join("out/metrics.csv")).unwrap();
+        // Rerun: everything cached, output byte-identical.
+        metrics(&args).unwrap();
+        let second = std::fs::read(dir.join("out/metrics.csv")).unwrap();
+        assert_eq!(first, second);
+        assert!(dir.join("ckpt/rows.txt").exists());
+        assert!(dir.join("ckpt/meta.txt").exists());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

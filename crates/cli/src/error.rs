@@ -1,0 +1,127 @@
+//! Typed CLI errors with per-kind exit codes.
+//!
+//! Every user-input-reachable failure — bad flags, unreadable files,
+//! corrupt traces, checkpoint mismatches — maps to a variant here instead
+//! of a panic or an anonymous string, so scripts can rely on the exit
+//! code: `2` for usage errors, `3` for a trace that failed verification,
+//! `1` for everything else.
+
+use osn_core::checkpoint::CheckpointStoreError;
+use osn_graph::ParseError;
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// A failed CLI invocation.
+#[derive(Debug)]
+pub enum CliError {
+    /// The command line itself is wrong (unknown flag, missing argument).
+    Usage(String),
+    /// A filesystem operation failed.
+    Io {
+        /// What was being done (e.g. `"write trace.events"`).
+        what: String,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A trace file failed to parse or validate.
+    Trace {
+        /// The offending file.
+        path: PathBuf,
+        /// The parse/validation failure.
+        source: ParseError,
+    },
+    /// `osn verify` found problems in a trace.
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// Number of problems found (skipped lines + dropped chunks +
+        /// truncation).
+        problems: u64,
+    },
+    /// Checkpoint directory could not be used.
+    Checkpoint(CheckpointStoreError),
+}
+
+impl CliError {
+    /// Wrap an I/O failure with a short description of the operation.
+    pub fn io(what: impl Into<String>, source: io::Error) -> Self {
+        CliError::Io {
+            what: what.into(),
+            source,
+        }
+    }
+
+    /// Process exit code for this error.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Corrupt { .. } => 3,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Io { what, source } => write!(f, "{what}: {source}"),
+            CliError::Trace { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            CliError::Corrupt { path, problems } => write!(
+                f,
+                "{}: trace failed verification with {problems} problem(s)",
+                path.display()
+            ),
+            CliError::Checkpoint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Io { source, .. } => Some(source),
+            CliError::Trace { source, .. } => Some(source),
+            CliError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointStoreError> for CliError {
+    fn from(e: CheckpointStoreError) -> Self {
+        CliError::Checkpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_by_kind() {
+        assert_eq!(CliError::Usage("x".into()).exit_code(), 2);
+        assert_eq!(
+            CliError::Corrupt {
+                path: "t".into(),
+                problems: 3
+            }
+            .exit_code(),
+            3
+        );
+        assert_eq!(
+            CliError::io("open", io::Error::other("nope")).exit_code(),
+            1
+        );
+    }
+
+    #[test]
+    fn display_mentions_context() {
+        let e = CliError::io("write out.csv", io::Error::other("disk full"));
+        assert!(e.to_string().contains("write out.csv"));
+        assert!(e.to_string().contains("disk full"));
+    }
+}

@@ -4,16 +4,24 @@
 //! osn generate [--scale tiny|small|paper] [--seed N] [--nodes N] [--days D]
 //!              [--no-merge] --out trace.events
 //! osn inspect  trace.events
-//! osn metrics  trace.events [--stride D] [--out DIR]
-//! osn communities trace.events [--delta X] [--stride D] [--min-size K] [--out DIR]
+//! osn verify   trace.events [--policy strict|skip|repair]
+//! osn metrics  trace.events [--stride D] [--out DIR] [--checkpoint DIR]
+//! osn communities trace.events [--delta X] [--stride D] [--min-size K]
+//!              [--out DIR] [--checkpoint DIR]
 //! osn alpha    trace.events [--window E] [--out DIR]
 //! ```
 //!
-//! Traces are the plain-text event format of `osn_graph::io`, so anything
-//! generated here can be re-analysed later or consumed by external tools.
+//! Traces are the checksummed v2 event format of `osn_graph::io` (v1 files
+//! remain readable), so anything generated here can be re-analysed later or
+//! consumed by external tools.
+//!
+//! Exit codes: `0` success, `1` runtime failure, `2` usage error,
+//! `3` trace failed `osn verify`.
 
 mod commands;
+mod error;
 
+use error::CliError;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -25,6 +33,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "generate" => commands::generate(rest),
         "inspect" => commands::inspect(rest),
+        "verify" => commands::verify(rest),
         "metrics" => commands::metrics(rest),
         "communities" => commands::communities(rest),
         "alpha" => commands::alpha(rest),
@@ -33,13 +42,16 @@ fn main() -> ExitCode {
             println!("{}", commands::USAGE);
             Ok(())
         }
-        other => Err(format!("unknown command '{other}'\n{}", commands::USAGE)),
+        other => Err(CliError::Usage(format!(
+            "unknown command '{other}'\n{}",
+            commands::USAGE
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::from(1)
+            ExitCode::from(e.exit_code())
         }
     }
 }

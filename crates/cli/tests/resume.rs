@@ -1,0 +1,192 @@
+//! End-to-end tests of the `osn` binary: checkpointed resume after a hard
+//! kill, `verify` exit codes, and atomic output behaviour.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn osn() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_osn"))
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("osn_e2e_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn generate(trace: &Path) {
+    let status = osn()
+        .args(["generate", "--scale", "tiny", "--seed", "9", "--out"])
+        .arg(trace)
+        .status()
+        .unwrap();
+    assert!(status.success());
+}
+
+fn run_metrics(trace: &Path, out: &Path, ckpt: &Path) {
+    let status = osn()
+        .args(["metrics"])
+        .arg(trace)
+        .args(["--stride", "15", "--out"])
+        .arg(out)
+        .arg("--checkpoint")
+        .arg(ckpt)
+        .status()
+        .unwrap();
+    assert!(status.success());
+}
+
+#[test]
+fn killed_metrics_run_resumes_byte_identical() {
+    let dir = scratch("kill");
+    let trace = dir.join("t.events");
+    generate(&trace);
+
+    // Reference: an uninterrupted checkpointed run.
+    run_metrics(&trace, &dir.join("ref_out"), &dir.join("ref_ckpt"));
+    let reference = std::fs::read(dir.join("ref_out/metrics.csv")).unwrap();
+
+    // Hard-kill a second run shortly after it starts. Whether or not it
+    // made progress (or even finished), the rerun below must converge to
+    // byte-identical output.
+    let mut child = osn()
+        .args(["metrics"])
+        .arg(&trace)
+        .args(["--stride", "15", "--out"])
+        .arg(dir.join("out2"))
+        .arg("--checkpoint")
+        .arg(dir.join("ckpt2"))
+        .spawn()
+        .unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    let _ = child.kill(); // SIGKILL — no destructors, no flushes
+    let _ = child.wait();
+
+    run_metrics(&trace, &dir.join("out2"), &dir.join("ckpt2"));
+    let resumed = std::fs::read(dir.join("out2/metrics.csv")).unwrap();
+    assert_eq!(
+        resumed, reference,
+        "resume after kill must be byte-identical"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn partial_checkpoint_state_resumes_byte_identical() {
+    let dir = scratch("partial");
+    let trace = dir.join("t.events");
+    generate(&trace);
+
+    run_metrics(&trace, &dir.join("ref_out"), &dir.join("ref_ckpt"));
+    let reference = std::fs::read(dir.join("ref_out/metrics.csv")).unwrap();
+
+    // Fabricate exactly what a kill between batch flushes leaves behind:
+    // a valid meta.txt plus a strict prefix of rows.txt.
+    let rows = std::fs::read_to_string(dir.join("ref_ckpt/rows.txt")).unwrap();
+    let lines: Vec<&str> = rows.lines().collect();
+    assert!(lines.len() > 3, "need enough rows to truncate meaningfully");
+    let partial: String = lines[..lines.len() - 2]
+        .iter()
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let ckpt2 = dir.join("ckpt2");
+    std::fs::create_dir_all(&ckpt2).unwrap();
+    std::fs::copy(dir.join("ref_ckpt/meta.txt"), ckpt2.join("meta.txt")).unwrap();
+    std::fs::write(ckpt2.join("rows.txt"), partial).unwrap();
+
+    run_metrics(&trace, &dir.join("out2"), &ckpt2);
+    let resumed = std::fs::read(dir.join("out2/metrics.csv")).unwrap();
+    assert_eq!(resumed, reference);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn killed_communities_run_resumes_byte_identical() {
+    let dir = scratch("kill_comm");
+    let trace = dir.join("t.events");
+    generate(&trace);
+
+    let run = |out: &Path, ckpt: &Path| {
+        let status = osn()
+            .args(["communities"])
+            .arg(&trace)
+            .args(["--stride", "30", "--min-size", "8", "--out"])
+            .arg(out)
+            .arg("--checkpoint")
+            .arg(ckpt)
+            .status()
+            .unwrap();
+        assert!(status.success());
+    };
+    run(&dir.join("ref_out"), &dir.join("ref_ckpt"));
+    let reference = std::fs::read(dir.join("ref_out/communities.csv")).unwrap();
+    let ref_events = std::fs::read(dir.join("ref_out/community_events.csv")).unwrap();
+
+    let mut child = osn()
+        .args(["communities"])
+        .arg(&trace)
+        .args(["--stride", "30", "--min-size", "8", "--out"])
+        .arg(dir.join("out2"))
+        .arg("--checkpoint")
+        .arg(dir.join("ckpt2"))
+        .spawn()
+        .unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    let _ = child.kill();
+    let _ = child.wait();
+
+    run(&dir.join("out2"), &dir.join("ckpt2"));
+    assert_eq!(
+        std::fs::read(dir.join("out2/communities.csv")).unwrap(),
+        reference
+    );
+    assert_eq!(
+        std::fs::read(dir.join("out2/community_events.csv")).unwrap(),
+        ref_events
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn verify_exit_codes() {
+    let dir = scratch("verify");
+    let trace = dir.join("t.events");
+    generate(&trace);
+
+    // Clean trace: exit 0.
+    let out = osn().arg("verify").arg(&trace).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("format: v2"), "{stdout}");
+    assert!(stdout.contains("verdict: clean"), "{stdout}");
+
+    // Corrupt a payload byte: strict verify fails (1), skip reports and
+    // exits with the dedicated corruption code (3).
+    let mut bytes = std::fs::read(&trace).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x04;
+    std::fs::write(&trace, &bytes).unwrap();
+    let strict = osn().arg("verify").arg(&trace).output().unwrap();
+    assert_eq!(strict.status.code(), Some(1));
+    let skip = osn()
+        .arg("verify")
+        .arg(&trace)
+        .args(["--policy", "skip"])
+        .output()
+        .unwrap();
+    assert_eq!(skip.status.code(), Some(3));
+    let stdout = String::from_utf8_lossy(&skip.stdout);
+    assert!(stdout.contains("NOT clean"), "{stdout}");
+
+    // Usage errors exit 2.
+    let usage = osn().args(["verify"]).output().unwrap();
+    assert_eq!(usage.status.code(), Some(2));
+    let unknown = osn().args(["frobnicate"]).output().unwrap();
+    assert_eq!(unknown.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -91,8 +91,12 @@ impl EvolutionEvent {
     /// size ratio `second / largest` used by Figure 6(a).
     pub fn size_ratio(&self) -> Option<f64> {
         match self {
-            EvolutionEvent::Split { largest, second, .. }
-            | EvolutionEvent::Merge { largest, second, .. } => {
+            EvolutionEvent::Split {
+                largest, second, ..
+            }
+            | EvolutionEvent::Merge {
+                largest, second, ..
+            } => {
                 if *largest == 0 {
                     None
                 } else {

@@ -22,6 +22,7 @@ pub mod louvain;
 pub mod modularity;
 pub mod partition;
 pub mod similarity;
+pub mod state;
 pub mod tracker;
 
 pub use events::EvolutionEvent;
@@ -29,4 +30,7 @@ pub use louvain::{louvain, LouvainConfig, LouvainResult};
 pub use modularity::modularity;
 pub use partition::Partition;
 pub use similarity::jaccard;
-pub use tracker::{CommunityRecord, CommunityTracker, SnapshotSummary, TrackerConfig, TrackerOutput};
+pub use state::TrackerState;
+pub use tracker::{
+    CommunityRecord, CommunityTracker, SnapshotSummary, TrackerConfig, TrackerOutput,
+};

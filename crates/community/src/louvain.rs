@@ -96,7 +96,10 @@ impl WGraph {
             adj[u as usize] = list;
         }
         let self_w = vec![0.0; n];
-        let node_w: Vec<f64> = adj.iter().map(|l| l.iter().map(|&(_, w)| w).sum()).collect();
+        let node_w: Vec<f64> = adj
+            .iter()
+            .map(|l| l.iter().map(|&(_, w)| w).sum())
+            .collect();
         let total_w = g.num_edges() as f64;
         WGraph {
             adj,
@@ -164,7 +167,8 @@ pub fn louvain(g: &CsrGraph, cfg: &LouvainConfig, init: Option<&Partition>) -> L
             // re-merge the refined chunks through aggregation whenever that
             // is modularity-positive, so stable communities keep tracking
             // cleanly.
-            let (refined, _, _) = local_moving(&level_graph, &identity(n), cfg, &mut rng, Some(&warm));
+            let (refined, _, _) =
+                local_moving(&level_graph, &identity(n), cfg, &mut rng, Some(&warm));
             warm_backup = Some(warm);
             refined
         }
@@ -181,8 +185,7 @@ pub fn louvain(g: &CsrGraph, cfg: &LouvainConfig, init: Option<&Partition>) -> L
     let min_levels = if init.is_some() { 2 } else { 1 };
 
     loop {
-        let (assign, moved, q_after) =
-            local_moving(&level_graph, &level_init, cfg, &mut rng, None);
+        let (assign, moved, q_after) = local_moving(&level_graph, &level_init, cfg, &mut rng, None);
 
         // Compose: node_to_comm maps original -> level node; `assign` maps
         // level node -> community. After this, original -> community.
@@ -306,8 +309,10 @@ fn local_moving(
     // start as singletons there, so community label u belongs to node u.
     let mut comm_constraint: Vec<u32> = match constraint {
         Some(labels) => {
-            debug_assert!(init.iter().enumerate().all(|(i, &c)| c as usize == i),
-                "refinement requires a singleton init");
+            debug_assert!(
+                init.iter().enumerate().all(|(i, &c)| c as usize == i),
+                "refinement requires a singleton init"
+            );
             let mut v = labels.to_vec();
             v.resize(comm_tot.len(), u32::MAX);
             v
@@ -439,7 +444,10 @@ fn aggregate(g: &WGraph, assign: &[u32]) -> (WGraph, Vec<u32>) {
             l
         })
         .collect();
-    let node_w: Vec<f64> = adj.iter().map(|l| l.iter().map(|&(_, w)| w).sum()).collect();
+    let node_w: Vec<f64> = adj
+        .iter()
+        .map(|l| l.iter().map(|&(_, w)| w).sum())
+        .collect();
     let total_w = g.total_w;
     (
         WGraph {

@@ -16,7 +16,11 @@ use osn_graph::CsrGraph;
 /// the usual `Q ≥ 0.3` rule of thumb for "significant community
 /// structure".
 pub fn modularity(g: &CsrGraph, p: &Partition) -> f64 {
-    assert_eq!(g.num_nodes(), p.num_nodes(), "partition does not cover graph");
+    assert_eq!(
+        g.num_nodes(),
+        p.num_nodes(),
+        "partition does not cover graph"
+    );
     let m = g.num_edges() as f64;
     if m == 0.0 {
         return 0.0;
@@ -47,10 +51,7 @@ mod tests {
 
     /// Two triangles joined by one bridge edge.
     fn two_triangles() -> CsrGraph {
-        CsrGraph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
+        CsrGraph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
     }
 
     #[test]

@@ -81,6 +81,9 @@ mod tests {
         let b = [2u32, 3, 4, 9];
         let inter = sorted_intersection_count(&a, &b);
         assert_eq!(inter, 3);
-        assert_eq!(jaccard(&a, &b), jaccard_from_overlap(a.len(), b.len(), inter));
+        assert_eq!(
+            jaccard(&a, &b),
+            jaccard_from_overlap(a.len(), b.len(), inter)
+        );
     }
 }

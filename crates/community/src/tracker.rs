@@ -23,6 +23,7 @@ use crate::events::{CommunityId, EvolutionEvent};
 use crate::louvain::{louvain, LouvainConfig};
 use crate::partition::Partition;
 use crate::similarity::jaccard_from_overlap;
+use crate::state::TrackerState;
 use osn_graph::{CsrGraph, Day};
 use std::collections::HashMap;
 
@@ -74,7 +75,7 @@ impl CommSnapshotStats {
 }
 
 /// Life history of one persistent community.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CommunityRecord {
     /// Persistent identity.
     pub id: CommunityId,
@@ -138,6 +139,8 @@ struct PrevComm {
 }
 
 struct PrevState {
+    /// Day of the snapshot this state was taken from.
+    day: Day,
     partition: Partition,
     comms: Vec<PrevComm>,
     /// node → index into `comms` (u32::MAX = not in a tracked community)
@@ -181,10 +184,7 @@ impl CommunityTracker {
     /// removed from the trace).
     pub fn observe(&mut self, day: Day, g: &CsrGraph) -> SnapshotSummary {
         let n = g.num_nodes();
-        let init = self
-            .prev
-            .as_ref()
-            .map(|p| p.partition.extended_to(n));
+        let init = self.prev.as_ref().map(|p| p.partition.extended_to(n));
         let res = louvain(g, &self.cfg.louvain, init.as_ref());
         let partition = res.partition;
 
@@ -244,10 +244,10 @@ impl CommunityTracker {
                 let psize = prev.comms[p as usize].members.len();
                 let jac = jaccard_from_overlap(comms[c as usize].len(), psize, ov as usize);
                 let absorbed = ov as f64 / psize as f64;
-                if best_prev[c as usize].map_or(true, |(_, j)| jac > j) {
+                if best_prev[c as usize].is_none_or(|(_, j)| jac > j) {
                     best_prev[c as usize] = Some((p, jac));
                 }
-                if best_succ[p as usize].map_or(true, |(_, j, _)| jac > j) {
+                if best_succ[p as usize].is_none_or(|(_, j, _)| jac > j) {
                     best_succ[p as usize] = Some((c, jac, absorbed));
                 }
             }
@@ -296,15 +296,17 @@ impl CommunityTracker {
 
             // Split events: predecessor that is best-prev of ≥2 successors.
             let mut split_children: HashMap<u32, Vec<u32>> = HashMap::new();
-            for c in 0..comms.len() {
-                if let Some((p, _)) = best_prev[c] {
-                    split_children.entry(p).or_default().push(c as u32);
+            for (c, bp) in best_prev.iter().enumerate() {
+                if let Some((p, _)) = bp {
+                    split_children.entry(*p).or_default().push(c as u32);
                 }
             }
             for (&p, children) in &split_children {
                 if children.len() >= 2 {
-                    let mut sizes: Vec<u32> =
-                        children.iter().map(|&c| comms[c as usize].len() as u32).collect();
+                    let mut sizes: Vec<u32> = children
+                        .iter()
+                        .map(|&c| comms[c as usize].len() as u32)
+                        .collect();
                     sizes.sort_unstable_by(|a, b| b.cmp(a));
                     self.events.push(EvolutionEvent::Split {
                         parent: prev.comms[p as usize].id,
@@ -355,8 +357,8 @@ impl CommunityTracker {
                     Some((c, _, absorbed)) if absorbed >= 0.5 => {
                         let dest_id = assigned_ids[c as usize];
                         // Which previous community continued into c?
-                        let dest_prev = (0..prev.comms.len())
-                            .find(|&q| continued_into[q] == Some(c));
+                        let dest_prev =
+                            (0..prev.comms.len()).find(|&q| continued_into[q] == Some(c));
                         let rank = dest_prev.and_then(|q| destination_tie_rank(&prev, p, q));
                         (dest_id, rank)
                     }
@@ -433,12 +435,105 @@ impl CommunityTracker {
             })
             .collect();
         self.prev = Some(PrevState {
+            day,
             partition,
             comms: prev_comms,
             node_to_comm,
             graph: g.clone(),
         });
         summary
+    }
+
+    /// Export everything needed to resume tracking after the last observed
+    /// snapshot, except the snapshot graph itself (which the resuming side
+    /// rebuilds by replaying the event log). Returns `None` before the
+    /// first `observe` call — there is nothing to resume from yet.
+    pub fn export_state(&self) -> Option<TrackerState> {
+        let prev = self.prev.as_ref()?;
+        Some(TrackerState {
+            last_day: prev.day,
+            next_id: self.next_id,
+            partition: prev.partition.assignments().to_vec(),
+            comm_ids: prev.comms.iter().map(|c| c.id).collect(),
+            records: self.records.clone(),
+            events: self.events.clone(),
+        })
+    }
+
+    /// Rebuild a tracker from an exported state and the snapshot graph of
+    /// `state.last_day` (the caller re-materialises it by replaying the
+    /// event log through that day). The restored tracker continues exactly
+    /// where the exporting one stopped: feeding both the same subsequent
+    /// snapshots produces identical summaries, records and events.
+    pub fn restore(
+        cfg: TrackerConfig,
+        state: TrackerState,
+        graph: CsrGraph,
+    ) -> Result<Self, String> {
+        let n = graph.num_nodes();
+        if state.partition.len() != n {
+            return Err(format!(
+                "tracker state covers {} nodes but the day-{} snapshot has {n}",
+                state.partition.len(),
+                state.last_day
+            ));
+        }
+        // Louvain partitions are already dense and first-appearance
+        // normalised, so this reconstruction is exact.
+        let partition = Partition::from_assignments(&state.partition);
+        if partition.assignments() != state.partition.as_slice() {
+            return Err("tracker state partition is not normalised".to_string());
+        }
+        // Re-derive tracked communities the same way `observe` does.
+        let mut comms: Vec<Vec<u32>> = partition
+            .members()
+            .into_iter()
+            .filter(|m| m.len() >= cfg.min_size as usize)
+            .collect();
+        comms.sort_by_key(|m| std::cmp::Reverse(m.len()));
+        if comms.len() != state.comm_ids.len() {
+            return Err(format!(
+                "tracker state lists {} tracked communities but the partition yields {} \
+                 (min_size changed between runs?)",
+                state.comm_ids.len(),
+                comms.len()
+            ));
+        }
+        let mut node_to_comm = vec![u32::MAX; n];
+        for (i, m) in comms.iter().enumerate() {
+            for &v in m {
+                node_to_comm[v as usize] = i as u32;
+            }
+        }
+        let mut id_to_record = HashMap::new();
+        for (i, r) in state.records.iter().enumerate() {
+            id_to_record.insert(r.id, i);
+        }
+        for &id in &state.comm_ids {
+            if !id_to_record.contains_key(&id) {
+                return Err(format!("tracked community {id} has no record"));
+            }
+        }
+        let prev_comms: Vec<PrevComm> = state
+            .comm_ids
+            .iter()
+            .zip(comms)
+            .map(|(&id, members)| PrevComm { id, members })
+            .collect();
+        Ok(CommunityTracker {
+            cfg,
+            prev: Some(PrevState {
+                day: state.last_day,
+                partition,
+                comms: prev_comms,
+                node_to_comm,
+                graph,
+            }),
+            records: state.records,
+            id_to_record,
+            events: state.events,
+            next_id: state.next_id,
+        })
     }
 
     /// Consume the tracker and return all accumulated histories/events.
@@ -614,7 +709,9 @@ mod tests {
             .events
             .iter()
             .filter_map(|e| match e {
-                EvolutionEvent::Merge { largest, second, .. } => Some((*largest, *second)),
+                EvolutionEvent::Merge {
+                    largest, second, ..
+                } => Some((*largest, *second)),
                 _ => None,
             })
             .collect();
@@ -649,7 +746,9 @@ mod tests {
             .events
             .iter()
             .filter_map(|e| match e {
-                EvolutionEvent::Split { largest, second, .. } => Some((*largest, *second)),
+                EvolutionEvent::Split {
+                    largest, second, ..
+                } => Some((*largest, *second)),
                 _ => None,
             })
             .collect();
@@ -724,6 +823,67 @@ mod tests {
         assert_eq!(h.internal_edges, 15);
         assert_eq!(h.degree_sum, 30);
         assert!((h.in_degree_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn export_restore_resumes_identically() {
+        // Build two snapshots; export after the first, restore, and check
+        // that the resumed tracker's second observation matches the
+        // uninterrupted run exactly.
+        let mut edges = Vec::new();
+        clique_edges(0, 10, &mut edges);
+        clique_edges(10, 10, &mut edges);
+        edges.push((0, 10));
+        let g1 = CsrGraph::from_edges(20, &edges);
+        let mut edges2 = edges.clone();
+        for i in 0..10 {
+            edges2.push((20, i));
+        }
+        clique_edges(21, 6, &mut edges2);
+        let g2 = CsrGraph::from_edges(27, &edges2);
+
+        let mut full = CommunityTracker::new(cfg());
+        full.observe(0, &g1);
+        let state = full.export_state().expect("state after first observe");
+        let s_full = full.observe(3, &g2);
+
+        let mut resumed = CommunityTracker::restore(cfg(), state, g1.clone()).expect("restore");
+        let s_res = resumed.observe(3, &g2);
+        assert_eq!(s_res.num_tracked, s_full.num_tracked);
+        assert_eq!(s_res.modularity.to_bits(), s_full.modularity.to_bits());
+        assert_eq!(s_res.sizes, s_full.sizes);
+        assert_eq!(s_res.avg_similarity, s_full.avg_similarity);
+
+        let out_full = full.finish();
+        let out_res = resumed.finish();
+        assert_eq!(out_res.records.len(), out_full.records.len());
+        for (a, b) in out_res.records.iter().zip(&out_full.records) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.birth_day, b.birth_day);
+            assert_eq!(a.death_day, b.death_day);
+            assert_eq!(a.history, b.history);
+        }
+        assert_eq!(out_res.events, out_full.events);
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_state() {
+        let mut edges = Vec::new();
+        clique_edges(0, 10, &mut edges);
+        let g = CsrGraph::from_edges(10, &edges);
+        let mut tracker = CommunityTracker::new(cfg());
+        tracker.observe(0, &g);
+        let state = tracker.export_state().unwrap();
+        assert!(tracker.export_state().is_some());
+        // Wrong graph size.
+        let small = CsrGraph::from_edges(3, &[(0, 1)]);
+        assert!(CommunityTracker::restore(cfg(), state.clone(), small).is_err());
+        // min_size changed: community count no longer matches.
+        let mut strict = cfg();
+        strict.min_size = 100;
+        assert!(CommunityTracker::restore(strict, state, g).is_err());
+        // Nothing observed yet: nothing to export.
+        assert!(CommunityTracker::new(cfg()).export_state().is_none());
     }
 
     #[test]

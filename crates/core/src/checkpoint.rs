@@ -1,0 +1,762 @@
+//! Checkpointed, resumable analysis pipelines.
+//!
+//! A checkpoint directory lets a killed `osn metrics` / `osn communities`
+//! run resume from the last completed snapshot instead of starting over.
+//! Every file in the directory is written atomically (tmp + rename, see
+//! `osn_graph::atomicfile`), so a `kill -9` at any instant leaves either
+//! the previous complete state or the new one — never a torn file — and a
+//! resumed run produces **byte-identical** output to an uninterrupted one
+//! (`f64` results are persisted as the hex of their IEEE-754 bits).
+//!
+//! Directory layout:
+//!
+//! | file | contents |
+//! |---|---|
+//! | `meta.txt` | trace fingerprint + every result-affecting config field |
+//! | `rows.txt` | (metrics) one line per completed snapshot day |
+//! | `replay.ckpt` | [`ReplayCheckpoint`] at the last completed stride |
+//! | `communities.ckpt` | (communities) summaries + full tracker state |
+//!
+//! `meta.txt` is compared verbatim on resume: a checkpoint taken from a
+//! different trace or with different parameters is refused with
+//! [`CheckpointStoreError::Mismatch`] rather than silently mixing results.
+//! Worker-thread count is deliberately *not* recorded — it does not affect
+//! results.
+
+use crate::communities::CommunityAnalysisConfig;
+use crate::network::{MetricSeries, MetricSeriesConfig};
+use osn_community::{CommunityTracker, SnapshotSummary, TrackerOutput, TrackerState};
+use osn_graph::atomicfile::write_bytes_atomic;
+use osn_graph::{Day, EventLog, ReplayCheckpoint, Replayer, Time};
+use osn_metrics::parallel::par_map;
+use osn_metrics::{average_clustering, avg_path_length_sampled, degree_assortativity};
+use osn_stats::sampling::derive_seed;
+use osn_stats::{rng_from_seed, Series};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Errors from the checkpoint store.
+#[derive(Debug)]
+pub enum CheckpointStoreError {
+    /// Filesystem failure reading or writing checkpoint files.
+    Io(io::Error),
+    /// A checkpoint file exists but does not parse.
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// What failed to parse.
+        reason: String,
+    },
+    /// The checkpoint belongs to a different trace or configuration.
+    Mismatch(String),
+}
+
+impl fmt::Display for CheckpointStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointStoreError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointStoreError::Corrupt { path, reason } => {
+                write!(f, "corrupt checkpoint file {}: {reason}", path.display())
+            }
+            CheckpointStoreError::Mismatch(r) => write!(f, "checkpoint mismatch: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointStoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointStoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointStoreError {
+    fn from(e: io::Error) -> Self {
+        CheckpointStoreError::Io(e)
+    }
+}
+
+fn corrupt(path: &Path, reason: impl Into<String>) -> CheckpointStoreError {
+    CheckpointStoreError::Corrupt {
+        path: path.to_path_buf(),
+        reason: reason.into(),
+    }
+}
+
+fn f64_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn opt_f64_hex(v: Option<f64>) -> String {
+    v.map_or_else(|| "-".to_string(), f64_hex)
+}
+
+fn parse_f64_hex(s: &str) -> Result<f64, String> {
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| format!("bad f64 bits '{s}'"))
+}
+
+fn parse_opt_f64_hex(s: &str) -> Result<Option<f64>, String> {
+    if s == "-" {
+        Ok(None)
+    } else {
+        parse_f64_hex(s).map(Some)
+    }
+}
+
+/// Read a file that may legitimately not exist yet.
+fn read_optional(path: &Path) -> io::Result<Option<String>> {
+    match std::fs::read_to_string(path) {
+        Ok(s) => Ok(Some(s)),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// Compare the stored meta file against `expected`, writing it on first
+/// use. Any difference — different trace, different parameters — refuses
+/// the directory.
+fn check_or_init_meta(dir: &Path, expected: &str) -> Result<(), CheckpointStoreError> {
+    let path = dir.join("meta.txt");
+    match read_optional(&path)? {
+        Some(found) if found == expected => Ok(()),
+        Some(found) => Err(CheckpointStoreError::Mismatch(format!(
+            "{} was written by a different run (trace or parameters changed).\n\
+             recorded:\n{found}\nthis run:\n{expected}",
+            path.display()
+        ))),
+        None => {
+            write_bytes_atomic(&path, expected.as_bytes())?;
+            Ok(())
+        }
+    }
+}
+
+/// The snapshot days a `DailySnapshots::new(log, first_day, stride)`
+/// iteration would visit.
+fn snapshot_days(log: &EventLog, first_day: Day, stride: Day) -> Vec<Day> {
+    assert!(stride > 0, "stride must be positive");
+    let mut days = Vec::new();
+    let mut d = first_day;
+    while d <= log.end_day() {
+        days.push(d);
+        d += stride;
+    }
+    days
+}
+
+/// Checkpoint of the replay position right after `day` completed.
+fn replay_checkpoint_at(log: &EventLog, day: Day) -> ReplayCheckpoint {
+    let pos = log
+        .events()
+        .partition_point(|e| e.time < Time::day_end(day));
+    ReplayCheckpoint {
+        pos,
+        day,
+        fingerprint: log.fingerprint(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics (Figure 1c–f)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+struct MetricRow {
+    avg_degree: f64,
+    path_length: Option<f64>,
+    clustering: f64,
+    assortativity: Option<f64>,
+}
+
+const ROWS_MAGIC: &str = "#%osn-rows v1";
+
+fn metrics_meta_text(log: &EventLog, cfg: &MetricSeriesConfig) -> String {
+    format!(
+        "#%osn-meta v1\nkind metrics\nfingerprint {:016x}\nstride {}\nfirst_day {}\n\
+         path_sample {}\npath_every {}\nclustering_sample {}\nseed {}\n",
+        log.fingerprint(),
+        cfg.stride,
+        cfg.first_day,
+        cfg.path_sample,
+        cfg.path_every.max(1),
+        cfg.clustering_sample,
+        cfg.seed
+    )
+}
+
+fn render_rows(rows: &BTreeMap<Day, MetricRow>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{ROWS_MAGIC}");
+    for (day, r) in rows {
+        let _ = writeln!(
+            out,
+            "row {day} {} {} {} {}",
+            f64_hex(r.avg_degree),
+            opt_f64_hex(r.path_length),
+            f64_hex(r.clustering),
+            opt_f64_hex(r.assortativity)
+        );
+    }
+    out
+}
+
+fn load_rows(path: &Path) -> Result<BTreeMap<Day, MetricRow>, CheckpointStoreError> {
+    let Some(text) = read_optional(path)? else {
+        return Ok(BTreeMap::new());
+    };
+    let mut lines = text.lines();
+    if lines.next().map(str::trim) != Some(ROWS_MAGIC) {
+        return Err(corrupt(path, "bad header"));
+    }
+    let mut rows = BTreeMap::new();
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let f: Vec<&str> = line.split_whitespace().collect();
+        if f.len() != 6 || f[0] != "row" {
+            return Err(corrupt(path, format!("bad row line '{line}'")));
+        }
+        let day: Day = f[1]
+            .parse()
+            .map_err(|_| corrupt(path, format!("bad day '{}'", f[1])))?;
+        let row = MetricRow {
+            avg_degree: parse_f64_hex(f[2]).map_err(|r| corrupt(path, r))?,
+            path_length: parse_opt_f64_hex(f[3]).map_err(|r| corrupt(path, r))?,
+            clustering: parse_f64_hex(f[4]).map_err(|r| corrupt(path, r))?,
+            assortativity: parse_opt_f64_hex(f[5]).map_err(|r| corrupt(path, r))?,
+        };
+        if rows.insert(day, row).is_some() {
+            return Err(corrupt(path, format!("duplicate day {day}")));
+        }
+    }
+    Ok(rows)
+}
+
+/// Load the recorded replay checkpoint and resume a [`Replayer`] from it,
+/// but only when it is consistent with the cached rows; anything dubious
+/// falls back to a fresh replay (the rows file is the source of truth —
+/// the replay checkpoint only saves work).
+fn resume_replayer<'a>(
+    log: &'a EventLog,
+    dir: &Path,
+    days: &[Day],
+    rows: &BTreeMap<Day, MetricRow>,
+) -> io::Result<(Replayer<'a>, usize)> {
+    let contiguous = days.iter().take_while(|d| rows.contains_key(d)).count();
+    if contiguous > 0 {
+        if let Some(text) = read_optional(&dir.join("replay.ckpt"))? {
+            if let Ok(cp) = ReplayCheckpoint::from_text(&text) {
+                if cp.day == days[contiguous - 1] {
+                    if let Ok(r) = Replayer::resume(log, &cp) {
+                        return Ok((r, contiguous));
+                    }
+                }
+            }
+        }
+        // No usable replay checkpoint: replay the prefix manually.
+        let mut r = Replayer::new(log);
+        r.advance_through_day(days[contiguous - 1]);
+        return Ok((r, contiguous));
+    }
+    Ok((Replayer::new(log), 0))
+}
+
+/// Compute the Figure 1(c)–(f) metric series with checkpoint/resume
+/// support: completed snapshot days are persisted to `dir` after every
+/// batch, and a rerun (same log, same config) picks up where the previous
+/// run stopped, producing byte-identical results to an uninterrupted
+/// [`metric_series`](crate::network::metric_series) run.
+pub fn metric_series_checkpointed(
+    log: &EventLog,
+    cfg: &MetricSeriesConfig,
+    dir: &Path,
+) -> Result<MetricSeries, CheckpointStoreError> {
+    let series = run_metrics(log, cfg, dir, usize::MAX)?;
+    Ok(series.expect("unlimited run always completes"))
+}
+
+/// Worker for [`metric_series_checkpointed`]: computes at most
+/// `limit_new` missing rows, then returns `None` if snapshots remain
+/// (used by tests to simulate an interrupted run).
+pub(crate) fn run_metrics(
+    log: &EventLog,
+    cfg: &MetricSeriesConfig,
+    dir: &Path,
+    limit_new: usize,
+) -> Result<Option<MetricSeries>, CheckpointStoreError> {
+    std::fs::create_dir_all(dir)?;
+    check_or_init_meta(dir, &metrics_meta_text(log, cfg))?;
+
+    let rows_path = dir.join("rows.txt");
+    let mut rows = load_rows(&rows_path)?;
+    let days = snapshot_days(log, cfg.first_day, cfg.stride);
+
+    let workers = if cfg.workers == 0 {
+        osn_metrics::parallel::default_workers()
+    } else {
+        cfg.workers
+    };
+    let batch_cap = (workers * 2).max(1);
+    let path_every = cfg.path_every.max(1);
+    let (seed, path_sample, clustering_sample) = (cfg.seed, cfg.path_sample, cfg.clustering_sample);
+
+    let (mut replayer, skip) = resume_replayer(log, dir, &days, &rows)?;
+    let mut new_rows = 0usize;
+    let mut batch: Vec<(usize, Day, osn_graph::CsrGraph)> = Vec::new();
+
+    let flush = |batch: &mut Vec<(usize, Day, osn_graph::CsrGraph)>,
+                 rows: &mut BTreeMap<Day, MetricRow>|
+     -> Result<(), CheckpointStoreError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let computed: Vec<(Day, MetricRow)> =
+            par_map(batch.drain(..), workers, move |(idx, day, g)| {
+                let mut rng = rng_from_seed(derive_seed(seed, day as u64));
+                let path_length = if idx % path_every == 0 {
+                    avg_path_length_sampled(&g, path_sample, &mut rng)
+                } else {
+                    None
+                };
+                (
+                    day,
+                    MetricRow {
+                        avg_degree: g.average_degree(),
+                        path_length,
+                        clustering: average_clustering(&g, clustering_sample, &mut rng),
+                        assortativity: degree_assortativity(&g),
+                    },
+                )
+            });
+        rows.extend(computed);
+        write_bytes_atomic(&rows_path, render_rows(rows).as_bytes())?;
+        let done = days.iter().take_while(|d| rows.contains_key(d)).count();
+        if done > 0 {
+            let cp = replay_checkpoint_at(log, days[done - 1]);
+            write_bytes_atomic(&dir.join("replay.ckpt"), cp.to_text().as_bytes())?;
+        }
+        Ok(())
+    };
+
+    for (idx, &day) in days.iter().enumerate().skip(skip) {
+        if rows.contains_key(&day) {
+            // Already computed by a previous run past the contiguous
+            // prefix; still advance the replay so later days are correct.
+            replayer.advance_through_day(day);
+            continue;
+        }
+        if new_rows >= limit_new {
+            flush(&mut batch, &mut rows)?;
+            return Ok(None);
+        }
+        replayer.advance_through_day(day);
+        batch.push((idx, day, replayer.freeze()));
+        new_rows += 1;
+        if batch.len() >= batch_cap {
+            flush(&mut batch, &mut rows)?;
+        }
+    }
+    flush(&mut batch, &mut rows)?;
+
+    // Assemble exactly like `metric_series` does.
+    let mut out = MetricSeries {
+        avg_degree: Series::new("avg_degree"),
+        path_length: Series::new("avg_path_length"),
+        clustering: Series::new("avg_clustering"),
+        assortativity: Series::new("assortativity"),
+    };
+    for &day in &days {
+        let Some(r) = rows.get(&day) else {
+            return Err(corrupt(&rows_path, format!("missing day {day}")));
+        };
+        let d = day as f64;
+        out.avg_degree.push(d, r.avg_degree);
+        if let Some(p) = r.path_length {
+            out.path_length.push(d, p);
+        }
+        out.clustering.push(d, r.clustering);
+        if let Some(a) = r.assortativity {
+            out.assortativity.push(d, a);
+        }
+    }
+    Ok(Some(out))
+}
+
+// ---------------------------------------------------------------------------
+// Communities (Figures 4–6)
+// ---------------------------------------------------------------------------
+
+const COMMUNITIES_MAGIC: &str = "#%osn-communities v1";
+
+fn communities_meta_text(log: &EventLog, cfg: &CommunityAnalysisConfig) -> String {
+    format!(
+        "#%osn-meta v1\nkind communities\nfingerprint {:016x}\nfirst_day {}\nstride {}\n\
+         min_size {}\ndelta {}\nseed {}\n",
+        log.fingerprint(),
+        cfg.first_day,
+        cfg.stride,
+        cfg.min_size,
+        f64_hex(cfg.delta),
+        cfg.seed
+    )
+}
+
+fn render_communities_state(summaries: &[SnapshotSummary], state: &TrackerState) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{COMMUNITIES_MAGIC}");
+    let _ = writeln!(out, "summaries {}", summaries.len());
+    for s in summaries {
+        let sizes = if s.sizes.is_empty() {
+            "-".to_string()
+        } else {
+            s.sizes
+                .iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let _ = writeln!(
+            out,
+            "summary {} {} {} {} {} {sizes}",
+            s.day,
+            f64_hex(s.modularity),
+            s.num_tracked,
+            opt_f64_hex(s.avg_similarity),
+            f64_hex(s.top5_coverage)
+        );
+    }
+    out.push_str(&state.to_text());
+    out
+}
+
+fn parse_communities_state(
+    path: &Path,
+    text: &str,
+) -> Result<(Vec<SnapshotSummary>, TrackerState), CheckpointStoreError> {
+    let mut lines = text.lines();
+    if lines.next().map(str::trim) != Some(COMMUNITIES_MAGIC) {
+        return Err(corrupt(path, "bad header"));
+    }
+    let count_line = lines.next().unwrap_or_default().trim();
+    let count: usize = count_line
+        .strip_prefix("summaries ")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| corrupt(path, format!("bad summaries line '{count_line}'")))?;
+    let mut summaries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let line = lines.next().unwrap_or_default().trim();
+        let f: Vec<&str> = line.split_whitespace().collect();
+        if f.len() != 7 || f[0] != "summary" {
+            return Err(corrupt(path, format!("bad summary line '{line}'")));
+        }
+        let sizes = if f[6] == "-" {
+            Vec::new()
+        } else {
+            f[6].split(',')
+                .map(|t| t.parse::<u32>())
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|_| corrupt(path, format!("bad sizes '{}'", f[6])))?
+        };
+        summaries.push(SnapshotSummary {
+            day: f[1]
+                .parse()
+                .map_err(|_| corrupt(path, format!("bad day '{}'", f[1])))?,
+            modularity: parse_f64_hex(f[2]).map_err(|r| corrupt(path, r))?,
+            num_tracked: f[3]
+                .parse()
+                .map_err(|_| corrupt(path, format!("bad num_tracked '{}'", f[3])))?,
+            avg_similarity: parse_opt_f64_hex(f[4]).map_err(|r| corrupt(path, r))?,
+            top5_coverage: parse_f64_hex(f[5]).map_err(|r| corrupt(path, r))?,
+            sizes,
+        });
+    }
+    let rest: Vec<&str> = lines.collect();
+    let state = TrackerState::from_text(&rest.join("\n")).map_err(|r| corrupt(path, r))?;
+    Ok((summaries, state))
+}
+
+/// Run the community tracker with checkpoint/resume support: after every
+/// observed snapshot the summaries and full tracker state are written
+/// atomically to `dir`, and a rerun (same log, same config) resumes from
+/// the last completed snapshot, producing results identical to an
+/// uninterrupted [`track`](crate::communities::track) run.
+pub fn track_checkpointed(
+    log: &EventLog,
+    cfg: &CommunityAnalysisConfig,
+    dir: &Path,
+) -> Result<(Vec<SnapshotSummary>, TrackerOutput), CheckpointStoreError> {
+    let out = run_communities(log, cfg, dir, usize::MAX)?;
+    Ok(out.expect("unlimited run always completes"))
+}
+
+/// Worker for [`track_checkpointed`]: observes at most `limit_new` new
+/// snapshots, then returns `None` if snapshots remain (used by tests to
+/// simulate an interrupted run).
+pub(crate) fn run_communities(
+    log: &EventLog,
+    cfg: &CommunityAnalysisConfig,
+    dir: &Path,
+    limit_new: usize,
+) -> Result<Option<(Vec<SnapshotSummary>, TrackerOutput)>, CheckpointStoreError> {
+    std::fs::create_dir_all(dir)?;
+    check_or_init_meta(dir, &communities_meta_text(log, cfg))?;
+
+    let state_path = dir.join("communities.ckpt");
+    let days = snapshot_days(log, cfg.first_day, cfg.stride);
+
+    let mut replayer = Replayer::new(log);
+    let (mut tracker, mut summaries, start) = match read_optional(&state_path)? {
+        Some(text) => {
+            let (summaries, state) = parse_communities_state(&state_path, &text)?;
+            let start = days
+                .iter()
+                .position(|&d| d == state.last_day)
+                .map(|i| i + 1)
+                .ok_or_else(|| {
+                    corrupt(
+                        &state_path,
+                        format!("day {} is not a snapshot day", state.last_day),
+                    )
+                })?;
+            if summaries.len() != start || summaries.last().map(|s| s.day) != Some(state.last_day) {
+                return Err(corrupt(
+                    &state_path,
+                    "summaries do not line up with the tracker state",
+                ));
+            }
+            replayer.advance_through_day(state.last_day);
+            let tracker = CommunityTracker::restore(cfg.tracker_config(), state, replayer.freeze())
+                .map_err(|r| corrupt(&state_path, r))?;
+            (tracker, summaries, start)
+        }
+        None => (CommunityTracker::new(cfg.tracker_config()), Vec::new(), 0),
+    };
+
+    for (new_snaps, &day) in days[start..].iter().enumerate() {
+        if new_snaps >= limit_new {
+            return Ok(None);
+        }
+        replayer.advance_through_day(day);
+        let g = replayer.freeze();
+        summaries.push(tracker.observe(day, &g));
+        let state = tracker.export_state().expect("state after observe");
+        write_bytes_atomic(
+            &state_path,
+            render_communities_state(&summaries, &state).as_bytes(),
+        )?;
+        let cp = replayer.checkpoint(day);
+        write_bytes_atomic(&dir.join("replay.ckpt"), cp.to_text().as_bytes())?;
+    }
+    Ok(Some((summaries, tracker.finish())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::communities::track;
+    use crate::network::metric_series;
+    use osn_genstream::{TraceConfig, TraceGenerator};
+
+    fn tiny_log() -> EventLog {
+        TraceGenerator::new(TraceConfig::tiny()).generate()
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("osn_ckpt_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn metric_cfg() -> MetricSeriesConfig {
+        MetricSeriesConfig {
+            stride: 20,
+            first_day: 5,
+            path_sample: 40,
+            path_every: 2,
+            clustering_sample: 150,
+            workers: 2,
+            seed: 3,
+        }
+    }
+
+    fn assert_series_eq(a: &MetricSeries, b: &MetricSeries) {
+        for (x, y) in [
+            (&a.avg_degree, &b.avg_degree),
+            (&a.path_length, &b.path_length),
+            (&a.clustering, &b.clustering),
+            (&a.assortativity, &b.assortativity),
+        ] {
+            assert_eq!(x.points.len(), y.points.len(), "{} length", x.name);
+            for (p, q) in x.points.iter().zip(&y.points) {
+                assert_eq!(p.0.to_bits(), q.0.to_bits(), "{} x", x.name);
+                assert_eq!(p.1.to_bits(), q.1.to_bits(), "{} y", x.name);
+            }
+        }
+    }
+
+    #[test]
+    fn checkpointed_metrics_match_direct_run() {
+        let log = tiny_log();
+        let cfg = metric_cfg();
+        let dir = tmp_dir("metrics_direct");
+        let direct = metric_series(&log, &cfg);
+        let ckpt = metric_series_checkpointed(&log, &cfg, &dir).unwrap();
+        assert_series_eq(&ckpt, &direct);
+        // Second run is a pure cache read and still identical.
+        let again = metric_series_checkpointed(&log, &cfg, &dir).unwrap();
+        assert_series_eq(&again, &direct);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interrupted_metrics_resume_identically() {
+        let log = tiny_log();
+        let cfg = metric_cfg();
+        let dir = tmp_dir("metrics_resume");
+        // Stop after 3 new rows — like a kill mid-run.
+        let partial = run_metrics(&log, &cfg, &dir, 3).unwrap();
+        assert!(partial.is_none(), "run should have been interrupted");
+        assert!(dir.join("rows.txt").exists());
+        assert!(dir.join("replay.ckpt").exists());
+        let resumed = metric_series_checkpointed(&log, &cfg, &dir).unwrap();
+        assert_series_eq(&resumed, &metric_series(&log, &cfg));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn metrics_checkpoint_refuses_other_config() {
+        let log = tiny_log();
+        let cfg = metric_cfg();
+        let dir = tmp_dir("metrics_mismatch");
+        metric_series_checkpointed(&log, &cfg, &dir).unwrap();
+        let mut other = cfg;
+        other.seed += 1;
+        let err = metric_series_checkpointed(&log, &other, &dir).unwrap_err();
+        assert!(matches!(err, CheckpointStoreError::Mismatch(_)), "{err}");
+        // Changing only the worker count is fine: results are unaffected.
+        let mut more_workers = cfg;
+        more_workers.workers = 1;
+        assert!(metric_series_checkpointed(&log, &more_workers, &dir).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_rows_file_is_reported() {
+        let log = tiny_log();
+        let cfg = metric_cfg();
+        let dir = tmp_dir("metrics_corrupt");
+        metric_series_checkpointed(&log, &cfg, &dir).unwrap();
+        std::fs::write(dir.join("rows.txt"), "#%osn-rows v1\nrow nonsense\n").unwrap();
+        let err = metric_series_checkpointed(&log, &cfg, &dir).unwrap_err();
+        assert!(matches!(err, CheckpointStoreError::Corrupt { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn comm_cfg() -> CommunityAnalysisConfig {
+        CommunityAnalysisConfig {
+            first_day: 40,
+            stride: 40,
+            min_size: 8,
+            delta: 0.01,
+            seed: 1,
+        }
+    }
+
+    fn assert_outputs_eq(
+        a: &(Vec<SnapshotSummary>, TrackerOutput),
+        b: &(Vec<SnapshotSummary>, TrackerOutput),
+    ) {
+        assert_eq!(a.0.len(), b.0.len());
+        for (x, y) in a.0.iter().zip(&b.0) {
+            assert_eq!(x.day, y.day);
+            assert_eq!(x.modularity.to_bits(), y.modularity.to_bits());
+            assert_eq!(x.num_tracked, y.num_tracked);
+            assert_eq!(x.sizes, y.sizes);
+        }
+        assert_eq!(a.1.events, b.1.events);
+        assert_eq!(a.1.records, b.1.records);
+        assert_eq!(a.1.final_membership, b.1.final_membership);
+    }
+
+    #[test]
+    fn checkpointed_communities_match_direct_run() {
+        let log = tiny_log();
+        let cfg = comm_cfg();
+        let dir = tmp_dir("comm_direct");
+        let direct = track(&log, &cfg);
+        let ckpt = track_checkpointed(&log, &cfg, &dir).unwrap();
+        assert_outputs_eq(&ckpt, &direct);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interrupted_communities_resume_identically() {
+        let log = tiny_log();
+        let cfg = comm_cfg();
+        let dir = tmp_dir("comm_resume");
+        let partial = run_communities(&log, &cfg, &dir, 2).unwrap();
+        assert!(partial.is_none(), "run should have been interrupted");
+        assert!(dir.join("communities.ckpt").exists());
+        let resumed = track_checkpointed(&log, &cfg, &dir).unwrap();
+        assert_outputs_eq(&resumed, &track(&log, &cfg));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(6))]
+
+        /// A metrics run interrupted after an arbitrary number of strides
+        /// (possibly several times) and then resumed produces results
+        /// bit-identical to an uninterrupted run — for arbitrary
+        /// result-affecting configuration.
+        #[test]
+        fn interrupted_metrics_resume_bit_identical(
+            limit in 1usize..5,
+            stride in 15u32..45,
+            seed in 0u64..4,
+            path_every in 1usize..4,
+        ) {
+            let log = tiny_log();
+            let cfg = MetricSeriesConfig {
+                stride,
+                seed,
+                path_every,
+                path_sample: 30,
+                clustering_sample: 100,
+                workers: 2,
+                ..MetricSeriesConfig::default()
+            };
+            let dir = tmp_dir(&format!("prop_{limit}_{stride}_{seed}_{path_every}"));
+            // Interrupt twice at the same budget, then finish.
+            let _ = run_metrics(&log, &cfg, &dir, limit).unwrap();
+            let _ = run_metrics(&log, &cfg, &dir, limit).unwrap();
+            let resumed = metric_series_checkpointed(&log, &cfg, &dir).unwrap();
+            let direct = metric_series(&log, &cfg);
+            assert_series_eq(&resumed, &direct);
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn communities_checkpoint_refuses_other_trace() {
+        let log = tiny_log();
+        let cfg = comm_cfg();
+        let dir = tmp_dir("comm_mismatch");
+        run_communities(&log, &cfg, &dir, 1).unwrap();
+        let mut gen_cfg = TraceConfig::tiny();
+        gen_cfg.seed ^= 0xfeed;
+        let other = TraceGenerator::new(gen_cfg).generate();
+        let err = track_checkpointed(&other, &cfg, &dir).unwrap_err();
+        assert!(matches!(err, CheckpointStoreError::Mismatch(_)), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

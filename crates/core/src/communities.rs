@@ -40,7 +40,7 @@ impl Default for CommunityAnalysisConfig {
 }
 
 impl CommunityAnalysisConfig {
-    fn tracker_config(&self) -> TrackerConfig {
+    pub(crate) fn tracker_config(&self) -> TrackerConfig {
         TrackerConfig {
             min_size: self.min_size,
             louvain: LouvainConfig {
@@ -53,7 +53,10 @@ impl CommunityAnalysisConfig {
 }
 
 /// Run the tracker over every snapshot of the log.
-pub fn track(log: &EventLog, cfg: &CommunityAnalysisConfig) -> (Vec<SnapshotSummary>, TrackerOutput) {
+pub fn track(
+    log: &EventLog,
+    cfg: &CommunityAnalysisConfig,
+) -> (Vec<SnapshotSummary>, TrackerOutput) {
     let mut tracker = CommunityTracker::new(cfg.tracker_config());
     let mut summaries = Vec::new();
     for snap in DailySnapshots::new(log, cfg.first_day, cfg.stride) {
@@ -84,16 +87,13 @@ pub fn delta_sensitivity(
     reference_day: Day,
     workers: usize,
 ) -> DeltaSweep {
-    let runs: Vec<(f64, Vec<SnapshotSummary>)> = par_map(
-        deltas.iter().copied(),
-        workers.max(1),
-        |delta| {
+    let runs: Vec<(f64, Vec<SnapshotSummary>)> =
+        par_map(deltas.iter().copied(), workers.max(1), |delta| {
             let mut c = *cfg;
             c.delta = delta;
             let (summaries, _) = track(log, &c);
             (delta, summaries)
-        },
-    );
+        });
     let mut modularity = Table::new("day");
     let mut similarity = Table::new("day");
     let mut size_distributions = Vec::new();
@@ -109,7 +109,10 @@ pub fn delta_sensitivity(
         modularity.push(mseries);
         similarity.push(sseries);
         // Size distribution at the snapshot closest to the reference day.
-        if let Some(snap) = summaries.iter().min_by_key(|s| s.day.abs_diff(reference_day)) {
+        if let Some(snap) = summaries
+            .iter()
+            .min_by_key(|s| s.day.abs_diff(reference_day))
+        {
             size_distributions.push((*delta, size_distribution_series(&snap.sizes, *delta)));
         }
     }
@@ -165,7 +168,10 @@ fn size_distribution_series(sizes: &[u32], delta: f64) -> Series {
     }
     Series::from_points(
         format!("count_delta_{delta}"),
-        counts.into_iter().map(|(s, c)| (s as f64, c as f64)).collect(),
+        counts
+            .into_iter()
+            .map(|(s, c)| (s as f64, c as f64))
+            .collect(),
     )
 }
 
@@ -174,14 +180,11 @@ fn size_distribution_series(sizes: &[u32], delta: f64) -> Series {
 pub fn size_over_time(summaries: &[SnapshotSummary], days: &[Day]) -> Vec<(Day, Series)> {
     days.iter()
         .filter_map(|&d| {
-            summaries
-                .iter()
-                .min_by_key(|s| s.day.abs_diff(d))
-                .map(|s| {
-                    let mut series = size_distribution_series(&s.sizes, 0.0);
-                    series.name = format!("count_day_{}", s.day);
-                    (s.day, series)
-                })
+            summaries.iter().min_by_key(|s| s.day.abs_diff(d)).map(|s| {
+                let mut series = size_distribution_series(&s.sizes, 0.0);
+                series.name = format!("count_day_{}", s.day);
+                (s.day, series)
+            })
         })
         .collect()
 }
@@ -191,7 +194,10 @@ pub fn size_over_time(summaries: &[SnapshotSummary], days: &[Day]) -> Vec<(Day, 
 pub fn top5_coverage(summaries: &[SnapshotSummary]) -> Series {
     Series::from_points(
         "top5_coverage",
-        summaries.iter().map(|s| (s.day as f64, s.top5_coverage)).collect(),
+        summaries
+            .iter()
+            .map(|s| (s.day as f64, s.top5_coverage))
+            .collect(),
     )
 }
 
@@ -371,7 +377,7 @@ fn features(rec: &osn_community::CommunityRecord, i: usize) -> Vec<f64> {
     }
     for m in &metrics {
         // std over history up to i
-        let vals: Vec<f64> = (0..=i).map(|k| m(k)).collect();
+        let vals: Vec<f64> = (0..=i).map(&m).collect();
         let mean = vals.iter().sum::<f64>() / vals.len() as f64;
         let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
         out.push(var.sqrt());
@@ -395,7 +401,10 @@ fn features(rec: &osn_community::CommunityRecord, i: usize) -> Vec<f64> {
 /// community age.
 ///
 /// Returns `None` when there are not enough samples of both classes.
-pub fn merge_prediction(output: &TrackerOutput, cfg: &MergePredictionConfig) -> Option<MergePrediction> {
+pub fn merge_prediction(
+    output: &TrackerOutput,
+    cfg: &MergePredictionConfig,
+) -> Option<MergePrediction> {
     let (xs, ys, ages) = collect_merge_samples(output, cfg)?;
     let positives = ys.iter().filter(|&&y| y > 0.0).count();
 
@@ -482,12 +491,15 @@ pub fn merge_prediction_crossval(
     Some((svm_folds, log_folds))
 }
 
-/// Shared sample extraction for the merge predictors: the 13-feature
-/// rows, ±1 labels, and per-sample community ages.
+/// The 13-feature rows, ±1 labels, and per-sample community ages used by
+/// the merge predictors.
+type MergeSamples = (Vec<Vec<f64>>, Vec<f64>, Vec<u32>);
+
+/// Shared sample extraction for the merge predictors.
 fn collect_merge_samples(
     output: &TrackerOutput,
     cfg: &MergePredictionConfig,
-) -> Option<(Vec<Vec<f64>>, Vec<f64>, Vec<u32>)> {
+) -> Option<MergeSamples> {
     let mut xs: Vec<Vec<f64>> = Vec::new();
     let mut ys: Vec<f64> = Vec::new();
     let mut ages: Vec<u32> = Vec::new();
@@ -578,7 +590,7 @@ mod tests {
         assert!(cov.points.iter().all(|&(_, y)| (0.0..=1.0).contains(&y)));
         let lc = lifetime_cdf(&output);
         // communities churn in a growing network: some die
-        assert!(lc.len() > 0, "no dead communities");
+        assert!(!lc.is_empty(), "no dead communities");
         // all lifetimes non-negative
         assert!(lc.quantile(0.0).unwrap() >= 0.0);
     }
@@ -588,7 +600,7 @@ mod tests {
         let log = tiny_log();
         let (_, output) = track(&log, &tiny_cfg());
         let (merges, splits) = merge_split_ratio(&output);
-        assert!(merges.len() > 0, "no merges detected");
+        assert!(!merges.is_empty(), "no merges detected");
         // Merges are asymmetric (small into large): median ratio well below 1.
         assert!(merges.median().unwrap() < 0.8);
         // splits (if any) are more balanced on average than merges
@@ -608,7 +620,7 @@ mod tests {
         assert!(series.points.iter().all(|&(_, y)| y == 0.0 || y == 1.0));
         if let Some(f) = frac {
             assert!((0.0..=1.0).contains(&f));
-            assert_eq!(series.len() > 0, true);
+            assert!(!series.is_empty());
         } else {
             assert!(series.is_empty());
         }

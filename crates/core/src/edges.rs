@@ -82,8 +82,11 @@ pub fn interarrival_pdf(log: &EventLog, bins: usize) -> Vec<InterArrivalBucket> 
         .map(|(h, &(_, _, label))| {
             let pts: Vec<(f64, f64)> = h.density().into_iter().filter(|&(_, d)| d > 0.0).collect();
             let (fit_lo, fit_hi) = FIT_RANGE_DAYS;
-            let tail: Vec<(f64, f64)> =
-                pts.iter().copied().filter(|&(x, _)| x >= fit_lo && x <= fit_hi).collect();
+            let tail: Vec<(f64, f64)> = pts
+                .iter()
+                .copied()
+                .filter(|&(x, _)| x >= fit_lo && x <= fit_hi)
+                .collect();
             let xs: Vec<f64> = tail.iter().map(|&(x, _)| x).collect();
             let ys: Vec<f64> = tail.iter().map(|&(_, y)| y).collect();
             InterArrivalBucket {
@@ -191,7 +194,10 @@ pub fn min_age_series(log: &EventLog) -> Table {
         let mut s = Series::new(*name);
         for d in 0..days {
             if per_day_total[d] > 0 {
-                s.push(d as f64, per_day_below[d][i] as f64 / per_day_total[d] as f64);
+                s.push(
+                    d as f64,
+                    per_day_below[d][i] as f64 / per_day_total[d] as f64,
+                );
             }
         }
         table.push(s);
@@ -226,7 +232,11 @@ mod tests {
         let buckets = interarrival_pdf(&log, 30);
         assert_eq!(buckets.len(), 6);
         // The young buckets must be populated in a 160-day trace.
-        assert!(buckets[0].count > 100, "month-1 bucket {}", buckets[0].count);
+        assert!(
+            buckets[0].count > 100,
+            "month-1 bucket {}",
+            buckets[0].count
+        );
         let fit = buckets[0].fit.as_ref().expect("fit");
         // Power-law decay: negative exponent, of plausible magnitude.
         assert!(
@@ -280,10 +290,17 @@ mod tests {
         // one (the ≤30d decline needs the full 771-day trace; see
         // EXPERIMENTS.md)
         let le1_series = &t.series[0];
-        let early: f64 = le1_series.points[3..13].iter().map(|&(_, y)| y).sum::<f64>() / 10.0;
+        let early: f64 = le1_series.points[3..13]
+            .iter()
+            .map(|&(_, y)| y)
+            .sum::<f64>()
+            / 10.0;
         let n = le1_series.len();
-        let late: f64 =
-            le1_series.points[n - 10..].iter().map(|&(_, y)| y).sum::<f64>() / 10.0;
+        let late: f64 = le1_series.points[n - 10..]
+            .iter()
+            .map(|&(_, y)| y)
+            .sum::<f64>()
+            / 10.0;
         assert!(late < early, "late {late} early {early}");
     }
 
@@ -314,7 +331,8 @@ mod tests {
         let d = b.add_node(Time::from_days(50), Origin::Core).unwrap();
         // day 50: edge a-d (min age 0 → ≤1d) and edge a-c (min age 50 → only ≤30 fails)
         b.add_edge(Time::from_days(50), a, d).unwrap();
-        b.add_edge(Time::from_days(50).plus_seconds(5), a, c).unwrap();
+        b.add_edge(Time::from_days(50).plus_seconds(5), a, c)
+            .unwrap();
         let log = b.build();
         let t = min_age_series(&log);
         assert_eq!(t.series[0].points, vec![(50.0, 0.5)]);

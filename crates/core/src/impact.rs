@@ -49,7 +49,9 @@ impl SizeBands {
 
     /// Index of the band containing `size`, if any.
     pub fn band_of(&self, size: u32) -> Option<usize> {
-        self.bands.iter().position(|&(lo, hi, _)| size >= lo && size < hi)
+        self.bands
+            .iter()
+            .position(|&(lo, hi, _)| size >= lo && size < hi)
     }
 }
 
@@ -151,7 +153,9 @@ pub fn indegree_ratio_cdf(
         let inside = g
             .neighbors(node)
             .iter()
-            .filter(|&&w| output.final_membership.get(w as usize).copied().flatten() == Some(my_comm))
+            .filter(|&&w| {
+                output.final_membership.get(w as usize).copied().flatten() == Some(my_comm)
+            })
             .count();
         let ratio = inside as f64 / deg as f64;
         if let Some(size) = members.community_size[node as usize] {
@@ -224,10 +228,7 @@ mod tests {
         let (log, output) = setup();
         let m = membership(&output);
         let bands = SizeBands {
-            bands: vec![
-                (8, 50, "[8,50]".into()),
-                (50, u32::MAX, "50+".into()),
-            ],
+            bands: vec![(8, 50, "[8,50]".into()), (50, u32::MAX, "50+".into())],
         };
         let (banded, _outside) = lifetime_cdf(&log, &m, &bands);
         assert_eq!(banded.len(), 2);
@@ -244,7 +245,7 @@ mod tests {
         };
         let cdfs = indegree_ratio_cdf(&log, &output, &m, &bands);
         assert_eq!(cdfs.len(), 1);
-        assert!(cdfs[0].len() > 0);
+        assert!(!cdfs[0].is_empty());
         assert!(cdfs[0].quantile(0.0).unwrap() >= 0.0);
         assert!(cdfs[0].quantile(1.0).unwrap() <= 1.0);
         // community structure means users keep a solid share of edges inside

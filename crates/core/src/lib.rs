@@ -17,6 +17,7 @@
 //! | [`models`] | §3.3 hypothesis / §6 baselines | generative-model comparison |
 //! | [`report`] | — | CSV/text rendering, paper-vs-measured checks |
 
+pub mod checkpoint;
 pub mod communities;
 pub mod edges;
 pub mod impact;

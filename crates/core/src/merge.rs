@@ -121,7 +121,7 @@ pub fn active_users(log: &EventLog, merge_day: Day, cfg: &MergeAnalysisConfig) -
     // for x in [e - merge - thr + 1, e - merge].
     let mut diffs = [[(); 4]; 2].map(|row| row.map(|_| vec![0i64; horizon + 1]));
     let mut totals = [0u64; 2];
-    for node in 0..n {
+    for (node, lists) in day_lists.iter().enumerate().take(n) {
         let oi = match log.origins()[node] {
             Origin::Core => 0,
             Origin::Competitor => 1,
@@ -129,7 +129,7 @@ pub fn active_users(log: &EventLog, merge_day: Day, cfg: &MergeAnalysisConfig) -
         };
         totals[oi] += 1;
         for cat in 0..4 {
-            let days = &day_lists[node][cat];
+            let days = &lists[cat];
             if days.is_empty() || horizon == 0 {
                 continue;
             }
@@ -164,8 +164,8 @@ pub fn active_users(log: &EventLog, merge_day: Day, cfg: &MergeAnalysisConfig) -
         for cat in 0..4 {
             let mut s = Series::new(format!("active_pct_{}", CAT_NAMES[cat]));
             let mut acc = 0i64;
-            for x in 0..horizon {
-                acc += diffs[oi][cat][x];
+            for (x, d) in diffs[oi][cat][..horizon].iter().enumerate() {
+                acc += d;
                 let pct = if totals[oi] == 0 {
                     0.0
                 } else {
@@ -200,14 +200,14 @@ pub fn duplicate_estimate(log: &EventLog, merge_day: Day, cfg: &MergeAnalysisCon
     }
     let mut counts = [0u64; 2];
     let mut inactive = [0u64; 2];
-    for node in 0..n {
+    for (node, &is_active) in active.iter().enumerate().take(n) {
         let oi = match log.origins()[node] {
             Origin::Core => 0,
             Origin::Competitor => 1,
             Origin::PostMerge => continue,
         };
         counts[oi] += 1;
-        if !active[node] {
+        if !is_active {
             inactive[oi] += 1;
         }
     }
@@ -301,7 +301,12 @@ pub fn internal_external_ratio(log: &EventLog, merge_day: Day, cfg: &MergeAnalys
     Table::new("days_after_merge")
         .with(rolling_ratio("int_ext_core", &c.int_core, &c.external, w))
         .with(rolling_ratio("int_ext_both", &both, &c.external, w))
-        .with(rolling_ratio("int_ext_competitor", &c.int_comp, &c.external, w))
+        .with(rolling_ratio(
+            "int_ext_competitor",
+            &c.int_comp,
+            &c.external,
+            w,
+        ))
 }
 
 /// Figure 9(b): ratio of new-user edges to external edges per day, split
@@ -386,7 +391,9 @@ pub fn cross_distance(log: &EventLog, merge_day: Day, cfg: &MergeAnalysisConfig)
         }
         let g = CsrGraph::from_sorted_adjacency(&adj, cutoff);
         let x = (day - merge_day) as f64;
-        if let Some(d) = avg_group_distance(&g, &core_nodes, origins, Origin::Competitor, cfg, &mut rng) {
+        if let Some(d) =
+            avg_group_distance(&g, &core_nodes, origins, Origin::Competitor, cfg, &mut rng)
+        {
             core_to_comp.push(x, d);
         }
         if let Some(d) = avg_group_distance(&g, &comp_nodes, origins, Origin::Core, cfg, &mut rng) {
@@ -494,7 +501,10 @@ mod tests {
         // dormancy — but the tiny trace has only ~60 accounts per side, so
         // allow generous binomial slack.
         assert!(core_inactive > 0.015, "core inactive {core_inactive}");
-        assert!(comp_inactive > core_inactive, "comp {comp_inactive} core {core_inactive}");
+        assert!(
+            comp_inactive > core_inactive,
+            "comp {comp_inactive} core {core_inactive}"
+        );
         assert!(comp_inactive < 0.9);
     }
 
@@ -508,7 +518,10 @@ mod tests {
         let horizon = new.len();
         assert!(horizon > 30);
         let late_new: f64 = new.points[horizon - 15..].iter().map(|&(_, y)| y).sum();
-        let late_int: f64 = internal.points[horizon - 15..].iter().map(|&(_, y)| y).sum();
+        let late_int: f64 = internal.points[horizon - 15..]
+            .iter()
+            .map(|&(_, y)| y)
+            .sum();
         assert!(late_new > late_int, "new {late_new} vs internal {late_int}");
     }
 

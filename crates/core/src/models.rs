@@ -138,7 +138,9 @@ pub fn render_profiles(profiles: &[ModelProfile]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use osn_genstream::baselines::{barabasi_albert, forest_fire, uniform_attachment, BaselineConfig};
+    use osn_genstream::baselines::{
+        barabasi_albert, forest_fire, uniform_attachment, BaselineConfig,
+    };
     use osn_genstream::{TraceConfig, TraceGenerator};
 
     fn bcfg() -> BaselineConfig {
@@ -164,11 +166,7 @@ mod tests {
     #[test]
     fn uniform_shows_weak_pa() {
         let p = profile_model("uniform", &uniform_attachment(&bcfg()), &mcfg());
-        assert!(
-            p.alpha_late.unwrap() < 0.45,
-            "uniform α {:?}",
-            p.alpha_late
-        );
+        assert!(p.alpha_late.unwrap() < 0.45, "uniform α {:?}", p.alpha_late);
     }
 
     #[test]
@@ -178,15 +176,30 @@ mod tests {
         let ba = profile_model("ba", &barabasi_albert(&bcfg()), &mcfg());
         // the full model plants community structure and clustering the
         // attachment-only baseline cannot produce
-        assert!(full.clustering > ba.clustering + 0.1, "full {} ba {}", full.clustering, ba.clustering);
-        assert!(full.modularity > ba.modularity, "full {} ba {}", full.modularity, ba.modularity);
+        assert!(
+            full.clustering > ba.clustering + 0.1,
+            "full {} ba {}",
+            full.clustering,
+            ba.clustering
+        );
+        assert!(
+            full.modularity > ba.modularity,
+            "full {} ba {}",
+            full.modularity,
+            ba.modularity
+        );
     }
 
     #[test]
     fn forest_fire_clusters_more_than_ba() {
         let ff = profile_model("ff", &forest_fire(&bcfg(), 0.35), &mcfg());
         let ba = profile_model("ba", &barabasi_albert(&bcfg()), &mcfg());
-        assert!(ff.clustering > ba.clustering, "ff {} ba {}", ff.clustering, ba.clustering);
+        assert!(
+            ff.clustering > ba.clustering,
+            "ff {} ba {}",
+            ff.clustering,
+            ba.clustering
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use osn_graph::{Day, EventKind, EventLog, EventLogBuilder, NodeId, Origin, Time};
 use osn_metrics::parallel::par_map;
-use osn_metrics::{avg_path_length_sampled, average_clustering, degree_assortativity};
+use osn_metrics::{average_clustering, avg_path_length_sampled, degree_assortativity};
 use osn_stats::sampling::derive_seed;
 use osn_stats::{rng_from_seed, Series, Table};
 
@@ -23,10 +23,7 @@ use osn_stats::{rng_from_seed, Series, Table};
 /// is self-consistent but its ids do **not** match the input log's.
 pub fn import_view(log: &EventLog, merge_day: Day) -> EventLog {
     let merge_t = Time::day_start(merge_day);
-    let mut b = EventLogBuilder::with_capacity(
-        log.num_nodes() as usize,
-        log.num_edges() as usize,
-    );
+    let mut b = EventLogBuilder::with_capacity(log.num_nodes() as usize, log.num_edges() as usize);
     let mut id_map: Vec<Option<NodeId>> = vec![None; log.num_nodes() as usize];
     // Buffered competitor history: node arrivals (old ids) and edges.
     let mut pending_nodes: Vec<NodeId> = Vec::new();
@@ -98,11 +95,19 @@ pub fn growth_series(log: &EventLog) -> Table {
     let mut t = Table::new("day");
     t.push(Series::from_points(
         "nodes_per_day",
-        nodes.iter().enumerate().map(|(d, &n)| (d as f64, n as f64)).collect(),
+        nodes
+            .iter()
+            .enumerate()
+            .map(|(d, &n)| (d as f64, n as f64))
+            .collect(),
     ));
     t.push(Series::from_points(
         "edges_per_day",
-        edges.iter().enumerate().map(|(d, &n)| (d as f64, n as f64)).collect(),
+        edges
+            .iter()
+            .enumerate()
+            .map(|(d, &n)| (d as f64, n as f64))
+            .collect(),
     ));
     t
 }
@@ -208,26 +213,22 @@ pub fn metric_series(log: &EventLog, cfg: &MetricSeriesConfig) -> MetricSeries {
         assortativity: Option<f64>,
     }
 
-    let rows: Vec<Row> = par_map(
-        snaps.enumerate(),
-        workers,
-        move |(idx, snap)| {
-            let g = &snap.graph;
-            let mut rng = rng_from_seed(derive_seed(seed, snap.day as u64));
-            let path_length = if idx % path_every == 0 {
-                avg_path_length_sampled(g, path_sample, &mut rng)
-            } else {
-                None
-            };
-            Row {
-                day: snap.day,
-                avg_degree: g.average_degree(),
-                path_length,
-                clustering: average_clustering(g, clustering_sample, &mut rng),
-                assortativity: degree_assortativity(g),
-            }
-        },
-    );
+    let rows: Vec<Row> = par_map(snaps.enumerate(), workers, move |(idx, snap)| {
+        let g = &snap.graph;
+        let mut rng = rng_from_seed(derive_seed(seed, snap.day as u64));
+        let path_length = if idx % path_every == 0 {
+            avg_path_length_sampled(g, path_sample, &mut rng)
+        } else {
+            None
+        };
+        Row {
+            day: snap.day,
+            avg_degree: g.average_degree(),
+            path_length,
+            clustering: average_clustering(g, clustering_sample, &mut rng),
+            assortativity: degree_assortativity(g),
+        }
+    });
 
     let mut out = MetricSeries {
         avg_degree: Series::new("avg_degree"),
@@ -353,7 +354,11 @@ mod tests {
             .iter()
             .all(|&(_, y)| (0.0..=1.0).contains(&y)));
         // path length sensible (small world)
-        assert!(m.path_length.points.iter().all(|&(_, y)| y >= 1.0 && y < 20.0));
+        assert!(m
+            .path_length
+            .points
+            .iter()
+            .all(|&(_, y)| (1.0..20.0).contains(&y)));
         // assortativity in [-1, 1]
         assert!(m
             .assortativity
@@ -456,7 +461,7 @@ mod extended_tests {
         let s = effective_diameter_series(&log, 40, 40, 60, 2, 1);
         assert!(!s.is_empty());
         for &(_, d) in &s.points {
-            assert!(d >= 1.0 && d < 12.0, "effective diameter {d}");
+            assert!((1.0..12.0).contains(&d), "effective diameter {d}");
         }
     }
 }

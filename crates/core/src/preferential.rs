@@ -99,7 +99,10 @@ impl AlphaSeries {
     pub fn to_series(&self) -> Series {
         Series::from_points(
             format!("alpha_{}", self.rule.label()),
-            self.points.iter().map(|p| (p.edge_count as f64, p.alpha)).collect(),
+            self.points
+                .iter()
+                .map(|p| (p.edge_count as f64, p.alpha))
+                .collect(),
         )
     }
 
@@ -308,10 +311,7 @@ fn sweep(
             }
         }
     }
-    (
-        AlphaSeries { rule, points },
-        captured,
-    )
+    (AlphaSeries { rule, points }, captured)
 }
 
 #[cfg(test)]
@@ -352,7 +352,8 @@ mod tests {
         let log = tiny_log();
         let hi = alpha_series(&log, DestinationRule::HigherDegree, &tiny_cfg());
         let lo = alpha_series(&log, DestinationRule::Random, &tiny_cfg());
-        let avg = |s: &AlphaSeries| s.points.iter().map(|p| p.alpha).sum::<f64>() / s.points.len() as f64;
+        let avg =
+            |s: &AlphaSeries| s.points.iter().map(|p| p.alpha).sum::<f64>() / s.points.len() as f64;
         assert!(
             avg(&hi) > avg(&lo),
             "higher-degree {} vs random {}",

@@ -75,10 +75,7 @@ pub fn mixed_attachment(cfg: &BaselineConfig, uniform_share: f64) -> EventLog {
     let mut rng = rng_from_seed(cfg.seed);
     let m = cfg.edges_per_node.max(1);
     let seed_nodes = (m + 1).max(2);
-    let mut b = EventLogBuilder::with_capacity(
-        cfg.nodes as usize,
-        (cfg.nodes * m) as usize,
-    );
+    let mut b = EventLogBuilder::with_capacity(cfg.nodes as usize, (cfg.nodes * m) as usize);
     let mut endpoints: Vec<u32> = Vec::with_capacity((cfg.nodes * m * 2) as usize);
     // Seed clique.
     for i in 0..seed_nodes {
@@ -124,8 +121,12 @@ pub fn forest_fire(cfg: &BaselineConfig, forward_prob: f64) -> EventLog {
     let mut rng = rng_from_seed(cfg.seed);
     let mut b = EventLogBuilder::with_capacity(cfg.nodes as usize, cfg.nodes as usize * 8);
     // two seed nodes with one edge
-    let n0 = b.add_node(arrival_time(cfg, 0), Origin::Core).expect("monotone");
-    let n1 = b.add_node(arrival_time(cfg, 1), Origin::Core).expect("monotone");
+    let n0 = b
+        .add_node(arrival_time(cfg, 0), Origin::Core)
+        .expect("monotone");
+    let n1 = b
+        .add_node(arrival_time(cfg, 1), Origin::Core)
+        .expect("monotone");
     b.add_edge(arrival_time(cfg, 1), n0, n1).expect("seed");
 
     // Cap the burn so a single arrival cannot link to the whole graph.
@@ -219,7 +220,12 @@ mod tests {
             }
             *deg.iter().max().unwrap()
         };
-        assert!(max_deg(&ba) > 2 * max_deg(&un), "ba {} un {}", max_deg(&ba), max_deg(&un));
+        assert!(
+            max_deg(&ba) > 2 * max_deg(&un),
+            "ba {} un {}",
+            max_deg(&ba),
+            max_deg(&un)
+        );
     }
 
     #[test]

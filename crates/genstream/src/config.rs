@@ -51,11 +51,31 @@ impl GrowthConfig {
     /// summer-vacation dips, one publicity surge around day 305.
     pub fn paper_windows() -> Vec<DipWindow> {
         vec![
-            DipWindow { start_day: 56, len: 14, factor: 0.35 },
-            DipWindow { start_day: 222, len: 60, factor: 0.5 },
-            DipWindow { start_day: 305, len: 40, factor: 2.2 },
-            DipWindow { start_day: 432, len: 14, factor: 0.35 },
-            DipWindow { start_day: 587, len: 60, factor: 0.5 },
+            DipWindow {
+                start_day: 56,
+                len: 14,
+                factor: 0.35,
+            },
+            DipWindow {
+                start_day: 222,
+                len: 60,
+                factor: 0.5,
+            },
+            DipWindow {
+                start_day: 305,
+                len: 40,
+                factor: 2.2,
+            },
+            DipWindow {
+                start_day: 432,
+                len: 14,
+                factor: 0.35,
+            },
+            DipWindow {
+                start_day: 587,
+                len: 60,
+                factor: 0.5,
+            },
         ]
     }
 }
@@ -297,7 +317,11 @@ impl TraceConfig {
                 initial_nodes: 2,
                 final_nodes: 600,
                 beta: 0.7,
-                dips: vec![DipWindow { start_day: 30, len: 7, factor: 0.4 }],
+                dips: vec![DipWindow {
+                    start_day: 30,
+                    len: 7,
+                    factor: 0.4,
+                }],
                 daily_jitter: 0.05,
             },
             behavior: BehaviorConfig {
@@ -340,7 +364,11 @@ mod tests {
 
     #[test]
     fn presets_are_consistent() {
-        for cfg in [TraceConfig::default_paper(), TraceConfig::small(), TraceConfig::tiny()] {
+        for cfg in [
+            TraceConfig::default_paper(),
+            TraceConfig::small(),
+            TraceConfig::tiny(),
+        ] {
             assert!(cfg.growth.final_nodes > cfg.growth.initial_nodes);
             assert!(cfg.growth.beta > 0.0 && cfg.growth.beta <= 1.0);
             if let Some(m) = &cfg.merge {

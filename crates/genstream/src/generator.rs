@@ -102,12 +102,8 @@ impl TraceGenerator {
     /// Run the simulation and return the validated event log.
     pub fn generate(&self) -> EventLog {
         let cfg = self.cfg.clone();
-        let core_schedule = GrowthSchedule::build(
-            &cfg.growth,
-            cfg.days,
-            0,
-            derive_seed(cfg.seed, 1),
-        );
+        let core_schedule =
+            GrowthSchedule::build(&cfg.growth, cfg.days, 0, derive_seed(cfg.seed, 1));
         // The competitor's own growth curve runs from its start day to the
         // merge day, targeting `ratio × N_core(merge_day)` users.
         let comp_schedule = cfg.merge.as_ref().map(|m| {
@@ -120,7 +116,12 @@ impl TraceGenerator {
                 dips: cfg.growth.dips.clone(),
                 daily_jitter: cfg.growth.daily_jitter,
             };
-            GrowthSchedule::build(&comp_cfg, span, m.competitor_start_day, derive_seed(cfg.seed, 2))
+            GrowthSchedule::build(
+                &comp_cfg,
+                span,
+                m.competitor_start_day,
+                derive_seed(cfg.seed, 2),
+            )
         });
 
         let expected_total_nodes = cfg.growth.final_nodes as f64
@@ -313,14 +314,14 @@ impl Sim {
         // one with probability `region_new_prob`, else proportional to
         // existing regions' group counts.
         let tokens = &self.region_tokens[net as usize];
-        let region = if tokens.is_empty() || self.rng.gen::<f64>() < self.cfg.behavior.region_new_prob
-        {
-            let r = self.regions.len() as u32;
-            self.regions.push(Pool::new());
-            r
-        } else {
-            tokens[self.rng.gen_range(0..tokens.len())]
-        };
+        let region =
+            if tokens.is_empty() || self.rng.gen::<f64>() < self.cfg.behavior.region_new_prob {
+                let r = self.regions.len() as u32;
+                self.regions.push(Pool::new());
+                r
+            } else {
+                tokens[self.rng.gen_range(0..tokens.len())]
+            };
         self.group_region.push(region);
         self.group_birth.push(self.current_day);
         self.region_tokens[net as usize].push(region);
@@ -409,11 +410,13 @@ impl Sim {
             let uniform = self.cfg.behavior.group_uniform.max(uniform_p);
             // Cohort cohesion decays with group age; the lost share leaks
             // into the region (and implicitly, beyond).
-            let age = (self.current_day.saturating_sub(self.group_birth[g as usize])) as f64;
+            let age = (self
+                .current_day
+                .saturating_sub(self.group_birth[g as usize])) as f64;
             let cohesion = (-age / self.cfg.behavior.group_age_tau_days.max(1.0)).exp();
             let local_w = self.cfg.behavior.local_prob * cohesion;
-            let region_w =
-                self.cfg.behavior.region_prob + self.cfg.behavior.local_prob * (1.0 - cohesion) * 0.8;
+            let region_w = self.cfg.behavior.region_prob
+                + self.cfg.behavior.local_prob * (1.0 - cohesion) * 0.8;
             let roll: f64 = self.rng.gen();
             if roll < local_w {
                 for _ in 0..8 {
@@ -548,8 +551,8 @@ impl Sim {
             }
             Origin::Core | Origin::Competitor => {
                 let since = (t.as_days_f64() - m.merge_day as f64).max(0.0);
-                let mut ext_w =
-                    m.external_bias + m.external_burst * (-since / m.external_burst_decay_days).exp();
+                let mut ext_w = m.external_bias
+                    + m.external_burst * (-since / m.external_burst_decay_days).exp();
                 if origin == Origin::Competitor {
                     ext_w *= m.competitor_external_factor;
                 }
@@ -634,8 +637,16 @@ mod tests {
     fn produces_nodes_and_edges() {
         let log = tiny_log();
         let target = TraceConfig::tiny().growth.final_nodes;
-        assert!(log.num_nodes() as f64 > target as f64 * 0.8, "{}", log.num_nodes());
-        assert!(log.num_edges() > log.num_nodes() as u64, "{}", log.num_edges());
+        assert!(
+            log.num_nodes() as f64 > target as f64 * 0.8,
+            "{}",
+            log.num_nodes()
+        );
+        assert!(
+            log.num_edges() > log.num_nodes() as u64,
+            "{}",
+            log.num_edges()
+        );
         assert!(log.end_day() < TraceConfig::tiny().days);
     }
 
@@ -668,7 +679,10 @@ mod tests {
                 Origin::PostMerge => post += 1,
             }
         }
-        assert!(core > 0 && comp > 0 && post > 0, "core {core} comp {comp} post {post}");
+        assert!(
+            core > 0 && comp > 0 && post > 0,
+            "core {core} comp {comp} post {post}"
+        );
         // competitor roughly matches its ratio target vs core-at-merge
         assert!(comp as f64 > core as f64 * 0.1);
     }
@@ -744,7 +758,11 @@ mod tests {
             deg[u.index()] += 1;
             deg[v.index()] += 1;
         }
-        assert!(deg.iter().all(|&d| d <= 60), "max {}", deg.iter().max().unwrap());
+        assert!(
+            deg.iter().all(|&d| d <= 60),
+            "max {}",
+            deg.iter().max().unwrap()
+        );
         // the cap binds for at least someone
         assert!(deg.iter().any(|&d| d >= 25));
     }

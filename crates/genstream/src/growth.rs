@@ -134,7 +134,10 @@ mod tests {
         }
         let early_rel: f64 = rel[5..50].iter().sum::<f64>() / 45.0;
         let late_rel: f64 = rel[600..690].iter().sum::<f64>() / 90.0;
-        assert!(early_rel > late_rel * 3.0, "early {early_rel} late {late_rel}");
+        assert!(
+            early_rel > late_rel * 3.0,
+            "early {early_rel} late {late_rel}"
+        );
     }
 
     #[test]

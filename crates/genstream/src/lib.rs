@@ -32,7 +32,9 @@ pub mod generator;
 pub mod growth;
 pub mod lifecycle;
 
-pub use baselines::{barabasi_albert, forest_fire, mixed_attachment, uniform_attachment, BaselineConfig};
+pub use baselines::{
+    barabasi_albert, forest_fire, mixed_attachment, uniform_attachment, BaselineConfig,
+};
 pub use config::{BehaviorConfig, DipWindow, GrowthConfig, MergeConfig, TraceConfig};
 pub use generator::TraceGenerator;
 pub use growth::GrowthSchedule;

@@ -1,0 +1,103 @@
+//! Crash-safe file writes: tmp file + fsync + rename.
+//!
+//! Every artifact this workspace persists (traces, CSVs, checkpoints) goes
+//! through [`write_atomic`], so a process killed mid-write never leaves a
+//! half-written file where a later run expects a valid one. The protocol is
+//! the classic POSIX one: write everything to `<path>.tmp` in the target
+//! directory, `fsync` it, then `rename(2)` over the destination — rename
+//! within a filesystem is atomic, so readers observe either the old
+//! complete file or the new complete file, never a torn mix.
+//!
+//! Missing parent directories are created, so callers can point outputs at
+//! paths that do not exist yet without hitting an opaque `ENOENT`.
+
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// The temporary sibling `<path>.tmp` used during an atomic write.
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Atomically replace `path` with whatever `write` produces.
+///
+/// Creates missing parent directories, streams through a buffered writer,
+/// fsyncs, and renames. On any error the temporary file is removed and the
+/// destination is left untouched.
+pub fn write_atomic<F>(path: &Path, write: F) -> io::Result<()>
+where
+    F: FnOnce(&mut BufWriter<File>) -> io::Result<()>,
+{
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        fs::create_dir_all(parent)?;
+    }
+    let tmp = tmp_path(path);
+    let result = (|| {
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        write(&mut w)?;
+        w.flush()?;
+        w.get_ref().sync_all()?;
+        Ok(())
+    })();
+    if let Err(e) = result {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    fs::rename(&tmp, path)
+}
+
+/// Atomically replace `path` with `bytes`.
+pub fn write_bytes_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    write_atomic(path, |w| w.write_all(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        std::env::temp_dir().join("osn_atomicfile_tests").join(name)
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let path = scratch("replace/out.txt");
+        write_bytes_atomic(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        write_bytes_atomic(&path, b"second").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second");
+        assert!(!tmp_path(&path).exists(), "tmp file must not linger");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn creates_missing_parents() {
+        let path = scratch("a/b/c/deep.txt");
+        let _ = fs::remove_dir_all(scratch("a"));
+        write_bytes_atomic(&path, b"x").unwrap();
+        assert!(path.exists());
+        fs::remove_dir_all(scratch("a")).unwrap();
+    }
+
+    #[test]
+    fn failed_write_leaves_destination_intact() {
+        let path = scratch("intact/out.txt");
+        write_bytes_atomic(&path, b"good").unwrap();
+        let err = write_atomic(&path, |w| {
+            w.write_all(b"partial")?;
+            Err(io::Error::other("simulated failure"))
+        })
+        .unwrap_err();
+        assert_eq!(err.to_string(), "simulated failure");
+        assert_eq!(
+            fs::read(&path).unwrap(),
+            b"good",
+            "old content must survive"
+        );
+        assert!(!tmp_path(&path).exists(), "tmp file must be cleaned up");
+        fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,114 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`).
+//!
+//! Used by the v2 trace format in [`crate::io`] to checksum event-line
+//! chunks and the whole-file footer. The table is generated at compile
+//! time; the implementation matches the ubiquitous zlib/`cksum -o 3`
+//! variant so checksums can be cross-checked with external tools.
+
+/// Reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Streaming CRC-32 hasher.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Start a fresh checksum.
+    pub fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    /// Feed bytes into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Finish and return the checksum value.
+    pub fn finalize(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(bytes);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for the IEEE variant.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data = b"N 0 core\nE 10 0 1\n";
+        let mut h = Crc32::new();
+        for chunk in data.chunks(3) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), crc32(data));
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let data = b"E 86400 17 42\n";
+        let base = crc32(data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupted = data.to_vec();
+                corrupted[i] ^= 1 << bit;
+                assert_ne!(
+                    crc32(&corrupted),
+                    base,
+                    "flip at byte {i} bit {bit} undetected"
+                );
+            }
+        }
+    }
+}

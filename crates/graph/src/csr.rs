@@ -27,7 +27,10 @@ impl CsrGraph {
         let mut targets = Vec::with_capacity(total);
         offsets.push(0u64);
         for list in adj {
-            debug_assert!(list.windows(2).all(|w| w[0] < w[1]), "adjacency must be sorted");
+            debug_assert!(
+                list.windows(2).all(|w| w[0] < w[1]),
+                "adjacency must be sorted"
+            );
             targets.extend_from_slice(list);
             offsets.push(targets.len() as u64);
         }
@@ -94,7 +97,8 @@ impl CsrGraph {
     /// Sorted neighbours of a node.
     #[inline]
     pub fn neighbors(&self, node: u32) -> &[u32] {
-        &self.targets[self.offsets[node as usize] as usize..self.offsets[node as usize + 1] as usize]
+        &self.targets
+            [self.offsets[node as usize] as usize..self.offsets[node as usize + 1] as usize]
     }
 
     /// True if the undirected edge `a-b` exists.
@@ -121,7 +125,9 @@ impl CsrGraph {
 
     /// Ids of all nodes with degree at least one.
     pub fn non_isolated_nodes(&self) -> Vec<u32> {
-        (0..self.num_nodes() as u32).filter(|&u| self.degree(u) > 0).collect()
+        (0..self.num_nodes() as u32)
+            .filter(|&u| self.degree(u) > 0)
+            .collect()
     }
 
     /// Convenience wrapper: neighbours of a [`NodeId`].

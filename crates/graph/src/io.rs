@@ -1,6 +1,8 @@
 //! Plain-text (de)serialisation of event logs.
 //!
-//! Format: one event per line.
+//! # Format v1
+//!
+//! One event per line:
 //!
 //! ```text
 //! # comment lines start with '#'
@@ -12,12 +14,59 @@
 //! cached on disk and re-analysed without re-running the generator, and so
 //! external tools (gnuplot, pandas) can consume them. Origins are encoded
 //! as `core`, `competitor`, `postmerge`.
+//!
+//! # Format v2
+//!
+//! v2 keeps the event lines byte-identical but frames them with integrity
+//! metadata so truncation and bit-flips are detected instead of silently
+//! producing a wrong (or differently wrong) analysis:
+//!
+//! ```text
+//! #%osn-events v2
+//! # multiscale-osn event log: 3 nodes, 2 edges, 1 days
+//! N 0 core
+//! E 10 0 1
+//! #%chunk lines=2 crc=1a2b3c4d
+//! ...more chunks...
+//! #%end events=5 crc=5e6f7a8b
+//! ```
+//!
+//! * The first line is the magic [`FORMAT_V2_MAGIC`].
+//! * Event lines are grouped into chunks; each chunk is terminated by a
+//!   `#%chunk` directive carrying the line count and the CRC-32 of the
+//!   chunk's payload (each line's trimmed bytes followed by `\n`).
+//! * The `#%end` footer carries the total event count and the CRC-32 over
+//!   every payload line in the file. A missing footer means the file was
+//!   truncated.
+//!
+//! Because every directive starts with `#`, a v1 reader that skips
+//! comments parses a v2 file correctly (it just cannot verify it), and
+//! this module's reader accepts both versions transparently.
+//!
+//! # Recovery
+//!
+//! [`read_log_with_policy`] ingests a stream under a [`RecoveryPolicy`]:
+//! `Strict` fails on the first problem (this is what [`read_log`] does),
+//! `Skip` drops bad lines and corrupt chunks up to an error budget, and
+//! `Repair` additionally re-sorts events that were displaced within a
+//! bounded time window and drops self-loops / duplicate edges. All
+//! recovery modes return an [`IngestReport`] describing exactly what was
+//! kept, skipped, and repaired.
 
+use crate::crc32::Crc32;
 use crate::event::Origin;
 use crate::log::{EventLog, EventLogBuilder, LogError};
 use crate::time::{NodeId, Time};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+/// First line of a v2 trace file.
+pub const FORMAT_V2_MAGIC: &str = "#%osn-events v2";
+
+/// Default number of event lines per v2 chunk.
+pub const DEFAULT_CHUNK_LINES: usize = 1024;
 
 /// Errors raised while parsing a textual event log.
 #[derive(Debug)]
@@ -33,6 +82,21 @@ pub enum ParseError {
     },
     /// The parsed events violated an [`EventLog`] invariant.
     Invalid(LogError),
+    /// A v2 integrity check failed (checksum mismatch, missing footer,
+    /// bad directive).
+    Corrupt {
+        /// 1-based line number of the failed check.
+        line: usize,
+        /// Description of what went wrong.
+        reason: String,
+    },
+    /// Recovery under [`RecoveryPolicy::Skip`] exceeded its error budget.
+    TooManyErrors {
+        /// Number of errors encountered.
+        errors: usize,
+        /// The configured budget.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for ParseError {
@@ -41,6 +105,13 @@ impl fmt::Display for ParseError {
             ParseError::Io(e) => write!(f, "io error: {e}"),
             ParseError::Malformed { line, reason } => write!(f, "line {line}: {reason}"),
             ParseError::Invalid(e) => write!(f, "invalid log: {e}"),
+            ParseError::Corrupt { line, reason } => write!(f, "line {line}: corrupt: {reason}"),
+            ParseError::TooManyErrors { errors, limit } => {
+                write!(
+                    f,
+                    "recovery gave up: {errors} errors exceed budget of {limit}"
+                )
+            }
         }
     }
 }
@@ -56,6 +127,179 @@ impl From<io::Error> for ParseError {
 impl From<LogError> for ParseError {
     fn from(e: LogError) -> Self {
         ParseError::Invalid(e)
+    }
+}
+
+/// How [`read_log_with_policy`] responds to malformed, invariant-breaking,
+/// or corrupt input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Fail on the first problem. This is [`read_log`]'s behaviour.
+    Strict,
+    /// Drop bad lines and corrupt chunks, failing only if more than
+    /// `max_errors` problems accumulate.
+    Skip {
+        /// Error budget before giving up with [`ParseError::TooManyErrors`].
+        max_errors: usize,
+    },
+    /// Like `Skip` without an error budget, and additionally: re-sort
+    /// events displaced by at most `window` seconds back into time order,
+    /// and drop self-loops, duplicate edges, and edges whose endpoints
+    /// never materialise.
+    Repair {
+        /// Maximum displacement (seconds) the reorder buffer absorbs.
+        window: u64,
+    },
+}
+
+/// Why a line was dropped during recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SkipReason {
+    /// The line did not parse.
+    Malformed(String),
+    /// The event broke an [`EventLog`] invariant.
+    Invariant(String),
+    /// The line belonged to a chunk whose checksum failed.
+    CorruptChunk(String),
+    /// The line sat in an unterminated chunk at end of stream.
+    TruncatedTail,
+    /// The line appeared after the `#%end` footer.
+    AfterFooter,
+}
+
+impl fmt::Display for SkipReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SkipReason::Malformed(r) => write!(f, "malformed: {r}"),
+            SkipReason::Invariant(r) => write!(f, "invariant: {r}"),
+            SkipReason::CorruptChunk(r) => write!(f, "corrupt chunk: {r}"),
+            SkipReason::TruncatedTail => write!(f, "unterminated chunk at end of stream"),
+            SkipReason::AfterFooter => write!(f, "content after footer"),
+        }
+    }
+}
+
+/// A dropped input line and the reason it was dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedLine {
+    /// 1-based line number.
+    pub line: usize,
+    /// Why it was dropped.
+    pub reason: SkipReason,
+}
+
+/// A transformation [`RecoveryPolicy::Repair`] applied to keep the log valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairKind {
+    /// The event was moved relative to its file position to restore time
+    /// order.
+    Reordered,
+    /// An edge connecting a node to itself was dropped.
+    DroppedSelfLoop,
+    /// A second copy of an undirected edge was dropped.
+    DroppedDuplicateEdge,
+    /// An edge referencing a node id that never materialised was dropped.
+    DroppedUnknownEndpoint,
+    /// The event was displaced further than the reorder window and had to
+    /// be dropped.
+    DroppedOutOfWindow,
+}
+
+impl fmt::Display for RepairKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RepairKind::Reordered => "reordered into time order",
+            RepairKind::DroppedSelfLoop => "dropped self-loop",
+            RepairKind::DroppedDuplicateEdge => "dropped duplicate edge",
+            RepairKind::DroppedUnknownEndpoint => "dropped edge with unknown endpoint",
+            RepairKind::DroppedOutOfWindow => "dropped event displaced beyond repair window",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single repair action, anchored to the input line it affected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairAction {
+    /// 1-based line number of the affected event.
+    pub line: usize,
+    /// What was done.
+    pub kind: RepairKind,
+}
+
+/// What [`read_log_with_policy`] kept, skipped, and repaired.
+#[derive(Debug, Clone, Default)]
+pub struct IngestReport {
+    /// Detected format version (1 or 2).
+    pub format_version: u8,
+    /// Total lines read from the stream (including comments/directives).
+    pub lines_read: u64,
+    /// Events that made it into the returned [`EventLog`].
+    pub events_kept: u64,
+    /// v2 chunks whose checksum verified.
+    pub chunks_verified: u64,
+    /// v2 chunks dropped because their checksum or line count mismatched.
+    pub chunks_dropped: u64,
+    /// Whether the v2 footer was present and its count/CRC matched the
+    /// committed payload. Always `false` for v1 input.
+    pub footer_verified: bool,
+    /// Whether the stream ended before the v2 footer (file truncated).
+    pub truncated: bool,
+    /// Lines dropped, with reasons.
+    pub skipped: Vec<SkippedLine>,
+    /// Repairs applied (Repair policy only).
+    pub repairs: Vec<RepairAction>,
+}
+
+impl IngestReport {
+    /// True when the input was ingested without dropping or altering
+    /// anything, and (for v2) its footer verified.
+    pub fn is_clean(&self) -> bool {
+        self.skipped.is_empty()
+            && self.repairs.is_empty()
+            && self.chunks_dropped == 0
+            && !self.truncated
+            && (self.format_version < 2 || self.footer_verified)
+    }
+
+    /// Multi-line human-readable summary (used by `osn verify`).
+    pub fn summary(&self) -> String {
+        use fmt::Write as _;
+        const DETAIL_CAP: usize = 10;
+        let mut s = String::new();
+        let _ = writeln!(s, "format: v{}", self.format_version);
+        let _ = writeln!(s, "lines read: {}", self.lines_read);
+        let _ = writeln!(s, "events kept: {}", self.events_kept);
+        if self.format_version >= 2 {
+            let _ = writeln!(
+                s,
+                "chunks: {} verified, {} dropped",
+                self.chunks_verified, self.chunks_dropped
+            );
+            let footer = if self.truncated {
+                "missing (stream truncated)"
+            } else if self.footer_verified {
+                "verified"
+            } else {
+                "MISMATCH"
+            };
+            let _ = writeln!(s, "footer: {footer}");
+        }
+        let _ = writeln!(s, "lines skipped: {}", self.skipped.len());
+        for sk in self.skipped.iter().take(DETAIL_CAP) {
+            let _ = writeln!(s, "  line {}: {}", sk.line, sk.reason);
+        }
+        if self.skipped.len() > DETAIL_CAP {
+            let _ = writeln!(s, "  ... and {} more", self.skipped.len() - DETAIL_CAP);
+        }
+        let _ = writeln!(s, "repairs applied: {}", self.repairs.len());
+        for r in self.repairs.iter().take(DETAIL_CAP) {
+            let _ = writeln!(s, "  line {}: {}", r.line, r.kind);
+        }
+        if self.repairs.len() > DETAIL_CAP {
+            let _ = writeln!(s, "  ... and {} more", self.repairs.len() - DETAIL_CAP);
+        }
+        s
     }
 }
 
@@ -75,7 +319,7 @@ fn parse_origin(tok: &str, line: usize) -> Result<Origin, ParseError> {
     }
 }
 
-/// Write a log in the plain-text format.
+/// Write a log in the v1 plain-text format (no checksums).
 pub fn write_log<W: Write>(log: &EventLog, writer: W) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
     writeln!(
@@ -86,70 +330,661 @@ pub fn write_log<W: Write>(log: &EventLog, writer: W) -> io::Result<()> {
         log.end_day() + 1
     )?;
     for e in log.events() {
-        match e.kind {
-            crate::event::EventKind::AddNode { origin, .. } => {
-                writeln!(w, "N {} {}", e.time.seconds(), origin_token(origin))?;
-            }
-            crate::event::EventKind::AddEdge { u, v } => {
-                writeln!(w, "E {} {} {}", e.time.seconds(), u.0, v.0)?;
-            }
-        }
+        writeln!(w, "{}", format_event(e))?;
     }
     w.flush()
 }
 
-/// Read a log in the plain-text format.
-pub fn read_log<R: Read>(reader: R) -> Result<EventLog, ParseError> {
-    let r = BufReader::new(reader);
-    let mut b = EventLogBuilder::new();
-    for (idx, line) in r.lines().enumerate() {
-        let lineno = idx + 1;
-        let line = line?;
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let mut parts = line.split_ascii_whitespace();
-        let tag = parts.next().unwrap_or_default();
-        let malformed = |reason: &str| ParseError::Malformed {
-            line: lineno,
-            reason: reason.to_string(),
-        };
-        let secs: u64 = parts
-            .next()
-            .ok_or_else(|| malformed("missing timestamp"))?
-            .parse()
-            .map_err(|_| malformed("bad timestamp"))?;
-        match tag {
-            "N" => {
-                let origin = parse_origin(
-                    parts.next().ok_or_else(|| malformed("missing origin"))?,
-                    lineno,
-                )?;
-                b.add_node(Time(secs), origin)?;
-            }
-            "E" => {
-                let u: u32 = parts
-                    .next()
-                    .ok_or_else(|| malformed("missing endpoint u"))?
-                    .parse()
-                    .map_err(|_| malformed("bad endpoint u"))?;
-                let v: u32 = parts
-                    .next()
-                    .ok_or_else(|| malformed("missing endpoint v"))?
-                    .parse()
-                    .map_err(|_| malformed("bad endpoint v"))?;
-                b.add_edge(Time(secs), NodeId(u), NodeId(v))?;
-            }
-            other => {
-                return Err(malformed(&format!("unknown record tag '{other}'")));
-            }
-        }
-        if parts.next().is_some() {
-            return Err(malformed("trailing tokens"));
+/// Write a log in the checksummed v2 format with the default chunk size.
+pub fn write_log_v2<W: Write>(log: &EventLog, writer: W) -> io::Result<()> {
+    write_log_v2_chunked(log, writer, DEFAULT_CHUNK_LINES)
+}
+
+/// Write a log in the checksummed v2 format, `chunk_lines` events per chunk.
+pub fn write_log_v2_chunked<W: Write>(
+    log: &EventLog,
+    writer: W,
+    chunk_lines: usize,
+) -> io::Result<()> {
+    let chunk_lines = chunk_lines.max(1);
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "{FORMAT_V2_MAGIC}")?;
+    writeln!(
+        w,
+        "# multiscale-osn event log: {} nodes, {} edges, {} days",
+        log.num_nodes(),
+        log.num_edges(),
+        log.end_day() + 1
+    )?;
+    let mut total = Crc32::new();
+    let mut chunk = Crc32::new();
+    let mut in_chunk = 0usize;
+    for e in log.events() {
+        let line = format_event(e);
+        writeln!(w, "{line}")?;
+        chunk.update(line.as_bytes());
+        chunk.update(b"\n");
+        total.update(line.as_bytes());
+        total.update(b"\n");
+        in_chunk += 1;
+        if in_chunk == chunk_lines {
+            writeln!(w, "#%chunk lines={} crc={:08x}", in_chunk, chunk.finalize())?;
+            chunk = Crc32::new();
+            in_chunk = 0;
         }
     }
-    Ok(b.build())
+    if in_chunk > 0 {
+        writeln!(w, "#%chunk lines={} crc={:08x}", in_chunk, chunk.finalize())?;
+    }
+    writeln!(
+        w,
+        "#%end events={} crc={:08x}",
+        log.events().len(),
+        total.finalize()
+    )?;
+    w.flush()
+}
+
+fn format_event(e: &crate::event::Event) -> String {
+    match e.kind {
+        crate::event::EventKind::AddNode { origin, .. } => {
+            format!("N {} {}", e.time.seconds(), origin_token(origin))
+        }
+        crate::event::EventKind::AddEdge { u, v } => {
+            format!("E {} {} {}", e.time.seconds(), u.0, v.0)
+        }
+    }
+}
+
+/// Atomically save a log at `path` in the v1 format (tmp + fsync + rename;
+/// missing parent directories are created).
+pub fn save_log<P: AsRef<std::path::Path>>(log: &EventLog, path: P) -> io::Result<()> {
+    crate::atomicfile::write_atomic(path.as_ref(), |w| write_log(log, w))
+}
+
+/// Atomically save a log at `path` in the checksummed v2 format.
+pub fn save_log_v2<P: AsRef<std::path::Path>>(log: &EventLog, path: P) -> io::Result<()> {
+    crate::atomicfile::write_atomic(path.as_ref(), |w| write_log_v2(log, w))
+}
+
+/// Read a log in either format, strictly (first problem aborts).
+pub fn read_log<R: Read>(reader: R) -> Result<EventLog, ParseError> {
+    read_log_with_policy(reader, &RecoveryPolicy::Strict).map(|(log, _)| log)
+}
+
+/// Read a log in either format under a [`RecoveryPolicy`], returning the
+/// events that survived plus an [`IngestReport`] describing what happened.
+pub fn read_log_with_policy<R: Read>(
+    reader: R,
+    policy: &RecoveryPolicy,
+) -> Result<(EventLog, IngestReport), ParseError> {
+    let mut lines = LineReader::new(reader);
+    let mut ing = Ingestor::new(policy);
+    match lines.next_line()? {
+        None => {
+            ing.report.format_version = 1;
+            ing.finish()
+        }
+        Some(first) => {
+            if trim(&first) == FORMAT_V2_MAGIC.as_bytes() {
+                ing.report.format_version = 2;
+                ing.report.lines_read = 1;
+                read_v2(lines, ing)
+            } else {
+                ing.report.format_version = 1;
+                read_v1(lines, ing, first)
+            }
+        }
+    }
+}
+
+/// Trim ASCII whitespace (including the line terminator) from both ends.
+fn trim(bytes: &[u8]) -> &[u8] {
+    let start = bytes.iter().position(|b| !b.is_ascii_whitespace());
+    match start {
+        None => &[],
+        Some(s) => {
+            let end = bytes
+                .iter()
+                .rposition(|b| !b.is_ascii_whitespace())
+                .unwrap();
+            &bytes[s..=end]
+        }
+    }
+}
+
+fn read_v1<R: Read>(
+    mut lines: LineReader<R>,
+    mut ing: Ingestor<'_>,
+    first: Vec<u8>,
+) -> Result<(EventLog, IngestReport), ParseError> {
+    let mut lineno = 1;
+    ing.report.lines_read = 1;
+    let mut current = Some(first);
+    while let Some(raw) = current {
+        let t = trim(&raw);
+        if !(t.is_empty() || t.first() == Some(&b'#')) {
+            ing.payload_line(lineno, t)?;
+        }
+        current = lines.next_line()?;
+        if current.is_some() {
+            lineno += 1;
+            ing.report.lines_read += 1;
+        }
+    }
+    ing.finish()
+}
+
+/// v2 framing state: buffer payload lines until their chunk's checksum
+/// verifies, then commit them to the ingest policy.
+fn read_v2<R: Read>(
+    mut lines: LineReader<R>,
+    mut ing: Ingestor<'_>,
+) -> Result<(EventLog, IngestReport), ParseError> {
+    let mut lineno = 1usize; // the magic line
+    let mut pending: Vec<(usize, Vec<u8>)> = Vec::new();
+    let mut chunk_crc = Crc32::new();
+    let mut total_crc = Crc32::new();
+    let mut payload_committed: u64 = 0;
+    let mut footer_seen = false;
+    while let Some(raw) = lines.next_line()? {
+        lineno += 1;
+        ing.report.lines_read += 1;
+        let t = trim(&raw);
+        if t.is_empty() {
+            continue;
+        }
+        if t.starts_with(b"#%") {
+            let directive = match std::str::from_utf8(t) {
+                Ok(s) => s,
+                Err(_) => {
+                    ing.corrupt(lineno, "directive is not valid utf-8".to_string())?;
+                    continue;
+                }
+            };
+            if let Some(rest) = directive.strip_prefix("#%chunk ") {
+                match parse_chunk_directive(rest) {
+                    Some((n, crc)) => {
+                        let got = chunk_crc.finalize();
+                        if n != pending.len() {
+                            let reason = format!(
+                                "chunk declares {} lines but {} were read",
+                                n,
+                                pending.len()
+                            );
+                            ing.drop_chunk(lineno, &mut pending, reason)?;
+                        } else if crc != got {
+                            let reason = format!(
+                                "chunk checksum mismatch: expected {crc:08x}, got {got:08x}"
+                            );
+                            ing.drop_chunk(lineno, &mut pending, reason)?;
+                        } else {
+                            ing.report.chunks_verified += 1;
+                            for (ln, bytes) in pending.drain(..) {
+                                total_crc.update(trim(&bytes));
+                                total_crc.update(b"\n");
+                                payload_committed += 1;
+                                ing.payload_line(ln, trim(&bytes))?;
+                            }
+                        }
+                        chunk_crc = Crc32::new();
+                    }
+                    None => ing.corrupt(lineno, format!("bad chunk directive '{directive}'"))?,
+                }
+            } else if let Some(rest) = directive.strip_prefix("#%end ") {
+                match parse_end_directive(rest) {
+                    Some((n, crc)) => {
+                        if !pending.is_empty() {
+                            let reason = "unterminated chunk before footer".to_string();
+                            ing.drop_chunk(lineno, &mut pending, reason)?;
+                            chunk_crc = Crc32::new();
+                        }
+                        let got = total_crc.finalize();
+                        let ok = n as u64 == payload_committed && crc == got;
+                        if !ok && matches!(ing.policy, RecoveryPolicy::Strict) {
+                            return Err(ParseError::Corrupt {
+                                line: lineno,
+                                reason: format!(
+                                    "footer mismatch: declared {n} events crc {crc:08x}, \
+                                     committed {payload_committed} events crc {got:08x}"
+                                ),
+                            });
+                        }
+                        ing.report.footer_verified = ok;
+                        footer_seen = true;
+                    }
+                    None => ing.corrupt(lineno, format!("bad end directive '{directive}'"))?,
+                }
+            } else if directive == FORMAT_V2_MAGIC {
+                ing.corrupt(lineno, "repeated format magic".to_string())?;
+            } else {
+                ing.corrupt(lineno, format!("unknown directive '{directive}'"))?;
+            }
+            continue;
+        }
+        if t.first() == Some(&b'#') {
+            continue; // ordinary comment: not checksummed
+        }
+        if footer_seen {
+            ing.after_footer(lineno)?;
+            continue;
+        }
+        chunk_crc.update(t);
+        chunk_crc.update(b"\n");
+        pending.push((lineno, raw));
+    }
+    if !footer_seen {
+        ing.report.truncated = true;
+        if matches!(ing.policy, RecoveryPolicy::Strict) {
+            return Err(ParseError::Corrupt {
+                line: lineno,
+                reason: "stream truncated: missing #%end footer".to_string(),
+            });
+        }
+        for (ln, _) in pending.drain(..) {
+            ing.skip(ln, SkipReason::TruncatedTail)?;
+        }
+    }
+    ing.finish()
+}
+
+/// Parse `lines=<n> crc=<hex>`; returns `(lines, crc)`.
+fn parse_chunk_directive(rest: &str) -> Option<(usize, u32)> {
+    let mut it = rest.split_ascii_whitespace();
+    let n = it.next()?.strip_prefix("lines=")?.parse().ok()?;
+    let crc = u32::from_str_radix(it.next()?.strip_prefix("crc=")?, 16).ok()?;
+    if it.next().is_some() {
+        return None;
+    }
+    Some((n, crc))
+}
+
+/// Parse `events=<n> crc=<hex>`; returns `(events, crc)`.
+fn parse_end_directive(rest: &str) -> Option<(usize, u32)> {
+    let mut it = rest.split_ascii_whitespace();
+    let n = it.next()?.strip_prefix("events=")?.parse().ok()?;
+    let crc = u32::from_str_radix(it.next()?.strip_prefix("crc=")?, 16).ok()?;
+    if it.next().is_some() {
+        return None;
+    }
+    Some((n, crc))
+}
+
+/// Buffered line reader that retries [`io::ErrorKind::Interrupted`] so a
+/// signal-interrupted `read(2)` never aborts an ingest mid-trace.
+struct LineReader<R> {
+    r: BufReader<R>,
+}
+
+impl<R: Read> LineReader<R> {
+    fn new(reader: R) -> Self {
+        LineReader {
+            r: BufReader::new(reader),
+        }
+    }
+
+    /// Next raw line (without splitting on anything but `\n`), or `None`
+    /// at end of stream.
+    fn next_line(&mut self) -> io::Result<Option<Vec<u8>>> {
+        let mut buf = Vec::new();
+        loop {
+            match self.r.read_until(b'\n', &mut buf) {
+                Ok(_) => break,
+                // Bytes already pulled stay in `buf`; keep reading.
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if buf.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(buf))
+        }
+    }
+}
+
+/// A parsed event line, before policy application.
+#[derive(Debug, Clone, Copy)]
+struct RawEvent {
+    time: u64,
+    kind: RawKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum RawKind {
+    Node(Origin),
+    Edge(u32, u32),
+}
+
+/// Parse one payload line. Mirrors the historical v1 parser exactly,
+/// including its error wording.
+fn parse_event_line(line: &str, lineno: usize) -> Result<RawEvent, ParseError> {
+    let mut parts = line.split_ascii_whitespace();
+    let tag = parts.next().unwrap_or_default();
+    let malformed = |reason: &str| ParseError::Malformed {
+        line: lineno,
+        reason: reason.to_string(),
+    };
+    let secs: u64 = parts
+        .next()
+        .ok_or_else(|| malformed("missing timestamp"))?
+        .parse()
+        .map_err(|_| malformed("bad timestamp"))?;
+    let kind = match tag {
+        "N" => {
+            let origin = parse_origin(
+                parts.next().ok_or_else(|| malformed("missing origin"))?,
+                lineno,
+            )?;
+            RawKind::Node(origin)
+        }
+        "E" => {
+            let u: u32 = parts
+                .next()
+                .ok_or_else(|| malformed("missing endpoint u"))?
+                .parse()
+                .map_err(|_| malformed("bad endpoint u"))?;
+            let v: u32 = parts
+                .next()
+                .ok_or_else(|| malformed("missing endpoint v"))?
+                .parse()
+                .map_err(|_| malformed("bad endpoint v"))?;
+            RawKind::Edge(u, v)
+        }
+        other => {
+            return Err(malformed(&format!("unknown record tag '{other}'")));
+        }
+    };
+    if parts.next().is_some() {
+        return Err(malformed("trailing tokens"));
+    }
+    Ok(RawEvent { time: secs, kind })
+}
+
+/// An event buffered in the Repair reorder heap. Ordered by `(time, seq)`
+/// so ties keep their original file order (stable sort).
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    time: u64,
+    seq: u64,
+    lineno: usize,
+    kind: PendingKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum PendingKind {
+    Node { origin: Origin, raw_id: u32 },
+    Edge { u: u32, v: u32 },
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Applies a [`RecoveryPolicy`] to the parsed event stream.
+///
+/// Under `Repair`, node ids need care: the on-disk format gives nodes
+/// implicit dense ids in *file* order, so re-sorting `N` lines changes the
+/// ids later `E` lines refer to. The ingestor therefore assigns each `N`
+/// line a *raw* id at read time and remaps raw ids to the post-sort dense
+/// ids as nodes are committed; edges whose endpoints have not materialised
+/// by the time the edge is committed are dropped and reported.
+struct Ingestor<'p> {
+    policy: &'p RecoveryPolicy,
+    builder: EventLogBuilder,
+    report: IngestReport,
+    errors: usize,
+    // Repair state.
+    heap: BinaryHeap<std::cmp::Reverse<Pending>>,
+    remap: Vec<Option<NodeId>>,
+    max_time: u64,
+    seq: u64,
+    max_seq_applied: Option<u64>,
+    last_applied_time: u64,
+}
+
+impl<'p> Ingestor<'p> {
+    fn new(policy: &'p RecoveryPolicy) -> Self {
+        Ingestor {
+            policy,
+            builder: EventLogBuilder::new(),
+            report: IngestReport::default(),
+            errors: 0,
+            heap: BinaryHeap::new(),
+            remap: Vec::new(),
+            max_time: 0,
+            seq: 0,
+            max_seq_applied: None,
+            last_applied_time: 0,
+        }
+    }
+
+    /// Record a dropped line, enforcing `Skip`'s error budget.
+    fn skip(&mut self, line: usize, reason: SkipReason) -> Result<(), ParseError> {
+        self.report.skipped.push(SkippedLine { line, reason });
+        self.errors += 1;
+        if let RecoveryPolicy::Skip { max_errors } = *self.policy {
+            if self.errors > max_errors {
+                return Err(ParseError::TooManyErrors {
+                    errors: self.errors,
+                    limit: max_errors,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Handle a v2 framing problem: fatal under Strict, recorded otherwise.
+    fn corrupt(&mut self, line: usize, reason: String) -> Result<(), ParseError> {
+        if matches!(self.policy, RecoveryPolicy::Strict) {
+            return Err(ParseError::Corrupt { line, reason });
+        }
+        self.skip(line, SkipReason::CorruptChunk(reason))
+    }
+
+    /// Drop a whole buffered chunk (checksum or line-count mismatch).
+    fn drop_chunk(
+        &mut self,
+        marker_line: usize,
+        pending: &mut Vec<(usize, Vec<u8>)>,
+        reason: String,
+    ) -> Result<(), ParseError> {
+        if matches!(self.policy, RecoveryPolicy::Strict) {
+            return Err(ParseError::Corrupt {
+                line: marker_line,
+                reason,
+            });
+        }
+        self.report.chunks_dropped += 1;
+        pending.clear();
+        self.skip(marker_line, SkipReason::CorruptChunk(reason))
+    }
+
+    fn after_footer(&mut self, line: usize) -> Result<(), ParseError> {
+        if matches!(self.policy, RecoveryPolicy::Strict) {
+            return Err(ParseError::Corrupt {
+                line,
+                reason: "event line after #%end footer".to_string(),
+            });
+        }
+        self.skip(line, SkipReason::AfterFooter)
+    }
+
+    /// Ingest one committed payload line under the active policy.
+    fn payload_line(&mut self, lineno: usize, bytes: &[u8]) -> Result<(), ParseError> {
+        let text = match std::str::from_utf8(bytes) {
+            Ok(t) => t,
+            Err(_) => {
+                let err = ParseError::Malformed {
+                    line: lineno,
+                    reason: "line is not valid utf-8".to_string(),
+                };
+                return self.parse_failure(lineno, err);
+            }
+        };
+        let raw = match parse_event_line(text, lineno) {
+            Ok(raw) => raw,
+            Err(err) => return self.parse_failure(lineno, err),
+        };
+        match self.policy {
+            RecoveryPolicy::Strict => self.apply_direct(lineno, raw),
+            RecoveryPolicy::Skip { .. } => match self.apply_direct(lineno, raw) {
+                Ok(()) => Ok(()),
+                Err(ParseError::Invalid(e)) => {
+                    self.skip(lineno, SkipReason::Invariant(e.to_string()))
+                }
+                Err(e) => Err(e),
+            },
+            RecoveryPolicy::Repair { window } => {
+                let window = *window;
+                self.buffer_for_repair(lineno, raw);
+                self.drain_ready(window)
+            }
+        }
+    }
+
+    fn parse_failure(&mut self, lineno: usize, err: ParseError) -> Result<(), ParseError> {
+        match self.policy {
+            RecoveryPolicy::Strict => Err(err),
+            _ => self.skip(lineno, SkipReason::Malformed(err.to_string())),
+        }
+    }
+
+    /// Strict/Skip path: feed the builder immediately.
+    fn apply_direct(&mut self, _lineno: usize, raw: RawEvent) -> Result<(), ParseError> {
+        match raw.kind {
+            RawKind::Node(origin) => {
+                self.builder.add_node(Time(raw.time), origin)?;
+            }
+            RawKind::Edge(u, v) => {
+                self.builder
+                    .add_edge(Time(raw.time), NodeId(u), NodeId(v))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Repair path: stamp the event with a sequence number (and nodes with
+    /// their raw file-order id) and push it into the reorder heap.
+    fn buffer_for_repair(&mut self, lineno: usize, raw: RawEvent) {
+        let kind = match raw.kind {
+            RawKind::Node(origin) => {
+                let raw_id = self.remap.len() as u32;
+                self.remap.push(None);
+                PendingKind::Node { origin, raw_id }
+            }
+            RawKind::Edge(u, v) => PendingKind::Edge { u, v },
+        };
+        let p = Pending {
+            time: raw.time,
+            seq: self.seq,
+            lineno,
+            kind,
+        };
+        self.seq += 1;
+        self.max_time = self.max_time.max(raw.time);
+        self.heap.push(std::cmp::Reverse(p));
+    }
+
+    /// Release buffered events that can no longer be displaced by future
+    /// input (their time is more than `window` behind the newest seen).
+    fn drain_ready(&mut self, window: u64) -> Result<(), ParseError> {
+        while let Some(std::cmp::Reverse(top)) = self.heap.peek().copied() {
+            if top.time.saturating_add(window) >= self.max_time {
+                break;
+            }
+            self.heap.pop();
+            self.apply_repaired(top)?;
+        }
+        Ok(())
+    }
+
+    /// Commit one event popped from the reorder heap, remapping node ids
+    /// and dropping whatever would break an [`EventLog`] invariant.
+    fn apply_repaired(&mut self, p: Pending) -> Result<(), ParseError> {
+        if let Some(max_seq) = self.max_seq_applied {
+            if p.seq < max_seq {
+                self.report.repairs.push(RepairAction {
+                    line: p.lineno,
+                    kind: RepairKind::Reordered,
+                });
+            }
+        }
+        self.max_seq_applied = Some(self.max_seq_applied.map_or(p.seq, |m| m.max(p.seq)));
+        if p.time < self.last_applied_time {
+            // Displaced further than the reorder window could absorb.
+            self.report.repairs.push(RepairAction {
+                line: p.lineno,
+                kind: RepairKind::DroppedOutOfWindow,
+            });
+            return Ok(());
+        }
+        match p.kind {
+            PendingKind::Node { origin, raw_id } => {
+                let id = self.builder.add_node(Time(p.time), origin)?;
+                self.remap[raw_id as usize] = Some(id);
+            }
+            PendingKind::Edge { u, v } => {
+                let u_new = self.remap.get(u as usize).copied().flatten();
+                let v_new = self.remap.get(v as usize).copied().flatten();
+                let (u_new, v_new) = match (u_new, v_new) {
+                    (Some(a), Some(b)) => (a, b),
+                    _ => {
+                        self.report.repairs.push(RepairAction {
+                            line: p.lineno,
+                            kind: RepairKind::DroppedUnknownEndpoint,
+                        });
+                        return Ok(());
+                    }
+                };
+                if u_new == v_new {
+                    self.report.repairs.push(RepairAction {
+                        line: p.lineno,
+                        kind: RepairKind::DroppedSelfLoop,
+                    });
+                    return Ok(());
+                }
+                if self.builder.has_edge(u_new, v_new) {
+                    self.report.repairs.push(RepairAction {
+                        line: p.lineno,
+                        kind: RepairKind::DroppedDuplicateEdge,
+                    });
+                    return Ok(());
+                }
+                self.builder.add_edge(Time(p.time), u_new, v_new)?;
+            }
+        }
+        self.last_applied_time = p.time;
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<(EventLog, IngestReport), ParseError> {
+        // Drain whatever the reorder window still holds, in (time, seq)
+        // order.
+        while let Some(std::cmp::Reverse(p)) = self.heap.pop() {
+            self.apply_repaired(p)?;
+        }
+        self.report.events_kept = self.builder.num_nodes() as u64 + self.builder.num_edges();
+        let log = self.builder.build();
+        let mut report = self.report;
+        if report.format_version == 0 {
+            report.format_version = 1;
+        }
+        Ok((log, report))
+    }
 }
 
 #[cfg(test)]
@@ -167,18 +1002,13 @@ mod tests {
         b.build()
     }
 
-    #[test]
-    fn roundtrip() {
-        let log = sample();
-        let mut buf = Vec::new();
-        write_log(&log, &mut buf).unwrap();
-        let parsed = read_log(&buf[..]).unwrap();
-        assert_eq!(parsed.num_nodes(), log.num_nodes());
-        assert_eq!(parsed.num_edges(), log.num_edges());
-        assert_eq!(parsed.events().len(), log.events().len());
-        for (a, b) in parsed.events().iter().zip(log.events()) {
-            assert_eq!(a.time, b.time);
-            match (a.kind, b.kind) {
+    fn assert_logs_equal(a: &EventLog, b: &EventLog) {
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert_eq!(a.events().len(), b.events().len());
+        for (x, y) in a.events().iter().zip(b.events()) {
+            assert_eq!(x.time, y.time);
+            match (x.kind, y.kind) {
                 (EventKind::AddNode { origin: oa, .. }, EventKind::AddNode { origin: ob, .. }) => {
                     assert_eq!(oa, ob)
                 }
@@ -188,6 +1018,15 @@ mod tests {
                 _ => panic!("kind mismatch"),
             }
         }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let log = sample();
+        let mut buf = Vec::new();
+        write_log(&log, &mut buf).unwrap();
+        let parsed = read_log(&buf[..]).unwrap();
+        assert_logs_equal(&parsed, &log);
     }
 
     #[test]
@@ -221,5 +1060,255 @@ mod tests {
     fn trailing_tokens_rejected() {
         let err = read_log("N 0 core extra\n".as_bytes()).unwrap_err();
         assert!(err.to_string().contains("trailing"));
+    }
+
+    // ---- v2 format ----
+
+    #[test]
+    fn v2_roundtrip() {
+        let log = sample();
+        let mut buf = Vec::new();
+        write_log_v2(&log, &mut buf).unwrap();
+        let (parsed, report) = read_log_with_policy(&buf[..], &RecoveryPolicy::Strict).unwrap();
+        assert_logs_equal(&parsed, &log);
+        assert_eq!(report.format_version, 2);
+        assert!(report.footer_verified);
+        assert!(report.is_clean());
+        assert_eq!(report.events_kept, 5);
+    }
+
+    #[test]
+    fn v2_roundtrip_small_chunks() {
+        let log = sample();
+        let mut buf = Vec::new();
+        write_log_v2_chunked(&log, &mut buf, 2).unwrap();
+        let (parsed, report) = read_log_with_policy(&buf[..], &RecoveryPolicy::Strict).unwrap();
+        assert_logs_equal(&parsed, &log);
+        assert_eq!(report.chunks_verified, 3);
+    }
+
+    #[test]
+    fn v2_readable_by_v1_semantics() {
+        // Directives all start with '#', so treating them as comments must
+        // yield the same events. (This is the backward-compat guarantee.)
+        let log = sample();
+        let mut buf = Vec::new();
+        write_log_v2(&log, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let stripped: String = text
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let parsed = read_log(stripped.as_bytes()).unwrap();
+        assert_logs_equal(&parsed, &log);
+    }
+
+    #[test]
+    fn v2_truncation_detected() {
+        let log = sample();
+        let mut buf = Vec::new();
+        write_log_v2(&log, &mut buf).unwrap();
+        // Cut the footer off.
+        let text = String::from_utf8(buf).unwrap();
+        let cut = text.rfind("#%end").unwrap();
+        let err = read_log(&text.as_bytes()[..cut]).unwrap_err();
+        assert!(matches!(err, ParseError::Corrupt { .. }), "got {err}");
+        assert!(err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn v2_bit_flip_detected_strict() {
+        let log = sample();
+        let mut buf = Vec::new();
+        write_log_v2(&log, &mut buf).unwrap();
+        // Corrupt a digit inside an event line ("E 10 0 1" -> "E 10 0 2"):
+        // still parseable, so only the checksum can catch it.
+        let text = String::from_utf8(buf)
+            .unwrap()
+            .replace("E 10 0 1", "E 10 0 2");
+        let err = read_log(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, ParseError::Corrupt { .. }), "got {err}");
+        assert!(err.to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn v2_corrupt_chunk_dropped_under_skip() {
+        let log = sample();
+        let mut buf = Vec::new();
+        write_log_v2_chunked(&log, &mut buf, 1).unwrap();
+        let text = String::from_utf8(buf)
+            .unwrap()
+            .replace("E 10 0 1", "E 10 0 2");
+        let (parsed, report) =
+            read_log_with_policy(text.as_bytes(), &RecoveryPolicy::Skip { max_errors: 8 }).unwrap();
+        // The corrupted chunk held one edge; everything else survives.
+        assert_eq!(parsed.num_nodes(), 3);
+        assert_eq!(parsed.num_edges(), 1);
+        assert_eq!(report.chunks_dropped, 1);
+        assert_eq!(report.chunks_verified, 4);
+        assert!(
+            !report.footer_verified,
+            "dropped payload cannot match footer crc"
+        );
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn skip_budget_enforced() {
+        let text = "N 0 core\nX 1 junk\nX 2 junk\nX 3 junk\n";
+        let err = read_log_with_policy(text.as_bytes(), &RecoveryPolicy::Skip { max_errors: 2 })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ParseError::TooManyErrors {
+                errors: 3,
+                limit: 2
+            }
+        ));
+        let (log, report) =
+            read_log_with_policy(text.as_bytes(), &RecoveryPolicy::Skip { max_errors: 3 }).unwrap();
+        assert_eq!(log.num_nodes(), 1);
+        assert_eq!(report.skipped.len(), 3);
+    }
+
+    #[test]
+    fn skip_drops_invariant_violations() {
+        // Self-loop and duplicate edge are invariant errors, not parse
+        // errors.
+        let text = "N 0 core\nN 0 core\nE 1 0 0\nE 2 0 1\nE 3 0 1\n";
+        let (log, report) =
+            read_log_with_policy(text.as_bytes(), &RecoveryPolicy::Skip { max_errors: 4 }).unwrap();
+        assert_eq!(log.num_nodes(), 2);
+        assert_eq!(log.num_edges(), 1);
+        assert_eq!(report.skipped.len(), 2);
+        assert!(report
+            .skipped
+            .iter()
+            .all(|s| matches!(s.reason, SkipReason::Invariant(_))));
+    }
+
+    #[test]
+    fn repair_reorders_within_window() {
+        // The two nodes arrive out of time order; a 10-second window
+        // restores them. Note ids remap: the t=0 node becomes id 0.
+        let text = "N 5 competitor\nN 0 core\nE 6 0 1\n";
+        let (log, report) =
+            read_log_with_policy(text.as_bytes(), &RecoveryPolicy::Repair { window: 10 }).unwrap();
+        assert_eq!(log.num_nodes(), 2);
+        assert_eq!(log.num_edges(), 1);
+        assert_eq!(log.origin(NodeId(0)), Origin::Core);
+        assert_eq!(log.origin(NodeId(1)), Origin::Competitor);
+        assert_eq!(log.join_time(NodeId(0)), Time(0));
+        assert!(report
+            .repairs
+            .iter()
+            .any(|r| r.kind == RepairKind::Reordered));
+        // The edge "E 6 0 1" referred to raw ids (file order): raw 0 is the
+        // competitor node, raw 1 the core node. After remap it connects the
+        // same two actual nodes.
+        let edges: Vec<_> = log.edge_events().collect();
+        assert_eq!(edges, vec![(Time(6), NodeId(0), NodeId(1))]);
+    }
+
+    #[test]
+    fn repair_drops_self_loops_and_duplicates() {
+        let text = "N 0 core\nN 1 core\nE 2 0 0\nE 3 0 1\nE 4 1 0\n";
+        let (log, report) =
+            read_log_with_policy(text.as_bytes(), &RecoveryPolicy::Repair { window: 0 }).unwrap();
+        assert_eq!(log.num_edges(), 1);
+        let kinds: Vec<_> = report.repairs.iter().map(|r| r.kind).collect();
+        assert!(kinds.contains(&RepairKind::DroppedSelfLoop));
+        assert!(kinds.contains(&RepairKind::DroppedDuplicateEdge));
+    }
+
+    #[test]
+    fn repair_drops_unknown_endpoints() {
+        let text = "N 0 core\nE 1 0 7\n";
+        let (log, report) =
+            read_log_with_policy(text.as_bytes(), &RecoveryPolicy::Repair { window: 0 }).unwrap();
+        assert_eq!(log.num_edges(), 0);
+        assert!(report
+            .repairs
+            .iter()
+            .any(|r| r.kind == RepairKind::DroppedUnknownEndpoint));
+    }
+
+    #[test]
+    fn repair_drops_beyond_window() {
+        // The t=0 node is displaced 100s but the window only absorbs 5s.
+        let text = "N 50 core\nN 100 core\nN 200 core\nN 0 core\nN 300 core\n";
+        let (log, report) =
+            read_log_with_policy(text.as_bytes(), &RecoveryPolicy::Repair { window: 5 }).unwrap();
+        assert_eq!(log.num_nodes(), 4);
+        assert!(report
+            .repairs
+            .iter()
+            .any(|r| r.kind == RepairKind::DroppedOutOfWindow));
+    }
+
+    #[test]
+    fn repair_on_clean_input_is_identity() {
+        let log = sample();
+        let mut buf = Vec::new();
+        write_log_v2(&log, &mut buf).unwrap();
+        let (parsed, report) =
+            read_log_with_policy(&buf[..], &RecoveryPolicy::Repair { window: 60 }).unwrap();
+        assert_logs_equal(&parsed, &log);
+        assert!(
+            report.is_clean(),
+            "clean input should need no repairs: {report:?}"
+        );
+    }
+
+    #[test]
+    fn report_summary_mentions_key_facts() {
+        let text = "N 0 core\nX 1 junk\n";
+        let (_, report) =
+            read_log_with_policy(text.as_bytes(), &RecoveryPolicy::Skip { max_errors: 5 }).unwrap();
+        let s = report.summary();
+        assert!(s.contains("format: v1"));
+        assert!(s.contains("events kept: 1"));
+        assert!(s.contains("lines skipped: 1"));
+        assert!(s.contains("unknown record tag"));
+    }
+
+    #[test]
+    fn empty_input_is_empty_log() {
+        let (log, report) = read_log_with_policy(&b""[..], &RecoveryPolicy::Strict).unwrap();
+        assert_eq!(log.num_nodes(), 0);
+        assert_eq!(report.lines_read, 0);
+    }
+
+    #[test]
+    fn interrupted_reads_are_retried() {
+        struct Stutter<'a> {
+            data: &'a [u8],
+            pos: usize,
+            tick: u32,
+        }
+        impl Read for Stutter<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                self.tick += 1;
+                if self.tick % 2 == 1 {
+                    return Err(io::Error::new(io::ErrorKind::Interrupted, "signal"));
+                }
+                let n = 3.min(self.data.len() - self.pos).min(buf.len());
+                buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+                self.pos += n;
+                Ok(n)
+            }
+        }
+        let log = sample();
+        let mut buf = Vec::new();
+        write_log_v2(&log, &mut buf).unwrap();
+        let r = Stutter {
+            data: &buf,
+            pos: 0,
+            tick: 0,
+        };
+        let (parsed, report) = read_log_with_policy(r, &RecoveryPolicy::Strict).unwrap();
+        assert_logs_equal(&parsed, &log);
+        assert!(report.is_clean());
     }
 }

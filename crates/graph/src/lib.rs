@@ -26,19 +26,23 @@
 //! analytics, so there is no async machinery. All structures are `Send` so
 //! snapshots can be fanned out to worker threads by `osn-metrics`.
 
+pub mod atomicfile;
+pub mod crc32;
 pub mod csr;
 pub mod dynamic;
 pub mod event;
 pub mod io;
 pub mod log;
 pub mod snapshots;
+pub mod testutil;
 pub mod time;
 pub mod unionfind;
 
 pub use csr::CsrGraph;
 pub use dynamic::DynamicGraph;
 pub use event::{Event, EventKind, Origin};
+pub use io::{IngestReport, ParseError, RecoveryPolicy};
 pub use log::{EventLog, EventLogBuilder, LogError};
-pub use snapshots::{DailySnapshots, Replayer};
+pub use snapshots::{CheckpointError, DailySnapshots, ReplayCheckpoint, Replayer};
 pub use time::{Day, NodeId, Time, SECONDS_PER_DAY};
 pub use unionfind::UnionFind;

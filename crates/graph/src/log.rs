@@ -59,7 +59,10 @@ impl fmt::Display for LogError {
                 "event {index} at {time} is earlier than its predecessor at {prev}"
             ),
             LogError::NonDenseNode { got, expected } => {
-                write!(f, "node {got} added but {expected} was expected (ids must be dense)")
+                write!(
+                    f,
+                    "node {got} added but {expected} was expected (ids must be dense)"
+                )
             }
             LogError::UnknownNode { node } => write!(f, "edge references unknown node {node}"),
             LogError::SelfLoop { node } => write!(f, "self-loop on {node}"),
@@ -145,6 +148,40 @@ impl EventLog {
             EventKind::AddEdge { u, v } => Some((e.time, u, v)),
             _ => None,
         })
+    }
+
+    /// Order-sensitive 64-bit fingerprint of the full event stream
+    /// (FNV-1a over every event's time, kind and payload).
+    ///
+    /// Used by checkpoint files to refuse resuming against a different
+    /// trace than the one the checkpoint was taken from. Not
+    /// cryptographic — it guards against operator mistakes, not
+    /// adversaries.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(PRIME);
+            }
+        };
+        for e in &self.events {
+            mix(e.time.seconds());
+            match e.kind {
+                EventKind::AddNode { node, origin } => {
+                    mix(1);
+                    mix(node.0 as u64);
+                    mix(origin as u64);
+                }
+                EventKind::AddEdge { u, v } => {
+                    mix(2);
+                    mix(u.0 as u64);
+                    mix(v.0 as u64);
+                }
+            }
+        }
+        h
     }
 
     /// Count nodes and edges created on each day, over `0..=end_day`.
@@ -345,7 +382,10 @@ mod tests {
     fn rejects_self_loop() {
         let mut b = EventLogBuilder::new();
         let a = b.add_node(t(0), Origin::Core).unwrap();
-        assert_eq!(b.add_edge(t(0), a, a).unwrap_err(), LogError::SelfLoop { node: a });
+        assert_eq!(
+            b.add_edge(t(0), a, a).unwrap_err(),
+            LogError::SelfLoop { node: a }
+        );
     }
 
     #[test]
@@ -354,8 +394,14 @@ mod tests {
         let a = b.add_node(t(0), Origin::Core).unwrap();
         let c = b.add_node(t(0), Origin::Core).unwrap();
         b.add_edge(t(1), a, c).unwrap();
-        assert!(matches!(b.add_edge(t(1), a, c), Err(LogError::DuplicateEdge { .. })));
-        assert!(matches!(b.add_edge(t(2), c, a), Err(LogError::DuplicateEdge { .. })));
+        assert!(matches!(
+            b.add_edge(t(1), a, c),
+            Err(LogError::DuplicateEdge { .. })
+        ));
+        assert!(matches!(
+            b.add_edge(t(2), c, a),
+            Err(LogError::DuplicateEdge { .. })
+        ));
         assert!(b.has_edge(a, c));
         assert!(b.has_edge(c, a));
     }

@@ -10,6 +10,130 @@ use crate::csr::CsrGraph;
 use crate::dynamic::DynamicGraph;
 use crate::log::EventLog;
 use crate::time::{Day, Time};
+use std::fmt;
+
+/// Errors raised while decoding or applying a [`ReplayCheckpoint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The checkpoint text did not parse.
+    Malformed(String),
+    /// The checkpoint was taken from a different trace.
+    FingerprintMismatch {
+        /// Fingerprint recorded in the checkpoint.
+        recorded: u64,
+        /// Fingerprint of the log being resumed.
+        actual: u64,
+    },
+    /// The checkpoint position exceeds the log length.
+    OutOfRange {
+        /// Recorded event position.
+        pos: usize,
+        /// Number of events in the log.
+        len: usize,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Malformed(r) => write!(f, "malformed checkpoint: {r}"),
+            CheckpointError::FingerprintMismatch { recorded, actual } => write!(
+                f,
+                "checkpoint was taken from a different trace \
+                 (recorded fingerprint {recorded:016x}, trace has {actual:016x})"
+            ),
+            CheckpointError::OutOfRange { pos, len } => {
+                write!(f, "checkpoint position {pos} exceeds log length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// A serialisable point in a replay: how many events have been applied,
+/// which day was last completed, and a fingerprint of the trace so a
+/// checkpoint is never applied to the wrong log.
+///
+/// The text encoding is a tiny line-based format (see [`Self::to_text`])
+/// written atomically by the CLI's `--checkpoint` support.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayCheckpoint {
+    /// Index of the next unapplied event.
+    pub pos: usize,
+    /// Last fully-processed day.
+    pub day: Day,
+    /// [`EventLog::fingerprint`] of the trace this was taken from.
+    pub fingerprint: u64,
+}
+
+impl ReplayCheckpoint {
+    /// Encode as the stable text format:
+    ///
+    /// ```text
+    /// #%osn-checkpoint v1
+    /// pos <events applied>
+    /// day <last completed day>
+    /// fingerprint <16 hex digits>
+    /// ```
+    pub fn to_text(&self) -> String {
+        format!(
+            "#%osn-checkpoint v1\npos {}\nday {}\nfingerprint {:016x}\n",
+            self.pos, self.day, self.fingerprint
+        )
+    }
+
+    /// Decode the text format produced by [`Self::to_text`].
+    pub fn from_text(text: &str) -> Result<Self, CheckpointError> {
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or_default().trim();
+        if header != "#%osn-checkpoint v1" {
+            return Err(CheckpointError::Malformed(format!("bad header '{header}'")));
+        }
+        let mut pos = None;
+        let mut day = None;
+        let mut fingerprint = None;
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once(' ')
+                .ok_or_else(|| CheckpointError::Malformed(format!("bad line '{line}'")))?;
+            match key {
+                "pos" => {
+                    pos =
+                        Some(value.parse().map_err(|_| {
+                            CheckpointError::Malformed(format!("bad pos '{value}'"))
+                        })?)
+                }
+                "day" => {
+                    day =
+                        Some(value.parse().map_err(|_| {
+                            CheckpointError::Malformed(format!("bad day '{value}'"))
+                        })?)
+                }
+                "fingerprint" => {
+                    fingerprint = Some(u64::from_str_radix(value, 16).map_err(|_| {
+                        CheckpointError::Malformed(format!("bad fingerprint '{value}'"))
+                    })?)
+                }
+                other => return Err(CheckpointError::Malformed(format!("unknown key '{other}'"))),
+            }
+        }
+        match (pos, day, fingerprint) {
+            (Some(pos), Some(day), Some(fingerprint)) => Ok(ReplayCheckpoint {
+                pos,
+                day,
+                fingerprint,
+            }),
+            _ => Err(CheckpointError::Malformed(
+                "missing pos, day or fingerprint".to_string(),
+            )),
+        }
+    }
+}
 
 /// Cursor over an [`EventLog`] that keeps a [`DynamicGraph`] in sync.
 #[derive(Debug)]
@@ -69,6 +193,42 @@ impl<'a> Replayer<'a> {
     /// Freeze the current state.
     pub fn freeze(&self) -> CsrGraph {
         self.graph.freeze()
+    }
+
+    /// Capture the current position as a checkpoint, recording `day` as
+    /// the last fully-processed day.
+    pub fn checkpoint(&self, day: Day) -> ReplayCheckpoint {
+        ReplayCheckpoint {
+            pos: self.pos,
+            day,
+            fingerprint: self.log.fingerprint(),
+        }
+    }
+
+    /// Reconstruct a replayer at a checkpointed position by re-applying
+    /// the event prefix. Refuses checkpoints taken from a different trace
+    /// or pointing past the end of the log.
+    pub fn resume(log: &'a EventLog, cp: &ReplayCheckpoint) -> Result<Self, CheckpointError> {
+        let actual = log.fingerprint();
+        if cp.fingerprint != actual {
+            return Err(CheckpointError::FingerprintMismatch {
+                recorded: cp.fingerprint,
+                actual,
+            });
+        }
+        if cp.pos > log.events().len() {
+            return Err(CheckpointError::OutOfRange {
+                pos: cp.pos,
+                len: log.events().len(),
+            });
+        }
+        let mut r = Replayer::new(log);
+        let events = log.events();
+        while r.pos < cp.pos {
+            r.graph.apply(&events[r.pos]);
+            r.pos += 1;
+        }
+        Ok(r)
     }
 }
 
@@ -154,8 +314,12 @@ mod tests {
             let n = b.add_node(Time::from_days(d), Origin::Core).unwrap();
             nodes.push(n);
             if d > 0 {
-                b.add_edge(Time::from_days(d).plus_seconds(10), nodes[(d - 1) as usize], n)
-                    .unwrap();
+                b.add_edge(
+                    Time::from_days(d).plus_seconds(10),
+                    nodes[(d - 1) as usize],
+                    n,
+                )
+                .unwrap();
             }
         }
         b.build()
@@ -219,5 +383,64 @@ mod tests {
     fn zero_stride_panics() {
         let log = log_over_five_days();
         let _ = DailySnapshots::new(&log, 0, 0);
+    }
+
+    #[test]
+    fn checkpoint_text_roundtrip() {
+        let cp = ReplayCheckpoint {
+            pos: 123,
+            day: 45,
+            fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+        };
+        let text = cp.to_text();
+        assert_eq!(ReplayCheckpoint::from_text(&text).unwrap(), cp);
+        assert!(ReplayCheckpoint::from_text("garbage").is_err());
+        assert!(ReplayCheckpoint::from_text("#%osn-checkpoint v1\npos x\n").is_err());
+        assert!(ReplayCheckpoint::from_text("#%osn-checkpoint v1\npos 1\n").is_err());
+    }
+
+    #[test]
+    fn resume_matches_uninterrupted_replay() {
+        let log = log_over_five_days();
+        let mut full = Replayer::new(&log);
+        full.advance_through_day(2);
+        let cp = full.checkpoint(2);
+        let resumed = Replayer::resume(&log, &cp).unwrap();
+        assert_eq!(resumed.position(), full.position());
+        assert_eq!(resumed.graph().num_nodes(), full.graph().num_nodes());
+        assert_eq!(resumed.graph().num_edges(), full.graph().num_edges());
+        // Continue both to the end; they must stay in lockstep.
+        let mut resumed = resumed;
+        full.advance_to_end();
+        resumed.advance_to_end();
+        assert_eq!(resumed.position(), full.position());
+        assert_eq!(resumed.graph().num_edges(), full.graph().num_edges());
+    }
+
+    #[test]
+    fn resume_rejects_wrong_trace() {
+        let log = log_over_five_days();
+        let mut other_b = EventLogBuilder::new();
+        other_b.add_node(Time(0), Origin::Core).unwrap();
+        let other = other_b.build();
+        let mut r = Replayer::new(&log);
+        r.advance_through_day(1);
+        let cp = r.checkpoint(1);
+        let err = Replayer::resume(&other, &cp).unwrap_err();
+        assert!(matches!(err, CheckpointError::FingerprintMismatch { .. }));
+    }
+
+    #[test]
+    fn resume_rejects_out_of_range() {
+        let log = log_over_five_days();
+        let cp = ReplayCheckpoint {
+            pos: log.events().len() + 1,
+            day: 9,
+            fingerprint: log.fingerprint(),
+        };
+        assert!(matches!(
+            Replayer::resume(&log, &cp),
+            Err(CheckpointError::OutOfRange { .. })
+        ));
     }
 }

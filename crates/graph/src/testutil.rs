@@ -1,0 +1,272 @@
+//! Deterministic fault injection for I/O robustness tests.
+//!
+//! [`ChaosReader`] and [`ChaosWriter`] wrap any `Read`/`Write` and inject
+//! the failure modes real storage exhibits — short reads, `EINTR`
+//! ([`std::io::ErrorKind::Interrupted`]), mid-stream truncation, bit
+//! corruption, and write failures partway through — driven by a seeded
+//! deterministic generator so every failing test case replays exactly.
+//!
+//! This module is part of the public API (rather than `#[cfg(test)]`) so
+//! integration tests in other crates and the workspace root can use it;
+//! production code has no reason to.
+
+use std::io::{self, Read, Write};
+
+/// SplitMix64: small, seedable, and good enough to schedule faults.
+#[derive(Debug, Clone)]
+struct Splitmix {
+    state: u64,
+}
+
+impl Splitmix {
+    fn new(seed: u64) -> Self {
+        Splitmix { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// True with probability `1 / one_in` (never for `one_in == 0`).
+    fn one_in(&mut self, one_in: u32) -> bool {
+        one_in > 0 && self.next_u64().is_multiple_of(one_in as u64)
+    }
+
+    /// Uniform value in `1..=max`.
+    fn upto(&mut self, max: usize) -> usize {
+        1 + (self.next_u64() as usize) % max
+    }
+}
+
+/// Fault plan for a [`ChaosReader`].
+#[derive(Debug, Clone, Default)]
+pub struct ChaosReaderConfig {
+    /// Return `ErrorKind::Interrupted` roughly one call in this many
+    /// (0 disables).
+    pub interrupt_one_in: u32,
+    /// Cap each read at a random length in `1..=short_read_max`
+    /// (0 disables short reads).
+    pub short_read_max: usize,
+    /// Flip one random bit per read call roughly one call in this many
+    /// (0 disables corruption).
+    pub corrupt_one_in: u32,
+    /// Report end-of-stream after this many bytes, simulating a truncated
+    /// file.
+    pub truncate_at: Option<u64>,
+}
+
+impl ChaosReaderConfig {
+    /// Interrupt-heavy, short-read-heavy plan with intact data — a reader
+    /// that retries correctly must survive this unchanged.
+    pub fn flaky() -> Self {
+        ChaosReaderConfig {
+            interrupt_one_in: 3,
+            short_read_max: 7,
+            ..Self::default()
+        }
+    }
+}
+
+/// A `Read` adapter that injects deterministic faults.
+#[derive(Debug)]
+pub struct ChaosReader<R> {
+    inner: R,
+    cfg: ChaosReaderConfig,
+    rng: Splitmix,
+    offset: u64,
+}
+
+impl<R: Read> ChaosReader<R> {
+    /// Wrap `inner` with the given fault plan; equal seeds give equal
+    /// fault schedules.
+    pub fn new(inner: R, seed: u64, cfg: ChaosReaderConfig) -> Self {
+        ChaosReader {
+            inner,
+            cfg,
+            rng: Splitmix::new(seed),
+            offset: 0,
+        }
+    }
+}
+
+impl<R: Read> Read for ChaosReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        if let Some(limit) = self.cfg.truncate_at {
+            if self.offset >= limit {
+                return Ok(0);
+            }
+        }
+        if self.rng.one_in(self.cfg.interrupt_one_in) {
+            return Err(io::Error::new(io::ErrorKind::Interrupted, "injected EINTR"));
+        }
+        let mut len = buf.len();
+        if self.cfg.short_read_max > 0 {
+            len = len.min(self.rng.upto(self.cfg.short_read_max));
+        }
+        if let Some(limit) = self.cfg.truncate_at {
+            len = len.min((limit - self.offset) as usize);
+        }
+        let n = self.inner.read(&mut buf[..len])?;
+        if n > 0 && self.rng.one_in(self.cfg.corrupt_one_in) {
+            let byte = self.rng.next_u64() as usize % n;
+            let bit = self.rng.next_u64() % 8;
+            buf[byte] ^= 1 << bit;
+        }
+        self.offset += n as u64;
+        Ok(n)
+    }
+}
+
+/// Fault plan for a [`ChaosWriter`].
+#[derive(Debug, Clone, Default)]
+pub struct ChaosWriterConfig {
+    /// Return `ErrorKind::Interrupted` roughly one call in this many
+    /// (0 disables).
+    pub interrupt_one_in: u32,
+    /// Cap each write at a random length in `1..=short_write_max`
+    /// (0 disables short writes).
+    pub short_write_max: usize,
+    /// Fail every write after this many bytes went through, simulating a
+    /// full disk or a crashed process mid-write.
+    pub fail_after: Option<u64>,
+}
+
+/// A `Write` adapter that injects deterministic faults.
+#[derive(Debug)]
+pub struct ChaosWriter<W> {
+    inner: W,
+    cfg: ChaosWriterConfig,
+    rng: Splitmix,
+    written: u64,
+}
+
+impl<W: Write> ChaosWriter<W> {
+    /// Wrap `inner` with the given fault plan; equal seeds give equal
+    /// fault schedules.
+    pub fn new(inner: W, seed: u64, cfg: ChaosWriterConfig) -> Self {
+        ChaosWriter {
+            inner,
+            cfg,
+            rng: Splitmix::new(seed),
+            written: 0,
+        }
+    }
+
+    /// Bytes successfully written so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Unwrap the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for ChaosWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        if let Some(limit) = self.cfg.fail_after {
+            if self.written >= limit {
+                return Err(io::Error::other("injected write failure (disk full)"));
+            }
+        }
+        if self.rng.one_in(self.cfg.interrupt_one_in) {
+            return Err(io::Error::new(io::ErrorKind::Interrupted, "injected EINTR"));
+        }
+        let mut len = buf.len();
+        if self.cfg.short_write_max > 0 {
+            len = len.min(self.rng.upto(self.cfg.short_write_max));
+        }
+        if let Some(limit) = self.cfg.fail_after {
+            len = len.min((limit - self.written) as usize).max(1);
+        }
+        let n = self.inner.write(&buf[..len])?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_reader_is_deterministic() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        let cfg = ChaosReaderConfig {
+            interrupt_one_in: 4,
+            short_read_max: 5,
+            corrupt_one_in: 9,
+            truncate_at: Some(1000),
+        };
+        let run = |seed| {
+            let mut r = ChaosReader::new(&data[..], seed, cfg.clone());
+            let mut out = Vec::new();
+            let mut buf = [0u8; 64];
+            loop {
+                match r.read(&mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => out.extend_from_slice(&buf[..n]),
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+            out
+        };
+        assert_eq!(run(7), run(7), "same seed must replay the same faults");
+        assert_eq!(run(7).len(), 1000, "truncation point is exact");
+    }
+
+    #[test]
+    fn flaky_reader_preserves_data() {
+        let data = b"the quick brown fox".repeat(100);
+        let mut r = ChaosReader::new(&data[..], 11, ChaosReaderConfig::flaky());
+        let mut out = Vec::new();
+        let mut buf = [0u8; 32];
+        loop {
+            match r.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => out.extend_from_slice(&buf[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(out, data, "interrupts and short reads must not lose bytes");
+    }
+
+    #[test]
+    fn chaos_writer_fails_after_limit() {
+        let mut sink = Vec::new();
+        let mut w = ChaosWriter::new(
+            &mut sink,
+            3,
+            ChaosWriterConfig {
+                fail_after: Some(10),
+                ..ChaosWriterConfig::default()
+            },
+        );
+        let mut wrote = 0usize;
+        let err = loop {
+            match w.write(b"abcdef") {
+                Ok(n) => wrote += n,
+                Err(e) => break e,
+            }
+        };
+        assert!(wrote <= 12, "at most one write may straddle the limit");
+        assert!(err.to_string().contains("disk full"));
+    }
+}

@@ -83,7 +83,7 @@ impl UnionFind {
         for x in 0..n {
             if self.parent[x as usize] == x {
                 let s = self.size[x as usize];
-                if best.map_or(true, |(_, bs)| s > bs) {
+                if best.is_none_or(|(_, bs)| s > bs) {
                     best = Some((x, s));
                 }
             }

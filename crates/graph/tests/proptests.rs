@@ -8,10 +8,7 @@ use proptest::prelude::*;
 /// event schedule.
 fn ops_strategy() -> impl Strategy<Value = Vec<(u64, Option<(u8, u8)>)>> {
     prop::collection::vec(
-        (
-            0u64..5_000,
-            prop::option::of((any::<u8>(), any::<u8>())),
-        ),
+        (0u64..5_000, prop::option::of((any::<u8>(), any::<u8>()))),
         1..120,
     )
 }

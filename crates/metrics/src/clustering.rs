@@ -165,7 +165,10 @@ mod tests {
         assert!((exact - 0.3).abs() < 1e-12);
         let mut rng = rng_from_seed(5);
         let approx = average_clustering(&g, 60, &mut rng);
-        assert!((approx - exact).abs() < 0.15, "approx {approx} vs exact {exact}");
+        assert!(
+            (approx - exact).abs() < 0.15,
+            "approx {approx} vs exact {exact}"
+        );
     }
 
     #[test]

@@ -22,12 +22,17 @@ pub fn degree_distribution(g: &CsrGraph) -> Vec<u64> {
 
 /// Maximum degree in the graph (0 for an empty graph).
 pub fn max_degree(g: &CsrGraph) -> usize {
-    (0..g.num_nodes() as u32).map(|u| g.degree(u)).max().unwrap_or(0)
+    (0..g.num_nodes() as u32)
+        .map(|u| g.degree(u))
+        .max()
+        .unwrap_or(0)
 }
 
 /// Number of nodes with degree at least `k`.
 pub fn nodes_with_degree_at_least(g: &CsrGraph, k: usize) -> usize {
-    (0..g.num_nodes() as u32).filter(|&u| g.degree(u) >= k).count()
+    (0..g.num_nodes() as u32)
+        .filter(|&u| g.degree(u) >= k)
+        .count()
 }
 
 /// Complementary CDF of the degree distribution: `(d, P(deg ≥ d))`

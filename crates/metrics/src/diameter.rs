@@ -77,7 +77,7 @@ mod tests {
         let d100 = effective_diameter(&g, 1.0, 11, &mut rng).unwrap();
         assert!(d90 < d100 + 1e-9);
         assert!(d100 >= 9.0, "full diameter {d100}");
-        assert!(d90 >= 5.0 && d90 <= 10.0, "effective {d90}");
+        assert!((5.0..=10.0).contains(&d90), "effective {d90}");
     }
 
     #[test]

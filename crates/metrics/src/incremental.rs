@@ -140,12 +140,18 @@ impl IncrementalMetrics {
         //        Σxy += Σ_w deg(w) (each partner's degree once).
         //    We need Σ_w∈N(u) deg(w): maintain it by scanning u's list —
         //    O(deg(u)) per insert, same order as the triangle step.
-        let sum_nb_u: f64 = self.adj[u as usize].iter().map(|&w| self.adj[w as usize].len() as f64).sum();
-        let sum_nb_v: f64 = self.adj[v as usize].iter().map(|&w| self.adj[w as usize].len() as f64).sum();
+        let sum_nb_u: f64 = self.adj[u as usize]
+            .iter()
+            .map(|&w| self.adj[w as usize].len() as f64)
+            .sum();
+        let sum_nb_v: f64 = self.adj[v as usize]
+            .iter()
+            .map(|&w| self.adj[w as usize].len() as f64)
+            .sum();
         // u's degree bump affects its du existing pairs on each side:
         self.sum_x += du + dv; // x-side of u's pairs + x-side of v's pairs
-        self.sum_x2 += ((du + 1.0) * (du + 1.0) - du * du) * du
-            + ((dv + 1.0) * (dv + 1.0) - dv * dv) * dv;
+        self.sum_x2 +=
+            ((du + 1.0) * (du + 1.0) - du * du) * du + ((dv + 1.0) * (dv + 1.0) - dv * dv) * dv;
         // Each of u's 2·du directed pairs has deg(u) on exactly one side,
         // so Σxy gains deg(w) twice per neighbour w (once for (u,w), once
         // for (w,u)); same for v.
@@ -159,9 +165,13 @@ impl IncrementalMetrics {
         self.sum_xy += 2.0 * nu * nv;
 
         // 4. Insert into sorted adjacency.
-        let pos = self.adj[u as usize].binary_search(&v).expect_err("duplicate edge");
+        let pos = self.adj[u as usize]
+            .binary_search(&v)
+            .expect_err("duplicate edge");
         self.adj[u as usize].insert(pos, v);
-        let pos = self.adj[v as usize].binary_search(&u).expect_err("duplicate edge");
+        let pos = self.adj[v as usize]
+            .binary_search(&u)
+            .expect_err("duplicate edge");
         self.adj[v as usize].insert(pos, u);
         self.num_edges += 1;
     }
@@ -254,14 +264,21 @@ mod tests {
             if step % 120 == 0 {
                 checks += 1;
                 let g = m.freeze();
-                assert_eq!(m.triangles(), batch_triangles(&g), "triangles at step {step}");
+                assert_eq!(
+                    m.triangles(),
+                    batch_triangles(&g),
+                    "triangles at step {step}"
+                );
                 assert!(
                     (m.transitivity() - transitivity(&g)).abs() < 1e-9,
                     "transitivity at step {step}"
                 );
                 match (m.assortativity(), degree_assortativity(&g)) {
                     (Some(a), Some(b)) => {
-                        assert!((a - b).abs() < 1e-6, "assortativity {a} vs {b} at step {step}")
+                        assert!(
+                            (a - b).abs() < 1e-6,
+                            "assortativity {a} vs {b} at step {step}"
+                        )
                     }
                     (None, None) => {}
                     (a, b) => panic!("definedness mismatch {a:?} vs {b:?} at step {step}"),
@@ -273,7 +290,10 @@ mod tests {
         let g = m.freeze();
         assert_eq!(m.num_edges(), g.num_edges());
         assert_eq!(m.triangles(), batch_triangles(&g));
-        let (a, b) = (m.assortativity().unwrap(), degree_assortativity(&g).unwrap());
+        let (a, b) = (
+            m.assortativity().unwrap(),
+            degree_assortativity(&g).unwrap(),
+        );
         assert!((a - b).abs() < 1e-6, "{a} vs {b}");
     }
 

@@ -111,7 +111,16 @@ mod tests {
         // K4 (0..4) + path 3-4-5: tail nodes have coreness 1.
         let g = CsrGraph::from_edges(
             6,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+            ],
         );
         let c = core_numbers(&g);
         assert_eq!(&c[0..4], &[3, 3, 3, 3]);
@@ -132,17 +141,14 @@ mod tests {
 
     #[test]
     fn profile_is_monotone() {
-        let g = CsrGraph::from_edges(
-            6,
-            &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5)],
-        );
+        let g = CsrGraph::from_edges(6, &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5)]);
         let p = core_profile(&g);
         // everyone is ≥ 0-core; counts shrink with k
         assert_eq!(p[0], 6);
         for w in p.windows(2) {
             assert!(w[0] >= w[1]);
         }
-        assert_eq!(*p.last().unwrap() > 0, true);
+        assert!(*p.last().unwrap() > 0);
     }
 
     #[test]

@@ -32,8 +32,8 @@ pub mod diameter;
 pub mod incremental;
 pub mod kcore;
 pub mod parallel;
-pub mod rewire;
 pub mod paths;
+pub mod rewire;
 
 pub use assortativity::degree_assortativity;
 pub use clustering::{average_clustering, local_clustering};
@@ -43,5 +43,5 @@ pub use diameter::effective_diameter;
 pub use incremental::IncrementalMetrics;
 pub use kcore::{core_numbers, core_profile, degeneracy};
 pub use parallel::par_map;
-pub use rewire::degree_preserving_shuffle;
 pub use paths::{avg_path_length_sampled, bfs_distances, distance_to_group};
+pub use rewire::degree_preserving_shuffle;

@@ -115,6 +115,6 @@ mod tests {
     #[test]
     fn default_workers_positive() {
         let w = default_workers();
-        assert!(w >= 1 && w <= 16);
+        assert!((1..=16).contains(&w));
     }
 }

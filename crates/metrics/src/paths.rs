@@ -198,6 +198,6 @@ mod tests {
         let g = path5();
         let mut rng = rng_from_seed(9);
         let d = diameter_lower_bound(&g, 10, &mut rng);
-        assert!(d >= 2 && d <= 4);
+        assert!((2..=4).contains(&d));
     }
 }

@@ -18,7 +18,11 @@ use std::collections::HashSet;
 /// Randomise `g`'s wiring with `swaps` attempted double-edge swaps while
 /// preserving every node's degree. `swaps ≈ 10 × E` gives a well-mixed
 /// sample of the configuration model.
-pub fn degree_preserving_shuffle<R: Rng + ?Sized>(g: &CsrGraph, swaps: usize, rng: &mut R) -> CsrGraph {
+pub fn degree_preserving_shuffle<R: Rng + ?Sized>(
+    g: &CsrGraph,
+    swaps: usize,
+    rng: &mut R,
+) -> CsrGraph {
     let mut edges: Vec<(u32, u32)> = g.edges().collect();
     if edges.len() < 2 {
         return g.clone();

@@ -86,7 +86,10 @@ impl ConfusionMatrix {
 /// train side receives `train_frac` of the items (rounded down, but at
 /// least one item on each side when `n >= 2`).
 pub fn train_test_split(n: usize, train_frac: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
-    assert!((0.0..=1.0).contains(&train_frac), "train_frac must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&train_frac),
+        "train_frac must be in [0,1]"
+    );
     let mut idx: Vec<usize> = (0..n).collect();
     let mut rng = rng_from_seed(seed);
     shuffle(&mut idx, &mut rng);
@@ -162,6 +165,9 @@ mod tests {
     #[test]
     fn split_deterministic_per_seed() {
         assert_eq!(train_test_split(50, 0.5, 9), train_test_split(50, 0.5, 9));
-        assert_ne!(train_test_split(50, 0.5, 9).0, train_test_split(50, 0.5, 10).0);
+        assert_ne!(
+            train_test_split(50, 0.5, 9).0,
+            train_test_split(50, 0.5, 10).0
+        );
     }
 }

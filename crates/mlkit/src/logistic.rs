@@ -169,7 +169,11 @@ mod tests {
     fn separates_clean_data() {
         let (xs, ys) = separable(200);
         let m = LogisticRegression::train(&xs, &ys, &LogisticConfig::default());
-        let correct = xs.iter().zip(&ys).filter(|(x, &y)| m.predict(x) == y).count();
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| m.predict(x) == y)
+            .count();
         assert!(correct >= 198, "{correct}/200");
         // probabilities are calibrated-ish: positives > 0.5, extremes far apart
         assert!(m.probability(&[2.0, 1.5]) > 0.8);

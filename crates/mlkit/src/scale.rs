@@ -58,8 +58,8 @@ impl StandardScaler {
     /// Transform one row in place.
     pub fn transform_row(&self, row: &mut [f64]) {
         assert_eq!(row.len(), self.dim(), "inconsistent feature dimension");
-        for j in 0..row.len() {
-            row[j] = (row[j] - self.means[j]) / self.stds[j];
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = (*v - self.means[j]) / self.stds[j];
         }
     }
 

@@ -216,7 +216,14 @@ mod tests {
             xs.push(vec![-3.0 + (i as f64) * 0.038]);
             ys.push(-1.0);
         }
-        let plain = LinearSvm::train(&xs, &ys, &SvmConfig { iterations: 30_000, ..Default::default() });
+        let plain = LinearSvm::train(
+            &xs,
+            &ys,
+            &SvmConfig {
+                iterations: 30_000,
+                ..Default::default()
+            },
+        );
         let weighted = LinearSvm::train(
             &xs,
             &ys,

@@ -39,7 +39,11 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LineFit> {
     }
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
-    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     Some(LineFit {
         slope,
         intercept,
@@ -128,9 +132,7 @@ pub fn polyfit(xs: &[f64], ys: &[f64], deg: usize) -> Option<Vec<f64>> {
     }
     let mut a = vec![vec![0.0f64; m + 1]; m];
     for i in 0..m {
-        for j in 0..m {
-            a[i][j] = pow_sums[i + j];
-        }
+        a[i][..m].copy_from_slice(&pow_sums[i..i + m]);
         a[i][m] = rhs[i];
     }
     gaussian_solve(&mut a)
@@ -142,7 +144,8 @@ fn gaussian_solve(a: &mut [Vec<f64>]) -> Option<Vec<f64>> {
     let m = a.len();
     for col in 0..m {
         // partial pivot
-        let pivot = (col..m).max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())?;
+        let pivot =
+            (col..m).max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())?;
         if a[pivot][col].abs() < 1e-12 {
             return None;
         }
@@ -150,6 +153,7 @@ fn gaussian_solve(a: &mut [Vec<f64>]) -> Option<Vec<f64>> {
         for row in 0..m {
             if row != col {
                 let f = a[row][col] / a[col][col];
+                #[allow(clippy::needless_range_loop)] // a[row] and a[col] alias `a`
                 for k in col..=m {
                     a[row][k] -= f * a[col][k];
                 }

@@ -8,7 +8,7 @@
 //!   here instead of pulling in `rand_distr`).
 //! * [`fit`] — least-squares line fits, polynomial fits (normal equations
 //!   + Gaussian elimination), and log–log power-law fits with linear-space
-//!   mean-square error, matching the paper's `pe(d) ∝ d^α` methodology.
+//!     mean-square error, matching the paper's `pe(d) ∝ d^α` methodology.
 //! * [`correlation`] — Pearson correlation (used for assortativity).
 //! * [`sampling`] — seeded RNG construction, reservoir sampling and
 //!   partial Fisher–Yates sampling without replacement.

@@ -54,7 +54,10 @@ impl Series {
 
     /// y value at the first point with `x >= target`, if any.
     pub fn y_at_or_after(&self, target: f64) -> Option<f64> {
-        self.points.iter().find(|&&(x, _)| x >= target).map(|&(_, y)| y)
+        self.points
+            .iter()
+            .find(|&&(x, _)| x >= target)
+            .map(|&(_, y)| y)
     }
 
     /// Smallest x whose y satisfies the predicate, scanning left to right.
@@ -110,7 +113,11 @@ impl Table {
 
     /// Sorted union of all x values (exact float equality de-duplicated).
     fn x_grid(&self) -> Vec<f64> {
-        let mut xs: Vec<f64> = self.series.iter().flat_map(|s| s.points.iter().map(|&(x, _)| x)).collect();
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+            .collect();
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         xs.dedup();
         xs
@@ -152,7 +159,9 @@ impl Table {
         let take: Vec<usize> = if n <= max_rows || max_rows == 0 {
             (0..n).collect()
         } else {
-            (0..max_rows).map(|j| j * (n - 1) / (max_rows - 1)).collect()
+            (0..max_rows)
+                .map(|j| j * (n - 1) / (max_rows - 1))
+                .collect()
         };
         for &i in &take {
             let x = grid[i];

@@ -1,8 +1,8 @@
 //! Property-based tests for the statistics toolkit.
 
 use osn_stats::fit::{linear_fit, polyfit, polyval};
-use osn_stats::{Histogram, LogHistogram, Pareto};
 use osn_stats::sampling::{reservoir_sample, rng_from_seed, sample_without_replacement};
+use osn_stats::{Histogram, LogHistogram, Pareto};
 use proptest::prelude::*;
 
 proptest! {

@@ -25,10 +25,16 @@ fn main() {
         stride: 6,
         ..CommunityAnalysisConfig::default()
     };
-    println!("tracking communities every {} days (δ = {})…\n", tcfg.stride, tcfg.delta);
+    println!(
+        "tracking communities every {} days (δ = {})…\n",
+        tcfg.stride, tcfg.delta
+    );
     let (summaries, output) = track(&log, &tcfg);
 
-    println!("{:>5} {:>6} {:>9} {:>9} {:>8}", "day", "Q", "tracked", "top5%", "avg-sim");
+    println!(
+        "{:>5} {:>6} {:>9} {:>9} {:>8}",
+        "day", "Q", "tracked", "top5%", "avg-sim"
+    );
     for s in summaries.iter().step_by(8) {
         println!(
             "{:>5} {:>6.3} {:>9} {:>9.0} {:>8}",
@@ -36,7 +42,9 @@ fn main() {
             s.modularity,
             s.num_tracked,
             s.top5_coverage * 100.0,
-            s.avg_similarity.map(|v| format!("{v:.2}")).unwrap_or_else(|| "-".into()),
+            s.avg_similarity
+                .map(|v| format!("{v:.2}"))
+                .unwrap_or_else(|| "-".into()),
         );
     }
 
@@ -53,7 +61,9 @@ fn main() {
             EvolutionEvent::Split { .. } => splits += 1,
         }
     }
-    println!("\nevolution events: {births} births, {deaths} deaths, {merges} merges, {splits} splits");
+    println!(
+        "\nevolution events: {births} births, {deaths} deaths, {merges} merges, {splits} splits"
+    );
 
     let (ratio_merges, ratio_splits) = merge_split_ratio(&output);
     println!(
@@ -62,7 +72,10 @@ fn main() {
         ratio_splits.median().unwrap_or(f64::NAN)
     );
     if let (_, Some(frac)) = strongest_tie(&output) {
-        println!("{:.0}% of merges went to the strongest-tie partner", frac * 100.0);
+        println!(
+            "{:.0}% of merges went to the strongest-tie partner",
+            frac * 100.0
+        );
     }
 
     // Merge prediction (Figure 6b).

@@ -26,11 +26,22 @@ fn main() {
     let mcfg = ModelComparisonConfig::default();
 
     println!("profiling five generative models under the paper's lenses…\n");
-    let mut profiles = Vec::new();
-    profiles.push(profile_model("barabasi_albert", &barabasi_albert(&bcfg), &mcfg));
+    let mut profiles = vec![profile_model(
+        "barabasi_albert",
+        &barabasi_albert(&bcfg),
+        &mcfg,
+    )];
     profiles.push(profile_model("uniform", &uniform_attachment(&bcfg), &mcfg));
-    profiles.push(profile_model("pa+uniform(0.5)", &mixed_attachment(&bcfg, 0.5), &mcfg));
-    profiles.push(profile_model("forest_fire(0.35)", &forest_fire(&bcfg, 0.35), &mcfg));
+    profiles.push(profile_model(
+        "pa+uniform(0.5)",
+        &mixed_attachment(&bcfg, 0.5),
+        &mcfg,
+    ));
+    profiles.push(profile_model(
+        "forest_fire(0.35)",
+        &forest_fire(&bcfg, 0.35),
+        &mcfg,
+    ));
     let mut full_cfg = TraceConfig::small();
     full_cfg.growth.final_nodes = 6_000;
     let full = TraceGenerator::new(full_cfg).generate();

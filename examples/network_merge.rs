@@ -57,7 +57,9 @@ fn main() {
         .zip(internal.points.iter())
         .find(|((_, n), (_, i))| n > i)
         .map(|((x, _), _)| *x);
-    println!("new-user edges overtake internal edges {cross:?} days after the merge (paper: day 19)\n");
+    println!(
+        "new-user edges overtake internal edges {cross:?} days after the merge (paper: day 19)\n"
+    );
 
     // Activity decline per origin.
     let act = active_users(&log, merge_day, &mcfg);

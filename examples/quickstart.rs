@@ -27,7 +27,10 @@ fn main() {
     }
 
     // Walk monthly snapshots and print the network's vital signs.
-    println!("{:>5} {:>8} {:>9} {:>7} {:>7} {:>7} {:>7}", "day", "nodes", "edges", "deg", "cc", "apl", "assort");
+    println!(
+        "{:>5} {:>8} {:>9} {:>7} {:>7} {:>7} {:>7}",
+        "day", "nodes", "edges", "deg", "cc", "apl", "assort"
+    );
     let mut rng = rng_from_seed(7);
     for snap in DailySnapshots::new(&log, 30, 60) {
         let g = &snap.graph;
@@ -42,7 +45,9 @@ fn main() {
             g.average_degree(),
             cc,
             apl.map(|v| format!("{v:.2}")).unwrap_or_else(|| "-".into()),
-            assort.map(|v| format!("{v:.2}")).unwrap_or_else(|| "-".into()),
+            assort
+                .map(|v| format!("{v:.2}"))
+                .unwrap_or_else(|| "-".into()),
         );
     }
 }

@@ -40,7 +40,11 @@ fn main() {
     let file = std::fs::File::create(&path).expect("create trace file");
     write_log(&log, file).expect("write trace");
     let bytes = std::fs::metadata(&path).expect("stat").len();
-    println!("wrote {} ({:.1} KiB)", path.display(), bytes as f64 / 1024.0);
+    println!(
+        "wrote {} ({:.1} KiB)",
+        path.display(),
+        bytes as f64 / 1024.0
+    );
 
     let file = std::fs::File::open(&path).expect("open trace file");
     let back = read_log(file).expect("parse trace");

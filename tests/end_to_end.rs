@@ -73,7 +73,10 @@ fn edge_dynamics_pipeline() {
     assert!(total > 0);
     let activity = lifetime_activity(&log, 20.0, 5, 10);
     let sum: f64 = activity.points.iter().map(|&(_, y)| y).sum();
-    assert!((sum - 1.0).abs() < 1e-9, "normalised activity sums to {sum}");
+    assert!(
+        (sum - 1.0).abs() < 1e-9,
+        "normalised activity sums to {sum}"
+    );
     let min_age = min_age_series(&log);
     assert_eq!(min_age.series.len(), 3);
 }
@@ -114,8 +117,12 @@ fn community_membership_reaches_users() {
     };
     let (_, output) = track(&log, &tcfg);
     let members = membership(&output);
-    let inside = members.community_size.iter().filter(|s| s.is_some()).count();
+    let inside = members
+        .community_size
+        .iter()
+        .filter(|s| s.is_some())
+        .count();
     assert!(inside > 0, "tracking found no community members");
     let (in_cdf, _out_cdf) = interarrival_cdf(&log, &members);
-    assert!(in_cdf.len() > 0);
+    assert!(!in_cdf.is_empty());
 }

@@ -4,7 +4,7 @@
 use multiscale_osn::community::{louvain, modularity, LouvainConfig, Partition};
 use multiscale_osn::genstream::{GrowthConfig, MergeConfig, TraceConfig, TraceGenerator};
 use multiscale_osn::graph::{CsrGraph, Origin, Time};
-use multiscale_osn::stats::{Cdf, rng_from_seed};
+use multiscale_osn::stats::{rng_from_seed, Cdf};
 use proptest::prelude::*;
 use rand::Rng;
 

@@ -1,0 +1,244 @@
+//! MPMC channels over `Mutex` + `Condvar`.
+//!
+//! Not lock-free like real crossbeam, but the workspace pushes whole
+//! graph snapshots (milliseconds of downstream work per item) through
+//! these channels, so lock contention is negligible.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Inner<T> {
+    queue: Mutex<State<T>>,
+    /// Signalled when an item is pushed or all senders disconnect.
+    not_empty: Condvar,
+    /// Signalled when an item is popped (bounded channels only).
+    not_full: Condvar,
+}
+
+struct State<T> {
+    buf: VecDeque<T>,
+    cap: Option<usize>,
+    senders: usize,
+    receivers: usize,
+}
+
+/// Error returned by [`Sender::send`] when every receiver is gone.
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// every sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty, disconnected channel")
+    }
+}
+
+/// The sending half of a channel. Cloneable.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// The receiving half of a channel. Cloneable (MPMC).
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Create a bounded channel: `send` blocks while `cap` items are queued.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    channel(Some(cap))
+}
+
+/// Create an unbounded channel: `send` never blocks.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        queue: Mutex::new(State {
+            buf: VecDeque::new(),
+            cap,
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            inner: Arc::clone(&inner),
+        },
+        Receiver { inner },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Send a value, blocking while a bounded channel is full. Returns
+    /// `Err` (with the value) once every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.inner.queue.lock().unwrap();
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            match state.cap {
+                Some(cap) if state.buf.len() >= cap => {
+                    state = self.inner.not_full.wait(state).unwrap();
+                }
+                _ => break,
+            }
+        }
+        state.buf.push_back(value);
+        drop(state);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.queue.lock().unwrap().senders += 1;
+        Sender {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.inner.queue.lock().unwrap();
+        state.senders -= 1;
+        if state.senders == 0 {
+            drop(state);
+            // Wake receivers blocked on an empty queue so they can see
+            // the disconnect.
+            self.inner.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receive a value, blocking until one is available. Returns `Err`
+    /// once the channel is empty and every sender has been dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.inner.queue.lock().unwrap();
+        loop {
+            if let Some(v) = state.buf.pop_front() {
+                drop(state);
+                self.inner.not_full.notify_one();
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.inner.not_empty.wait(state).unwrap();
+        }
+    }
+
+    /// Blocking iterator over received values; ends on disconnect.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.inner.queue.lock().unwrap().receivers += 1;
+        Receiver {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.inner.queue.lock().unwrap();
+        state.receivers -= 1;
+        if state.receivers == 0 {
+            drop(state);
+            // Wake senders blocked on a full queue so they can error out.
+            self.inner.not_full.notify_all();
+        }
+    }
+}
+
+/// Iterator returned by [`Receiver::iter`].
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn mpmc_roundtrip_preserves_all_items() {
+        let (tx, rx) = bounded::<usize>(4);
+        let n = 1000;
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || rx.iter().count())
+            })
+            .collect();
+        drop(rx);
+        for i in 0..n {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(got, n);
+    }
+
+    #[test]
+    fn send_fails_after_receivers_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn recv_drains_then_disconnects() {
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+}

@@ -1,0 +1,64 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Implements the subset the workspace uses: multi-producer
+//! multi-consumer channels ([`channel::bounded`] / [`channel::unbounded`])
+//! and [`scope`]d threads. Built entirely on `std` so it compiles without
+//! a crates.io mirror. Semantics match crossbeam where this workspace
+//! relies on them: cloneable senders *and* receivers, blocking send on a
+//! full bounded channel, and receiver iteration that ends when every
+//! sender is dropped.
+
+pub mod channel;
+
+use std::any::Any;
+
+/// A handle passed to scoped-thread closures (crossbeam passes `&Scope`;
+/// every caller in this workspace ignores it, so a unit struct suffices).
+#[derive(Debug, Clone, Copy)]
+pub struct ScopeHandle;
+
+/// Scope wrapper over [`std::thread::Scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread inside the scope. The closure receives a dummy
+    /// scope handle for signature compatibility with crossbeam.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(ScopeHandle) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(ScopeHandle))
+    }
+}
+
+/// Run `f` with a thread scope; all spawned threads are joined before
+/// this returns. Unlike crossbeam, a panicking child thread propagates
+/// its panic when the scope joins rather than being returned as `Err`,
+/// so the `Err` arm is never produced — callers that `.expect()` the
+/// result observe the same "panic on child panic" behaviour.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_join_and_share_stack_data() {
+        let data = [1u64, 2, 3];
+        let sum = scope(|s| {
+            let h1 = s.spawn(|_| data.iter().sum::<u64>());
+            let h2 = s.spawn(|_| data.len());
+            h1.join().unwrap() + h2.join().unwrap() as u64
+        })
+        .unwrap();
+        assert_eq!(sum, 9);
+    }
+}

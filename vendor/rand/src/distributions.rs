@@ -1,0 +1,144 @@
+//! Distributions: `Standard` and uniform range sampling.
+
+use crate::{Rng, RngCore};
+
+/// Types that can produce values of `T` given an RNG.
+pub trait Distribution<T> {
+    /// Sample one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type: uniform over all values for
+/// integers, uniform in `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*}
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Uniform range sampling (`rng.gen_range(a..b)` support).
+pub mod uniform {
+    use super::*;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Range types `Rng::gen_range` accepts.
+    pub trait SampleRange<T> {
+        /// Sample one value uniformly from the range.
+        ///
+        /// # Panics
+        /// Panics if the range is empty.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Multiply-shift bounded sampling (Lemire) with a rejection pass to
+    /// remove modulo bias.
+    #[inline]
+    fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Rejection zone below `zone` keeps the sample exactly uniform.
+        let zone = bound.wrapping_neg() % bound;
+        loop {
+            let x = rng.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            if (m as u64) >= zone {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    macro_rules! impl_sample_range_int {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start.wrapping_add(bounded_u64(rng, span) as $t)
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    if span == 0 {
+                        // Full-width inclusive range: any value is fine.
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(bounded_u64(rng, span) as $t)
+                }
+            }
+        )*}
+    }
+
+    impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_sample_range_float {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let unit = <Standard as Distribution<$t>>::sample(&Standard, rng);
+                    self.start + unit * (self.end - self.start)
+                }
+            }
+        )*}
+    }
+
+    impl_sample_range_float!(f32, f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::uniform::SampleRange;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn signed_ranges() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let x = (-5i32..5).sample_single(&mut rng);
+            assert!((-5..5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn single_value_inclusive() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert_eq!((7u32..=7).sample_single(&mut rng), 7);
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides no-op `Serialize` / `Deserialize` derive macros so structs
+//! annotated with `#[derive(Serialize, Deserialize)]` compile in
+//! network-isolated builds. No serialization traits or impls are
+//! generated — nothing in this workspace serializes through serde at
+//! runtime (trace and checkpoint files use the workspace's own
+//! line-oriented formats).
+
+use proc_macro::TokenStream;
+
+/// No-op derive; emits nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op derive; emits nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
