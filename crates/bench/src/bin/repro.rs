@@ -7,8 +7,20 @@
 //! for each figure (the same checks EXPERIMENTS.md records).
 //!
 //! ```text
-//! repro [--scale tiny|small|paper] [--seed N] [--out DIR] [fig1 … fig9 | all]
+//! repro [--scale tiny|small|paper] [--seed N] [--out DIR]
+//!       [--retries N] [--task-timeout SECS] [--strict] [--chaos SPEC]
+//!       [fig1 … fig9 | all]
 //! ```
+//!
+//! Every figure runs as a supervised task: a panic, deadline overrun or
+//! exhausted retry budget fails that figure while the remaining figures
+//! still run, and `<out>/run_manifest.csv` records what happened to each
+//! one (plus any artifact that failed to write). Exit codes: `0` clean,
+//! `4` degraded (some tasks failed, everything else produced), `1` hard
+//! failure (or a degraded run under `--strict`), `2` usage error. The
+//! `--chaos` spec (or `OSN_CHAOS`) injects seeded faults for drills:
+//! figures are keyed 1–9 (5/6/7 share key 5), extras 10, and the fig1
+//! metric sweep is keyed by snapshot day.
 
 use osn_core::communities::{
     delta_sensitivity, destination_prediction, lifetime_cdf as community_lifetime_cdf,
@@ -25,18 +37,20 @@ use osn_core::merge::{
 };
 use osn_core::models::{profile_model, render_profiles, ModelComparisonConfig};
 use osn_core::network::{
-    densification, effective_diameter_series, growth_series, import_view, metric_series,
+    densification, effective_diameter_series, growth_series, import_view, metric_series_supervised,
     relative_growth, MetricSeriesConfig,
 };
 use osn_core::preferential::{alpha_series, edge_probability, AlphaConfig, DestinationRule};
 use osn_core::report::{
-    cdfs_table, gnuplot_script, render_checks_markdown, render_checks_text, write_csv, Check,
-    PlotStyle,
+    cdfs_table, gnuplot_script, render_checks_markdown, render_checks_text, write_csv,
+    write_run_manifest, Check, ManifestEntry, PlotStyle,
 };
 use osn_genstream::{TraceConfig, TraceGenerator};
 use osn_graph::{Day, EventLog};
+use osn_metrics::supervisor::{chaos_gate, supervised_call, RunPolicy};
 use osn_stats::{Series, Table};
 use std::path::PathBuf;
+use std::process::ExitCode;
 use std::time::Instant;
 
 struct Ctx {
@@ -49,11 +63,19 @@ struct Ctx {
     merge_day: Day,
     out: PathBuf,
     checks: Vec<Check>,
+    /// Non-figure manifest rows accumulated while running: artifacts that
+    /// failed to write, quarantined fig1 snapshot days, …
+    manifest: Vec<ManifestEntry>,
 }
 
 impl Ctx {
-    fn csv(&self, name: &str, table: &Table) {
-        write_csv(&self.out, name, table).expect("write csv");
+    fn csv(&mut self, name: &str, table: &Table) {
+        // A failed artifact write degrades the run (it is recorded in the
+        // manifest) instead of aborting it.
+        if let Err(e) = write_csv(&self.out, name, table) {
+            self.artifact_error(format!("{name}.csv"), &e);
+            return;
+        }
         // Companion gnuplot script (the paper's own plotting toolchain).
         let style = if name.contains("growth") || name.contains("edges_per_day") {
             PlotStyle::LogY
@@ -67,7 +89,20 @@ impl Ctx {
         } else {
             PlotStyle::Lines
         };
-        gnuplot_script(&self.out, name, table, name, style).expect("write gnuplot script");
+        if let Err(e) = gnuplot_script(&self.out, name, table, name, style) {
+            self.artifact_error(format!("{name}.gp"), &e);
+        }
+    }
+
+    fn artifact_error(&mut self, artifact: String, e: &std::io::Error) {
+        eprintln!("warning: failed to write {artifact}: {e}");
+        self.manifest.push(ManifestEntry::failed(
+            artifact,
+            "failed",
+            1,
+            0,
+            format!("write failed: {e}"),
+        ));
     }
 
     fn check(&mut self, name: &str, expected: &str, measured: String, pass: bool) {
@@ -101,7 +136,7 @@ fn tail_mean(s: &Series, k: usize) -> f64 {
     mean(&ys)
 }
 
-fn fig1(ctx: &mut Ctx) {
+fn fig1(ctx: &mut Ctx, policy: &RunPolicy) {
     println!("== Figure 1: network growth and graph metrics over time ==");
     let growth = growth_series(&ctx.import_log);
     ctx.csv("fig1a_growth", &growth);
@@ -129,8 +164,24 @@ fn fig1(ctx: &mut Ctx) {
 
     let cfg = MetricSeriesConfig::default();
     let t0 = Instant::now();
-    let m = metric_series(&ctx.import_log, &cfg);
+    // The metric sweep is the most expensive part of the harness, so it
+    // runs supervised per snapshot day: a poisoned day is quarantined
+    // (recorded in the manifest), not allowed to sink the whole figure.
+    let (m, day_failures) = metric_series_supervised(&ctx.import_log, &cfg, policy);
     println!("  (metric sweep took {:?})", t0.elapsed());
+    for df in &day_failures {
+        eprintln!(
+            "  warning: quarantined snapshot day {}: {}",
+            df.day, df.failure
+        );
+        ctx.manifest.push(ManifestEntry::failed(
+            format!("fig1/day-{}", df.day),
+            "quarantined",
+            df.failure.attempts,
+            df.failure.elapsed.as_millis() as u64,
+            format!("{}: {}", df.failure.kind, df.failure.payload),
+        ));
+    }
     ctx.csv(
         "fig1c_avg_degree",
         &Table::new("day").with(m.avg_degree.clone()),
@@ -981,13 +1032,17 @@ enum Scale {
     Paper,
 }
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Paper;
     let mut seed = None;
     let mut seeds: Option<u64> = None;
     let mut out = PathBuf::from("results");
     let mut figs: Vec<String> = Vec::new();
+    let mut retries = 0u32;
+    let mut task_timeout = None;
+    let mut strict = false;
+    let mut chaos_spec: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -998,13 +1053,31 @@ fn main() {
                     Some("paper") | None => Scale::Paper,
                     Some(other) => {
                         eprintln!("unknown scale '{other}' (tiny|small|paper)");
-                        std::process::exit(2);
+                        return ExitCode::from(2);
                     }
                 }
             }
             "--seed" => seed = it.next().and_then(|s| s.parse().ok()),
             "--seeds" => seeds = it.next().and_then(|s| s.parse().ok()),
             "--out" => out = PathBuf::from(it.next().unwrap_or_else(|| "results".into())),
+            "--retries" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => retries = n,
+                None => {
+                    eprintln!("--retries needs a non-negative integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--task-timeout" => match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(secs) if secs > 0.0 && secs.is_finite() => {
+                    task_timeout = Some(std::time::Duration::from_secs_f64(secs));
+                }
+                _ => {
+                    eprintln!("--task-timeout needs a positive number of seconds");
+                    return ExitCode::from(2);
+                }
+            },
+            "--strict" => strict = true,
+            "--chaos" => chaos_spec = it.next(),
             other => figs.push(other.to_string()),
         }
     }
@@ -1012,6 +1085,24 @@ fn main() {
         figs = (1..=9).map(|i| format!("fig{i}")).collect();
         figs.push("extras".into());
     }
+    let chaos_spec = chaos_spec.or_else(|| std::env::var("OSN_CHAOS").ok());
+    let chaos = match chaos_spec.as_deref().map(str::trim) {
+        Some(spec) if !spec.is_empty() => {
+            match osn_graph::testutil::ChaosTaskPlan::from_spec(spec) {
+                Ok(plan) => Some(plan),
+                Err(e) => {
+                    eprintln!("bad chaos spec: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        _ => None,
+    };
+    let policy = RunPolicy {
+        retries,
+        task_timeout,
+        chaos,
+    };
 
     // Robustness mode: rerun the whole harness over several seeds and
     // report per-check pass rates (are the paper's shapes stable under
@@ -1019,10 +1110,18 @@ fn main() {
     if let Some(k) = seeds {
         let base = seed.unwrap_or(42);
         let mut pass_counts: std::collections::BTreeMap<String, (u32, u32)> = Default::default();
+        let mut failed_tasks = 0usize;
         for i in 0..k {
             let s = base + i;
             println!("===== seed {s} ({}/{k}) =====", i + 1);
-            let checks = run_once(scale, Some(s), out.join(format!("seed_{s}")), &figs);
+            let (checks, failed) = run_once(
+                scale,
+                Some(s),
+                out.join(format!("seed_{s}")),
+                &figs,
+                &policy,
+            );
+            failed_tasks += failed;
             for c in checks {
                 let e = pass_counts.entry(c.name).or_insert((0, 0));
                 e.1 += 1;
@@ -1038,16 +1137,59 @@ fn main() {
         let all: u32 = pass_counts.values().map(|&(ok, _)| ok).sum();
         let tot: u32 = pass_counts.values().map(|&(_, t)| t).sum();
         println!("  overall: {all}/{tot} check-runs hold");
-        return;
+        return exit_for(failed_tasks, strict);
     }
 
-    let checks = run_once(scale, seed, out, &figs);
+    let (checks, failed_tasks) = run_once(scale, seed, out, &figs, &policy);
     let passed = checks.iter().filter(|c| c.pass).count();
     println!("\n{passed}/{} shape checks hold", checks.len());
+    exit_for(failed_tasks, strict)
 }
 
-/// One full harness run; returns the evaluated checks.
-fn run_once(scale: Scale, seed: Option<u64>, out: PathBuf, figs: &[String]) -> Vec<Check> {
+/// Exit code from the number of failed/quarantined manifest rows:
+/// `0` clean, `4` degraded, `1` degraded under `--strict`.
+fn exit_for(failed_tasks: usize, strict: bool) -> ExitCode {
+    if failed_tasks == 0 {
+        ExitCode::SUCCESS
+    } else if strict {
+        eprintln!(
+            "error: run degraded: {failed_tasks} task(s) failed (promoted to failure by --strict)"
+        );
+        ExitCode::from(1)
+    } else {
+        eprintln!(
+            "warning: run degraded: {failed_tasks} task(s) failed; all other outputs were produced \
+             (see run_manifest.csv)"
+        );
+        ExitCode::from(4)
+    }
+}
+
+/// The supervised task a figure argument belongs to. Figures 5/6/7 share
+/// one tracking run, so they collapse into a single task.
+fn task_for(fig: &str) -> Option<(&'static str, u64)> {
+    Some(match fig {
+        "fig1" => ("fig1", 1),
+        "fig2" => ("fig2", 2),
+        "fig3" => ("fig3", 3),
+        "fig4" => ("fig4", 4),
+        "fig5" | "fig6" | "fig7" => ("fig5-7", 5),
+        "fig8" => ("fig8", 8),
+        "fig9" => ("fig9", 9),
+        "extras" => ("extras", 10),
+        _ => return None,
+    })
+}
+
+/// One full harness run; returns the evaluated checks and the number of
+/// failed/quarantined manifest rows (0 = clean run).
+fn run_once(
+    scale: Scale,
+    seed: Option<u64>,
+    out: PathBuf,
+    figs: &[String],
+    policy: &RunPolicy,
+) -> (Vec<Check>, usize) {
     let mut cfg = match scale {
         Scale::Tiny => TraceConfig::tiny(),
         Scale::Small => TraceConfig::small(),
@@ -1079,24 +1221,72 @@ fn run_once(scale: Scale, seed: Option<u64>, out: PathBuf, figs: &[String]) -> V
         merge_day,
         out,
         checks: Vec::new(),
+        manifest: Vec::new(),
     };
 
+    let mut tasks: Vec<(&'static str, u64)> = Vec::new();
     for f in figs {
-        match f.as_str() {
-            "fig1" => fig1(&mut ctx),
-            "fig2" => fig2(&mut ctx),
-            "fig3" => fig3(&mut ctx),
-            "fig4" => fig4(&mut ctx, scale),
-            "fig5" | "fig6" | "fig7" => {
-                // These share one tracking run; trigger once.
-                if !ctx.checks.iter().any(|c| c.name.starts_with("fig5a")) {
-                    fig5_6(&mut ctx, scale);
+        match task_for(f) {
+            Some(t) => {
+                if !tasks.contains(&t) {
+                    tasks.push(t);
                 }
             }
-            "fig8" => fig8(&mut ctx),
-            "fig9" => fig9(&mut ctx),
-            "extras" => extras(&mut ctx, scale),
-            other => eprintln!("unknown figure '{other}' (fig1..fig9, extras, all)"),
+            None => eprintln!("unknown figure '{f}' (fig1..fig9, extras, all)"),
+        }
+    }
+
+    // Each figure is one supervised task: its panic (or injected chaos,
+    // or deadline overrun) is caught, partial checks/manifest rows from
+    // the failed attempt are rolled back, and the run moves on to the
+    // next figure.
+    let scfg = policy.supervisor_config(1);
+    let mut rows: Vec<ManifestEntry> = Vec::new();
+    for &(label, key) in &tasks {
+        let started = Instant::now();
+        let checks_mark = ctx.checks.len();
+        let manifest_mark = ctx.manifest.len();
+        let mut attempts_seen = 0u32;
+        let result = supervised_call(label, &scfg, |attempt| {
+            attempts_seen = attempt;
+            if attempt > 1 {
+                ctx.checks.truncate(checks_mark);
+                ctx.manifest.truncate(manifest_mark);
+            }
+            chaos_gate(policy.chaos.as_ref(), key, attempt)?;
+            match label {
+                "fig1" => fig1(&mut ctx, policy),
+                "fig2" => fig2(&mut ctx),
+                "fig3" => fig3(&mut ctx),
+                "fig4" => fig4(&mut ctx, scale),
+                "fig5-7" => fig5_6(&mut ctx, scale),
+                "fig8" => fig8(&mut ctx),
+                "fig9" => fig9(&mut ctx),
+                "extras" => extras(&mut ctx, scale),
+                other => unreachable!("unmapped task {other}"),
+            }
+            Ok(())
+        });
+        match result {
+            Ok(()) => rows.push(ManifestEntry::ok(
+                label,
+                attempts_seen.max(1),
+                started.elapsed().as_millis() as u64,
+            )),
+            Err(failure) => {
+                // Checks and per-day rows from the failed attempt are
+                // half-complete; drop them and record the failure.
+                ctx.checks.truncate(checks_mark);
+                ctx.manifest.truncate(manifest_mark);
+                eprintln!("warning: {failure}; continuing with the remaining figures");
+                rows.push(ManifestEntry::failed(
+                    label,
+                    "failed",
+                    failure.attempts,
+                    failure.elapsed.as_millis() as u64,
+                    format!("{}: {}", failure.kind, failure.payload),
+                ));
+            }
         }
         println!();
     }
@@ -1105,10 +1295,23 @@ fn run_once(scale: Scale, seed: Option<u64>, out: PathBuf, figs: &[String]) -> V
     print!("{}", render_checks_text(&ctx.checks));
     let md = render_checks_markdown(&ctx.checks);
     std::fs::create_dir_all(&ctx.out).ok();
-    std::fs::write(ctx.out.join("checks.md"), md).expect("write checks.md");
+    if let Err(e) = std::fs::write(ctx.out.join("checks.md"), md) {
+        ctx.artifact_error("checks.md".into(), &e);
+    }
+    rows.append(&mut ctx.manifest);
+    let failed = rows.iter().filter(|r| r.status != "ok").count();
+    match write_run_manifest(&ctx.out, &rows) {
+        Ok(path) => println!("run manifest: {}", path.display()),
+        // The manifest is the degraded-run contract; without it the run
+        // cannot claim to have recorded what happened.
+        Err(e) => {
+            eprintln!("error: failed to write run_manifest.csv: {e}");
+            std::process::exit(1);
+        }
+    }
     println!(
         "CSVs, gnuplot scripts and checks.md written to {}",
         ctx.out.display()
     );
-    ctx.checks
+    (ctx.checks, failed)
 }

@@ -1,0 +1,116 @@
+//! End-to-end tests of the `repro` binary's degraded-run contract: an
+//! injected failure in one figure leaves the rest of the harness
+//! running, `run_manifest.csv` records every task, and the exit code
+//! distinguishes clean (0) / degraded (4) / strict-failed (1) / usage (2).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repro(out: &Path, extra: &[&str], figs: &[&str]) -> std::process::Output {
+    let mut c = Command::new(env!("CARGO_BIN_EXE_repro"));
+    c.env_remove("OSN_CHAOS")
+        .args(["--scale", "tiny", "--seed", "7", "--out"])
+        .arg(out)
+        .args(extra)
+        .args(figs);
+    c.output().unwrap()
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("repro_e2e_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn manifest(out: &Path) -> String {
+    std::fs::read_to_string(out.join("run_manifest.csv")).unwrap()
+}
+
+#[test]
+fn clean_run_exits_zero_with_ok_manifest() {
+    let out = scratch("clean");
+    let res = repro(&out, &[], &["fig3", "fig8"]);
+    assert_eq!(
+        res.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&res.stderr)
+    );
+    let m = manifest(&out);
+    assert!(
+        m.starts_with("task,status,attempts,duration_ms,reason"),
+        "{m}"
+    );
+    assert!(m.contains("fig3,ok,1,"), "{m}");
+    assert!(m.contains("fig8,ok,1,"), "{m}");
+    assert!(!m.contains("failed"), "{m}");
+    assert!(out.join("checks.md").exists());
+    std::fs::remove_dir_all(&out).ok();
+}
+
+#[test]
+fn injected_panic_degrades_one_figure_and_run_continues() {
+    let out = scratch("degraded");
+    let res = repro(&out, &["--chaos", "panic@3"], &["fig3", "fig8"]);
+    assert_eq!(
+        res.status.code(),
+        Some(4),
+        "stderr: {}",
+        String::from_utf8_lossy(&res.stderr)
+    );
+    let m = manifest(&out);
+    assert!(m.contains("fig3,failed,1,"), "{m}");
+    assert!(m.contains("panicked: injected panic for task key 3"), "{m}");
+    assert!(m.contains("fig8,ok,1,"), "{m}");
+    // The surviving figure's artifacts were still produced; the failed
+    // figure's partial checks were rolled back from checks.md.
+    assert!(out.join("fig8c_edges_per_day.csv").exists());
+    let checks = std::fs::read_to_string(out.join("checks.md")).unwrap();
+    assert!(!checks.contains("fig3"), "{checks}");
+    assert!(checks.contains("fig8"), "{checks}");
+    let stderr = String::from_utf8_lossy(&res.stderr);
+    assert!(
+        stderr.contains("continuing with the remaining figures"),
+        "{stderr}"
+    );
+    std::fs::remove_dir_all(&out).ok();
+}
+
+#[test]
+fn strict_promotes_degraded_to_failure() {
+    let out = scratch("strict");
+    let res = repro(&out, &["--chaos", "panic@3", "--strict"], &["fig3"]);
+    assert_eq!(res.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&res.stderr).contains("--strict"));
+    std::fs::remove_dir_all(&out).ok();
+}
+
+#[test]
+fn retry_budget_heals_first_attempt_transient() {
+    let out = scratch("heal");
+    let res = repro(
+        &out,
+        &["--chaos", "transient@3#1", "--retries", "1"],
+        &["fig3"],
+    );
+    assert_eq!(
+        res.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&res.stderr)
+    );
+    let m = manifest(&out);
+    assert!(
+        m.contains("fig3,ok,2,"),
+        "second attempt should succeed: {m}"
+    );
+    std::fs::remove_dir_all(&out).ok();
+}
+
+#[test]
+fn bad_chaos_spec_is_a_usage_error() {
+    let out = scratch("badspec");
+    let res = repro(&out, &["--chaos", "explode@oops"], &["fig3"]);
+    assert_eq!(res.status.code(), Some(2));
+    std::fs::remove_dir_all(&out).ok();
+}

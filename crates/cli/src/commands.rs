@@ -1,14 +1,17 @@
 //! Subcommand implementations and flag parsing.
 
 use crate::error::CliError;
-use osn_core::checkpoint::{metric_series_checkpointed, track_checkpointed};
+use osn_core::checkpoint::{
+    metric_series_checkpointed_supervised, track_checkpointed_supervised, QuarantinedTask,
+};
 use osn_core::communities::{track, CommunityAnalysisConfig};
-use osn_core::network::{growth_series, metric_series, MetricSeriesConfig};
+use osn_core::network::{growth_series, metric_series_supervised, MetricSeriesConfig};
 use osn_core::preferential::{alpha_series, AlphaConfig, DestinationRule};
-use osn_core::report::write_csv;
+use osn_core::report::{write_csv, write_run_manifest, ManifestEntry};
 use osn_genstream::{TraceConfig, TraceGenerator};
 use osn_graph::io::{read_log, read_log_with_policy, save_log_v2, RecoveryPolicy};
 use osn_graph::{EventLog, Origin, Replayer};
+use osn_metrics::supervisor::RunPolicy;
 use osn_stats::{Series, Table};
 use std::path::{Path, PathBuf};
 
@@ -23,14 +26,23 @@ USAGE:
   osn verify   trace.events [--policy strict|skip|repair] [--max-errors N]
                [--window SECONDS]
   osn metrics  trace.events [--stride D] [--out DIR] [--checkpoint DIR]
+               [--workers N] [--retries N] [--task-timeout SECS] [--strict]
   osn communities trace.events [--delta X] [--stride D] [--min-size K]
-               [--out DIR] [--checkpoint DIR]
+               [--out DIR] [--checkpoint DIR] [--retries N]
+               [--task-timeout SECS] [--strict]
   osn alpha    trace.events [--window E] [--out DIR]
   osn compare  a.events b.events
 
 Traces are written in the checksummed v2 format; v1 traces stay readable.
 With --checkpoint DIR, a killed metrics/communities run resumes from the
-last completed snapshot and produces byte-identical output.";
+last completed snapshot and produces byte-identical output.
+
+metrics/communities run every snapshot task under a supervisor: a panic,
+a deadline overrun (--task-timeout) or exhausted retries (--retries)
+quarantines that snapshot while the run continues. Quarantined tasks are
+listed in <out>/run_manifest.csv and the process exits 4 (degraded);
+--strict promotes a degraded run to a hard failure (exit 1). Worker
+count (--workers / OSN_WORKERS) never affects results, only speed.";
 
 /// Minimal flag parser: `--key value` pairs plus positional arguments.
 #[derive(Debug)]
@@ -109,6 +121,90 @@ fn out_dir(flags: &Flags) -> PathBuf {
 
 fn checkpoint_dir(flags: &Flags) -> Option<PathBuf> {
     flags.get("checkpoint").map(PathBuf::from)
+}
+
+/// Build the supervision policy from `--retries` / `--task-timeout` and
+/// the `OSN_CHAOS` fault-injection hook (a `ChaosTaskPlan` spec such as
+/// `panic@12` — test/drill use only; see `osn_graph::testutil`).
+fn run_policy(flags: &Flags) -> Result<RunPolicy, CliError> {
+    let retries = flags.get_parsed::<u32>("retries")?.unwrap_or(0);
+    let task_timeout = flags
+        .get_parsed::<f64>("task-timeout")?
+        .map(|secs| {
+            if secs > 0.0 && secs.is_finite() {
+                Ok(std::time::Duration::from_secs_f64(secs))
+            } else {
+                Err(CliError::Usage(format!(
+                    "--task-timeout must be a positive number of seconds, got {secs}"
+                )))
+            }
+        })
+        .transpose()?;
+    let chaos = match std::env::var("OSN_CHAOS") {
+        Ok(spec) if !spec.trim().is_empty() => Some(
+            osn_graph::testutil::ChaosTaskPlan::from_spec(spec.trim())
+                .map_err(|e| CliError::Usage(format!("bad OSN_CHAOS spec: {e}")))?,
+        ),
+        _ => None,
+    };
+    Ok(RunPolicy {
+        retries,
+        task_timeout,
+        chaos,
+    })
+}
+
+/// Render quarantined snapshot tasks as manifest rows plus one summary
+/// row for the command itself, write `<dir>/run_manifest.csv`, and turn a
+/// non-empty quarantine into the degraded (or, with `--strict`, failed)
+/// exit path.
+fn finish_supervised_run(
+    dir: &Path,
+    command: &str,
+    quarantined: &[QuarantinedTask],
+    elapsed_ms: u64,
+    strict: bool,
+) -> Result<(), CliError> {
+    let mut entries: Vec<ManifestEntry> = quarantined
+        .iter()
+        .map(|q| {
+            ManifestEntry::failed(
+                format!("{command}/day-{}", q.day),
+                "quarantined",
+                q.attempts,
+                q.elapsed_ms,
+                format!("{}: {}", q.kind, q.reason),
+            )
+        })
+        .collect();
+    if quarantined.is_empty() {
+        entries.push(ManifestEntry::ok(command, 1, elapsed_ms));
+    } else {
+        entries.push(ManifestEntry::failed(
+            command,
+            "degraded",
+            1,
+            elapsed_ms,
+            format!("{} snapshot task(s) quarantined", quarantined.len()),
+        ));
+    }
+    let path =
+        write_run_manifest(dir, &entries).map_err(|e| CliError::io("write run_manifest.csv", e))?;
+    println!("wrote {}", path.display());
+    if quarantined.is_empty() {
+        Ok(())
+    } else {
+        for q in quarantined {
+            eprintln!(
+                "warning: quarantined day {} ({} after {} attempt(s)): {}",
+                q.day, q.kind, q.attempts, q.reason
+            );
+        }
+        Err(CliError::Degraded {
+            quarantined: quarantined.len(),
+            strict,
+        })
+    }
 }
 
 /// `osn generate`
@@ -256,7 +352,7 @@ pub fn verify(args: &[String]) -> Result<(), CliError> {
 
 /// `osn metrics`
 pub fn metrics(args: &[String]) -> Result<(), CliError> {
-    let flags = Flags::parse(args, &[])?;
+    let flags = Flags::parse(args, &["strict"])?;
     let path = flags.trace_arg("metrics")?;
     let log = load_log(path)?;
     let stride = flags.get_parsed::<u32>("stride")?.unwrap_or(7);
@@ -264,15 +360,25 @@ pub fn metrics(args: &[String]) -> Result<(), CliError> {
     let cfg = MetricSeriesConfig {
         stride,
         seed: flags.get_parsed::<u64>("seed")?.unwrap_or(0),
+        workers: flags.get_parsed::<usize>("workers")?.unwrap_or(0),
         ..Default::default()
     };
-    let m = match checkpoint_dir(&flags) {
+    let policy = run_policy(&flags)?;
+    let started = std::time::Instant::now();
+    let (m, quarantined) = match checkpoint_dir(&flags) {
         Some(ckpt) => {
-            let m = metric_series_checkpointed(&log, &cfg, &ckpt)?;
+            let out = metric_series_checkpointed_supervised(&log, &cfg, &ckpt, &policy)?;
             println!("checkpoint: {}", ckpt.display());
-            m
+            out
         }
-        None => metric_series(&log, &cfg),
+        None => {
+            let (m, failures) = metric_series_supervised(&log, &cfg, &policy);
+            let quarantined = failures
+                .iter()
+                .map(|f| QuarantinedTask::from_failure(f.day, &f.failure))
+                .collect();
+            (m, quarantined)
+        }
     };
     write_and_report(&dir, "growth", &growth_series(&log))?;
     write_and_report(&dir, "metrics", &m.to_table())?;
@@ -285,12 +391,18 @@ pub fn metrics(args: &[String]) -> Result<(), CliError> {
             .map(|v| format!("{v:.3}"))
             .unwrap_or_else(|| "-".into())
     );
-    Ok(())
+    finish_supervised_run(
+        &dir,
+        "metrics",
+        &quarantined,
+        started.elapsed().as_millis() as u64,
+        flags.has("strict"),
+    )
 }
 
 /// `osn communities`
 pub fn communities(args: &[String]) -> Result<(), CliError> {
-    let flags = Flags::parse(args, &[])?;
+    let flags = Flags::parse(args, &["strict"])?;
     let path = flags.trace_arg("communities")?;
     let log = load_log(path)?;
     let cfg = CommunityAnalysisConfig {
@@ -300,13 +412,30 @@ pub fn communities(args: &[String]) -> Result<(), CliError> {
         seed: flags.get_parsed::<u64>("seed")?.unwrap_or(0),
         ..Default::default()
     };
-    let (summaries, output) = match checkpoint_dir(&flags) {
+    // Community tracking is stateful and sequential; --workers is accepted
+    // for CLI symmetry but does not change anything (results never depend
+    // on worker count anyway).
+    let _ = flags.get_parsed::<usize>("workers")?;
+    let policy = run_policy(&flags)?;
+    let started = std::time::Instant::now();
+    let ((summaries, output), quarantined) = match checkpoint_dir(&flags) {
         Some(ckpt) => {
-            let out = track_checkpointed(&log, &cfg, &ckpt)?;
+            let out = track_checkpointed_supervised(&log, &cfg, &ckpt, &policy)?;
             println!("checkpoint: {}", ckpt.display());
             out
         }
-        None => track(&log, &cfg),
+        None => {
+            // Per-day isolation needs the checkpoint store to rebuild the
+            // stateful tracker after a quarantine; without --checkpoint the
+            // run is unsupervised (any failure aborts it, as before).
+            if policy.retries > 0 || policy.task_timeout.is_some() || policy.chaos.is_some() {
+                eprintln!(
+                    "note: --retries/--task-timeout/OSN_CHAOS only take effect for \
+                     `osn communities` together with --checkpoint DIR"
+                );
+            }
+            (track(&log, &cfg), Vec::new())
+        }
     };
     let mut table = Table::new("day");
     let mut q = Series::new("modularity");
@@ -391,7 +520,13 @@ pub fn communities(args: &[String]) -> Result<(), CliError> {
         deaths,
         output.events.len()
     );
-    Ok(())
+    finish_supervised_run(
+        &dir,
+        "communities",
+        &quarantined,
+        started.elapsed().as_millis() as u64,
+        flags.has("strict"),
+    )
 }
 
 /// `osn alpha`

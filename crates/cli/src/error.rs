@@ -4,7 +4,8 @@
 //! corrupt traces, checkpoint mismatches — maps to a variant here instead
 //! of a panic or an anonymous string, so scripts can rely on the exit
 //! code: `2` for usage errors, `3` for a trace that failed verification,
-//! `1` for everything else.
+//! `4` for a run that completed but quarantined some tasks (degraded;
+//! promoted to `1` by `--strict`), `1` for everything else.
 
 use osn_core::checkpoint::CheckpointStoreError;
 use osn_graph::ParseError;
@@ -41,6 +42,14 @@ pub enum CliError {
     },
     /// Checkpoint directory could not be used.
     Checkpoint(CheckpointStoreError),
+    /// The run completed, but the supervisor quarantined some tasks.
+    /// Every other output was produced; the run manifest has the detail.
+    Degraded {
+        /// Number of quarantined tasks.
+        quarantined: usize,
+        /// `--strict` was set: degraded is promoted to a hard failure.
+        strict: bool,
+    },
 }
 
 impl CliError {
@@ -57,6 +66,7 @@ impl CliError {
         match self {
             CliError::Usage(_) => 2,
             CliError::Corrupt { .. } => 3,
+            CliError::Degraded { strict: false, .. } => 4,
             _ => 1,
         }
     }
@@ -76,6 +86,19 @@ impl fmt::Display for CliError {
                 path.display()
             ),
             CliError::Checkpoint(e) => write!(f, "{e}"),
+            CliError::Degraded {
+                quarantined,
+                strict,
+            } => write!(
+                f,
+                "run degraded: {quarantined} task(s) quarantined{}; all other outputs were \
+                 produced (see run_manifest.csv)",
+                if *strict {
+                    " (promoted to failure by --strict)"
+                } else {
+                    ""
+                }
+            ),
         }
     }
 }
@@ -114,6 +137,22 @@ mod tests {
         );
         assert_eq!(
             CliError::io("open", io::Error::other("nope")).exit_code(),
+            1
+        );
+        assert_eq!(
+            CliError::Degraded {
+                quarantined: 1,
+                strict: false
+            }
+            .exit_code(),
+            4
+        );
+        assert_eq!(
+            CliError::Degraded {
+                quarantined: 1,
+                strict: true
+            }
+            .exit_code(),
             1
         );
     }

@@ -6,8 +6,10 @@
 //! osn inspect  trace.events
 //! osn verify   trace.events [--policy strict|skip|repair]
 //! osn metrics  trace.events [--stride D] [--out DIR] [--checkpoint DIR]
+//!              [--workers N] [--retries N] [--task-timeout SECS] [--strict]
 //! osn communities trace.events [--delta X] [--stride D] [--min-size K]
-//!              [--out DIR] [--checkpoint DIR]
+//!              [--out DIR] [--checkpoint DIR] [--retries N]
+//!              [--task-timeout SECS] [--strict]
 //! osn alpha    trace.events [--window E] [--out DIR]
 //! ```
 //!
@@ -15,8 +17,15 @@
 //! remain readable), so anything generated here can be re-analysed later or
 //! consumed by external tools.
 //!
-//! Exit codes: `0` success, `1` runtime failure, `2` usage error,
-//! `3` trace failed `osn verify`.
+//! The analysis commands run each snapshot task under a supervisor
+//! (`osn_metrics::supervisor`): a panic, deadline overrun, or exhausted
+//! retry budget quarantines that snapshot while the run continues, and
+//! `<out>/run_manifest.csv` records what happened to every task.
+//!
+//! Exit codes: `0` success, `1` runtime failure (including degraded runs
+//! promoted by `--strict`), `2` usage error, `3` trace failed
+//! `osn verify`, `4` degraded run (some tasks quarantined, all other
+//! outputs produced).
 
 mod commands;
 mod error;

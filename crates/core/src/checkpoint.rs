@@ -16,19 +16,36 @@
 //! | `rows.txt` | (metrics) one line per completed snapshot day |
 //! | `replay.ckpt` | [`ReplayCheckpoint`] at the last completed stride |
 //! | `communities.ckpt` | (communities) summaries + full tracker state |
+//! | `quarantine.txt` | days whose task the supervisor gave up on |
 //!
 //! `meta.txt` is compared verbatim on resume: a checkpoint taken from a
 //! different trace or with different parameters is refused with
 //! [`CheckpointStoreError::Mismatch`] rather than silently mixing results.
-//! Worker-thread count is deliberately *not* recorded — it does not affect
-//! results.
+//! Worker-thread count and supervision policy (retries, deadlines) are
+//! deliberately *not* recorded — they do not affect the values successful
+//! days produce.
+//!
+//! ## Supervised (degraded) runs
+//!
+//! The `_supervised` pipeline variants run every snapshot task under
+//! [`osn_metrics::supervisor`]: a panicking, fatally-failing, retry-
+//! exhausted or deadline-overrunning day is **quarantined** — recorded in
+//! `quarantine.txt` with its failure kind, attempt count and reason — and
+//! the run continues with the remaining days. Quarantined days are
+//! excluded from the returned series (never silently blended as zeros)
+//! and are *not* retried on resume, so a killed-and-resumed degraded run
+//! still produces byte-identical output to the same degraded run left
+//! uninterrupted.
 
 use crate::communities::CommunityAnalysisConfig;
 use crate::network::{MetricSeries, MetricSeriesConfig};
 use osn_community::{CommunityTracker, SnapshotSummary, TrackerOutput, TrackerState};
 use osn_graph::atomicfile::write_bytes_atomic;
 use osn_graph::{Day, EventLog, ReplayCheckpoint, Replayer, Time};
-use osn_metrics::parallel::par_map;
+use osn_metrics::supervisor::{
+    chaos_gate, supervised_call, try_par_map_labeled, FailureKind, RunPolicy, TaskError,
+    TaskFailure,
+};
 use osn_metrics::{average_clustering, avg_path_length_sampled, degree_assortativity};
 use osn_stats::sampling::derive_seed;
 use osn_stats::{rng_from_seed, Series};
@@ -164,6 +181,107 @@ fn replay_checkpoint_at(log: &EventLog, day: Day) -> ReplayCheckpoint {
 }
 
 // ---------------------------------------------------------------------------
+// Quarantine records (shared by both pipelines)
+// ---------------------------------------------------------------------------
+
+const QUARANTINE_MAGIC: &str = "#%osn-quarantine v1";
+
+/// A snapshot-day task the supervisor gave up on. The day is excluded
+/// from the run's output, recorded here, and not retried on resume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedTask {
+    /// The snapshot day whose task failed.
+    pub day: Day,
+    /// Failure class (panic, fatal, exhausted retries, deadline).
+    pub kind: FailureKind,
+    /// Attempts made before giving up.
+    pub attempts: u32,
+    /// Wall-clock time spent on the task, in milliseconds.
+    pub elapsed_ms: u64,
+    /// Panic payload or error message.
+    pub reason: String,
+}
+
+impl QuarantinedTask {
+    /// Record a supervisor [`TaskFailure`] against the snapshot day it
+    /// was analysing.
+    pub fn from_failure(day: Day, f: &TaskFailure) -> Self {
+        QuarantinedTask {
+            day,
+            kind: f.kind,
+            attempts: f.attempts,
+            elapsed_ms: f.elapsed.as_millis() as u64,
+            reason: f.payload.clone(),
+        }
+    }
+}
+
+fn render_quarantine(q: &BTreeMap<Day, QuarantinedTask>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{QUARANTINE_MAGIC}");
+    for (day, t) in q {
+        let reason = t
+            .reason
+            .replace('\\', "\\\\")
+            .replace('\n', "\\n")
+            .replace('\r', "\\r");
+        let _ = writeln!(
+            out,
+            "q {day} {} {} {} {reason}",
+            t.kind.as_str(),
+            t.attempts,
+            t.elapsed_ms
+        );
+    }
+    out
+}
+
+fn load_quarantine(path: &Path) -> Result<BTreeMap<Day, QuarantinedTask>, CheckpointStoreError> {
+    let Some(text) = read_optional(path)? else {
+        return Ok(BTreeMap::new());
+    };
+    let mut lines = text.lines();
+    if lines.next().map(str::trim) != Some(QUARANTINE_MAGIC) {
+        return Err(corrupt(path, "bad header"));
+    }
+    let mut out = BTreeMap::new();
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let f: Vec<&str> = line.splitn(6, ' ').collect();
+        if f.len() < 5 || f[0] != "q" {
+            return Err(corrupt(path, format!("bad quarantine line '{line}'")));
+        }
+        let day: Day = f[1]
+            .parse()
+            .map_err(|_| corrupt(path, format!("bad day '{}'", f[1])))?;
+        let task = QuarantinedTask {
+            day,
+            kind: FailureKind::parse(f[2]).map_err(|r| corrupt(path, r))?,
+            attempts: f[3]
+                .parse()
+                .map_err(|_| corrupt(path, format!("bad attempts '{}'", f[3])))?,
+            elapsed_ms: f[4]
+                .parse()
+                .map_err(|_| corrupt(path, format!("bad elapsed '{}'", f[4])))?,
+            reason: f
+                .get(5)
+                .map(|r| {
+                    r.replace("\\r", "\r")
+                        .replace("\\n", "\n")
+                        .replace("\\\\", "\\")
+                })
+                .unwrap_or_default(),
+        };
+        if out.insert(day, task).is_some() {
+            return Err(corrupt(path, format!("duplicate quarantined day {day}")));
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
 // Metrics (Figure 1c–f)
 // ---------------------------------------------------------------------------
 
@@ -250,8 +368,12 @@ fn resume_replayer<'a>(
     dir: &Path,
     days: &[Day],
     rows: &BTreeMap<Day, MetricRow>,
+    quarantined: &BTreeMap<Day, QuarantinedTask>,
 ) -> io::Result<(Replayer<'a>, usize)> {
-    let contiguous = days.iter().take_while(|d| rows.contains_key(d)).count();
+    let contiguous = days
+        .iter()
+        .take_while(|d| rows.contains_key(d) || quarantined.contains_key(d))
+        .count();
     if contiguous > 0 {
         if let Some(text) = read_optional(&dir.join("replay.ckpt"))? {
             if let Ok(cp) = ReplayCheckpoint::from_text(&text) {
@@ -275,16 +397,42 @@ fn resume_replayer<'a>(
 /// batch, and a rerun (same log, same config) picks up where the previous
 /// run stopped, producing byte-identical results to an uninterrupted
 /// [`metric_series`](crate::network::metric_series) run.
+///
+/// Infallible with respect to task failures: runs with a default
+/// [`RunPolicy`] and re-raises the first quarantined day as a panic. Use
+/// [`metric_series_checkpointed_supervised`] to survive failures.
 pub fn metric_series_checkpointed(
     log: &EventLog,
     cfg: &MetricSeriesConfig,
     dir: &Path,
 ) -> Result<MetricSeries, CheckpointStoreError> {
-    let series = run_metrics(log, cfg, dir, usize::MAX)?;
-    Ok(series.expect("unlimited run always completes"))
+    let (series, quarantined) =
+        metric_series_checkpointed_supervised(log, cfg, dir, &RunPolicy::default())?;
+    if let Some(q) = quarantined.first() {
+        panic!(
+            "metric sweep failed on day {}: {} after {} attempt(s): {}",
+            q.day, q.kind, q.attempts, q.reason
+        );
+    }
+    Ok(series)
 }
 
-/// Worker for [`metric_series_checkpointed`]: computes at most
+/// [`metric_series_checkpointed`] under a supervision policy: failed days
+/// are quarantined (recorded in `quarantine.txt`, excluded from the
+/// series, reported in the second tuple element) and the run keeps going.
+/// Quarantined days are not retried on resume, so a resumed degraded run
+/// is byte-identical to the same run left uninterrupted.
+pub fn metric_series_checkpointed_supervised(
+    log: &EventLog,
+    cfg: &MetricSeriesConfig,
+    dir: &Path,
+    policy: &RunPolicy,
+) -> Result<(MetricSeries, Vec<QuarantinedTask>), CheckpointStoreError> {
+    let out = run_metrics(log, cfg, dir, usize::MAX, policy)?;
+    Ok(out.expect("unlimited run always completes"))
+}
+
+/// Worker for [`metric_series_checkpointed_supervised`]: computes at most
 /// `limit_new` missing rows, then returns `None` if snapshots remain
 /// (used by tests to simulate an interrupted run).
 pub(crate) fn run_metrics(
@@ -292,12 +440,15 @@ pub(crate) fn run_metrics(
     cfg: &MetricSeriesConfig,
     dir: &Path,
     limit_new: usize,
-) -> Result<Option<MetricSeries>, CheckpointStoreError> {
+    policy: &RunPolicy,
+) -> Result<Option<(MetricSeries, Vec<QuarantinedTask>)>, CheckpointStoreError> {
     std::fs::create_dir_all(dir)?;
     check_or_init_meta(dir, &metrics_meta_text(log, cfg))?;
 
     let rows_path = dir.join("rows.txt");
+    let quarantine_path = dir.join("quarantine.txt");
     let mut rows = load_rows(&rows_path)?;
+    let mut quarantined = load_quarantine(&quarantine_path)?;
     let days = snapshot_days(log, cfg.first_day, cfg.stride);
 
     let workers = if cfg.workers == 0 {
@@ -308,38 +459,63 @@ pub(crate) fn run_metrics(
     let batch_cap = (workers * 2).max(1);
     let path_every = cfg.path_every.max(1);
     let (seed, path_sample, clustering_sample) = (cfg.seed, cfg.path_sample, cfg.clustering_sample);
+    let scfg = policy.supervisor_config(workers);
+    let chaos = policy.chaos.as_ref();
 
-    let (mut replayer, skip) = resume_replayer(log, dir, &days, &rows)?;
+    let (mut replayer, skip) = resume_replayer(log, dir, &days, &rows, &quarantined)?;
     let mut new_rows = 0usize;
     let mut batch: Vec<(usize, Day, osn_graph::CsrGraph)> = Vec::new();
 
     let flush = |batch: &mut Vec<(usize, Day, osn_graph::CsrGraph)>,
-                 rows: &mut BTreeMap<Day, MetricRow>|
+                 rows: &mut BTreeMap<Day, MetricRow>,
+                 quarantined: &mut BTreeMap<Day, QuarantinedTask>|
      -> Result<(), CheckpointStoreError> {
         if batch.is_empty() {
             return Ok(());
         }
-        let computed: Vec<(Day, MetricRow)> =
-            par_map(batch.drain(..), workers, move |(idx, day, g)| {
-                let mut rng = rng_from_seed(derive_seed(seed, day as u64));
+        let batch_days: Vec<Day> = batch.iter().map(|&(_, day, _)| day).collect();
+        let verdicts = try_par_map_labeled(
+            batch.drain(..),
+            &scfg,
+            |_, &(_, day, _)| format!("day-{day}"),
+            move |att, (idx, day, g)| {
+                chaos_gate(chaos, *day as u64, att.attempt)?;
+                let mut rng = rng_from_seed(derive_seed(seed, *day as u64));
                 let path_length = if idx % path_every == 0 {
-                    avg_path_length_sampled(&g, path_sample, &mut rng)
+                    avg_path_length_sampled(g, path_sample, &mut rng)
                 } else {
                     None
                 };
-                (
-                    day,
+                Ok((
+                    *day,
                     MetricRow {
                         avg_degree: g.average_degree(),
                         path_length,
-                        clustering: average_clustering(&g, clustering_sample, &mut rng),
-                        assortativity: degree_assortativity(&g),
+                        clustering: average_clustering(g, clustering_sample, &mut rng),
+                        assortativity: degree_assortativity(g),
                     },
-                )
-            });
-        rows.extend(computed);
+                ))
+            },
+        );
+        for (slot, verdict) in verdicts.into_iter().enumerate() {
+            match verdict {
+                Ok((day, row)) => {
+                    rows.insert(day, row);
+                }
+                Err(failure) => {
+                    let day = batch_days[slot];
+                    quarantined.insert(day, QuarantinedTask::from_failure(day, &failure));
+                }
+            }
+        }
         write_bytes_atomic(&rows_path, render_rows(rows).as_bytes())?;
-        let done = days.iter().take_while(|d| rows.contains_key(d)).count();
+        if !quarantined.is_empty() {
+            write_bytes_atomic(&quarantine_path, render_quarantine(quarantined).as_bytes())?;
+        }
+        let done = days
+            .iter()
+            .take_while(|d| rows.contains_key(d) || quarantined.contains_key(d))
+            .count();
         if done > 0 {
             let cp = replay_checkpoint_at(log, days[done - 1]);
             write_bytes_atomic(&dir.join("replay.ckpt"), cp.to_text().as_bytes())?;
@@ -348,26 +524,28 @@ pub(crate) fn run_metrics(
     };
 
     for (idx, &day) in days.iter().enumerate().skip(skip) {
-        if rows.contains_key(&day) {
-            // Already computed by a previous run past the contiguous
-            // prefix; still advance the replay so later days are correct.
+        if rows.contains_key(&day) || quarantined.contains_key(&day) {
+            // Already computed (or quarantined) by a previous run past the
+            // contiguous prefix; still advance the replay so later days
+            // are correct.
             replayer.advance_through_day(day);
             continue;
         }
         if new_rows >= limit_new {
-            flush(&mut batch, &mut rows)?;
+            flush(&mut batch, &mut rows, &mut quarantined)?;
             return Ok(None);
         }
         replayer.advance_through_day(day);
         batch.push((idx, day, replayer.freeze()));
         new_rows += 1;
         if batch.len() >= batch_cap {
-            flush(&mut batch, &mut rows)?;
+            flush(&mut batch, &mut rows, &mut quarantined)?;
         }
     }
-    flush(&mut batch, &mut rows)?;
+    flush(&mut batch, &mut rows, &mut quarantined)?;
 
-    // Assemble exactly like `metric_series` does.
+    // Assemble exactly like `metric_series` does, skipping quarantined
+    // days (they are reported, never blended).
     let mut out = MetricSeries {
         avg_degree: Series::new("avg_degree"),
         path_length: Series::new("avg_path_length"),
@@ -375,6 +553,9 @@ pub(crate) fn run_metrics(
         assortativity: Series::new("assortativity"),
     };
     for &day in &days {
+        if quarantined.contains_key(&day) {
+            continue;
+        }
         let Some(r) = rows.get(&day) else {
             return Err(corrupt(&rows_path, format!("missing day {day}")));
         };
@@ -388,7 +569,7 @@ pub(crate) fn run_metrics(
             out.assortativity.push(d, a);
         }
     }
-    Ok(Some(out))
+    Ok(Some((out, quarantined.into_values().collect())))
 }
 
 // ---------------------------------------------------------------------------
@@ -494,23 +675,52 @@ pub fn track_checkpointed(
     cfg: &CommunityAnalysisConfig,
     dir: &Path,
 ) -> Result<(Vec<SnapshotSummary>, TrackerOutput), CheckpointStoreError> {
-    let out = run_communities(log, cfg, dir, usize::MAX)?;
+    let (out, quarantined) = track_checkpointed_supervised(log, cfg, dir, &RunPolicy::default())?;
+    if let Some(q) = quarantined.first() {
+        panic!(
+            "community tracking failed on day {}: {} after {} attempt(s): {}",
+            q.day, q.kind, q.attempts, q.reason
+        );
+    }
+    Ok(out)
+}
+
+/// [`track_checkpointed`] under a supervision policy: a snapshot whose
+/// observation fails is quarantined (recorded in `quarantine.txt`), the
+/// tracker is rebuilt from its pre-observation state, and tracking
+/// continues with the next snapshot. Quarantined days are not retried on
+/// resume, so a resumed degraded run matches the same run left
+/// uninterrupted.
+pub fn track_checkpointed_supervised(
+    log: &EventLog,
+    cfg: &CommunityAnalysisConfig,
+    dir: &Path,
+    policy: &RunPolicy,
+) -> Result<SupervisedTrackResult, CheckpointStoreError> {
+    let out = run_communities(log, cfg, dir, usize::MAX, policy)?;
     Ok(out.expect("unlimited run always completes"))
 }
 
-/// Worker for [`track_checkpointed`]: observes at most `limit_new` new
-/// snapshots, then returns `None` if snapshots remain (used by tests to
-/// simulate an interrupted run).
+/// What a supervised communities run produces: the tracking output plus
+/// the snapshot days that had to be quarantined.
+pub type SupervisedTrackResult = ((Vec<SnapshotSummary>, TrackerOutput), Vec<QuarantinedTask>);
+
+/// Worker for [`track_checkpointed_supervised`]: observes at most
+/// `limit_new` new snapshots, then returns `None` if snapshots remain
+/// (used by tests to simulate an interrupted run).
 pub(crate) fn run_communities(
     log: &EventLog,
     cfg: &CommunityAnalysisConfig,
     dir: &Path,
     limit_new: usize,
-) -> Result<Option<(Vec<SnapshotSummary>, TrackerOutput)>, CheckpointStoreError> {
+    policy: &RunPolicy,
+) -> Result<Option<SupervisedTrackResult>, CheckpointStoreError> {
     std::fs::create_dir_all(dir)?;
     check_or_init_meta(dir, &communities_meta_text(log, cfg))?;
 
     let state_path = dir.join("communities.ckpt");
+    let quarantine_path = dir.join("quarantine.txt");
+    let mut quarantined = load_quarantine(&quarantine_path)?;
     let days = snapshot_days(log, cfg.first_day, cfg.stride);
 
     let mut replayer = Replayer::new(log);
@@ -527,7 +737,15 @@ pub(crate) fn run_communities(
                         format!("day {} is not a snapshot day", state.last_day),
                     )
                 })?;
-            if summaries.len() != start || summaries.last().map(|s| s.day) != Some(state.last_day) {
+            // Quarantined days never produced a summary, so the summary
+            // count must match the *non-quarantined* prefix.
+            let expected = days[..start]
+                .iter()
+                .filter(|d| !quarantined.contains_key(d))
+                .count();
+            if summaries.len() != expected
+                || summaries.last().map(|s| s.day) != Some(state.last_day)
+            {
                 return Err(corrupt(
                     &state_path,
                     "summaries do not line up with the tracker state",
@@ -541,22 +759,68 @@ pub(crate) fn run_communities(
         None => (CommunityTracker::new(cfg.tracker_config()), Vec::new(), 0),
     };
 
-    for (new_snaps, &day) in days[start..].iter().enumerate() {
+    // The tracker is stateful, so a failed observation may leave it
+    // mid-update: rebuild it from the last persisted-good state before a
+    // retry and after a quarantine.
+    let rebuild = |pre_state: &Option<TrackerState>| -> Result<CommunityTracker, String> {
+        match pre_state {
+            None => Ok(CommunityTracker::new(cfg.tracker_config())),
+            Some(s) => {
+                let mut r = Replayer::new(log);
+                r.advance_through_day(s.last_day);
+                CommunityTracker::restore(cfg.tracker_config(), s.clone(), r.freeze())
+            }
+        }
+    };
+    let scfg = policy.supervisor_config(1);
+    let chaos = policy.chaos.as_ref();
+
+    let mut new_snaps = 0usize;
+    for &day in days[start..].iter() {
+        if quarantined.contains_key(&day) {
+            // Quarantined by a previous run: deterministically skipped.
+            replayer.advance_through_day(day);
+            continue;
+        }
         if new_snaps >= limit_new {
             return Ok(None);
         }
+        new_snaps += 1;
         replayer.advance_through_day(day);
         let g = replayer.freeze();
-        summaries.push(tracker.observe(day, &g));
-        let state = tracker.export_state().expect("state after observe");
-        write_bytes_atomic(
-            &state_path,
-            render_communities_state(&summaries, &state).as_bytes(),
-        )?;
-        let cp = replayer.checkpoint(day);
-        write_bytes_atomic(&dir.join("replay.ckpt"), cp.to_text().as_bytes())?;
+        let pre_state = tracker.export_state();
+        let verdict = {
+            let tracker = &mut tracker;
+            supervised_call(&format!("day-{day}"), &scfg, |attempt| {
+                if attempt > 1 {
+                    *tracker = rebuild(&pre_state).map_err(TaskError::Fatal)?;
+                }
+                chaos_gate(chaos, day as u64, attempt)?;
+                Ok(tracker.observe(day, &g))
+            })
+        };
+        match verdict {
+            Ok(summary) => {
+                summaries.push(summary);
+                let state = tracker.export_state().expect("state after observe");
+                write_bytes_atomic(
+                    &state_path,
+                    render_communities_state(&summaries, &state).as_bytes(),
+                )?;
+                let cp = replayer.checkpoint(day);
+                write_bytes_atomic(&dir.join("replay.ckpt"), cp.to_text().as_bytes())?;
+            }
+            Err(failure) => {
+                quarantined.insert(day, QuarantinedTask::from_failure(day, &failure));
+                write_bytes_atomic(&quarantine_path, render_quarantine(&quarantined).as_bytes())?;
+                tracker = rebuild(&pre_state).map_err(|r| corrupt(&state_path, r))?;
+            }
+        }
     }
-    Ok(Some((summaries, tracker.finish())))
+    Ok(Some((
+        (summaries, tracker.finish()),
+        quarantined.into_values().collect(),
+    )))
 }
 
 #[cfg(test)]
@@ -623,7 +887,7 @@ mod tests {
         let cfg = metric_cfg();
         let dir = tmp_dir("metrics_resume");
         // Stop after 3 new rows — like a kill mid-run.
-        let partial = run_metrics(&log, &cfg, &dir, 3).unwrap();
+        let partial = run_metrics(&log, &cfg, &dir, 3, &RunPolicy::default()).unwrap();
         assert!(partial.is_none(), "run should have been interrupted");
         assert!(dir.join("rows.txt").exists());
         assert!(dir.join("replay.ckpt").exists());
@@ -703,7 +967,7 @@ mod tests {
         let log = tiny_log();
         let cfg = comm_cfg();
         let dir = tmp_dir("comm_resume");
-        let partial = run_communities(&log, &cfg, &dir, 2).unwrap();
+        let partial = run_communities(&log, &cfg, &dir, 2, &RunPolicy::default()).unwrap();
         assert!(partial.is_none(), "run should have been interrupted");
         assert!(dir.join("communities.ckpt").exists());
         let resumed = track_checkpointed(&log, &cfg, &dir).unwrap();
@@ -737,8 +1001,8 @@ mod tests {
             };
             let dir = tmp_dir(&format!("prop_{limit}_{stride}_{seed}_{path_every}"));
             // Interrupt twice at the same budget, then finish.
-            let _ = run_metrics(&log, &cfg, &dir, limit).unwrap();
-            let _ = run_metrics(&log, &cfg, &dir, limit).unwrap();
+            let _ = run_metrics(&log, &cfg, &dir, limit, &RunPolicy::default()).unwrap();
+            let _ = run_metrics(&log, &cfg, &dir, limit, &RunPolicy::default()).unwrap();
             let resumed = metric_series_checkpointed(&log, &cfg, &dir).unwrap();
             let direct = metric_series(&log, &cfg);
             assert_series_eq(&resumed, &direct);
@@ -746,12 +1010,143 @@ mod tests {
         }
     }
 
+    /// Quarantine records minus `elapsed_ms` (wall-clock time is the one
+    /// field that legitimately differs between identical runs).
+    fn quarantine_facts(q: &[QuarantinedTask]) -> Vec<(Day, FailureKind, u32, String)> {
+        q.iter()
+            .map(|t| (t.day, t.kind, t.attempts, t.reason.clone()))
+            .collect()
+    }
+
+    fn panic_plan(day: Day) -> RunPolicy {
+        use osn_graph::testutil::{ChaosAction, ChaosTaskPlan};
+        RunPolicy {
+            chaos: Some(ChaosTaskPlan::default().with_rule(
+                day as u64,
+                None,
+                ChaosAction::Panic(format!("injected panic on day {day}")),
+            )),
+            ..RunPolicy::default()
+        }
+    }
+
+    #[test]
+    fn metrics_chaos_quarantine_recorded_and_resume_bit_identical() {
+        let log = tiny_log();
+        let cfg = metric_cfg();
+        let days = snapshot_days(&log, cfg.first_day, cfg.stride);
+        let bad_day = days[2];
+        let policy = panic_plan(bad_day);
+
+        // Uninterrupted degraded run.
+        let dir_a = tmp_dir("metrics_chaos_a");
+        let (series_a, quar_a) =
+            metric_series_checkpointed_supervised(&log, &cfg, &dir_a, &policy).unwrap();
+        assert_eq!(quar_a.len(), 1);
+        assert_eq!(quar_a[0].day, bad_day);
+        assert_eq!(quar_a[0].kind, FailureKind::Panicked);
+        assert_eq!(quar_a[0].attempts, 1);
+        assert!(quar_a[0].reason.contains("injected panic"));
+        assert!(dir_a.join("quarantine.txt").exists());
+        // All other days match the non-checkpointed supervised sweep.
+        let (direct, direct_failures) =
+            crate::network::metric_series_supervised(&log, &cfg, &policy);
+        assert_eq!(direct_failures.len(), 1);
+        assert_series_eq(&series_a, &direct);
+        assert!(!series_a
+            .avg_degree
+            .points
+            .iter()
+            .any(|&(d, _)| d == bad_day as f64));
+
+        // Kill-and-resume: interrupt twice, then finish. The quarantined
+        // day must not be retried, and the output must be bit-identical.
+        let dir_b = tmp_dir("metrics_chaos_b");
+        assert!(run_metrics(&log, &cfg, &dir_b, 2, &policy)
+            .unwrap()
+            .is_none());
+        assert!(run_metrics(&log, &cfg, &dir_b, 2, &policy)
+            .unwrap()
+            .is_none());
+        // Resume without chaos: a retried quarantined day would now
+        // *succeed*, so identical output proves it was skipped.
+        let (series_b, quar_b) =
+            metric_series_checkpointed_supervised(&log, &cfg, &dir_b, &RunPolicy::default())
+                .unwrap();
+        assert_series_eq(&series_b, &series_a);
+        assert_eq!(quarantine_facts(&quar_b), quarantine_facts(&quar_a));
+
+        std::fs::remove_dir_all(&dir_a).unwrap();
+        std::fs::remove_dir_all(&dir_b).unwrap();
+    }
+
+    #[test]
+    fn metrics_chaos_transient_healed_by_retry() {
+        use osn_graph::testutil::{ChaosAction, ChaosTaskPlan};
+        let log = tiny_log();
+        let cfg = metric_cfg();
+        let days = snapshot_days(&log, cfg.first_day, cfg.stride);
+        let flaky_day = days[1];
+        let policy = RunPolicy {
+            retries: 1,
+            chaos: Some(ChaosTaskPlan::default().with_rule(
+                flaky_day as u64,
+                Some(1),
+                ChaosAction::Transient("flaky first attempt".into()),
+            )),
+            ..RunPolicy::default()
+        };
+        let dir = tmp_dir("metrics_chaos_retry");
+        let (series, quarantined) =
+            metric_series_checkpointed_supervised(&log, &cfg, &dir, &policy).unwrap();
+        assert!(quarantined.is_empty(), "one retry must heal the fault");
+        assert!(!dir.join("quarantine.txt").exists());
+        // The healed run is bit-identical to a clean run: retries never
+        // perturb results.
+        assert_series_eq(&series, &metric_series(&log, &cfg));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn communities_chaos_quarantine_and_resume() {
+        let log = tiny_log();
+        let cfg = comm_cfg();
+        let days = snapshot_days(&log, cfg.first_day, cfg.stride);
+        let bad_day = days[1];
+        let policy = panic_plan(bad_day);
+
+        let dir_a = tmp_dir("comm_chaos_a");
+        let ((summaries_a, out_a), quar_a) =
+            track_checkpointed_supervised(&log, &cfg, &dir_a, &policy).unwrap();
+        assert_eq!(quar_a.len(), 1);
+        assert_eq!(quar_a[0].day, bad_day);
+        assert_eq!(quar_a[0].kind, FailureKind::Panicked);
+        // The quarantined day produced no summary; every other day did.
+        assert_eq!(summaries_a.len(), days.len() - 1);
+        assert!(!summaries_a.iter().any(|s| s.day == bad_day));
+
+        // Kill right after the quarantined day, then resume (chaos off on
+        // resume: identical output proves the day was skipped, not
+        // retried).
+        let dir_b = tmp_dir("comm_chaos_b");
+        assert!(run_communities(&log, &cfg, &dir_b, 2, &policy)
+            .unwrap()
+            .is_none());
+        let ((summaries_b, out_b), quar_b) =
+            track_checkpointed_supervised(&log, &cfg, &dir_b, &RunPolicy::default()).unwrap();
+        assert_eq!(quarantine_facts(&quar_b), quarantine_facts(&quar_a));
+        assert_outputs_eq(&(summaries_b, out_b), &(summaries_a, out_a));
+
+        std::fs::remove_dir_all(&dir_a).unwrap();
+        std::fs::remove_dir_all(&dir_b).unwrap();
+    }
+
     #[test]
     fn communities_checkpoint_refuses_other_trace() {
         let log = tiny_log();
         let cfg = comm_cfg();
         let dir = tmp_dir("comm_mismatch");
-        run_communities(&log, &cfg, &dir, 1).unwrap();
+        run_communities(&log, &cfg, &dir, 1, &RunPolicy::default()).unwrap();
         let mut gen_cfg = TraceConfig::tiny();
         gen_cfg.seed ^= 0xfeed;
         let other = TraceGenerator::new(gen_cfg).generate();

@@ -6,6 +6,7 @@
 
 use osn_graph::{Day, EventKind, EventLog, EventLogBuilder, NodeId, Origin, Time};
 use osn_metrics::parallel::par_map;
+use osn_metrics::supervisor::{chaos_gate, try_par_map_labeled, RunPolicy, TaskFailure};
 use osn_metrics::{average_clustering, avg_path_length_sampled, degree_assortativity};
 use osn_stats::sampling::derive_seed;
 use osn_stats::{rng_from_seed, Series, Table};
@@ -191,19 +192,35 @@ impl MetricSeries {
     }
 }
 
+/// A per-day snapshot task the supervisor could not complete.
+#[derive(Debug, Clone)]
+pub struct DayFailure {
+    /// Snapshot day the failed task was analysing.
+    pub day: Day,
+    /// Typed failure (kind, attempts, elapsed, payload).
+    pub failure: TaskFailure,
+}
+
 /// Compute the four Figure 1(c)–(f) metrics over per-day snapshots,
-/// fanning snapshots out to worker threads.
-pub fn metric_series(log: &EventLog, cfg: &MetricSeriesConfig) -> MetricSeries {
-    let workers = if cfg.workers == 0 {
-        osn_metrics::parallel::default_workers()
-    } else {
-        cfg.workers
-    };
+/// fanning snapshots out to supervised worker threads.
+///
+/// Days whose task fails (panic, fatal error, exhausted retries, or
+/// deadline overrun, per `policy`) are *quarantined*: they are absent
+/// from the returned series and reported in the second tuple element so
+/// callers can record them instead of silently blending a gap. Worker
+/// count and supervision policy never affect the values of successful
+/// days.
+pub fn metric_series_supervised(
+    log: &EventLog,
+    cfg: &MetricSeriesConfig,
+    policy: &RunPolicy,
+) -> (MetricSeries, Vec<DayFailure>) {
     let snaps = osn_graph::DailySnapshots::new(log, cfg.first_day, cfg.stride);
     let path_every = cfg.path_every.max(1);
     let seed = cfg.seed;
     let path_sample = cfg.path_sample;
     let clustering_sample = cfg.clustering_sample;
+    let chaos = policy.chaos.as_ref();
 
     struct Row {
         day: Day,
@@ -213,22 +230,29 @@ pub fn metric_series(log: &EventLog, cfg: &MetricSeriesConfig) -> MetricSeries {
         assortativity: Option<f64>,
     }
 
-    let rows: Vec<Row> = par_map(snaps.enumerate(), workers, move |(idx, snap)| {
-        let g = &snap.graph;
-        let mut rng = rng_from_seed(derive_seed(seed, snap.day as u64));
-        let path_length = if idx % path_every == 0 {
-            avg_path_length_sampled(g, path_sample, &mut rng)
-        } else {
-            None
-        };
-        Row {
-            day: snap.day,
-            avg_degree: g.average_degree(),
-            path_length,
-            clustering: average_clustering(g, clustering_sample, &mut rng),
-            assortativity: degree_assortativity(g),
-        }
-    });
+    let scfg = policy.supervisor_config(cfg.workers);
+    let verdicts = try_par_map_labeled(
+        snaps.enumerate(),
+        &scfg,
+        |_, (_, snap)| format!("day-{}", snap.day),
+        move |att, (idx, snap)| {
+            chaos_gate(chaos, snap.day as u64, att.attempt)?;
+            let g = &snap.graph;
+            let mut rng = rng_from_seed(derive_seed(seed, snap.day as u64));
+            let path_length = if idx % path_every == 0 {
+                avg_path_length_sampled(g, path_sample, &mut rng)
+            } else {
+                None
+            };
+            Ok(Row {
+                day: snap.day,
+                avg_degree: g.average_degree(),
+                path_length,
+                clustering: average_clustering(g, clustering_sample, &mut rng),
+                assortativity: degree_assortativity(g),
+            })
+        },
+    );
 
     let mut out = MetricSeries {
         avg_degree: Series::new("avg_degree"),
@@ -236,18 +260,41 @@ pub fn metric_series(log: &EventLog, cfg: &MetricSeriesConfig) -> MetricSeries {
         clustering: Series::new("avg_clustering"),
         assortativity: Series::new("assortativity"),
     };
-    for r in rows {
-        let d = r.day as f64;
-        out.avg_degree.push(d, r.avg_degree);
-        if let Some(p) = r.path_length {
-            out.path_length.push(d, p);
-        }
-        out.clustering.push(d, r.clustering);
-        if let Some(a) = r.assortativity {
-            out.assortativity.push(d, a);
+    let mut failures = Vec::new();
+    for (idx, verdict) in verdicts.into_iter().enumerate() {
+        match verdict {
+            Ok(r) => {
+                let d = r.day as f64;
+                out.avg_degree.push(d, r.avg_degree);
+                if let Some(p) = r.path_length {
+                    out.path_length.push(d, p);
+                }
+                out.clustering.push(d, r.clustering);
+                if let Some(a) = r.assortativity {
+                    out.assortativity.push(d, a);
+                }
+            }
+            Err(failure) => failures.push(DayFailure {
+                day: cfg.first_day + idx as Day * cfg.stride,
+                failure,
+            }),
         }
     }
-    out
+    (out, failures)
+}
+
+/// Compute the four Figure 1(c)–(f) metrics over per-day snapshots,
+/// fanning snapshots out to worker threads.
+///
+/// Infallible facade over [`metric_series_supervised`]: no retries, no
+/// deadline, and any task failure is re-raised as a panic carrying the
+/// failed day and original payload.
+pub fn metric_series(log: &EventLog, cfg: &MetricSeriesConfig) -> MetricSeries {
+    let (series, failures) = metric_series_supervised(log, cfg, &RunPolicy::default());
+    if let Some(df) = failures.first() {
+        panic!("metric sweep failed on day {}: {}", df.day, df.failure);
+    }
+    series
 }
 
 #[cfg(test)]
@@ -369,6 +416,52 @@ mod tests {
         assert!(m.path_length.len() <= m.avg_degree.len() / 2 + 1);
         // table bundles four series
         assert_eq!(m.to_table().series.len(), 4);
+    }
+
+    #[test]
+    fn supervised_sweep_quarantines_poisoned_day() {
+        use osn_graph::testutil::{ChaosAction, ChaosTaskPlan};
+        use osn_metrics::supervisor::{FailureKind, RunPolicy};
+        let log = tiny_log();
+        let cfg = MetricSeriesConfig {
+            stride: 20,
+            workers: 3,
+            path_sample: 30,
+            path_every: 1,
+            clustering_sample: 100,
+            ..Default::default()
+        };
+        let clean = metric_series(&log, &cfg);
+        // Poison the third snapshot (day = first_day + 2 * stride).
+        let bad_day = cfg.first_day + 2 * cfg.stride;
+        let policy = RunPolicy {
+            chaos: Some(ChaosTaskPlan::default().with_rule(
+                bad_day as u64,
+                None,
+                ChaosAction::Panic("poisoned snapshot".into()),
+            )),
+            ..RunPolicy::default()
+        };
+        let (series, failures) = metric_series_supervised(&log, &cfg, &policy);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].day, bad_day);
+        assert_eq!(failures[0].failure.kind, FailureKind::Panicked);
+        assert_eq!(failures[0].failure.label, format!("day-{bad_day}"));
+        // The quarantined day is absent; every other day is bit-identical
+        // to the clean run (supervision never perturbs survivors).
+        let expect: Vec<(f64, f64)> = clean
+            .avg_degree
+            .points
+            .iter()
+            .copied()
+            .filter(|&(d, _)| d != bad_day as f64)
+            .collect();
+        assert_eq!(series.avg_degree.points, expect);
+        assert!(!series
+            .clustering
+            .points
+            .iter()
+            .any(|&(d, _)| d == bad_day as f64));
     }
 
     #[test]

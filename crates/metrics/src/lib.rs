@@ -23,6 +23,10 @@
 //! * [`parallel`] — an order-preserving, bounded-memory parallel map used
 //!   to fan per-snapshot metric jobs out to worker threads (crossbeam
 //!   scoped threads; the workload is CPU-bound so there is no async).
+//! * [`supervisor`] — supervised task execution under the parallel map:
+//!   per-task panic isolation (`catch_unwind` → typed [`TaskFailure`]),
+//!   transient-error retries with capped backoff, and watchdog-enforced
+//!   soft deadlines that quarantine overrunners while the run continues.
 
 pub mod assortativity;
 pub mod clustering;
@@ -34,6 +38,7 @@ pub mod kcore;
 pub mod parallel;
 pub mod paths;
 pub mod rewire;
+pub mod supervisor;
 
 pub use assortativity::degree_assortativity;
 pub use clustering::{average_clustering, local_clustering};
@@ -45,3 +50,7 @@ pub use kcore::{core_numbers, core_profile, degeneracy};
 pub use parallel::par_map;
 pub use paths::{avg_path_length_sampled, bfs_distances, distance_to_group};
 pub use rewire::degree_preserving_shuffle;
+pub use supervisor::{
+    chaos_gate, supervised_call, try_par_map, try_par_map_labeled, FailureKind, RunPolicy,
+    SupervisorConfig, TaskAttempt, TaskError, TaskFailure, TaskResult,
+};

@@ -7,13 +7,29 @@
 //! keeps at most `workers + queue` frozen snapshots in memory at once —
 //! important because a late snapshot of a multi-million-edge trace is tens
 //! of megabytes.
+//!
+//! [`par_map`] is the infallible facade over
+//! [`crate::supervisor::try_par_map`]: tasks run isolated under
+//! `catch_unwind`, and the first failure is re-raised *from the
+//! coordinating thread* with the task's label, index and original panic
+//! payload intact — not the old double-panic where the worker's unwind
+//! tore down the crossbeam scope and the payload was replaced by
+//! `"worker thread panicked"`. Callers that want to survive failures use
+//! `try_par_map` directly.
 
-use crossbeam::channel;
+use crate::supervisor::{try_par_map, SupervisorConfig};
+use std::sync::Mutex;
 
 /// Map `f` over `items` using `workers` threads, preserving input order in
 /// the output. At most `workers * 2` items are in flight at a time.
 ///
 /// Falls back to a sequential map when `workers <= 1`.
+///
+/// # Panics
+///
+/// If `f` panics for any item, `par_map` finishes supervising the
+/// remaining tasks and then panics with the failing task's index and
+/// original payload (see [`crate::supervisor::TaskFailure`]).
 pub fn par_map<I, T, R, F>(items: I, workers: usize, f: F) -> Vec<R>
 where
     I: IntoIterator<Item = T>,
@@ -22,51 +38,45 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    if workers <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let (task_tx, task_rx) = channel::bounded::<(usize, T)>(workers * 2);
-    let (result_tx, result_rx) = channel::unbounded::<(usize, R)>();
-    let f = &f;
-    let mut results: Vec<(usize, R)> = Vec::new();
-    crossbeam::scope(|scope| {
-        // Feeder: pushes indexed items; blocks when the queue is full.
-        let iter = items.into_iter();
-        scope.spawn(move |_| {
-            for pair in iter.enumerate() {
-                if task_tx.send(pair).is_err() {
-                    break; // all workers gone (panic downstream)
-                }
-            }
-            // Dropping task_tx closes the channel; workers drain and exit.
-        });
-        for _ in 0..workers {
-            let task_rx = task_rx.clone();
-            let result_tx = result_tx.clone();
-            scope.spawn(move |_| {
-                for (idx, item) in task_rx.iter() {
-                    let out = f(item);
-                    if result_tx.send((idx, out)).is_err() {
-                        break;
-                    }
-                }
-            });
-        }
-        drop(task_rx);
-        drop(result_tx);
-        for pair in result_rx.iter() {
-            results.push(pair);
-        }
-    })
-    .expect("worker thread panicked");
-    results.sort_unstable_by_key(|&(idx, _)| idx);
-    results.into_iter().map(|(_, r)| r).collect()
+    let cfg = SupervisorConfig {
+        workers: workers.max(1),
+        ..SupervisorConfig::default()
+    };
+    // try_par_map hands tasks to `f` by reference so it can retry them;
+    // par_map's contract is by-value, so park each item in a Mutex slot
+    // and take it out exactly once (retries are off: a task runs once).
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out = try_par_map(slots, &cfg, |_, slot| {
+        let item = slot
+            .lock()
+            .unwrap()
+            .take()
+            .expect("each task runs exactly once");
+        Ok(f(item))
+    });
+    out.into_iter()
+        .map(|r| match r {
+            Ok(value) => value,
+            Err(failure) => panic!("{failure}"),
+        })
+        .collect()
 }
 
-/// A reasonable worker count for CPU-bound fan-out: the number of
-/// available hardware threads, minus one for the coordinating thread,
-/// clamped to `[1, 16]`.
+/// A reasonable worker count for CPU-bound fan-out: the `OSN_WORKERS`
+/// environment variable if set to a positive integer, otherwise the
+/// number of available hardware threads minus one for the coordinating
+/// thread, clamped to `[1, 16]`.
+///
+/// Worker count never affects results — only how fast they arrive — so
+/// it is deliberately excluded from checkpoint `meta.txt`.
 pub fn default_workers() -> usize {
+    if let Ok(raw) = std::env::var("OSN_WORKERS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n.min(64);
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get().saturating_sub(1))
         .unwrap_or(1)
@@ -115,6 +125,30 @@ mod tests {
     #[test]
     fn default_workers_positive() {
         let w = default_workers();
-        assert!((1..=16).contains(&w));
+        assert!(w >= 1);
+    }
+
+    #[test]
+    fn panic_carries_original_payload() {
+        // The old implementation died inside crossbeam's scope join with
+        // the payload replaced by "worker thread panicked"; the supervisor
+        // must surface the task's own message.
+        let caught = std::panic::catch_unwind(|| {
+            par_map(0..8u64, 4, |x| {
+                if x == 3 {
+                    panic!("poisoned snapshot day-3");
+                }
+                x
+            })
+        });
+        let payload = caught.expect_err("par_map must re-raise task panics");
+        let text = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            text.contains("poisoned snapshot day-3") && text.contains("index 3"),
+            "payload lost: {text}"
+        );
     }
 }

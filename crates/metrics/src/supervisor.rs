@@ -1,0 +1,716 @@
+//! Supervised task execution: panic isolation, retries, soft deadlines.
+//!
+//! The Figure 1 pipeline fans hundreds of expensive snapshot analyses out
+//! to worker threads. Before this module, that fan-out was all-or-nothing:
+//! one panicking metric task tore down the whole crossbeam scope and a
+//! multi-hour run lost everything. The supervisor turns each task into a
+//! unit of failure:
+//!
+//! * every attempt runs under [`std::panic::catch_unwind`], so a panic
+//!   becomes a typed [`TaskFailure`] carrying the original payload text,
+//!   the attempt count and the elapsed time — never a process abort;
+//! * a task returning [`TaskError::Transient`] is retried up to
+//!   [`SupervisorConfig::retries`] times with deterministic, capped
+//!   exponential backoff;
+//! * with [`SupervisorConfig::task_timeout`] set, a watchdog thread
+//!   enforces a per-task *soft* deadline: an overrunning task is marked
+//!   quarantined, its failure is reported immediately, its eventual result
+//!   is discarded, and the rest of the run continues. (The stuck
+//!   computation itself cannot be killed — `try_par_map` still joins all
+//!   worker threads before returning, so a task that never finishes at
+//!   all will stall the final join; the deadline exists to keep the *run*
+//!   productive and the failure visible.)
+//!
+//! [`try_par_map`] is the fallible, order-preserving parallel map built on
+//! these semantics; [`crate::parallel::par_map`] remains the infallible
+//! wrapper (it re-raises the first [`TaskFailure`] as a panic whose
+//! message carries the full failure context). [`supervised_call`] applies
+//! the same attempt loop to a single stateful task, e.g. one community
+//! snapshot observation.
+//!
+//! Worker count, retries, deadlines and backoff are execution concerns:
+//! none of them affect the *values* a successful task produces, which is
+//! why `osn_core::checkpoint` excludes them from `meta.txt`.
+
+use crate::parallel::default_workers;
+use crossbeam::channel;
+use osn_graph::testutil::{ChaosAction, ChaosTaskPlan};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How a task reports failure to the supervisor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskError {
+    /// Worth retrying (flaky I/O, injected chaos, resource pressure).
+    Transient(String),
+    /// Retrying cannot help; fail the task immediately.
+    Fatal(String),
+}
+
+/// What a supervised task returns per attempt.
+pub type TaskResult<R> = Result<R, TaskError>;
+
+/// Why a task ultimately failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// An attempt panicked; the payload text is preserved.
+    Panicked,
+    /// The task returned [`TaskError::Fatal`].
+    Fatal,
+    /// Every allowed attempt returned [`TaskError::Transient`].
+    TransientExhausted,
+    /// The task overran its soft deadline and was quarantined.
+    TimedOut,
+}
+
+impl FailureKind {
+    /// Stable lowercase name (used in manifests and checkpoint files).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FailureKind::Panicked => "panicked",
+            FailureKind::Fatal => "fatal",
+            FailureKind::TransientExhausted => "transient-exhausted",
+            FailureKind::TimedOut => "timed-out",
+        }
+    }
+
+    /// Inverse of [`Self::as_str`].
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "panicked" => Ok(FailureKind::Panicked),
+            "fatal" => Ok(FailureKind::Fatal),
+            "transient-exhausted" => Ok(FailureKind::TransientExhausted),
+            "timed-out" => Ok(FailureKind::TimedOut),
+            other => Err(format!("unknown failure kind '{other}'")),
+        }
+    }
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A task that could not be completed, with everything a run manifest or
+/// quarantine record needs to explain it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskFailure {
+    /// Position of the task in the input sequence.
+    pub index: usize,
+    /// Human-readable task label (e.g. `day-42`, `fig4`).
+    pub label: String,
+    /// Failure class.
+    pub kind: FailureKind,
+    /// Panic payload text or error message.
+    pub payload: String,
+    /// Attempts made (1 = failed on the first try).
+    pub attempts: u32,
+    /// Wall-clock time from first attempt to final verdict.
+    pub elapsed: Duration,
+}
+
+impl fmt::Display for TaskFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "task '{}' (index {}) {} after {} attempt(s) in {:.1?}: {}",
+            self.label, self.index, self.kind, self.attempts, self.elapsed, self.payload
+        )
+    }
+}
+
+impl std::error::Error for TaskFailure {}
+
+/// Executor knobs. None of these affect the values successful tasks
+/// produce — only which tasks get the chance to produce them.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Worker threads (0 = [`default_workers`]). `<= 1` runs tasks
+    /// sequentially on the calling thread (no watchdog thread; deadlines
+    /// are then checked after each task returns).
+    pub workers: usize,
+    /// Retries after a transient failure (0 = single attempt).
+    pub retries: u32,
+    /// Per-task soft deadline covering all attempts of that task.
+    pub task_timeout: Option<Duration>,
+    /// First backoff sleep; attempt `n` waits `base * 2^(n-1)`.
+    pub backoff_base: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub backoff_cap: Duration,
+    /// Watchdog scan interval.
+    pub poll_interval: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            workers: 0,
+            retries: 0,
+            task_timeout: None,
+            backoff_base: Duration::from_millis(25),
+            backoff_cap: Duration::from_secs(1),
+            poll_interval: Duration::from_millis(2),
+        }
+    }
+}
+
+/// The user-facing slice of supervision: what `--retries`,
+/// `--task-timeout` and the chaos test hook configure. Pipelines combine
+/// it with their own worker count via [`RunPolicy::supervisor_config`].
+#[derive(Debug, Clone, Default)]
+pub struct RunPolicy {
+    /// Retries after a transient failure.
+    pub retries: u32,
+    /// Per-task soft deadline.
+    pub task_timeout: Option<Duration>,
+    /// Deterministic fault injection (tests and chaos drills only).
+    pub chaos: Option<ChaosTaskPlan>,
+}
+
+impl RunPolicy {
+    /// Expand into a full [`SupervisorConfig`] with the given worker
+    /// count (0 = auto).
+    pub fn supervisor_config(&self, workers: usize) -> SupervisorConfig {
+        SupervisorConfig {
+            workers,
+            retries: self.retries,
+            task_timeout: self.task_timeout,
+            ..SupervisorConfig::default()
+        }
+    }
+}
+
+/// Consult a chaos plan at the top of a task attempt: sleeps, panics, or
+/// returns the injected error exactly as the plan dictates. A `None` plan
+/// (production) is a no-op.
+pub fn chaos_gate(plan: Option<&ChaosTaskPlan>, key: u64, attempt: u32) -> TaskResult<()> {
+    match plan.map_or(ChaosAction::None, |p| p.action_for(key, attempt)) {
+        ChaosAction::None => Ok(()),
+        ChaosAction::Delay(ms) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            Ok(())
+        }
+        ChaosAction::Panic(msg) => panic!("{msg}"),
+        ChaosAction::Transient(msg) => Err(TaskError::Transient(msg)),
+        ChaosAction::Fatal(msg) => Err(TaskError::Fatal(msg)),
+    }
+}
+
+/// Identity of one attempt, passed to the task closure so fault plans and
+/// diagnostics can key on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskAttempt {
+    /// Position of the task in the input sequence.
+    pub index: usize,
+    /// 1-based attempt number.
+    pub attempt: u32,
+}
+
+fn panic_payload_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn backoff(cfg: &SupervisorConfig, attempt: u32) -> Duration {
+    let mult = 1u32 << attempt.saturating_sub(1).min(16);
+    cfg.backoff_base.saturating_mul(mult).min(cfg.backoff_cap)
+}
+
+enum Outcome<R> {
+    Done(Result<R, TaskFailure>),
+    /// The watchdog already reported this task; discard silently.
+    Abandoned,
+}
+
+/// The attempt loop shared by every supervised execution path.
+fn attempt_loop<R>(
+    index: usize,
+    label: &str,
+    cfg: &SupervisorConfig,
+    mut run: impl FnMut(u32) -> TaskResult<R>,
+    mut abandoned: impl FnMut() -> bool,
+    mut note_attempt: impl FnMut(u32),
+) -> Outcome<R> {
+    let started = Instant::now();
+    let mut attempt = 0u32;
+    let over_deadline =
+        |elapsed: Duration| cfg.task_timeout.is_some_and(|deadline| elapsed > deadline);
+    loop {
+        attempt += 1;
+        if abandoned() {
+            return Outcome::Abandoned;
+        }
+        note_attempt(attempt);
+        let caught = catch_unwind(AssertUnwindSafe(|| run(attempt)));
+        let elapsed = started.elapsed();
+        let fail = |kind: FailureKind, payload: String| TaskFailure {
+            index,
+            label: label.to_string(),
+            kind,
+            payload,
+            attempts: attempt,
+            elapsed,
+        };
+        // A completed-but-late attempt is quarantined regardless of its
+        // result, so deadline semantics do not depend on whether the
+        // watchdog's poll happened to fire first.
+        if over_deadline(elapsed) {
+            return Outcome::Done(Err(fail(
+                FailureKind::TimedOut,
+                format!(
+                    "exceeded soft deadline of {:?}",
+                    cfg.task_timeout.unwrap_or_default()
+                ),
+            )));
+        }
+        match caught {
+            Ok(Ok(value)) => return Outcome::Done(Ok(value)),
+            Ok(Err(TaskError::Transient(msg))) => {
+                if attempt <= cfg.retries {
+                    std::thread::sleep(backoff(cfg, attempt));
+                    continue;
+                }
+                return Outcome::Done(Err(fail(FailureKind::TransientExhausted, msg)));
+            }
+            Ok(Err(TaskError::Fatal(msg))) => {
+                return Outcome::Done(Err(fail(FailureKind::Fatal, msg)))
+            }
+            Err(payload) => {
+                return Outcome::Done(Err(fail(
+                    FailureKind::Panicked,
+                    panic_payload_string(payload),
+                )))
+            }
+        }
+    }
+}
+
+/// Run a single stateful task under supervision: catch-unwind isolation,
+/// transient retries with backoff, and a post-hoc soft-deadline check.
+/// The closure receives the 1-based attempt number.
+pub fn supervised_call<R>(
+    label: &str,
+    cfg: &SupervisorConfig,
+    run: impl FnMut(u32) -> TaskResult<R>,
+) -> Result<R, TaskFailure> {
+    match attempt_loop(0, label, cfg, run, || false, |_| {}) {
+        Outcome::Done(result) => result,
+        Outcome::Abandoned => unreachable!("single calls are never abandoned"),
+    }
+}
+
+/// What a worker slot is doing, for the watchdog to inspect.
+enum Slot {
+    Idle,
+    Running {
+        index: usize,
+        label: String,
+        started: Instant,
+        attempt: u32,
+        quarantined: bool,
+    },
+}
+
+/// Map `f` over `items` under supervision, preserving input order:
+/// element `i` of the output is the verdict for item `i`. Labels default
+/// to `task-<index>`; see [`try_par_map_labeled`] to attach meaningful
+/// ones.
+pub fn try_par_map<I, T, R, F>(
+    items: I,
+    cfg: &SupervisorConfig,
+    f: F,
+) -> Vec<Result<R, TaskFailure>>
+where
+    I: IntoIterator<Item = T>,
+    I::IntoIter: Send,
+    T: Send,
+    R: Send,
+    F: Fn(TaskAttempt, &T) -> TaskResult<R> + Sync,
+{
+    try_par_map_labeled(items, cfg, |i, _| format!("task-{i}"), f)
+}
+
+/// [`try_par_map`] with a caller-supplied label per task (shown in
+/// failures, manifests and quarantine records).
+pub fn try_par_map_labeled<I, T, R, F, L>(
+    items: I,
+    cfg: &SupervisorConfig,
+    label: L,
+    f: F,
+) -> Vec<Result<R, TaskFailure>>
+where
+    I: IntoIterator<Item = T>,
+    I::IntoIter: Send,
+    T: Send,
+    R: Send,
+    F: Fn(TaskAttempt, &T) -> TaskResult<R> + Sync,
+    L: Fn(usize, &T) -> String + Sync,
+{
+    let workers = if cfg.workers == 0 {
+        default_workers()
+    } else {
+        cfg.workers
+    };
+    if workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(index, item)| {
+                let lab = label(index, &item);
+                let run = |attempt| f(TaskAttempt { index, attempt }, &item);
+                match attempt_loop(index, &lab, cfg, run, || false, |_| {}) {
+                    Outcome::Done(result) => result,
+                    Outcome::Abandoned => unreachable!("no watchdog in sequential mode"),
+                }
+            })
+            .collect();
+    }
+
+    let (task_tx, task_rx) = channel::bounded::<(usize, T)>(workers * 2);
+    let (result_tx, result_rx) = channel::unbounded::<(usize, Result<R, TaskFailure>)>();
+    let slots: Vec<Mutex<Slot>> = (0..workers).map(|_| Mutex::new(Slot::Idle)).collect();
+    let live_workers = AtomicUsize::new(workers);
+    let (f, label, slots, live_workers) = (&f, &label, &slots, &live_workers);
+    let mut results: Vec<(usize, Result<R, TaskFailure>)> = Vec::new();
+    crossbeam::scope(|scope| {
+        // Feeder: pushes indexed items; blocks when the queue is full so
+        // at most `workers * 2 + workers` items are materialised at once.
+        let iter = items.into_iter();
+        scope.spawn(move |_| {
+            for pair in iter.enumerate() {
+                if task_tx.send(pair).is_err() {
+                    break;
+                }
+            }
+        });
+        for slot in slots.iter().take(workers) {
+            let task_rx = task_rx.clone();
+            let result_tx = result_tx.clone();
+            scope.spawn(move |_| {
+                for (index, item) in task_rx.iter() {
+                    let lab = label(index, &item);
+                    *slot.lock().unwrap() = Slot::Running {
+                        index,
+                        label: lab.clone(),
+                        started: Instant::now(),
+                        attempt: 0,
+                        quarantined: false,
+                    };
+                    let run = |attempt| f(TaskAttempt { index, attempt }, &item);
+                    let outcome = attempt_loop(
+                        index,
+                        &lab,
+                        cfg,
+                        run,
+                        || {
+                            matches!(
+                                &*slot.lock().unwrap(),
+                                Slot::Running {
+                                    quarantined: true,
+                                    ..
+                                }
+                            )
+                        },
+                        |a| {
+                            if let Slot::Running { attempt, .. } = &mut *slot.lock().unwrap() {
+                                *attempt = a;
+                            }
+                        },
+                    );
+                    // Deliver under the slot lock: either the watchdog
+                    // already reported this index (quarantined — discard
+                    // the late result) or we report it now. Exactly one
+                    // verdict per index, never both.
+                    let mut slot = slot.lock().unwrap();
+                    let quarantined = matches!(
+                        &*slot,
+                        Slot::Running {
+                            quarantined: true,
+                            ..
+                        }
+                    );
+                    let mut disconnected = false;
+                    if !quarantined {
+                        if let Outcome::Done(result) = outcome {
+                            disconnected = result_tx.send((index, result)).is_err();
+                        }
+                    }
+                    *slot = Slot::Idle;
+                    drop(slot);
+                    if disconnected {
+                        break;
+                    }
+                }
+                live_workers.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+        if let Some(deadline) = cfg.task_timeout {
+            let result_tx = result_tx.clone();
+            scope.spawn(move |_| {
+                while live_workers.load(Ordering::SeqCst) > 0 {
+                    std::thread::sleep(cfg.poll_interval);
+                    for slot in slots {
+                        let mut slot = slot.lock().unwrap();
+                        if let Slot::Running {
+                            index,
+                            label,
+                            started,
+                            attempt,
+                            quarantined,
+                        } = &mut *slot
+                        {
+                            if !*quarantined && started.elapsed() > deadline {
+                                *quarantined = true;
+                                let failure = TaskFailure {
+                                    index: *index,
+                                    label: label.clone(),
+                                    kind: FailureKind::TimedOut,
+                                    payload: format!(
+                                        "exceeded soft deadline of {deadline:?} \
+                                         (quarantined by watchdog)"
+                                    ),
+                                    attempts: (*attempt).max(1),
+                                    elapsed: started.elapsed(),
+                                };
+                                if result_tx.send((*index, Err(failure))).is_err() {
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        drop(task_rx);
+        drop(result_tx);
+        for pair in result_rx.iter() {
+            results.push(pair);
+        }
+    })
+    .expect("supervisor coordination thread panicked");
+    results.sort_unstable_by_key(|&(index, _)| index);
+    debug_assert!(
+        results.iter().enumerate().all(|(i, &(idx, _))| i == idx),
+        "every task must be reported exactly once"
+    );
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_cfg() -> SupervisorConfig {
+        SupervisorConfig {
+            workers: 1,
+            ..SupervisorConfig::default()
+        }
+    }
+
+    fn par_cfg(workers: usize) -> SupervisorConfig {
+        SupervisorConfig {
+            workers,
+            backoff_base: Duration::from_millis(1),
+            ..SupervisorConfig::default()
+        }
+    }
+
+    #[test]
+    fn preserves_order_and_isolates_panics() {
+        for workers in [1, 4] {
+            let cfg = par_cfg(workers);
+            let out = try_par_map(0..40u64, &cfg, |_, &x| {
+                if x % 7 == 3 {
+                    panic!("boom at {x}");
+                }
+                Ok(x * x)
+            });
+            assert_eq!(out.len(), 40);
+            for (i, r) in out.iter().enumerate() {
+                let x = i as u64;
+                if x % 7 == 3 {
+                    let f = r.as_ref().unwrap_err();
+                    assert_eq!(f.kind, FailureKind::Panicked);
+                    assert_eq!(f.index, i);
+                    assert_eq!(f.attempts, 1);
+                    assert!(f.payload.contains(&format!("boom at {x}")), "{f}");
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), x * x);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transient_errors_retry_then_succeed() {
+        use std::sync::atomic::AtomicU32;
+        let attempts_seen = AtomicU32::new(0);
+        let cfg = SupervisorConfig {
+            workers: 2,
+            retries: 2,
+            backoff_base: Duration::from_millis(1),
+            ..SupervisorConfig::default()
+        };
+        let out = try_par_map(0..4u64, &cfg, |att, &x| {
+            if x == 2 && att.attempt < 3 {
+                attempts_seen.fetch_add(1, Ordering::SeqCst);
+                return Err(TaskError::Transient("flaky".into()));
+            }
+            Ok(x)
+        });
+        assert!(out.iter().all(|r| r.is_ok()), "retries must recover");
+        assert_eq!(attempts_seen.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn transient_errors_exhaust_into_failure() {
+        let cfg = SupervisorConfig {
+            retries: 2,
+            backoff_base: Duration::from_millis(1),
+            ..seq_cfg()
+        };
+        let out = try_par_map(0..3u64, &cfg, |_, &x| {
+            if x == 1 {
+                Err(TaskError::Transient("always flaky".into()))
+            } else {
+                Ok(x)
+            }
+        });
+        let f = out[1].as_ref().unwrap_err();
+        assert_eq!(f.kind, FailureKind::TransientExhausted);
+        assert_eq!(f.attempts, 3, "1 try + 2 retries");
+        assert!(out[0].is_ok() && out[2].is_ok());
+    }
+
+    #[test]
+    fn fatal_errors_do_not_retry() {
+        let cfg = SupervisorConfig {
+            retries: 5,
+            ..seq_cfg()
+        };
+        let out = try_par_map([1u64], &cfg, |_, _| -> TaskResult<u64> {
+            Err(TaskError::Fatal("no point".into()))
+        });
+        let f = out[0].as_ref().unwrap_err();
+        assert_eq!(f.kind, FailureKind::Fatal);
+        assert_eq!(f.attempts, 1);
+    }
+
+    #[test]
+    fn watchdog_quarantines_overrunner_and_run_continues() {
+        let cfg = SupervisorConfig {
+            workers: 3,
+            task_timeout: Some(Duration::from_millis(20)),
+            poll_interval: Duration::from_millis(2),
+            ..SupervisorConfig::default()
+        };
+        let out = try_par_map(0..12u64, &cfg, |_, &x| {
+            if x == 5 {
+                std::thread::sleep(Duration::from_millis(150));
+            }
+            Ok(x)
+        });
+        assert_eq!(out.len(), 12);
+        let f = out[5].as_ref().unwrap_err();
+        assert_eq!(f.kind, FailureKind::TimedOut);
+        assert!(f.elapsed >= Duration::from_millis(20));
+        for (i, r) in out.iter().enumerate() {
+            if i != 5 {
+                assert_eq!(*r.as_ref().unwrap(), i as u64, "other tasks unaffected");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_deadline_checked_post_hoc() {
+        let cfg = SupervisorConfig {
+            task_timeout: Some(Duration::from_millis(5)),
+            ..seq_cfg()
+        };
+        let out = try_par_map([0u64, 1], &cfg, |_, &x| {
+            if x == 0 {
+                std::thread::sleep(Duration::from_millis(30));
+            }
+            Ok(x)
+        });
+        assert_eq!(out[0].as_ref().unwrap_err().kind, FailureKind::TimedOut);
+        assert_eq!(*out[1].as_ref().unwrap(), 1);
+    }
+
+    #[test]
+    fn labels_appear_in_failures() {
+        let cfg = seq_cfg();
+        let out = try_par_map_labeled(
+            [7u64],
+            &cfg,
+            |_, &x| format!("day-{x}"),
+            |_, _| -> TaskResult<u64> { panic!("poisoned snapshot") },
+        );
+        let f = out[0].as_ref().unwrap_err();
+        assert_eq!(f.label, "day-7");
+        let shown = f.to_string();
+        assert!(shown.contains("day-7") && shown.contains("poisoned snapshot"));
+    }
+
+    #[test]
+    fn supervised_call_retries_and_reports() {
+        let cfg = SupervisorConfig {
+            retries: 1,
+            backoff_base: Duration::from_millis(1),
+            ..SupervisorConfig::default()
+        };
+        let mut calls = 0;
+        let ok = supervised_call("stateful", &cfg, |attempt| {
+            calls += 1;
+            if attempt == 1 {
+                Err(TaskError::Transient("first try flaky".into()))
+            } else {
+                Ok(99)
+            }
+        });
+        assert_eq!(ok.unwrap(), 99);
+        assert_eq!(calls, 2);
+
+        let err = supervised_call("stateful", &cfg, |_| -> TaskResult<u32> {
+            panic!("state corrupted")
+        })
+        .unwrap_err();
+        assert_eq!(err.kind, FailureKind::Panicked);
+        assert!(err.payload.contains("state corrupted"));
+    }
+
+    #[test]
+    fn chaos_gate_maps_plan_actions() {
+        use osn_graph::testutil::ChaosTaskPlan;
+        let plan = ChaosTaskPlan::from_spec("transient@1,fatal@2,panic@3,delay:1@4").unwrap();
+        assert!(chaos_gate(None, 3, 1).is_ok());
+        assert!(chaos_gate(Some(&plan), 0, 1).is_ok());
+        assert!(matches!(
+            chaos_gate(Some(&plan), 1, 1),
+            Err(TaskError::Transient(_))
+        ));
+        assert!(matches!(
+            chaos_gate(Some(&plan), 2, 1),
+            Err(TaskError::Fatal(_))
+        ));
+        assert!(chaos_gate(Some(&plan), 4, 1).is_ok());
+        let caught = catch_unwind(AssertUnwindSafe(|| chaos_gate(Some(&plan), 3, 1)));
+        assert!(caught.is_err(), "panic action must panic");
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<Result<u64, _>> =
+            try_par_map(std::iter::empty::<u64>(), &par_cfg(4), |_, &x| Ok(x));
+        assert!(out.is_empty());
+    }
+}

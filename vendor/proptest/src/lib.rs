@@ -94,8 +94,16 @@ impl ProptestConfig {
 impl Default for ProptestConfig {
     fn default() -> Self {
         // Upstream defaults to 256; 64 keeps network-scale suites quick
-        // while still exploring a meaningful sample.
-        ProptestConfig { cases: 64 }
+        // while still exploring a meaningful sample. Like upstream, the
+        // `PROPTEST_CASES` environment variable overrides the default so
+        // CI can run deeper sweeps without code changes (explicit
+        // `with_cases` calls are not affected).
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|raw| raw.trim().parse::<u32>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(64);
+        ProptestConfig { cases }
     }
 }
 
