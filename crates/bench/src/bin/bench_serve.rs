@@ -1,0 +1,197 @@
+//! Serving-plane throughput bench for the `osn serve` daemon.
+//!
+//! Starts the snapshot query server in-process on an ephemeral port,
+//! floods it from a pool of closed-loop HTTP clients, and reports
+//! requests/sec plus the shed rate (the fraction of requests answered
+//! with a load-shedding 503). The numbers land in a single-line JSON
+//! file (default `BENCH_serve.json`, written atomically) so CI can
+//! archive them per commit.
+//!
+//! ```text
+//! bench_serve [--clients N] [--requests N] [--workers N]
+//!             [--queue-depth N] [--out FILE]
+//! ```
+//!
+//! Both numbers matter: requests/sec says how fast the materialised
+//! answers come off the wire, and the shed rate says how the daemon
+//! behaves when the closed-loop clients outpace the worker pool (sheds
+//! are counted as correct, fast answers — not errors). Any hard error
+//! or an unclean drain fails the bench.
+
+use osn_core::communities::CommunityAnalysisConfig;
+use osn_core::network::MetricSeriesConfig;
+use osn_core::query::{SnapshotQuery, SnapshotQueryConfig};
+use osn_genstream::{TraceConfig, TraceGenerator};
+use osn_graph::testutil::http_get;
+use osn_server::{Server, ServerConfig};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    clients: usize,
+    requests: usize,
+    workers: usize,
+    queue_depth: usize,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        clients: 16,
+        requests: 200,
+        workers: 2,
+        queue_depth: 32,
+        out: "BENCH_serve.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = || it.next().ok_or(format!("{a} needs a value"));
+        match a.as_str() {
+            "--clients" => args.clients = value()?.parse().map_err(|e| format!("{a}: {e}"))?,
+            "--requests" => args.requests = value()?.parse().map_err(|e| format!("{a}: {e}"))?,
+            "--workers" => args.workers = value()?.parse().map_err(|e| format!("{a}: {e}"))?,
+            "--queue-depth" => {
+                args.queue_depth = value()?.parse().map_err(|e| format!("{a}: {e}"))?
+            }
+            "--out" => args.out = value()?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("usage: bench_serve [--clients N] [--requests N] [--workers N] [--queue-depth N] [--out FILE]");
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let build_started = Instant::now();
+    let log = TraceGenerator::new(TraceConfig::tiny()).generate();
+    let query = Arc::new(SnapshotQuery::build(
+        &log,
+        &SnapshotQueryConfig {
+            metrics: MetricSeriesConfig {
+                stride: 40,
+                path_sample: 30,
+                clustering_sample: 100,
+                ..Default::default()
+            },
+            communities: CommunityAnalysisConfig {
+                stride: 80,
+                ..Default::default()
+            },
+        },
+    ));
+    let build_ms = build_started.elapsed().as_millis() as u64;
+
+    // Per-request access lines would swamp stderr at bench rates; keep
+    // the counters, drop the lines.
+    let server = Server::start(
+        ServerConfig {
+            workers: args.workers,
+            queue_depth: args.queue_depth,
+            access_log: osn_server::AccessLog::to_sink(Box::new(std::io::sink())),
+            ..ServerConfig::default()
+        },
+        Arc::clone(&query),
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+
+    // Each client rotates over every materialised answer plus the two
+    // fast-path probes, so the mix exercises both planes of the server.
+    let mut paths: Vec<String> = Vec::new();
+    for d in query.metric_days() {
+        paths.push(format!("/v1/metrics/{d}"));
+    }
+    for d in query.community_days() {
+        paths.push(format!("/v1/communities/{d}"));
+    }
+    paths.push("/v1/days".to_string());
+    paths.push("/healthz".to_string());
+    let paths = Arc::new(paths);
+
+    let flood_started = Instant::now();
+    let clients: Vec<_> = (0..args.clients)
+        .map(|c| {
+            let addr = addr.clone();
+            let paths = Arc::clone(&paths);
+            let requests = args.requests;
+            std::thread::spawn(move || {
+                let (mut ok, mut shed, mut errors) = (0u64, 0u64, 0u64);
+                for i in 0..requests {
+                    let path = &paths[(c + i) % paths.len()];
+                    match http_get(&addr, path, Duration::from_secs(30)) {
+                        Ok(resp) if resp.status == 200 => ok += 1,
+                        Ok(resp) if resp.status == 503 => shed += 1,
+                        _ => errors += 1,
+                    }
+                }
+                (ok, shed, errors)
+            })
+        })
+        .collect();
+    let (mut ok, mut shed, mut errors) = (0u64, 0u64, 0u64);
+    for c in clients {
+        let (o, s, e) = c.join().expect("client thread");
+        ok += o;
+        shed += s;
+        errors += e;
+    }
+    let elapsed = flood_started.elapsed();
+
+    server.request_shutdown();
+    let report = server.join();
+
+    let total = ok + shed + errors;
+    let rps = total as f64 / elapsed.as_secs_f64();
+    let shed_rate = shed as f64 / total as f64;
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"serve\",\"clients\":{},\"requests_per_client\":{},",
+            "\"workers\":{},\"queue_depth\":{},\"build_ms\":{},",
+            "\"total_requests\":{},\"ok\":{},\"shed\":{},\"errors\":{},",
+            "\"elapsed_ms\":{},\"requests_per_sec\":{:.1},\"shed_rate\":{:.4},",
+            "\"drain_clean\":{}}}"
+        ),
+        args.clients,
+        args.requests,
+        args.workers,
+        args.queue_depth,
+        build_ms,
+        total,
+        ok,
+        shed,
+        errors,
+        elapsed.as_millis(),
+        rps,
+        shed_rate,
+        report.clean(),
+    );
+    if let Err(e) =
+        osn_graph::atomicfile::write_bytes_atomic(std::path::Path::new(&args.out), json.as_bytes())
+    {
+        eprintln!("error: write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("{json}");
+    println!(
+        "serve bench: {total} requests in {:.2?} → {rps:.0} req/s, {:.1}% shed, {errors} errors",
+        elapsed,
+        shed_rate * 100.0
+    );
+    if errors > 0 || !report.clean() {
+        eprintln!(
+            "error: flood produced {errors} hard errors (drain clean: {})",
+            report.clean()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

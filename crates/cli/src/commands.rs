@@ -12,7 +12,7 @@ use osn_genstream::{TraceConfig, TraceGenerator};
 use osn_graph::io::{read_log, read_log_with_policy, save_log_v2, RecoveryPolicy};
 use osn_graph::{EventLog, Origin, Replayer};
 use osn_metrics::supervisor::RunPolicy;
-use osn_stats::{Series, Table};
+use osn_stats::Table;
 use std::path::{Path, PathBuf};
 
 /// Top-level usage text.
@@ -24,7 +24,7 @@ USAGE:
                [--no-merge] --out trace.events
   osn inspect  trace.events
   osn verify   trace.events [--policy strict|skip|repair] [--max-errors N]
-               [--window SECONDS]
+               [--window SECONDS] [--json]
   osn metrics  trace.events [--stride D] [--out DIR] [--checkpoint DIR]
                [--workers N] [--retries N] [--task-timeout SECS] [--strict]
   osn communities trace.events [--delta X] [--stride D] [--min-size K]
@@ -32,6 +32,10 @@ USAGE:
                [--task-timeout SECS] [--strict]
   osn alpha    trace.events [--window E] [--out DIR]
   osn compare  a.events b.events
+  osn serve    trace.events [--addr HOST] [--port P] [--workers N]
+               [--queue-depth N] [--request-timeout SECS]
+               [--header-timeout SECS] [--drain-timeout SECS] [--retries N]
+               [--stride D] [--community-stride D] [--seed N]
 
 Traces are written in the checksummed v2 format; v1 traces stay readable.
 With --checkpoint DIR, a killed metrics/communities run resumes from the
@@ -42,18 +46,25 @@ a deadline overrun (--task-timeout) or exhausted retries (--retries)
 quarantines that snapshot while the run continues. Quarantined tasks are
 listed in <out>/run_manifest.csv and the process exits 4 (degraded);
 --strict promotes a degraded run to a hard failure (exit 1). Worker
-count (--workers / OSN_WORKERS) never affects results, only speed.";
+count (--workers / OSN_WORKERS) never affects results, only speed.
+
+serve answers GET /healthz /readyz /v1/days /v1/metrics/{day}
+/v1/communities/{day} with the same bytes the batch commands write.
+It sheds load (503 + Retry-After) when its bounded queues fill, cuts
+slow-loris clients at --header-timeout, isolates handler panics (500,
+process stays up), and drains on SIGTERM/SIGINT: exit 0 if every
+in-flight request finished, exit 4 if --drain-timeout expired first.";
 
 /// Minimal flag parser: `--key value` pairs plus positional arguments.
 #[derive(Debug)]
-struct Flags {
+pub(crate) struct Flags {
     positional: Vec<String>,
     pairs: Vec<(String, String)>,
     switches: Vec<String>,
 }
 
 impl Flags {
-    fn parse(args: &[String], switches: &[&str]) -> Result<Flags, CliError> {
+    pub(crate) fn parse(args: &[String], switches: &[&str]) -> Result<Flags, CliError> {
         let mut out = Flags {
             positional: Vec::new(),
             pairs: Vec::new(),
@@ -77,7 +88,7 @@ impl Flags {
         Ok(out)
     }
 
-    fn get(&self, key: &str) -> Option<&str> {
+    pub(crate) fn get(&self, key: &str) -> Option<&str> {
         self.pairs
             .iter()
             .rev()
@@ -85,7 +96,10 @@ impl Flags {
             .map(|(_, v)| v.as_str())
     }
 
-    fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, CliError> {
+    pub(crate) fn get_parsed<T: std::str::FromStr>(
+        &self,
+        key: &str,
+    ) -> Result<Option<T>, CliError> {
         match self.get(key) {
             None => Ok(None),
             Some(v) => v
@@ -95,11 +109,11 @@ impl Flags {
         }
     }
 
-    fn has(&self, switch: &str) -> bool {
+    pub(crate) fn has(&self, switch: &str) -> bool {
         self.switches.iter().any(|s| s == switch)
     }
 
-    fn trace_arg(&self, cmd: &str) -> Result<&str, CliError> {
+    pub(crate) fn trace_arg(&self, cmd: &str) -> Result<&str, CliError> {
         self.positional
             .first()
             .map(String::as_str)
@@ -126,7 +140,7 @@ fn checkpoint_dir(flags: &Flags) -> Option<PathBuf> {
 /// Build the supervision policy from `--retries` / `--task-timeout` and
 /// the `OSN_CHAOS` fault-injection hook (a `ChaosTaskPlan` spec such as
 /// `panic@12` — test/drill use only; see `osn_graph::testutil`).
-fn run_policy(flags: &Flags) -> Result<RunPolicy, CliError> {
+pub(crate) fn run_policy(flags: &Flags) -> Result<RunPolicy, CliError> {
     let retries = flags.get_parsed::<u32>("retries")?.unwrap_or(0);
     let task_timeout = flags
         .get_parsed::<f64>("task-timeout")?
@@ -297,8 +311,11 @@ pub fn inspect(args: &[String]) -> Result<(), CliError> {
 
 /// `osn verify` — check a trace's checksums and event-stream invariants,
 /// print the ingest report, and exit non-zero when anything is wrong.
+/// With `--json`, print the report as one machine-readable JSON line
+/// instead (same exit-code contract), for CI and the `osn serve`
+/// startup preflight.
 pub fn verify(args: &[String]) -> Result<(), CliError> {
-    let flags = Flags::parse(args, &[])?;
+    let flags = Flags::parse(args, &["json"])?;
     let path = flags.trace_arg("verify")?;
     let policy = match flags.get("policy").unwrap_or("strict") {
         "strict" => RecoveryPolicy::Strict,
@@ -324,25 +341,29 @@ pub fn verify(args: &[String]) -> Result<(), CliError> {
                 source: e,
             }
         })?;
-    println!("{path}:");
-    print!("{}", report.summary());
-    println!(
-        "  log: {} nodes, {} edges, {} days, fingerprint {:016x}",
-        log.num_nodes(),
-        log.num_edges(),
-        log.end_day() + 1,
-        log.fingerprint()
-    );
+    if flags.has("json") {
+        println!("{}", report.to_json());
+    } else {
+        println!("{path}:");
+        print!("{}", report.summary());
+        println!(
+            "  log: {} nodes, {} edges, {} days, fingerprint {:016x}",
+            log.num_nodes(),
+            log.num_edges(),
+            log.end_day() + 1,
+            log.fingerprint()
+        );
+    }
+    let problems = report.problem_count();
     if report.is_clean() {
-        println!("  verdict: clean");
+        if !flags.has("json") {
+            println!("  verdict: clean");
+        }
         Ok(())
     } else {
-        let problems = report.skipped.len() as u64
-            + report.repairs.len() as u64
-            + report.chunks_dropped
-            + u64::from(report.truncated)
-            + u64::from(report.format_version >= 2 && !report.footer_verified && !report.truncated);
-        println!("  verdict: NOT clean ({problems} problem(s) — see above)");
+        if !flags.has("json") {
+            println!("  verdict: NOT clean ({problems} problem(s) — see above)");
+        }
         Err(CliError::Corrupt {
             path: PathBuf::from(path),
             problems,
@@ -437,18 +458,9 @@ pub fn communities(args: &[String]) -> Result<(), CliError> {
             (track(&log, &cfg), Vec::new())
         }
     };
-    let mut table = Table::new("day");
-    let mut q = Series::new("modularity");
-    let mut tracked = Series::new("tracked_communities");
-    let mut cov = Series::new("top5_coverage");
-    for s in &summaries {
-        q.push(s.day as f64, s.modularity);
-        tracked.push(s.day as f64, s.num_tracked as f64);
-        cov.push(s.day as f64, s.top5_coverage);
-    }
-    table.push(q);
-    table.push(tracked);
-    table.push(cov);
+    // Shared with `osn serve` (osn_core::query) so the daemon's answers
+    // are byte-identical to this batch output.
+    let table = osn_core::query::communities_table(&summaries);
     let dir = out_dir(&flags);
     write_and_report(&dir, "communities", &table)?;
     // Evolution-event log as CSV for external tooling.
@@ -674,6 +686,8 @@ mod tests {
         let args: Vec<String> = vec![trace.to_str().unwrap().to_string()];
         inspect(&args).unwrap();
         verify(&args).unwrap();
+        // --json keeps the same exit-code contract on a clean trace.
+        verify(&[args[0].clone(), "--json".into()]).unwrap();
         std::fs::remove_file(&trace).ok();
     }
 
@@ -730,6 +744,15 @@ mod tests {
         );
         // Skip: recovers, but reports the problems and exits 3.
         let err = verify(&[args[0].clone(), "--policy".into(), "skip".into()]).unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        // --json keeps the exit-code contract on a dirty trace too.
+        let err = verify(&[
+            args[0].clone(),
+            "--policy".into(),
+            "skip".into(),
+            "--json".into(),
+        ])
+        .unwrap_err();
         assert_eq!(err.exit_code(), 3, "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }

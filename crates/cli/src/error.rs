@@ -50,6 +50,13 @@ pub enum CliError {
         /// `--strict` was set: degraded is promoted to a hard failure.
         strict: bool,
     },
+    /// `osn serve` shut down, but the drain deadline expired with
+    /// requests still in flight. Everything else was served; like
+    /// [`CliError::Degraded`] this maps to exit 4.
+    Drain {
+        /// Requests abandoned at the drain deadline.
+        aborted: usize,
+    },
 }
 
 impl CliError {
@@ -67,6 +74,7 @@ impl CliError {
             CliError::Usage(_) => 2,
             CliError::Corrupt { .. } => 3,
             CliError::Degraded { strict: false, .. } => 4,
+            CliError::Drain { .. } => 4,
             _ => 1,
         }
     }
@@ -98,6 +106,10 @@ impl fmt::Display for CliError {
                 } else {
                     ""
                 }
+            ),
+            CliError::Drain { aborted } => write!(
+                f,
+                "drain degraded: {aborted} in-flight request(s) abandoned at the drain deadline"
             ),
         }
     }
@@ -155,6 +167,7 @@ mod tests {
             .exit_code(),
             1
         );
+        assert_eq!(CliError::Drain { aborted: 2 }.exit_code(), 4);
     }
 
     #[test]

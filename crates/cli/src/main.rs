@@ -11,6 +11,9 @@
 //!              [--out DIR] [--checkpoint DIR] [--retries N]
 //!              [--task-timeout SECS] [--strict]
 //! osn alpha    trace.events [--window E] [--out DIR]
+//! osn serve    trace.events [--addr HOST] [--port P] [--workers N]
+//!              [--queue-depth N] [--request-timeout SECS]
+//!              [--header-timeout SECS] [--drain-timeout SECS] [--retries N]
 //! ```
 //!
 //! Traces are the checksummed v2 event format of `osn_graph::io` (v1 files
@@ -22,13 +25,18 @@
 //! retry budget quarantines that snapshot while the run continues, and
 //! `<out>/run_manifest.csv` records what happened to every task.
 //!
+//! `osn serve` turns a verified trace into a long-running snapshot query
+//! daemon (std-only HTTP/1.1) with bounded queues, load shedding, and a
+//! graceful drain on SIGTERM/SIGINT; see `osn_server` for the pipeline.
+//!
 //! Exit codes: `0` success, `1` runtime failure (including degraded runs
 //! promoted by `--strict`), `2` usage error, `3` trace failed
 //! `osn verify`, `4` degraded run (some tasks quarantined, all other
-//! outputs produced).
+//! outputs produced) or a drain that abandoned in-flight requests.
 
 mod commands;
 mod error;
+mod serve;
 
 use error::CliError;
 use std::process::ExitCode;
@@ -47,6 +55,7 @@ fn main() -> ExitCode {
         "communities" => commands::communities(rest),
         "alpha" => commands::alpha(rest),
         "compare" => commands::compare(rest),
+        "serve" => serve::serve(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

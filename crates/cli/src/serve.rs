@@ -1,0 +1,190 @@
+//! `osn serve` — the overload-tolerant snapshot query daemon.
+//!
+//! Startup is a strict pipeline: **preflight** (the trace must pass the
+//! same verification as `osn verify`, reported as one JSON line),
+//! **materialise** (build the shared `SnapshotQuery` engine — the same
+//! code path as `osn metrics` / `osn communities`, so served bytes are
+//! identical to batch output), **serve** (bounded pipeline with load
+//! shedding), **drain** (SIGTERM/SIGINT stop the accept loop and
+//! in-flight work gets `--drain-timeout` seconds to finish).
+//!
+//! Exit codes: `0` clean shutdown, `2` usage error, `3` trace failed
+//! preflight, `4` drain deadline expired with requests still in flight
+//! (degraded drain), `1` anything else.
+
+use crate::commands::Flags;
+use crate::error::CliError;
+use osn_core::communities::CommunityAnalysisConfig;
+use osn_core::network::MetricSeriesConfig;
+use osn_core::query::{SnapshotQuery, SnapshotQueryConfig};
+use osn_graph::io::{read_log_with_policy, RecoveryPolicy};
+use osn_server::{Server, ServerConfig};
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Set from the signal handler; polled by the serve loop.
+    pub static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_sig: i32) {
+        // Only async-signal-safe work here: one atomic store.
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+
+    /// Route SIGINT and SIGTERM to the flag. Uses libc's `signal`
+    /// directly (std already links libc) to stay dependency-free.
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    use std::sync::atomic::AtomicBool;
+
+    pub static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+    pub fn install() {}
+}
+
+fn duration_flag(flags: &Flags, key: &str, default: Duration) -> Result<Duration, CliError> {
+    match flags.get_parsed::<f64>(key)? {
+        None => Ok(default),
+        Some(secs) if secs > 0.0 && secs.is_finite() => Ok(Duration::from_secs_f64(secs)),
+        Some(secs) => Err(CliError::Usage(format!(
+            "--{key} must be a positive number of seconds, got {secs}"
+        ))),
+    }
+}
+
+/// Verify the trace the way `osn verify --policy skip --json` does, print
+/// the report line, and refuse to come up on anything unclean. A daemon
+/// that would serve answers derived from a corrupt trace should die here,
+/// with the same exit-3 contract as `osn verify`. (Skip rather than
+/// Strict so recoverable corruption is *reported* instead of surfacing as
+/// an opaque parse error — the daemon still refuses to start either way.)
+fn preflight(path: &str) -> Result<osn_graph::EventLog, CliError> {
+    let file = std::fs::File::open(path).map_err(|e| CliError::io(format!("open {path}"), e))?;
+    let policy = RecoveryPolicy::Skip {
+        max_errors: usize::MAX,
+    };
+    let (log, report) =
+        read_log_with_policy(std::io::BufReader::new(file), &policy).map_err(|e| {
+            CliError::Trace {
+                path: PathBuf::from(path),
+                source: e,
+            }
+        })?;
+    println!("preflight: {}", report.to_json());
+    if report.is_clean() {
+        Ok(log)
+    } else {
+        Err(CliError::Corrupt {
+            path: PathBuf::from(path),
+            problems: report.problem_count(),
+        })
+    }
+}
+
+/// `osn serve`
+pub fn serve(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args, &[])?;
+    let path = match flags.get("trace") {
+        Some(t) => t.to_string(),
+        None => flags.trace_arg("serve")?.to_string(),
+    };
+
+    let host = flags.get("addr").unwrap_or("127.0.0.1");
+    let port = flags.get_parsed::<u16>("port")?.unwrap_or(0);
+
+    // Analysis knobs mirror the batch commands (same defaults), so a
+    // batch run with the same flags produces byte-identical CSV.
+    let query_cfg = SnapshotQueryConfig {
+        metrics: MetricSeriesConfig {
+            stride: flags.get_parsed::<u32>("stride")?.unwrap_or(7),
+            seed: flags.get_parsed::<u64>("seed")?.unwrap_or(0),
+            workers: flags.get_parsed::<usize>("build-workers")?.unwrap_or(0),
+            ..Default::default()
+        },
+        communities: CommunityAnalysisConfig {
+            stride: flags.get_parsed::<u32>("community-stride")?.unwrap_or(7),
+            delta: flags.get_parsed::<f64>("delta")?.unwrap_or(0.04),
+            min_size: flags.get_parsed::<u32>("min-size")?.unwrap_or(10),
+            seed: flags.get_parsed::<u64>("seed")?.unwrap_or(0),
+            ..Default::default()
+        },
+    };
+
+    let chaos = match std::env::var("OSN_CHAOS") {
+        Ok(spec) if !spec.trim().is_empty() => Some(
+            osn_graph::testutil::ChaosTaskPlan::from_spec(spec.trim())
+                .map_err(|e| CliError::Usage(format!("bad OSN_CHAOS spec: {e}")))?,
+        ),
+        _ => None,
+    };
+    let server_cfg = ServerConfig {
+        addr: format!("{host}:{port}"),
+        workers: flags.get_parsed::<usize>("workers")?.unwrap_or(0),
+        queue_depth: flags.get_parsed::<usize>("queue-depth")?.unwrap_or(64),
+        request_timeout: duration_flag(&flags, "request-timeout", Duration::from_secs(5))?,
+        header_timeout: duration_flag(&flags, "header-timeout", Duration::from_secs(2))?,
+        drain_timeout: duration_flag(&flags, "drain-timeout", Duration::from_secs(5))?,
+        retries: flags.get_parsed::<u32>("retries")?.unwrap_or(0),
+        chaos,
+        ..ServerConfig::default()
+    };
+
+    let log = preflight(&path)?;
+    let started = Instant::now();
+    let query = Arc::new(SnapshotQuery::build(&log, &query_cfg));
+    println!(
+        "materialised {} metric day(s), {} community day(s) in {:.1?}",
+        query.metric_days().len(),
+        query.community_days().len(),
+        started.elapsed()
+    );
+
+    signals::install();
+    let server =
+        Server::start(server_cfg, query).map_err(|e| CliError::io("bind server socket", e))?;
+    // Machine-parseable: tests and scripts read the port from this line.
+    println!("listening on http://{}", server.local_addr());
+
+    while !signals::SIGNALLED.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    eprintln!("signal received: draining");
+    server.request_shutdown();
+    let stats_before = server.stats();
+    let report = server.join();
+    eprintln!(
+        "served {} ok / {} client-error / {} server-error, shed {}, panics {}",
+        stats_before.ok,
+        stats_before.client_error,
+        stats_before.server_error,
+        stats_before.shed,
+        stats_before.panicked,
+    );
+    if report.clean() {
+        println!("drain complete");
+        Ok(())
+    } else {
+        Err(CliError::Drain {
+            aborted: report.aborted,
+        })
+    }
+}

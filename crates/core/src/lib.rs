@@ -25,4 +25,5 @@ pub mod merge;
 pub mod models;
 pub mod network;
 pub mod preferential;
+pub mod query;
 pub mod report;

@@ -1,0 +1,289 @@
+//! Pre-materialised snapshot query engine shared by `osn metrics` /
+//! `osn communities` batch runs and the `osn serve` daemon.
+//!
+//! The contract is **byte identity**: a value served over HTTP must be
+//! the exact bytes the batch CLI would have written to CSV for the same
+//! trace and configuration. To make that true by construction rather
+//! than by convention, the engine renders each table to CSV *once* at
+//! build time (through the very same `Table::to_csv` path the CLI
+//! uses) and every query answer is a verbatim slice of that string —
+//! the header line plus the requested day's row. No float ever gets
+//! re-formatted on the serving path.
+//!
+//! Build-time work is deliberately front-loaded: `osn serve` calls
+//! [`SnapshotQuery::build`] exactly once at startup, after which every
+//! request is a lookup in a sorted day index. The build path runs the
+//! metric sweep unsupervised (no retries, no chaos): a trace that
+//! cannot be analysed cleanly should fail loudly at startup, not serve
+//! gaps.
+
+use crate::communities::{track, CommunityAnalysisConfig};
+use crate::network::{metric_series, MetricSeriesConfig};
+use osn_community::SnapshotSummary;
+use osn_graph::{Day, EventLog};
+use osn_stats::{Series, Table};
+use std::ops::Range;
+
+/// Configuration for both analysis families the engine materialises.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotQueryConfig {
+    /// Figure 1(c)–(f) metric sweep parameters.
+    pub metrics: MetricSeriesConfig,
+    /// §4 community-tracking parameters.
+    pub communities: CommunityAnalysisConfig,
+}
+
+/// Build the per-snapshot community summary table exactly the way
+/// `osn communities` writes `communities.csv`. Kept here so the CLI and
+/// the server share one definition of the schema.
+pub fn communities_table(summaries: &[SnapshotSummary]) -> Table {
+    let mut q = Series::new("modularity");
+    let mut tracked = Series::new("tracked_communities");
+    let mut cov = Series::new("top5_coverage");
+    for s in summaries {
+        q.push(s.day as f64, s.modularity);
+        tracked.push(s.day as f64, s.num_tracked as f64);
+        cov.push(s.day as f64, s.top5_coverage);
+    }
+    Table::new("day").with(q).with(tracked).with(cov)
+}
+
+/// One pre-rendered CSV document plus a sorted day → row-bytes index.
+#[derive(Debug, Clone)]
+struct IndexedCsv {
+    csv: String,
+    /// Byte range of the header line (without the trailing newline).
+    header: Range<usize>,
+    /// `(day, row byte range)` sorted by day; ranges exclude the
+    /// trailing newline.
+    rows: Vec<(Day, Range<usize>)>,
+}
+
+impl IndexedCsv {
+    /// Index a CSV whose x column is an integer-valued day.
+    fn new(csv: String) -> IndexedCsv {
+        let header_end = csv.find('\n').unwrap_or(csv.len());
+        let mut rows = Vec::new();
+        let mut start = if header_end < csv.len() {
+            header_end + 1
+        } else {
+            csv.len()
+        };
+        while start < csv.len() {
+            let end = csv[start..].find('\n').map_or(csv.len(), |off| start + off);
+            let line = &csv[start..end];
+            let day_field = line.split(',').next().unwrap_or("");
+            // The x grid is f64 but snapshot days are whole numbers, so
+            // Display printed them without a fractional part.
+            if let Ok(day) = day_field.parse::<Day>() {
+                rows.push((day, start..end));
+            }
+            start = end + 1;
+        }
+        rows.sort_by_key(|&(d, _)| d);
+        IndexedCsv {
+            csv,
+            header: 0..header_end,
+            rows,
+        }
+    }
+
+    fn days(&self) -> Vec<Day> {
+        self.rows.iter().map(|&(d, _)| d).collect()
+    }
+
+    /// Header + row for `day`, both verbatim slices, newline-terminated.
+    fn row(&self, day: Day) -> Option<String> {
+        let idx = self.rows.binary_search_by_key(&day, |&(d, _)| d).ok()?;
+        let range = self.rows[idx].1.clone();
+        let mut out = String::with_capacity(self.header.len() + range.len() + 2);
+        out.push_str(&self.csv[self.header.clone()]);
+        out.push('\n');
+        out.push_str(&self.csv[range]);
+        out.push('\n');
+        Some(out)
+    }
+}
+
+/// Identity of the trace the engine was built from, for health /
+/// readiness reporting.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceMeta {
+    /// Total node count.
+    pub num_nodes: u32,
+    /// Total undirected edge count.
+    pub num_edges: u64,
+    /// Number of trace days (`end_day + 1`).
+    pub num_days: Day,
+    /// Order-sensitive event-stream fingerprint.
+    pub fingerprint: u64,
+}
+
+/// The engine: day-indexed, pre-rendered metric and community answers.
+#[derive(Debug, Clone)]
+pub struct SnapshotQuery {
+    meta: TraceMeta,
+    metrics: IndexedCsv,
+    communities: IndexedCsv,
+}
+
+impl SnapshotQuery {
+    /// Run both analysis sweeps and freeze their CSV renderings.
+    ///
+    /// # Panics
+    /// Panics if the metric sweep fails on any snapshot (see
+    /// [`metric_series`]); at build time that means the trace or the
+    /// configuration is unusable and the caller should not come up.
+    pub fn build(log: &EventLog, cfg: &SnapshotQueryConfig) -> SnapshotQuery {
+        let m = metric_series(log, &cfg.metrics);
+        let (summaries, _) = track(log, &cfg.communities);
+        SnapshotQuery {
+            meta: TraceMeta {
+                num_nodes: log.num_nodes(),
+                num_edges: log.num_edges(),
+                num_days: log.end_day() + 1,
+                fingerprint: log.fingerprint(),
+            },
+            metrics: IndexedCsv::new(m.to_table().to_csv()),
+            communities: IndexedCsv::new(communities_table(&summaries).to_csv()),
+        }
+    }
+
+    /// Trace identity summary.
+    pub fn meta(&self) -> TraceMeta {
+        self.meta
+    }
+
+    /// Days with a metrics row, ascending.
+    pub fn metric_days(&self) -> Vec<Day> {
+        self.metrics.days()
+    }
+
+    /// Days with a communities row, ascending.
+    pub fn community_days(&self) -> Vec<Day> {
+        self.communities.days()
+    }
+
+    /// The full metrics CSV, byte-identical to `osn metrics`'s
+    /// `metrics.csv` for the same configuration.
+    pub fn metrics_csv(&self) -> &str {
+        &self.metrics.csv
+    }
+
+    /// The full communities CSV, byte-identical to `osn communities`'s
+    /// `communities.csv` for the same configuration.
+    pub fn communities_csv(&self) -> &str {
+        &self.communities.csv
+    }
+
+    /// CSV header + the metrics row for `day` (verbatim slices of
+    /// [`Self::metrics_csv`]), or `None` for a day with no snapshot.
+    pub fn metrics_row(&self, day: Day) -> Option<String> {
+        self.metrics.row(day)
+    }
+
+    /// CSV header + the communities row for `day`, or `None`.
+    pub fn communities_row(&self, day: Day) -> Option<String> {
+        self.communities.row(day)
+    }
+
+    /// `/v1/days` body: one hand-rolled JSON line describing the trace
+    /// and every queryable day.
+    pub fn days_json(&self) -> String {
+        fn join(days: &[Day]) -> String {
+            let mut s = String::new();
+            for (i, d) in days.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&d.to_string());
+            }
+            s
+        }
+        format!(
+            "{{\"nodes\":{},\"edges\":{},\"days\":{},\"fingerprint\":\"{:016x}\",\
+             \"metric_days\":[{}],\"community_days\":[{}]}}",
+            self.meta.num_nodes,
+            self.meta.num_edges,
+            self.meta.num_days,
+            self.meta.fingerprint,
+            join(&self.metrics.days()),
+            join(&self.communities.days()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_genstream::{TraceConfig, TraceGenerator};
+
+    fn tiny_log() -> EventLog {
+        TraceGenerator::new(TraceConfig::tiny()).generate()
+    }
+
+    fn tiny_cfg() -> SnapshotQueryConfig {
+        SnapshotQueryConfig {
+            metrics: MetricSeriesConfig {
+                stride: 20,
+                path_sample: 30,
+                clustering_sample: 100,
+                workers: 2,
+                ..Default::default()
+            },
+            communities: CommunityAnalysisConfig {
+                stride: 40,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn rows_are_verbatim_slices_of_the_batch_csv() {
+        let log = tiny_log();
+        let cfg = tiny_cfg();
+        let q = SnapshotQuery::build(&log, &cfg);
+
+        // The engine's CSV is the CLI's CSV: same table, same renderer.
+        let batch = metric_series(&log, &cfg.metrics).to_table().to_csv();
+        assert_eq!(q.metrics_csv(), batch);
+
+        let days = q.metric_days();
+        assert!(!days.is_empty());
+        let lines: Vec<&str> = batch.lines().collect();
+        for (i, &day) in days.iter().enumerate() {
+            let row = q.metrics_row(day).expect("indexed day must resolve");
+            assert_eq!(row, format!("{}\n{}\n", lines[0], lines[i + 1]));
+        }
+        // Non-snapshot days are absent, not interpolated.
+        assert_eq!(q.metrics_row(days[0] + 1), None);
+        assert_eq!(q.metrics_row(100_000), None);
+    }
+
+    #[test]
+    fn communities_rows_match_batch_table() {
+        let log = tiny_log();
+        let cfg = tiny_cfg();
+        let q = SnapshotQuery::build(&log, &cfg);
+        let (summaries, _) = track(&log, &cfg.communities);
+        assert_eq!(q.communities_csv(), communities_table(&summaries).to_csv());
+        let days = q.community_days();
+        assert_eq!(days, summaries.iter().map(|s| s.day).collect::<Vec<_>>());
+        let row = q.communities_row(days[0]).unwrap();
+        assert!(row.starts_with("day,modularity,tracked_communities,top5_coverage\n"));
+        assert_eq!(row.lines().count(), 2);
+    }
+
+    #[test]
+    fn days_json_is_single_line_and_lists_both_grids() {
+        let log = tiny_log();
+        let q = SnapshotQuery::build(&log, &tiny_cfg());
+        let json = q.days_json();
+        assert_eq!(json.lines().count(), 1);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains(&format!("\"nodes\":{}", log.num_nodes())));
+        assert!(json.contains(&format!("\"fingerprint\":\"{:016x}\"", log.fingerprint())));
+        assert!(json.contains("\"metric_days\":["));
+        assert!(json.contains("\"community_days\":["));
+    }
+}

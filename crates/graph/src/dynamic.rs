@@ -12,6 +12,66 @@
 use crate::csr::CsrGraph;
 use crate::event::{Event, EventKind, Origin};
 use crate::time::{NodeId, Time};
+use std::fmt;
+
+/// A malformed event reaching [`DynamicGraph::apply`].
+///
+/// Events normally come from a validated [`EventLog`](crate::log::EventLog)
+/// whose builder enforces these invariants, so in correct pipelines none of
+/// these variants is reachable. They are checked in **all** build profiles:
+/// an unchecked duplicate edge or unknown endpoint would silently corrupt
+/// the edge count and adjacency lists in release builds, which is exactly
+/// the class of bug that must fail loudly instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyError {
+    /// A node arrival whose id is not the next dense id.
+    NonDenseNode {
+        /// The id the event carried.
+        node: NodeId,
+        /// The id the graph expected next.
+        expected: u32,
+    },
+    /// An edge endpoint that has not been added yet.
+    UnknownEndpoint {
+        /// The unknown endpoint.
+        node: NodeId,
+        /// Number of nodes currently in the graph.
+        num_nodes: usize,
+    },
+    /// An edge whose endpoints are the same node.
+    SelfLoop {
+        /// The repeated endpoint.
+        node: NodeId,
+    },
+    /// An edge that already exists.
+    DuplicateEdge {
+        /// Canonical smaller endpoint.
+        u: NodeId,
+        /// Canonical larger endpoint.
+        v: NodeId,
+    },
+}
+
+impl fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApplyError::NonDenseNode { node, expected } => {
+                write!(f, "node id {} is not dense (expected {expected})", node.0)
+            }
+            ApplyError::UnknownEndpoint { node, num_nodes } => write!(
+                f,
+                "edge endpoint {} is unknown (graph has {num_nodes} nodes)",
+                node.0
+            ),
+            ApplyError::SelfLoop { node } => write!(f, "self-loop on node {}", node.0),
+            ApplyError::DuplicateEdge { u, v } => {
+                write!(f, "duplicate edge {}-{}", u.0, v.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
 
 /// Mutable dynamic graph with per-node metadata.
 #[derive(Debug, Clone, Default)]
@@ -94,33 +154,52 @@ impl DynamicGraph {
 
     /// Apply one event.
     ///
-    /// Events are assumed to come from a validated
-    /// [`EventLog`](crate::log::EventLog), so malformed input (unknown
-    /// nodes, duplicates) is a logic error and triggers a panic in debug
-    /// builds; in release builds duplicates would silently corrupt the
-    /// edge count, hence the `debug_assert`s.
-    pub fn apply(&mut self, event: &Event) {
-        self.now = event.time;
+    /// Malformed input (non-dense node ids, unknown endpoints, self-loops,
+    /// duplicate edges) is rejected with a typed [`ApplyError`] in every
+    /// build profile — these checks used to be `debug_assert`s, which let
+    /// release builds silently corrupt the edge count and adjacency lists.
+    /// On error the graph is left exactly as it was (no partial insert).
+    pub fn apply(&mut self, event: &Event) -> Result<(), ApplyError> {
         match event.kind {
             EventKind::AddNode { node, origin } => {
-                debug_assert_eq!(node.index(), self.adj.len(), "node ids must be dense");
+                if node.index() != self.adj.len() {
+                    return Err(ApplyError::NonDenseNode {
+                        node,
+                        expected: self.adj.len() as u32,
+                    });
+                }
                 self.adj.push(Vec::new());
                 self.origins.push(origin);
                 self.join_times.push(event.time);
             }
             EventKind::AddEdge { u, v } => {
-                debug_assert!(u.index() < self.adj.len() && v.index() < self.adj.len());
-                let pos = self.adj[u.index()]
-                    .binary_search(&v.0)
-                    .expect_err("duplicate edge in validated log");
-                self.adj[u.index()].insert(pos, v.0);
-                let pos = self.adj[v.index()]
+                // Validate everything before touching either list so a
+                // rejected event never leaves a half-inserted edge behind.
+                for node in [u, v] {
+                    if node.index() >= self.adj.len() {
+                        return Err(ApplyError::UnknownEndpoint {
+                            node,
+                            num_nodes: self.adj.len(),
+                        });
+                    }
+                }
+                if u == v {
+                    return Err(ApplyError::SelfLoop { node: u });
+                }
+                let pos_u = match self.adj[u.index()].binary_search(&v.0) {
+                    Err(pos) => pos,
+                    Ok(_) => return Err(ApplyError::DuplicateEdge { u, v }),
+                };
+                self.adj[u.index()].insert(pos_u, v.0);
+                let pos_v = self.adj[v.index()]
                     .binary_search(&u.0)
-                    .expect_err("duplicate edge in validated log");
-                self.adj[v.index()].insert(pos, u.0);
+                    .expect_err("u-side insert implies v-side absence");
+                self.adj[v.index()].insert(pos_v, u.0);
                 self.num_edges += 1;
             }
         }
+        self.now = event.time;
+        Ok(())
     }
 
     /// Freeze the current state into a read-optimised CSR snapshot.
@@ -158,7 +237,7 @@ mod tests {
         let log = sample_log();
         let mut g = DynamicGraph::new();
         for e in log.events() {
-            g.apply(e);
+            g.apply(e).unwrap();
         }
         assert_eq!(g.num_nodes(), 3);
         assert_eq!(g.num_edges(), 2);
@@ -186,9 +265,71 @@ mod tests {
         let log = b.build();
         let mut g = DynamicGraph::new();
         for e in log.events() {
-            g.apply(e);
+            g.apply(e).unwrap();
         }
         assert_eq!(g.neighbors(n0), &[1, 2, 3, 4, 5]);
+    }
+
+    /// The release-build silent-corruption hazard: duplicate and unknown
+    /// events must be rejected with typed errors in *every* profile, and
+    /// a rejected event must leave the graph untouched.
+    #[test]
+    fn malformed_events_rejected_in_all_profiles() {
+        let mut g = DynamicGraph::new();
+        g.apply(&Event::node(Time(0), NodeId(0), Origin::Core))
+            .unwrap();
+        g.apply(&Event::node(Time(1), NodeId(1), Origin::Core))
+            .unwrap();
+        g.apply(&Event::edge(Time(2), NodeId(0), NodeId(1)))
+            .unwrap();
+
+        // Non-dense node id.
+        assert_eq!(
+            g.apply(&Event::node(Time(3), NodeId(5), Origin::Core)),
+            Err(ApplyError::NonDenseNode {
+                node: NodeId(5),
+                expected: 2
+            })
+        );
+        // Unknown endpoint.
+        assert_eq!(
+            g.apply(&Event::edge(Time(3), NodeId(0), NodeId(9))),
+            Err(ApplyError::UnknownEndpoint {
+                node: NodeId(9),
+                num_nodes: 2
+            })
+        );
+        // Self-loop.
+        assert_eq!(
+            g.apply(&Event {
+                time: Time(3),
+                kind: EventKind::AddEdge {
+                    u: NodeId(1),
+                    v: NodeId(1)
+                }
+            }),
+            Err(ApplyError::SelfLoop { node: NodeId(1) })
+        );
+        // Duplicate edge (the original hazard).
+        assert_eq!(
+            g.apply(&Event::edge(Time(3), NodeId(1), NodeId(0))),
+            Err(ApplyError::DuplicateEdge {
+                u: NodeId(0),
+                v: NodeId(1)
+            })
+        );
+        // Nothing was corrupted by the rejected events.
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(NodeId(0)), &[1]);
+        assert_eq!(g.neighbors(NodeId(1)), &[0]);
+        assert_eq!(g.now(), Time(2), "rejected events must not advance time");
+        let shown = ApplyError::DuplicateEdge {
+            u: NodeId(0),
+            v: NodeId(1),
+        }
+        .to_string();
+        assert!(shown.contains("duplicate edge 0-1"), "{shown}");
     }
 
     #[test]
@@ -196,7 +337,7 @@ mod tests {
         let log = sample_log();
         let mut g = DynamicGraph::new();
         for e in log.events() {
-            g.apply(e);
+            g.apply(e).unwrap();
         }
         assert!((g.average_degree() - 4.0 / 3.0).abs() < 1e-12);
         assert_eq!(DynamicGraph::new().average_degree(), 0.0);

@@ -262,6 +262,40 @@ impl IngestReport {
             && (self.format_version < 2 || self.footer_verified)
     }
 
+    /// Number of problems the ingest surfaced: skipped lines, applied
+    /// repairs, dropped chunks, truncation, and (for v2 input) a footer
+    /// that failed to verify. `0` iff [`Self::is_clean`].
+    pub fn problem_count(&self) -> u64 {
+        self.skipped.len() as u64
+            + self.repairs.len() as u64
+            + self.chunks_dropped
+            + u64::from(self.truncated)
+            + u64::from(self.format_version >= 2 && !self.footer_verified && !self.truncated)
+    }
+
+    /// Single-line machine-readable JSON rendering (hand-rolled; every
+    /// field is a number or boolean, so no string escaping is needed).
+    /// Consumed by CI and by the `osn serve` startup preflight.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"format_version\":{},\"lines_read\":{},\"events_kept\":{},\
+             \"chunks_verified\":{},\"chunks_dropped\":{},\"footer_verified\":{},\
+             \"truncated\":{},\"lines_skipped\":{},\"repairs_applied\":{},\
+             \"problems\":{},\"clean\":{}}}",
+            self.format_version,
+            self.lines_read,
+            self.events_kept,
+            self.chunks_verified,
+            self.chunks_dropped,
+            self.footer_verified,
+            self.truncated,
+            self.skipped.len(),
+            self.repairs.len(),
+            self.problem_count(),
+            self.is_clean(),
+        )
+    }
+
     /// Multi-line human-readable summary (used by `osn verify`).
     pub fn summary(&self) -> String {
         use fmt::Write as _;
@@ -991,6 +1025,52 @@ impl<'p> Ingestor<'p> {
 mod tests {
     use super::*;
     use crate::event::EventKind;
+
+    #[test]
+    fn ingest_report_json_is_single_line_and_tracks_problems() {
+        let clean = IngestReport {
+            format_version: 2,
+            lines_read: 10,
+            events_kept: 8,
+            chunks_verified: 2,
+            footer_verified: true,
+            ..IngestReport::default()
+        };
+        assert!(clean.is_clean());
+        assert_eq!(clean.problem_count(), 0);
+        let json = clean.to_json();
+        assert!(!json.contains('\n'), "must be a single line: {json}");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"format_version\":2"));
+        assert!(json.contains("\"events_kept\":8"));
+        assert!(json.contains("\"clean\":true"));
+        assert!(json.contains("\"problems\":0"));
+
+        let dirty = IngestReport {
+            format_version: 2,
+            lines_read: 10,
+            events_kept: 5,
+            chunks_dropped: 1,
+            truncated: true,
+            skipped: vec![SkippedLine {
+                line: 3,
+                reason: SkipReason::TruncatedTail,
+            }],
+            ..IngestReport::default()
+        };
+        assert_eq!(dirty.problem_count(), 3);
+        let json = dirty.to_json();
+        assert!(json.contains("\"clean\":false"));
+        assert!(json.contains("\"problems\":3"));
+        assert!(json.contains("\"truncated\":true"));
+
+        // A v2 stream whose footer failed (not truncated) is one problem.
+        let bad_footer = IngestReport {
+            format_version: 2,
+            ..IngestReport::default()
+        };
+        assert_eq!(bad_footer.problem_count(), 1);
+    }
 
     fn sample() -> EventLog {
         let mut b = EventLogBuilder::new();

@@ -39,7 +39,7 @@ pub mod time;
 pub mod unionfind;
 
 pub use csr::CsrGraph;
-pub use dynamic::DynamicGraph;
+pub use dynamic::{ApplyError, DynamicGraph};
 pub use event::{Event, EventKind, Origin};
 pub use io::{IngestReport, ParseError, RecoveryPolicy};
 pub use log::{EventLog, EventLogBuilder, LogError};

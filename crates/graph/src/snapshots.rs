@@ -173,7 +173,15 @@ impl<'a> Replayer<'a> {
         let events = self.log.events();
         let start = self.pos;
         while self.pos < events.len() && events[self.pos].time < t {
-            self.graph.apply(&events[self.pos]);
+            // The log was validated at construction, so a malformed event
+            // here means the invariant chain is broken — fail loudly in
+            // every build profile instead of corrupting the replay.
+            if let Err(e) = self.graph.apply(&events[self.pos]) {
+                panic!(
+                    "validated EventLog produced a malformed event at position {}: {e}",
+                    self.pos
+                );
+            }
             self.pos += 1;
         }
         self.pos - start
@@ -225,7 +233,12 @@ impl<'a> Replayer<'a> {
         let mut r = Replayer::new(log);
         let events = log.events();
         while r.pos < cp.pos {
-            r.graph.apply(&events[r.pos]);
+            if let Err(e) = r.graph.apply(&events[r.pos]) {
+                panic!(
+                    "validated EventLog produced a malformed event at position {}: {e}",
+                    r.pos
+                );
+            }
             r.pos += 1;
         }
         Ok(r)

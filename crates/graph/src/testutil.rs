@@ -19,6 +19,8 @@
 //! production code has no reason to.
 
 use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::{Duration, Instant};
 
 /// SplitMix64: small, seedable, and good enough to schedule faults.
 #[derive(Debug, Clone)]
@@ -374,6 +376,260 @@ impl ChaosTaskPlan {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Chaos HTTP clients — misbehaving peers for exercising `osn serve`.
+//
+// These are the network-plane analogue of [`ChaosReader`]: deliberately
+// hostile or broken HTTP/1.1 clients (slow-loris writers, half-closed
+// sockets, header floods) plus one honest blocking client, all built on
+// `std::net::TcpStream` so server tests need no extra dependencies.
+// ---------------------------------------------------------------------------
+
+/// A parsed HTTP/1.1 response from one of the chaos clients.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Header `(name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Everything after the blank line (responses here always close the
+    /// connection, so the body is read to EOF).
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8 (empty string if it is not valid UTF-8).
+    pub fn body_str(&self) -> &str {
+        std::str::from_utf8(&self.body).unwrap_or("")
+    }
+}
+
+fn parse_response(raw: &[u8]) -> io::Result<HttpResponse> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("no header terminator in response"))?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("non-UTF-8 response head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| bad("empty response"))?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((k, v)) = line.split_once(':') {
+            headers.push((k.trim().to_string(), v.trim().to_string()));
+        }
+    }
+    Ok(HttpResponse {
+        status,
+        headers,
+        body: raw[head_end + 4..].to_vec(),
+    })
+}
+
+/// Read from `stream` until EOF or `deadline`, whichever comes first,
+/// returning whatever arrived. Timeouts are treated as end-of-data, not
+/// errors, so callers can inspect partial responses from a server that
+/// cut them off.
+fn read_until_eof_or_deadline(stream: &TcpStream, deadline: Instant) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut s = stream;
+    loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            break;
+        }
+        // set_read_timeout(Some(0)) is an error, so clamp upward.
+        let _ = stream.set_read_timeout(Some(remaining.max(Duration::from_millis(1))));
+        match s.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    buf
+}
+
+/// Send `raw` to `addr` and parse whatever comes back before `timeout`.
+///
+/// This is the honest client: one burst, then read to EOF. Errors only
+/// on connect failure or a response too mangled to parse.
+pub fn http_request_raw(addr: &str, raw: &[u8], timeout: Duration) -> io::Result<HttpResponse> {
+    let deadline = Instant::now() + timeout;
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.write_all(raw)?;
+    let _ = stream.flush();
+    let bytes = read_until_eof_or_deadline(&stream, deadline);
+    if bytes.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::ConnectionAborted,
+            "server closed without responding",
+        ));
+    }
+    parse_response(&bytes)
+}
+
+/// Plain `GET path` with `Connection: close`.
+pub fn http_get(addr: &str, path: &str, timeout: Duration) -> io::Result<HttpResponse> {
+    let req = format!("GET {path} HTTP/1.1\r\nHost: osn\r\nConnection: close\r\n\r\n");
+    http_request_raw(addr, req.as_bytes(), timeout)
+}
+
+/// `GET path`, then immediately half-close the write side (`shutdown(Write)`)
+/// before reading. A robust server must still answer: FIN on the client's
+/// send direction is not an abort.
+pub fn http_get_half_close(addr: &str, path: &str, timeout: Duration) -> io::Result<HttpResponse> {
+    let deadline = Instant::now() + timeout;
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_write_timeout(Some(timeout))?;
+    let req = format!("GET {path} HTTP/1.1\r\nHost: osn\r\nConnection: close\r\n\r\n");
+    stream.write_all(req.as_bytes())?;
+    let _ = stream.flush();
+    let _ = stream.shutdown(Shutdown::Write);
+    let bytes = read_until_eof_or_deadline(&stream, deadline);
+    if bytes.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::ConnectionAborted,
+            "server closed without responding",
+        ));
+    }
+    parse_response(&bytes)
+}
+
+/// What became of a deliberately hostile connection.
+#[derive(Debug)]
+pub enum ChaosHttpOutcome {
+    /// The server cut the connection (or timed it out) after the client
+    /// had sent this many bytes, without sending a response.
+    Cut {
+        /// Bytes the client managed to send first.
+        bytes_sent: usize,
+    },
+    /// The server answered (an error status, typically) and closed.
+    Answered {
+        /// Bytes the client managed to send first.
+        bytes_sent: usize,
+        /// The parsed response.
+        response: HttpResponse,
+    },
+    /// The client gave up first: it hit its own byte budget without the
+    /// server ever cutting it off. For a slow-loris drill this outcome
+    /// means the server's header deadline is NOT working.
+    Exhausted {
+        /// Bytes sent before giving up.
+        bytes_sent: usize,
+    },
+}
+
+impl ChaosHttpOutcome {
+    /// True unless the client exhausted its budget — i.e. the server
+    /// terminated the exchange one way or another.
+    pub fn server_terminated(&self) -> bool {
+        !matches!(self, ChaosHttpOutcome::Exhausted { .. })
+    }
+}
+
+/// Drain any server bytes already buffered on `stream` and classify.
+fn finish_chaos(stream: &TcpStream, bytes_sent: usize, deadline: Instant) -> ChaosHttpOutcome {
+    let bytes = read_until_eof_or_deadline(stream, deadline);
+    match parse_response(&bytes) {
+        Ok(response) => ChaosHttpOutcome::Answered {
+            bytes_sent,
+            response,
+        },
+        Err(_) => ChaosHttpOutcome::Cut { bytes_sent },
+    }
+}
+
+/// Slow-loris attacker: trickle a syntactically endless request head one
+/// byte every `pause`, up to `max_bytes`, and report how the server
+/// reacted. A hardened server cuts the connection at its header deadline
+/// no matter how steadily the bytes drip in.
+pub fn slow_loris(
+    addr: &str,
+    pause: Duration,
+    max_bytes: usize,
+    timeout: Duration,
+) -> io::Result<ChaosHttpOutcome> {
+    let deadline = Instant::now() + timeout;
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut script: Vec<u8> = b"GET /v1/days HTTP/1.1\r\n".to_vec();
+    while script.len() < max_bytes {
+        script.extend_from_slice(b"X-Drip: aaaaaaaa\r\n");
+    }
+    let mut sent = 0usize;
+    for &b in script.iter().take(max_bytes) {
+        if Instant::now() >= deadline {
+            break;
+        }
+        if stream.write_all(&[b]).is_err() {
+            // Reset/EPIPE: the server gave up on us mid-drip.
+            return Ok(finish_chaos(&stream, sent, deadline));
+        }
+        sent += 1;
+        // Did the server respond or hang up while we were dripping?
+        let _ = stream.set_read_timeout(Some(pause.max(Duration::from_millis(1))));
+        let mut probe = [0u8; 512];
+        match (&stream).read(&mut probe) {
+            Ok(_) => {
+                // 0 = clean close, n = an early error response: either way
+                // the server has terminated the exchange.
+                return Ok(finish_chaos(&stream, sent, deadline));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return Ok(finish_chaos(&stream, sent, deadline)),
+        }
+    }
+    if Instant::now() >= deadline {
+        return Ok(finish_chaos(&stream, sent, deadline));
+    }
+    Ok(ChaosHttpOutcome::Exhausted { bytes_sent: sent })
+}
+
+/// Header flood: a single burst carrying `lines` junk header lines. The
+/// server should refuse (431/400) or cut the connection once its header
+/// budget is exceeded, never buffer without bound.
+pub fn header_flood(addr: &str, lines: usize, timeout: Duration) -> io::Result<ChaosHttpOutcome> {
+    let deadline = Instant::now() + timeout;
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut req = String::from("GET /v1/days HTTP/1.1\r\nHost: osn\r\n");
+    for i in 0..lines {
+        req.push_str(&format!("X-Flood-{i}: {:0>64}\r\n", i));
+    }
+    req.push_str("Connection: close\r\n\r\n");
+    let mut sent = 0usize;
+    for chunk in req.as_bytes().chunks(4096) {
+        match stream.write(chunk) {
+            Ok(n) => sent += n,
+            // Server already slammed the door mid-flood.
+            Err(_) => return Ok(finish_chaos(&stream, sent, deadline)),
+        }
+    }
+    let _ = stream.flush();
+    Ok(finish_chaos(&stream, sent, deadline))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -502,5 +758,83 @@ mod tests {
         assert!(ChaosTaskPlan::from_spec("panic@x").is_err());
         assert!(ChaosTaskPlan::from_spec("panic@3#y").is_err());
         assert!(ChaosTaskPlan::from_spec("delay:abc@3").is_err());
+    }
+
+    /// One-shot canned server: accepts a single connection, optionally
+    /// reads the request, writes `reply`, closes. Returns its address.
+    fn canned_server(reply: &'static [u8], read_first: bool) -> String {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            if let Ok((mut s, _)) = listener.accept() {
+                if read_first {
+                    let mut buf = [0u8; 4096];
+                    let _ = s.read(&mut buf);
+                }
+                let _ = s.write_all(reply);
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn http_get_parses_status_headers_and_body() {
+        let addr = canned_server(
+            b"HTTP/1.1 200 OK\r\nContent-Type: text/csv\r\nRetry-After: 1\r\n\r\nday,x\n1,2\n",
+            true,
+        );
+        let resp = http_get(&addr, "/v1/days", Duration::from_secs(2)).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("content-type"), Some("text/csv"));
+        assert_eq!(resp.header("RETRY-AFTER"), Some("1"));
+        assert_eq!(resp.body_str(), "day,x\n1,2\n");
+    }
+
+    #[test]
+    fn half_close_client_still_reads_the_response() {
+        let addr = canned_server(b"HTTP/1.1 204 No Content\r\n\r\n", true);
+        let resp = http_get_half_close(&addr, "/healthz", Duration::from_secs(2)).unwrap();
+        assert_eq!(resp.status, 204);
+        assert!(resp.body.is_empty());
+    }
+
+    #[test]
+    fn chaos_outcomes_classify_cut_and_answer() {
+        // A server that answers the flood with 431.
+        let addr = canned_server(
+            b"HTTP/1.1 431 Request Header Fields Too Large\r\n\r\n",
+            true,
+        );
+        let out = header_flood(&addr, 50, Duration::from_secs(2)).unwrap();
+        assert!(out.server_terminated());
+        match out {
+            ChaosHttpOutcome::Answered { response, .. } => assert_eq!(response.status, 431),
+            other => panic!("expected Answered, got {other:?}"),
+        }
+        // A server that hangs up without a word.
+        let addr = canned_server(b"", false);
+        let out = header_flood(&addr, 50, Duration::from_secs(2)).unwrap();
+        assert!(matches!(out, ChaosHttpOutcome::Cut { .. }), "{out:?}");
+    }
+
+    #[test]
+    fn slow_loris_gives_up_against_a_patient_server() {
+        // A listener that accepts and then reads forever without ever
+        // closing: the client must exhaust its own byte budget and say so.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let t = std::thread::spawn(move || {
+            if let Ok((mut s, _)) = listener.accept() {
+                let mut buf = [0u8; 1024];
+                while matches!(s.read(&mut buf), Ok(n) if n > 0) {}
+            }
+        });
+        let out = slow_loris(&addr, Duration::from_millis(1), 64, Duration::from_secs(5)).unwrap();
+        assert!(
+            matches!(out, ChaosHttpOutcome::Exhausted { bytes_sent: 64 }),
+            "{out:?}"
+        );
+        assert!(!out.server_terminated());
+        t.join().unwrap();
     }
 }

@@ -1,0 +1,259 @@
+//! Minimal HTTP/1.1 plumbing: deadline-bounded request-head reading and
+//! response writing over a raw `TcpStream`.
+//!
+//! Only the sliver of HTTP the daemon needs is implemented — `GET` with
+//! a path, `Connection: close` on every response — but the *failure*
+//! surface is handled in full: a peer that drips one header byte per
+//! second, floods megabytes of header lines, or half-closes its send
+//! direction must never pin a thread past the configured deadline.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Hard cap on request-head bytes; beyond this the peer gets a 431.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// The parsed request line (headers are read, enforced against the
+/// byte budget, and discarded — no endpoint consumes them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestHead {
+    /// HTTP method, verbatim (`GET`, `HEAD`, ...).
+    pub method: String,
+    /// Request target with any `?query` suffix stripped.
+    pub path: String,
+}
+
+/// Why a request head could not be read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeadError {
+    /// Header deadline expired before the blank line arrived
+    /// (slow-loris or a stalled peer).
+    TimedOut,
+    /// More than [`MAX_HEAD_BYTES`] of head without a blank line
+    /// (header flood).
+    TooLarge,
+    /// Not parseable as an HTTP/1.x request line.
+    Malformed,
+    /// The peer vanished before completing the head.
+    ConnectionLost,
+}
+
+impl HeadError {
+    /// Reason token for the access log (mirrors the supervisor's
+    /// `FailureKind::as_str` naming style).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HeadError::TimedOut => "header-timeout",
+            HeadError::TooLarge => "header-flood",
+            HeadError::Malformed => "malformed",
+            HeadError::ConnectionLost => "connection-lost",
+        }
+    }
+}
+
+/// Read a request head from `stream`, giving up at `deadline`.
+///
+/// The socket read timeout is re-armed to the *remaining* budget before
+/// every read, so a peer trickling one byte per timeout window cannot
+/// extend its welcome — total wall time is bounded by the deadline no
+/// matter how the bytes arrive.
+pub fn read_head(stream: &mut TcpStream, deadline: Instant) -> Result<RequestHead, HeadError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Some(head_end) = find_head_end(&buf) {
+            return parse_head(&buf[..head_end]);
+        }
+        if buf.len() >= MAX_HEAD_BYTES {
+            return Err(HeadError::TooLarge);
+        }
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(HeadError::TimedOut);
+        }
+        if stream
+            .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
+            .is_err()
+        {
+            return Err(HeadError::ConnectionLost);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(HeadError::ConnectionLost),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Err(HeadError::TimedOut),
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => return Err(HeadError::TimedOut),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(HeadError::ConnectionLost),
+        }
+    }
+}
+
+/// Byte offset just past the request line's terminating CRLF once the
+/// full head (`\r\n\r\n`) has arrived.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+fn parse_head(head: &[u8]) -> Result<RequestHead, HeadError> {
+    let text = std::str::from_utf8(head).map_err(|_| HeadError::Malformed)?;
+    let request_line = text.split("\r\n").next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts.next().filter(|m| !m.is_empty());
+    let target = parts.next();
+    let version = parts.next();
+    match (method, target, version) {
+        (Some(method), Some(target), Some(version)) if version.starts_with("HTTP/1") => {
+            let path = target.split('?').next().unwrap_or(target);
+            Ok(RequestHead {
+                method: method.to_string(),
+                path: path.to_string(),
+            })
+        }
+        _ => Err(HeadError::Malformed),
+    }
+}
+
+/// A response ready to serialise. Every response closes the connection;
+/// the daemon's clients are batch tools and probes, not browsers, and
+/// `Connection: close` keeps the drain story simple (no idle keep-alive
+/// sockets to account for).
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+    /// Optional `Retry-After` (seconds) — set on load-shed 503s so
+    /// well-behaved clients back off instead of hammering.
+    pub retry_after: Option<u32>,
+}
+
+impl Response {
+    /// Plain-text response.
+    pub fn text(status: u16, body: &str) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.as_bytes().to_vec(),
+            retry_after: None,
+        }
+    }
+
+    /// CSV response.
+    pub fn csv(body: String) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/csv; charset=utf-8",
+            body: body.into_bytes(),
+            retry_after: None,
+        }
+    }
+
+    /// Single-line JSON response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            retry_after: None,
+        }
+    }
+
+    /// Load-shed 503 with a `Retry-After` hint.
+    pub fn shed(reason: &str) -> Response {
+        Response {
+            status: 503,
+            content_type: "text/plain; charset=utf-8",
+            body: format!("overloaded: {reason}\n").into_bytes(),
+            retry_after: Some(1),
+        }
+    }
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serialise `resp` onto `stream` with a write timeout, then let the
+/// caller drop the stream (which closes it). Write errors are returned
+/// but callers generally ignore them: a peer that hung up before its
+/// response is its own problem.
+pub fn write_response(
+    stream: &mut TcpStream,
+    resp: &Response,
+    timeout: Duration,
+) -> io::Result<()> {
+    let _ = stream.set_write_timeout(Some(timeout));
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        resp.status,
+        reason_phrase(resp.status),
+        resp.content_type,
+        resp.body.len(),
+    );
+    if let Some(secs) = resp.retry_after {
+        head.push_str(&format!("Retry-After: {secs}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&resp.body)?;
+    stream.flush()
+}
+
+/// Pre-serialised 503 for the accept path: when even the triage queue is
+/// full the acceptor writes this without reading a single request byte.
+pub const RAW_SHED_503: &[u8] = b"HTTP/1.1 503 Service Unavailable\r\n\
+Content-Type: text/plain; charset=utf-8\r\nContent-Length: 19\r\n\
+Retry-After: 1\r\nConnection: close\r\n\r\noverloaded: accept\n";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_request_line_and_strips_query() {
+        let head = parse_head(b"GET /v1/metrics/12?x=1 HTTP/1.1\r\nHost: a\r\n").unwrap();
+        assert_eq!(head.method, "GET");
+        assert_eq!(head.path, "/v1/metrics/12");
+        assert!(parse_head(b"garbage").is_err());
+        assert!(parse_head(b"GET /x SPDY/3\r\n").is_err());
+        assert!(parse_head(b"GET\r\n").is_err());
+    }
+
+    #[test]
+    fn raw_shed_content_length_matches_body() {
+        let text = std::str::from_utf8(RAW_SHED_503).unwrap();
+        let body = text.split("\r\n\r\n").nth(1).unwrap();
+        let len: usize = text
+            .split("Content-Length: ")
+            .nth(1)
+            .unwrap()
+            .split("\r\n")
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(body.len(), len);
+    }
+
+    #[test]
+    fn head_error_reasons_are_stable() {
+        assert_eq!(HeadError::TimedOut.as_str(), "header-timeout");
+        assert_eq!(HeadError::TooLarge.as_str(), "header-flood");
+        assert_eq!(HeadError::Malformed.as_str(), "malformed");
+        assert_eq!(HeadError::ConnectionLost.as_str(), "connection-lost");
+    }
+}

@@ -1,0 +1,43 @@
+//! # osn-server — overload-tolerant snapshot query daemon
+//!
+//! A std-only HTTP/1.1 server (no async runtime, no dependencies beyond
+//! the workspace) that loads one validated trace, pre-materialises the
+//! paper's per-day analyses through [`osn_core::query::SnapshotQuery`],
+//! and answers:
+//!
+//! | endpoint                  | body | plane |
+//! |---------------------------|------|-------|
+//! | `GET /healthz`            | `ok` | triage (never queued) |
+//! | `GET /readyz`             | JSON trace identity | triage |
+//! | `GET /v1/days`            | JSON day lists | workers |
+//! | `GET /v1/metrics/{day}`   | CSV header + row, byte-identical to `osn metrics` | workers |
+//! | `GET /v1/communities/{day}` | CSV header + row, byte-identical to `osn communities` | workers |
+//!
+//! Robustness is the design center, not throughput:
+//!
+//! * **Bounded everywhere** — accept, triage, and work queues all have
+//!   hard bounds; overflow is answered with an immediate `503` +
+//!   `Retry-After`, never an unbounded backlog.
+//! * **Hostile-client proof** — request heads are read under a deadline
+//!   counted from accept (slow-loris), capped in size (header floods),
+//!   and a half-closed client still gets its response.
+//! * **Panic isolated** — handlers run under the same supervisor as the
+//!   batch pipelines (`osn_metrics::supervisor`); a panicking request is
+//!   a `500`, not a dead process, and the access log reuses the
+//!   supervisor's failure taxonomy.
+//! * **Graceful drain** — shutdown stops accepting, finishes in-flight
+//!   work up to a deadline, and reports what (if anything) it had to
+//!   abandon so the CLI can exit `0` (clean) or `4` (degraded drain).
+//!
+//! See `DESIGN.md` (workspace root) for the full runbook.
+
+pub mod accesslog;
+pub mod handlers;
+pub mod http;
+pub mod router;
+pub mod server;
+
+pub use accesslog::{AccessLog, ServerStats, StatsSnapshot};
+pub use http::{HeadError, RequestHead, Response};
+pub use router::Route;
+pub use server::{DrainReport, Server, ServerConfig};

@@ -1,0 +1,103 @@
+//! Path → route resolution, split out from handling so triage can make
+//! its fast-path decision (health probes, rejects) without touching the
+//! query engine.
+
+use crate::http::RequestHead;
+use osn_graph::Day;
+
+/// Where a request goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// `GET /healthz` — liveness; answered by triage even under full
+    /// overload so probes never queue behind real work.
+    Health,
+    /// `GET /readyz` — readiness; also triage-answered.
+    Ready,
+    /// `GET /v1/days` — trace identity + queryable day lists.
+    Days,
+    /// `GET /v1/metrics/{day}` — one Figure 1(c)–(f) CSV row.
+    Metrics(Day),
+    /// `GET /v1/communities/{day}` — one community-summary CSV row.
+    Communities(Day),
+    /// Known prefix, unparseable day segment.
+    BadDay,
+    /// No such path.
+    NotFound,
+    /// Anything but GET.
+    MethodNotAllowed,
+}
+
+impl Route {
+    /// True for routes triage resolves inline; false for routes that go
+    /// through the bounded work queue.
+    pub fn is_fast_path(self) -> bool {
+        !matches!(
+            self,
+            Route::Days | Route::Metrics(_) | Route::Communities(_)
+        )
+    }
+}
+
+/// Resolve a parsed request head.
+pub fn route(head: &RequestHead) -> Route {
+    if head.method != "GET" {
+        return Route::MethodNotAllowed;
+    }
+    match head.path.as_str() {
+        "/healthz" => Route::Health,
+        "/readyz" => Route::Ready,
+        "/v1/days" => Route::Days,
+        path => {
+            if let Some(day) = path.strip_prefix("/v1/metrics/") {
+                match day.parse::<Day>() {
+                    Ok(d) => Route::Metrics(d),
+                    Err(_) => Route::BadDay,
+                }
+            } else if let Some(day) = path.strip_prefix("/v1/communities/") {
+                match day.parse::<Day>() {
+                    Ok(d) => Route::Communities(d),
+                    Err(_) => Route::BadDay,
+                }
+            } else {
+                Route::NotFound
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn head(method: &str, path: &str) -> RequestHead {
+        RequestHead {
+            method: method.to_string(),
+            path: path.to_string(),
+        }
+    }
+
+    #[test]
+    fn routes_resolve() {
+        assert_eq!(route(&head("GET", "/healthz")), Route::Health);
+        assert_eq!(route(&head("GET", "/readyz")), Route::Ready);
+        assert_eq!(route(&head("GET", "/v1/days")), Route::Days);
+        assert_eq!(route(&head("GET", "/v1/metrics/42")), Route::Metrics(42));
+        assert_eq!(
+            route(&head("GET", "/v1/communities/7")),
+            Route::Communities(7)
+        );
+        assert_eq!(route(&head("GET", "/v1/metrics/xyz")), Route::BadDay);
+        assert_eq!(route(&head("GET", "/v1/metrics/-3")), Route::BadDay);
+        assert_eq!(route(&head("GET", "/nope")), Route::NotFound);
+        assert_eq!(route(&head("POST", "/healthz")), Route::MethodNotAllowed);
+    }
+
+    #[test]
+    fn fast_path_split() {
+        assert!(Route::Health.is_fast_path());
+        assert!(Route::NotFound.is_fast_path());
+        assert!(!Route::Days.is_fast_path());
+        assert!(!Route::Metrics(1).is_fast_path());
+        assert!(!Route::Communities(1).is_fast_path());
+    }
+}

@@ -1,0 +1,454 @@
+//! The daemon: acceptor → triage pool → bounded work queue → handler
+//! workers, with explicit load shedding at every hand-off and a
+//! deadline-bounded graceful drain.
+//!
+//! ```text
+//!            accept (nonblocking poll)
+//!                 │  try_send ── full ⇒ raw 503, no read
+//!                 ▼
+//!        triage queue (bounded)
+//!                 │
+//!        triage pool (2 threads)
+//!        - read head under header deadline (slow-loris cutoff)
+//!        - /healthz, /readyz, 4xx: answered HERE, never queued,
+//!          so probes stay green while the work queue burns
+//!                 │  try_send ── full ⇒ 503 + Retry-After
+//!                 ▼
+//!          work queue (bounded, --queue-depth)
+//!                 │
+//!        handler workers (--workers threads)
+//!        - per-request soft deadline net of queue wait
+//!        - catch_unwind panic isolation via the shared supervisor
+//! ```
+//!
+//! Shutdown: flip the shared flag → the acceptor stops accepting and
+//! drops its triage sender → the disconnect cascades down both queues →
+//! each stage finishes everything already in flight and exits. The
+//! coordinator waits up to the drain deadline; whatever is still in
+//! flight after that is *aborted* (reported, and mapped to exit 4 by
+//! the CLI).
+
+use crate::accesslog::{AccessLog, ServerStats, StatsSnapshot};
+use crate::handlers::{handle, HandlerPolicy};
+use crate::http::{read_head, write_response, RequestHead, Response, RAW_SHED_503};
+use crate::router::{route, Route};
+use osn_core::query::SnapshotQuery;
+use osn_graph::testutil::ChaosTaskPlan;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Number of triage threads. Two is enough: triage work is a bounded
+/// head-read plus a queue push, and a second thread keeps one hostile
+/// slow peer from serialising everyone else behind it.
+const TRIAGE_THREADS: usize = 2;
+
+/// Socket write timeout for responses.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Everything `Server::start` needs. `Default` gives the production
+/// values; tests override the knobs they are drilling.
+#[derive(Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Handler worker threads; 0 = all cores minus one, at least one.
+    pub workers: usize,
+    /// Bound on the work queue; beyond it requests are shed.
+    pub queue_depth: usize,
+    /// Bound on the accept→triage queue. Triage drains in microseconds
+    /// per parsed head, so this can sit well above `queue_depth` without
+    /// creating real backlog — it exists so health probes keep flowing
+    /// while the work queue sheds, yet a connect flood still hits a hard
+    /// wall (raw 503, no read) instead of unbounded fd growth.
+    pub accept_backlog: usize,
+    /// Per-request soft deadline, covering queue wait plus handling.
+    pub request_timeout: Duration,
+    /// Budget for reading a request head, counted from accept.
+    pub header_timeout: Duration,
+    /// How long a drain may take before in-flight work is abandoned.
+    pub drain_timeout: Duration,
+    /// Transient handler retries before a 503.
+    pub retries: u32,
+    /// Deterministic fault injection for the serving plane (drills
+    /// only). Keys are snapshot days.
+    pub chaos: Option<ChaosTaskPlan>,
+    /// Access-line sink.
+    pub access_log: AccessLog,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_depth: 64,
+            accept_backlog: 128,
+            request_timeout: Duration::from_secs(5),
+            header_timeout: Duration::from_secs(2),
+            drain_timeout: Duration::from_secs(5),
+            retries: 0,
+            chaos: None,
+            access_log: AccessLog::default(),
+        }
+    }
+}
+
+/// What happened to in-flight work when the server went down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Connections still unanswered when the drain deadline expired.
+    /// `0` means a clean drain.
+    pub aborted: usize,
+}
+
+impl DrainReport {
+    /// True when every in-flight request finished before the deadline.
+    pub fn clean(&self) -> bool {
+        self.aborted == 0
+    }
+}
+
+/// One accepted connection on its way to triage.
+struct Conn {
+    stream: TcpStream,
+    accepted: Instant,
+}
+
+/// A parsed request waiting for a handler worker.
+struct Job {
+    stream: TcpStream,
+    head: RequestHead,
+    route: Route,
+    accepted: Instant,
+}
+
+/// Shared state every stage touches.
+#[derive(Debug)]
+struct Shared {
+    query: Arc<SnapshotQuery>,
+    stats: ServerStats,
+    log: AccessLog,
+    shutdown: AtomicBool,
+    /// Connections accepted but not yet answered (or abandoned).
+    in_flight: AtomicU64,
+    /// Triage + worker threads still running.
+    live_threads: AtomicUsize,
+    request_timeout: Duration,
+    header_timeout: Duration,
+    retries: u32,
+    chaos: Option<ChaosTaskPlan>,
+}
+
+impl Shared {
+    fn finish(&self, method: &str, path: &str, status: u16, since: Instant, reason: &str) {
+        let load_shed =
+            reason == "shed" || reason == "timed-out" || reason == "transient-exhausted";
+        self.stats
+            .count_response(status, load_shed, reason == "panicked");
+        self.log
+            .record(method, path, status, since.elapsed(), reason);
+        self.in_flight.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// A running daemon. Startup is all-or-nothing: the trace analyses were
+/// already materialised into the [`SnapshotQuery`] before `start`, so by
+/// the time `start` returns the server answers every endpoint.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    stage_handles: Vec<JoinHandle<()>>,
+    drain_timeout: Duration,
+}
+
+impl Server {
+    /// Bind, spawn the pipeline, and return once the listener is live.
+    pub fn start(cfg: ServerConfig, query: Arc<SnapshotQuery>) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let workers = if cfg.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get().saturating_sub(1))
+                .unwrap_or(1)
+                .max(1)
+        } else {
+            cfg.workers
+        };
+
+        let shared = Arc::new(Shared {
+            query,
+            stats: ServerStats::default(),
+            log: cfg.access_log,
+            shutdown: AtomicBool::new(false),
+            in_flight: AtomicU64::new(0),
+            live_threads: AtomicUsize::new(TRIAGE_THREADS + workers),
+            request_timeout: cfg.request_timeout,
+            header_timeout: cfg.header_timeout,
+            retries: cfg.retries,
+            chaos: cfg.chaos,
+        });
+
+        let (triage_tx, triage_rx) = sync_channel::<Conn>(cfg.accept_backlog.max(1));
+        let (work_tx, work_rx) = sync_channel::<Job>(cfg.queue_depth);
+        let triage_rx = Arc::new(Mutex::new(triage_rx));
+        let work_rx = Arc::new(Mutex::new(work_rx));
+
+        let mut stage_handles = Vec::with_capacity(TRIAGE_THREADS + workers);
+        for i in 0..TRIAGE_THREADS {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&triage_rx);
+            let tx = work_tx.clone();
+            stage_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("osn-triage-{i}"))
+                    .spawn(move || triage_loop(&shared, &rx, &tx))?,
+            );
+        }
+        // Triage threads own the only work senders: when the last one
+        // exits, workers see the disconnect and drain out.
+        drop(work_tx);
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&work_rx);
+            stage_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("osn-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))?,
+            );
+        }
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("osn-acceptor".to_string())
+                .spawn(move || accept_loop(&shared, &listener, &triage_tx))?
+        };
+
+        Ok(Server {
+            addr,
+            shared,
+            acceptor,
+            stage_handles,
+            drain_timeout: cfg.drain_timeout,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Begin a graceful drain: stop accepting, finish in-flight work.
+    /// Idempotent; does not block — follow with [`Server::join`].
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Wait for shutdown (someone must call [`Server::request_shutdown`]
+    /// or this blocks forever), then drain: every stage finishes what it
+    /// already holds, bounded by the drain deadline. Whatever is still
+    /// unanswered at the deadline is abandoned and reported.
+    pub fn join(self) -> DrainReport {
+        let _ = self.acceptor.join();
+        let deadline = Instant::now() + self.drain_timeout;
+        loop {
+            if self.shared.live_threads.load(Ordering::Acquire) == 0 {
+                for h in self.stage_handles {
+                    let _ = h.join();
+                }
+                return DrainReport { aborted: 0 };
+            }
+            if Instant::now() >= deadline {
+                // Stuck stages stay detached; the process exit (or the
+                // test harness) reclaims them. Their connections count
+                // as aborted.
+                return DrainReport {
+                    aborted: self.shared.in_flight.load(Ordering::Acquire) as usize,
+                };
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+/// Decrement the live-thread count even if a stage loop panics.
+struct LiveGuard<'a>(&'a AtomicUsize);
+
+impl Drop for LiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Release);
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener, triage_tx: &SyncSender<Conn>) {
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Accepted sockets must be blocking regardless of what
+                // they inherited from the nonblocking listener.
+                let _ = stream.set_nonblocking(false);
+                shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                shared.in_flight.fetch_add(1, Ordering::Release);
+                let conn = Conn {
+                    stream,
+                    accepted: Instant::now(),
+                };
+                if let Err(TrySendError::Full(conn) | TrySendError::Disconnected(conn)) =
+                    triage_tx.try_send(conn)
+                {
+                    // Even the triage queue is backed up: answer with a
+                    // canned 503 without reading a byte, so the reject
+                    // path costs nothing a flood can amplify.
+                    let mut stream = conn.stream;
+                    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+                    let _ = stream.write_all(RAW_SHED_503);
+                    shared.finish("-", "-", 503, conn.accepted, "shed");
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            // Transient accept failures (EMFILE under flood): back off a
+            // beat instead of spinning or dying.
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    // Dropping the only triage sender starts the drain cascade.
+}
+
+/// Inline responses for routes that must not depend on worker capacity.
+fn fast_response(shared: &Shared, r: Route) -> Response {
+    match r {
+        Route::Health => Response::text(200, "ok\n"),
+        Route::Ready => {
+            let meta = shared.query.meta();
+            Response::json(
+                200,
+                format!(
+                    "{{\"ready\":true,\"days\":{},\"nodes\":{},\"fingerprint\":\"{:016x}\"}}",
+                    meta.num_days, meta.num_nodes, meta.fingerprint
+                ),
+            )
+        }
+        Route::BadDay => Response::text(400, "day must be a non-negative integer\n"),
+        Route::NotFound => Response::text(404, "no such endpoint\n"),
+        Route::MethodNotAllowed => Response::text(405, "only GET is supported\n"),
+        work => unreachable!("work route {work:?} is not fast-path"),
+    }
+}
+
+fn triage_loop(shared: &Shared, rx: &Mutex<Receiver<Conn>>, work_tx: &SyncSender<Job>) {
+    let _guard = LiveGuard(&shared.live_threads);
+    loop {
+        // Hold the lock only for the dequeue, never across socket I/O.
+        let conn = match rx.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return,
+        };
+        let Ok(Conn {
+            mut stream,
+            accepted,
+        }) = conn
+        else {
+            return; // acceptor gone and queue drained
+        };
+        let deadline = accepted + shared.header_timeout;
+        match read_head(&mut stream, deadline) {
+            Err(err) => {
+                shared.stats.bad_heads.fetch_add(1, Ordering::Relaxed);
+                let status = match err {
+                    crate::http::HeadError::TimedOut => Some(408),
+                    crate::http::HeadError::TooLarge => Some(431),
+                    crate::http::HeadError::Malformed => Some(400),
+                    // Peer vanished: nobody is listening for a response.
+                    crate::http::HeadError::ConnectionLost => None,
+                };
+                if let Some(status) = status {
+                    let resp = Response::text(status, &format!("{}\n", err.as_str()));
+                    let _ = write_response(&mut stream, &resp, WRITE_TIMEOUT);
+                }
+                shared.finish("-", "-", status.unwrap_or(0), accepted, err.as_str());
+            }
+            Ok(head) => {
+                let r = route(&head);
+                if r.is_fast_path() {
+                    let resp = fast_response(shared, r);
+                    let status = resp.status;
+                    let _ = write_response(&mut stream, &resp, WRITE_TIMEOUT);
+                    shared.finish(&head.method, &head.path, status, accepted, "-");
+                } else {
+                    match work_tx.try_send(Job {
+                        stream,
+                        head,
+                        route: r,
+                        accepted,
+                    }) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(job) | TrySendError::Disconnected(job)) => {
+                            let Job {
+                                mut stream, head, ..
+                            } = job;
+                            let resp = Response::shed("queue-full");
+                            let _ = write_response(&mut stream, &resp, WRITE_TIMEOUT);
+                            shared.finish(&head.method, &head.path, 503, accepted, "shed");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
+    let _guard = LiveGuard(&shared.live_threads);
+    let mut policy = HandlerPolicy {
+        retries: shared.retries,
+        deadline: None,
+        chaos: shared.chaos.clone(),
+    };
+    loop {
+        let job = match rx.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return,
+        };
+        let Ok(Job {
+            mut stream,
+            head,
+            route,
+            accepted,
+        }) = job
+        else {
+            return; // triage gone and queue drained
+        };
+        let waited = accepted.elapsed();
+        let handled = match shared.request_timeout.checked_sub(waited) {
+            // The request's whole budget evaporated in the queue: shed
+            // it now instead of doing work nobody is waiting for.
+            None => crate::handlers::Handled {
+                response: Response::shed("expired-in-queue"),
+                reason: "timed-out",
+            },
+            Some(budget) => {
+                policy.deadline = Some(budget);
+                handle(&shared.query, route, &policy)
+            }
+        };
+        let status = handled.response.status;
+        let _ = write_response(&mut stream, &handled.response, WRITE_TIMEOUT);
+        shared.finish(&head.method, &head.path, status, accepted, handled.reason);
+    }
+}

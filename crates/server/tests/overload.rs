@@ -1,0 +1,352 @@
+//! In-process robustness drills for the snapshot query daemon.
+//!
+//! These are the deterministic overload/chaos scenarios from the design
+//! runbook: a connection flood against a deliberately tiny worker pool,
+//! injected handler panics, slow-loris and header-flood clients, and
+//! graceful-drain success and abort. Everything runs in-process so the
+//! drills can assert on the server's own counters, not just on wire
+//! behaviour.
+
+use osn_core::communities::CommunityAnalysisConfig;
+use osn_core::network::MetricSeriesConfig;
+use osn_core::query::{SnapshotQuery, SnapshotQueryConfig};
+use osn_genstream::{TraceConfig, TraceGenerator};
+use osn_graph::testutil::{
+    header_flood, http_get, http_get_half_close, slow_loris, ChaosAction, ChaosHttpOutcome,
+    ChaosTaskPlan,
+};
+use osn_server::{Server, ServerConfig};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// The analyses are pure functions of the trace, so every drill shares
+/// one pre-built engine (building it dominates test wall time).
+fn query() -> Arc<SnapshotQuery> {
+    static Q: OnceLock<Arc<SnapshotQuery>> = OnceLock::new();
+    Arc::clone(Q.get_or_init(|| {
+        let log = TraceGenerator::new(TraceConfig::tiny()).generate();
+        let cfg = SnapshotQueryConfig {
+            metrics: MetricSeriesConfig {
+                stride: 40,
+                path_sample: 30,
+                clustering_sample: 100,
+                workers: 2,
+                ..Default::default()
+            },
+            communities: CommunityAnalysisConfig {
+                stride: 80,
+                ..Default::default()
+            },
+        };
+        Arc::new(SnapshotQuery::build(&log, &cfg))
+    }))
+}
+
+fn start(cfg: ServerConfig) -> Server {
+    Server::start(cfg, query()).expect("server starts")
+}
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(10);
+
+#[test]
+fn serves_bytes_identical_to_the_query_engine() {
+    let server = start(ServerConfig::default());
+    let addr = server.local_addr().to_string();
+    let q = query();
+
+    let day = q.metric_days()[0];
+    let resp = http_get(&addr, &format!("/v1/metrics/{day}"), CLIENT_TIMEOUT).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("content-type"), Some("text/csv; charset=utf-8"));
+    assert_eq!(resp.body, q.metrics_row(day).unwrap().into_bytes());
+
+    let cday = q.community_days()[0];
+    let resp = http_get(&addr, &format!("/v1/communities/{cday}"), CLIENT_TIMEOUT).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body, q.communities_row(cday).unwrap().into_bytes());
+
+    let resp = http_get(&addr, "/v1/days", CLIENT_TIMEOUT).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body, q.days_json().into_bytes());
+
+    let resp = http_get(&addr, "/readyz", CLIENT_TIMEOUT).unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.body_str().contains("\"ready\":true"));
+
+    // 404 for a day with no snapshot, 400 for a non-day, 405 for POST.
+    assert_eq!(
+        http_get(&addr, "/v1/metrics/99999", CLIENT_TIMEOUT)
+            .unwrap()
+            .status,
+        404
+    );
+    assert_eq!(
+        http_get(&addr, "/v1/metrics/xyz", CLIENT_TIMEOUT)
+            .unwrap()
+            .status,
+        400
+    );
+    let resp = osn_graph::testutil::http_request_raw(
+        &addr,
+        b"POST /healthz HTTP/1.1\r\nHost: a\r\nConnection: close\r\n\r\n",
+        CLIENT_TIMEOUT,
+    )
+    .unwrap();
+    assert_eq!(resp.status, 405);
+
+    server.request_shutdown();
+    assert!(server.join().clean());
+}
+
+#[test]
+fn overload_drill_sheds_fast_and_keeps_health_green() {
+    let q = query();
+    let day = q.metric_days()[0];
+    // Two workers, a queue of four, and a 25ms handler delay: a 64-way
+    // flood must overflow the work queue and shed.
+    let server = start(ServerConfig {
+        workers: 2,
+        queue_depth: 4,
+        chaos: Some(ChaosTaskPlan::default().with_rule(day as u64, None, ChaosAction::Delay(25))),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr().to_string();
+
+    // Health prober runs for the whole flood: /healthz must stay 200.
+    let health_addr = addr.clone();
+    let prober = std::thread::spawn(move || {
+        let mut greens = 0u32;
+        for _ in 0..20 {
+            let resp = http_get(&health_addr, "/healthz", CLIENT_TIMEOUT)
+                .expect("health probe must never hang or be refused");
+            assert_eq!(resp.status, 200, "/healthz degraded under flood");
+            greens += 1;
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        greens
+    });
+
+    let path = format!("/v1/metrics/{day}");
+    let clients: Vec<_> = (0..64)
+        .map(|_| {
+            let addr = addr.clone();
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let started = Instant::now();
+                let resp = http_get(&addr, &path, CLIENT_TIMEOUT).expect("no hung sockets");
+                (resp, started.elapsed())
+            })
+        })
+        .collect();
+
+    let mut ok = 0u32;
+    let mut shed = 0u32;
+    for c in clients {
+        let (resp, elapsed) = c.join().unwrap();
+        match resp.status {
+            200 => ok += 1,
+            503 => {
+                shed += 1;
+                // Sheds must be fast (no queue-camping) and advisory.
+                assert_eq!(resp.header("retry-after"), Some("1"));
+                assert!(elapsed < Duration::from_secs(5), "slow shed: {elapsed:?}");
+            }
+            other => panic!("flood produced status {other}"),
+        }
+    }
+    assert_eq!(ok + shed, 64);
+    assert!(ok > 0, "nothing was served");
+    assert!(shed > 0, "nothing was shed — queue bound not enforced");
+    assert_eq!(prober.join().unwrap(), 20);
+
+    let stats = server.stats();
+    assert_eq!(stats.ok as u32, ok + 20, "stats disagree with clients");
+    assert!(stats.shed >= u64::from(shed));
+    assert_eq!(stats.panicked, 0);
+
+    server.request_shutdown();
+    assert!(server.join().clean());
+}
+
+#[test]
+fn handler_panic_is_a_500_not_a_dead_process() {
+    let q = query();
+    let day = q.metric_days()[0];
+    let server = start(ServerConfig {
+        workers: 1,
+        chaos: Some(ChaosTaskPlan::default().with_rule(
+            day as u64,
+            None,
+            ChaosAction::Panic("injected handler bug".into()),
+        )),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr().to_string();
+
+    let resp = http_get(&addr, &format!("/v1/metrics/{day}"), CLIENT_TIMEOUT).unwrap();
+    assert_eq!(resp.status, 500);
+    assert!(resp.body_str().contains("panicked"));
+
+    // The worker that caught the panic must still be alive and serving:
+    // an unpoisoned day and the poisoned day again both get answers.
+    let other_day = q.metric_days()[1];
+    let resp = http_get(&addr, &format!("/v1/metrics/{other_day}"), CLIENT_TIMEOUT).unwrap();
+    assert_eq!(resp.status, 200);
+    let resp = http_get(&addr, &format!("/v1/metrics/{day}"), CLIENT_TIMEOUT).unwrap();
+    assert_eq!(resp.status, 500);
+
+    let stats = server.stats();
+    assert_eq!(stats.panicked, 2);
+    assert_eq!(stats.server_error, 2);
+
+    server.request_shutdown();
+    assert!(server.join().clean());
+}
+
+#[test]
+fn slow_loris_is_cut_at_the_header_deadline() {
+    let server = start(ServerConfig {
+        header_timeout: Duration::from_millis(300),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr().to_string();
+
+    let started = Instant::now();
+    let out = slow_loris(
+        &addr,
+        Duration::from_millis(20),
+        64 * 1024,
+        Duration::from_secs(30),
+    )
+    .unwrap();
+    let elapsed = started.elapsed();
+    assert!(
+        out.server_terminated(),
+        "slow-loris outlived the server: {out:?}"
+    );
+    if let ChaosHttpOutcome::Answered { response, .. } = &out {
+        assert_eq!(response.status, 408);
+    }
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "cutoff took {elapsed:?}, header deadline is not being enforced"
+    );
+
+    // The loris never got a thread pinned: normal service continues.
+    assert_eq!(
+        http_get(&addr, "/healthz", CLIENT_TIMEOUT).unwrap().status,
+        200
+    );
+    assert!(server.stats().bad_heads >= 1);
+
+    server.request_shutdown();
+    assert!(server.join().clean());
+}
+
+#[test]
+fn header_flood_is_refused_not_buffered() {
+    let server = start(ServerConfig::default());
+    let addr = server.local_addr().to_string();
+
+    // ~70 bytes per junk header line; 1000 lines ≫ the 8 KiB head cap.
+    let out = header_flood(&addr, 1000, Duration::from_secs(10)).unwrap();
+    assert!(out.server_terminated(), "flood was swallowed: {out:?}");
+    if let ChaosHttpOutcome::Answered { response, .. } = &out {
+        assert_eq!(response.status, 431);
+    }
+    assert_eq!(
+        http_get(&addr, "/healthz", CLIENT_TIMEOUT).unwrap().status,
+        200
+    );
+
+    server.request_shutdown();
+    assert!(server.join().clean());
+}
+
+#[test]
+fn half_closed_client_still_gets_its_bytes() {
+    let server = start(ServerConfig::default());
+    let addr = server.local_addr().to_string();
+    let q = query();
+    let day = q.metric_days()[0];
+    let resp = http_get_half_close(&addr, &format!("/v1/metrics/{day}"), CLIENT_TIMEOUT).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body, q.metrics_row(day).unwrap().into_bytes());
+    server.request_shutdown();
+    assert!(server.join().clean());
+}
+
+#[test]
+fn graceful_drain_finishes_in_flight_work() {
+    let q = query();
+    let day = q.metric_days()[0];
+    // One worker with a 150ms handler: requests sent just before
+    // shutdown are in flight when the drain starts and must complete.
+    let server = start(ServerConfig {
+        workers: 1,
+        chaos: Some(ChaosTaskPlan::default().with_rule(day as u64, None, ChaosAction::Delay(150))),
+        drain_timeout: Duration::from_secs(10),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr().to_string();
+
+    let path = format!("/v1/metrics/{day}");
+    let in_flight: Vec<_> = (0..3)
+        .map(|_| {
+            let addr = addr.clone();
+            let path = path.clone();
+            std::thread::spawn(move || http_get(&addr, &path, CLIENT_TIMEOUT).unwrap().status)
+        })
+        .collect();
+    // Let the requests reach the pipeline before draining.
+    std::thread::sleep(Duration::from_millis(50));
+    server.request_shutdown();
+    let report = server.join();
+    assert!(
+        report.clean(),
+        "drain aborted {} request(s)",
+        report.aborted
+    );
+    for c in in_flight {
+        assert_eq!(c.join().unwrap(), 200, "in-flight request lost in drain");
+    }
+}
+
+#[test]
+fn drain_deadline_abandons_stuck_work_and_reports_it() {
+    let q = query();
+    let day = q.metric_days()[0];
+    // Handler sleeps 3s; drain deadline is 200ms: the drain must give
+    // up and report the stuck request instead of hanging.
+    let server = start(ServerConfig {
+        workers: 1,
+        chaos: Some(ChaosTaskPlan::default().with_rule(
+            day as u64,
+            None,
+            ChaosAction::Delay(3_000),
+        )),
+        drain_timeout: Duration::from_millis(200),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr().to_string();
+
+    let path = format!("/v1/metrics/{day}");
+    let stuck = {
+        let addr = addr.clone();
+        std::thread::spawn(move || http_get(&addr, &path, CLIENT_TIMEOUT))
+    };
+    std::thread::sleep(Duration::from_millis(100));
+    server.request_shutdown();
+    let started = Instant::now();
+    let report = server.join();
+    assert!(!report.clean(), "a 3s handler cannot drain in 200ms");
+    assert!(report.aborted >= 1);
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "drain deadline not enforced"
+    );
+    // The stuck client eventually gets its (late) answer from the
+    // abandoned worker — the abort is about the drain contract, not
+    // about resetting sockets out from under handlers.
+    let _ = stuck.join().unwrap();
+}

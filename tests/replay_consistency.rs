@@ -12,7 +12,7 @@ fn dynamic_and_csr_agree() {
     let log = TraceGenerator::new(TraceConfig::tiny()).generate();
     let mut g = DynamicGraph::new();
     for e in log.events() {
-        g.apply(e);
+        g.apply(e).expect("generated traces replay cleanly");
     }
     let csr = g.freeze();
     assert_eq!(csr.num_nodes(), g.num_nodes());
