@@ -1,0 +1,150 @@
+//! CI regression gate over the unified bench JSONs.
+//!
+//! Compares the current `BENCH_pipeline.json` / `BENCH_serve.json`
+//! against the committed `BENCH_baseline.json` and exits non-zero when
+//! either bench regressed past tolerance:
+//!
+//! - throughput fell more than `tolerance.throughput_drop` (a fraction,
+//!   default 0.25) below the baseline, or
+//! - p99 latency exceeded baseline p99 × `tolerance.p99_factor`
+//!   (default 4.0).
+//!
+//! The baseline is deliberately conservative — it gates against *real*
+//! regressions, not CI-runner jitter — and a bench absent from the
+//! baseline is skipped with a note so new benches can land before their
+//! baseline does.
+//!
+//! ```text
+//! bench_gate [--baseline FILE] [--pipeline FILE] [--serve FILE]
+//! ```
+
+use osn_obs::json::{parse, Json};
+use std::process::ExitCode;
+
+struct Args {
+    baseline: String,
+    pipeline: String,
+    serve: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        baseline: "BENCH_baseline.json".to_string(),
+        pipeline: "BENCH_pipeline.json".to_string(),
+        serve: "BENCH_serve.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = || it.next().ok_or(format!("{a} needs a value"));
+        match a.as_str() {
+            "--baseline" => args.baseline = value()?,
+            "--pipeline" => args.pipeline = value()?,
+            "--serve" => args.serve = value()?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    parse(text.trim()).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn field(json: &Json, path: &str, key: &str) -> Result<f64, String> {
+    json.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{path}: missing numeric field \"{key}\""))
+}
+
+/// Check one bench's current numbers against its baseline entry.
+/// Returns the number of violated tolerances.
+fn gate(
+    name: &str,
+    current_path: &str,
+    baseline: &Json,
+    throughput_drop: f64,
+    p99_factor: f64,
+) -> Result<u32, String> {
+    let Some(base) = baseline.get(name) else {
+        println!("gate {name}: no baseline entry — skipped");
+        return Ok(0);
+    };
+    let current = load(current_path)?;
+    let cur_tp = field(&current, current_path, "throughput")?;
+    let cur_p99 = field(&current, current_path, "p99_us")?;
+    let base_tp = field(base, "baseline", "throughput")?;
+    let base_p99 = field(base, "baseline", "p99_us")?;
+
+    let tp_floor = base_tp * (1.0 - throughput_drop);
+    let p99_ceiling = base_p99 * p99_factor;
+    let mut failures = 0;
+    if cur_tp < tp_floor {
+        eprintln!(
+            "gate {name}: FAIL throughput {cur_tp:.1} < floor {tp_floor:.1} \
+             (baseline {base_tp:.1}, tolerated drop {:.0}%)",
+            throughput_drop * 100.0
+        );
+        failures += 1;
+    } else {
+        println!("gate {name}: ok throughput {cur_tp:.1} (floor {tp_floor:.1})");
+    }
+    if cur_p99 > p99_ceiling {
+        eprintln!(
+            "gate {name}: FAIL p99 {cur_p99:.0}us > ceiling {p99_ceiling:.0}us \
+             (baseline {base_p99:.0}us × {p99_factor})"
+        );
+        failures += 1;
+    } else {
+        println!("gate {name}: ok p99 {cur_p99:.0}us (ceiling {p99_ceiling:.0}us)");
+    }
+    Ok(failures)
+}
+
+fn run(args: &Args) -> Result<u32, String> {
+    let baseline = load(&args.baseline)?;
+    let tolerance = baseline.get("tolerance");
+    let throughput_drop = tolerance
+        .and_then(|t| t.get("throughput_drop"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.25);
+    let p99_factor = tolerance
+        .and_then(|t| t.get("p99_factor"))
+        .and_then(Json::as_f64)
+        .unwrap_or(4.0);
+    let mut failures = 0;
+    failures += gate(
+        "pipeline",
+        &args.pipeline,
+        &baseline,
+        throughput_drop,
+        p99_factor,
+    )?;
+    failures += gate("serve", &args.serve, &baseline, throughput_drop, p99_factor)?;
+    Ok(failures)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("usage: bench_gate [--baseline FILE] [--pipeline FILE] [--serve FILE]");
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(0) => {
+            println!("bench gate: all checks passed");
+            ExitCode::SUCCESS
+        }
+        Ok(n) => {
+            eprintln!("bench gate: {n} check(s) failed");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench gate error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -117,6 +117,10 @@ fn main() -> ExitCode {
     paths.push("/healthz".to_string());
     let paths = Arc::new(paths);
 
+    // Client-side latency histograms are per-thread and merged at the
+    // end; recording is gated on the global telemetry flag (which
+    // Server::start enabled already, but say so explicitly).
+    osn_obs::set_enabled(true);
     let flood_started = Instant::now();
     let clients: Vec<_> = (0..args.clients)
         .map(|c| {
@@ -125,24 +129,29 @@ fn main() -> ExitCode {
             let requests = args.requests;
             std::thread::spawn(move || {
                 let (mut ok, mut shed, mut errors) = (0u64, 0u64, 0u64);
+                let latency = osn_obs::Histogram::new();
                 for i in 0..requests {
                     let path = &paths[(c + i) % paths.len()];
+                    let sent = Instant::now();
                     match http_get(&addr, path, Duration::from_secs(30)) {
                         Ok(resp) if resp.status == 200 => ok += 1,
                         Ok(resp) if resp.status == 503 => shed += 1,
                         _ => errors += 1,
                     }
+                    latency.record_duration(sent.elapsed());
                 }
-                (ok, shed, errors)
+                (ok, shed, errors, latency.snapshot())
             })
         })
         .collect();
     let (mut ok, mut shed, mut errors) = (0u64, 0u64, 0u64);
+    let mut latency = osn_obs::HistSnapshot::default();
     for c in clients {
-        let (o, s, e) = c.join().expect("client thread");
+        let (o, s, e, lat) = c.join().expect("client thread");
         ok += o;
         shed += s;
         errors += e;
+        latency.merge(&lat);
     }
     let elapsed = flood_started.elapsed();
 
@@ -154,12 +163,13 @@ fn main() -> ExitCode {
     let shed_rate = shed as f64 / total as f64;
     let json = format!(
         concat!(
-            "{{\"bench\":\"serve\",\"clients\":{},\"requests_per_client\":{},",
+            "{{{},\"clients\":{},\"requests_per_client\":{},",
             "\"workers\":{},\"queue_depth\":{},\"build_ms\":{},",
             "\"total_requests\":{},\"ok\":{},\"shed\":{},\"errors\":{},",
             "\"elapsed_ms\":{},\"requests_per_sec\":{:.1},\"shed_rate\":{:.4},",
             "\"drain_clean\":{}}}"
         ),
+        osn_bench::unified_fields("serve", rps, &latency),
         args.clients,
         args.requests,
         args.workers,

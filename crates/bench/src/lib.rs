@@ -1,1 +1,90 @@
-//! placeholder
+//! Shared helpers for the `bench_*` binaries: provenance stamps and the
+//! unified result-schema fields every bench JSON carries.
+//!
+//! Every bench writes a single-line JSON object that leads with the same
+//! fields — `bench`, `ts`, `rev`, `throughput`, `p50_us`, `p95_us`,
+//! `p99_us` — so `bench_gate` (and anything else reading `BENCH_*.json`
+//! artifacts) can compare runs without knowing which bench produced them.
+//! Bench-specific detail fields follow the unified prefix.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Seconds since the Unix epoch (0 if the clock reads earlier).
+pub fn epoch_secs() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Best-effort git revision for provenance: `GITHUB_SHA` (CI) or
+/// `OSN_GIT_REV` when set, else `git rev-parse --short HEAD`, else
+/// `"unknown"`. Never fails — a bench must not die over provenance.
+pub fn git_rev() -> String {
+    for var in ["GITHUB_SHA", "OSN_GIT_REV"] {
+        if let Ok(v) = std::env::var(var) {
+            let v = v.trim().to_string();
+            if !v.is_empty() {
+                return v.chars().take(12).collect();
+            }
+        }
+    }
+    if let Ok(out) = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+    {
+        if out.status.success() {
+            let rev = String::from_utf8_lossy(&out.stdout).trim().to_string();
+            if !rev.is_empty() {
+                return rev;
+            }
+        }
+    }
+    "unknown".to_string()
+}
+
+/// Render the unified field prefix shared by every bench JSON (no
+/// surrounding braces, no trailing comma): the caller appends its
+/// bench-specific detail fields after it.
+pub fn unified_fields(bench: &str, throughput: f64, latency: &osn_obs::HistSnapshot) -> String {
+    format!(
+        "\"bench\":\"{bench}\",\"ts\":{},\"rev\":\"{}\",\"throughput\":{throughput:.1},\
+         \"p50_us\":{},\"p95_us\":{},\"p99_us\":{}",
+        epoch_secs(),
+        git_rev(),
+        latency.p50(),
+        latency.p95(),
+        latency.p99(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn git_rev_is_nonempty() {
+        assert!(!git_rev().is_empty());
+    }
+
+    #[test]
+    fn unified_fields_lead_with_schema() {
+        osn_obs::set_enabled(true);
+        let h = osn_obs::Histogram::new();
+        for v in [10, 100, 1000] {
+            h.record(v);
+        }
+        let s = unified_fields("demo", 123.456, &h.snapshot());
+        assert!(s.starts_with("\"bench\":\"demo\",\"ts\":"), "{s}");
+        for key in [
+            "\"rev\":",
+            "\"throughput\":123.5",
+            "\"p50_us\":",
+            "\"p99_us\":",
+        ] {
+            assert!(s.contains(key), "{s}");
+        }
+        // Valid JSON once wrapped in braces.
+        osn_obs::json::parse(&format!("{{{s}}}")).unwrap();
+    }
+}

@@ -37,6 +37,12 @@ USAGE:
                [--header-timeout SECS] [--drain-timeout SECS] [--retries N]
                [--stride D] [--community-stride D] [--seed N]
 
+Every command also accepts --telemetry FILE (or the OSN_TELEMETRY env
+var; the flag wins): the in-process telemetry registry (counters,
+gauges, histograms, spans) is enabled and a JSON snapshot is written
+to FILE on exit — atomically, on every exit path, including degraded
+runs (exit 4) and serve drains that abandoned in-flight requests.
+
 Traces are written in the checksummed v2 format; v1 traces stay readable.
 With --checkpoint DIR, a killed metrics/communities run resumes from the
 last completed snapshot and produces byte-identical output.
@@ -49,7 +55,9 @@ listed in <out>/run_manifest.csv and the process exits 4 (degraded);
 count (--workers / OSN_WORKERS) never affects results, only speed.
 
 serve answers GET /healthz /readyz /v1/days /v1/metrics/{day}
-/v1/communities/{day} with the same bytes the batch commands write.
+/v1/communities/{day} with the same bytes the batch commands write,
+plus live observability at /v1/stats (JSON counters + telemetry
+snapshot) and /metrics (Prometheus text exposition).
 It sheds load (503 + Retry-After) when its bounded queues fill, cuts
 slow-loris clients at --header-timeout, isolates handler panics (500,
 process stays up), and drains on SIGTERM/SIGINT: exit 0 if every
@@ -118,6 +126,44 @@ impl Flags {
             .first()
             .map(String::as_str)
             .ok_or_else(|| CliError::Usage(format!("{cmd} requires a trace file")))
+    }
+}
+
+/// Write-on-drop telemetry snapshot. When `--telemetry FILE` (or the
+/// `OSN_TELEMETRY` env var; the flag wins) names a path, the global
+/// `osn_obs` registry is enabled and its JSON snapshot is written there
+/// when the command returns. Dropping on every exit path — including
+/// degraded runs (exit 4) and a serve drain that abandoned in-flight
+/// work — is the point: the snapshot from a *bad* run is the one you
+/// want to read.
+pub(crate) struct TelemetryGuard {
+    path: Option<PathBuf>,
+}
+
+impl TelemetryGuard {
+    pub(crate) fn from_flags(flags: &Flags) -> TelemetryGuard {
+        let path = flags
+            .get("telemetry")
+            .map(PathBuf::from)
+            .or_else(|| std::env::var_os("OSN_TELEMETRY").map(PathBuf::from))
+            .filter(|p| !p.as_os_str().is_empty());
+        if path.is_some() {
+            osn_obs::set_enabled(true);
+        }
+        TelemetryGuard { path }
+    }
+}
+
+impl Drop for TelemetryGuard {
+    fn drop(&mut self) {
+        if let Some(path) = &self.path {
+            if let Err(e) = osn_obs::snapshot().write_json_atomic(path) {
+                eprintln!(
+                    "warning: failed to write telemetry snapshot {}: {e}",
+                    path.display()
+                );
+            }
+        }
     }
 }
 
@@ -224,6 +270,7 @@ fn finish_supervised_run(
 /// `osn generate`
 pub fn generate(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args, &["no-merge"])?;
+    let _telemetry = TelemetryGuard::from_flags(&flags);
     let mut cfg = match flags.get("scale").unwrap_or("small") {
         "tiny" => TraceConfig::tiny(),
         "small" => TraceConfig::small(),
@@ -274,6 +321,7 @@ pub fn generate(args: &[String]) -> Result<(), CliError> {
 /// `osn inspect`
 pub fn inspect(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args, &[])?;
+    let _telemetry = TelemetryGuard::from_flags(&flags);
     let path = flags.trace_arg("inspect")?;
     let log = load_log(path)?;
     println!("trace: {path}");
@@ -316,6 +364,7 @@ pub fn inspect(args: &[String]) -> Result<(), CliError> {
 /// startup preflight.
 pub fn verify(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args, &["json"])?;
+    let _telemetry = TelemetryGuard::from_flags(&flags);
     let path = flags.trace_arg("verify")?;
     let policy = match flags.get("policy").unwrap_or("strict") {
         "strict" => RecoveryPolicy::Strict,
@@ -374,6 +423,7 @@ pub fn verify(args: &[String]) -> Result<(), CliError> {
 /// `osn metrics`
 pub fn metrics(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args, &["strict"])?;
+    let _telemetry = TelemetryGuard::from_flags(&flags);
     let path = flags.trace_arg("metrics")?;
     let log = load_log(path)?;
     let stride = flags.get_parsed::<u32>("stride")?.unwrap_or(7);
@@ -424,6 +474,7 @@ pub fn metrics(args: &[String]) -> Result<(), CliError> {
 /// `osn communities`
 pub fn communities(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args, &["strict"])?;
+    let _telemetry = TelemetryGuard::from_flags(&flags);
     let path = flags.trace_arg("communities")?;
     let log = load_log(path)?;
     let cfg = CommunityAnalysisConfig {
@@ -544,6 +595,7 @@ pub fn communities(args: &[String]) -> Result<(), CliError> {
 /// `osn alpha`
 pub fn alpha(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args, &[])?;
+    let _telemetry = TelemetryGuard::from_flags(&flags);
     let path = flags.trace_arg("alpha")?;
     let log = load_log(path)?;
     let cfg = AlphaConfig {
@@ -572,6 +624,7 @@ pub fn alpha(args: &[String]) -> Result<(), CliError> {
 /// configurations) are statistically distinguishable.
 pub fn compare(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args, &[])?;
+    let _telemetry = TelemetryGuard::from_flags(&flags);
     let [pa, pb] = flags.positional.as_slice() else {
         return Err(CliError::Usage(
             "compare requires exactly two trace files".into(),
@@ -824,6 +877,46 @@ mod tests {
         let events = std::fs::read_to_string(out.join("community_events.csv")).unwrap();
         assert!(events.starts_with("day,event,community,size,partner"));
         assert!(out.join("alpha.csv").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn telemetry_flag_writes_snapshot_with_pipeline_counters() {
+        let dir = std::env::temp_dir().join("osn_cli_telemetry");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.events");
+        generate(&[
+            "--scale".into(),
+            "tiny".into(),
+            "--out".into(),
+            trace.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        let snap = dir.join("telemetry.json");
+        metrics(&[
+            trace.to_str().unwrap().into(),
+            "--stride".into(),
+            "30".into(),
+            "--out".into(),
+            dir.join("out").to_str().unwrap().into(),
+            "--telemetry".into(),
+            snap.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&snap).unwrap();
+        let json = osn_obs::json::parse(text.trim()).unwrap();
+        let counters = json.get("counters").expect("counters section");
+        let events = counters
+            .get("ingest.events")
+            .and_then(|v| v.as_f64())
+            .expect("ingest.events counter");
+        assert!(events > 0.0, "ingest.events must be non-zero: {text}");
+        let task_us = json
+            .get("histograms")
+            .and_then(|h| h.get("supervisor.task_us"))
+            .expect("supervisor.task_us histogram");
+        let count = task_us.get("count").and_then(|v| v.as_f64()).unwrap();
+        assert!(count > 0.0, "supervisor.task_us must have samples: {text}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

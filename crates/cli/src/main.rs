@@ -28,6 +28,12 @@
 //! `osn serve` turns a verified trace into a long-running snapshot query
 //! daemon (std-only HTTP/1.1) with bounded queues, load shedding, and a
 //! graceful drain on SIGTERM/SIGINT; see `osn_server` for the pipeline.
+//! It exposes its live counters and latency histograms at `/v1/stats`
+//! (JSON) and `/metrics` (Prometheus text).
+//!
+//! Every command accepts `--telemetry FILE` (env `OSN_TELEMETRY`) to
+//! enable the `osn_obs` registry and write a JSON snapshot of all
+//! counters/gauges/histograms to FILE on exit, whatever the exit path.
 //!
 //! Exit codes: `0` success, `1` runtime failure (including degraded runs
 //! promoted by `--strict`), `2` usage error, `3` trace failed

@@ -12,7 +12,7 @@
 //! preflight, `4` drain deadline expired with requests still in flight
 //! (degraded drain), `1` anything else.
 
-use crate::commands::Flags;
+use crate::commands::{Flags, TelemetryGuard};
 use crate::error::CliError;
 use osn_core::communities::CommunityAnalysisConfig;
 use osn_core::network::MetricSeriesConfig;
@@ -103,6 +103,11 @@ fn preflight(path: &str) -> Result<osn_graph::EventLog, CliError> {
 /// `osn serve`
 pub fn serve(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args, &[])?;
+    // Constructed before preflight so ingest counters land in the
+    // snapshot, and dropped on *every* return — the clean-drain Ok, the
+    // exit-4 `CliError::Drain` when the deadline abandons in-flight
+    // work, and preflight failures alike all flush telemetry.
+    let _telemetry = TelemetryGuard::from_flags(&flags);
     let path = match flags.get("trace") {
         Some(t) => t.to_string(),
         None => flags.trace_arg("serve")?.to_string(),

@@ -19,7 +19,9 @@ const DAYS_KEY: &str = "18446744073709551615";
 
 fn osn() -> Command {
     let mut c = Command::new(env!("CARGO_BIN_EXE_osn"));
-    c.env_remove("OSN_CHAOS").env_remove("OSN_WORKERS");
+    c.env_remove("OSN_CHAOS")
+        .env_remove("OSN_WORKERS")
+        .env_remove("OSN_TELEMETRY");
     c
 }
 
@@ -141,9 +143,17 @@ fn served_rows_are_byte_identical_to_batch_csv_and_drain_is_clean() {
         .unwrap()
         .success());
 
+    let telemetry = dir.join("telemetry.json");
     let (child, addr, reader) = spawn_serve(
         &trace,
-        &["--stride", "20", "--community-stride", "40"],
+        &[
+            "--stride",
+            "20",
+            "--community-stride",
+            "40",
+            "--telemetry",
+            telemetry.to_str().unwrap(),
+        ],
         None,
     );
 
@@ -183,6 +193,13 @@ fn served_rows_are_byte_identical_to_batch_csv_and_drain_is_clean() {
     let status = child.wait().unwrap();
     assert_eq!(status.code(), Some(0), "clean drain must exit 0");
     assert!(read_rest(reader).contains("drain complete"));
+
+    // The drain flushed a telemetry snapshot covering both the startup
+    // ingest and the requests served above.
+    let snap = std::fs::read_to_string(&telemetry).unwrap();
+    assert!(snap.contains("\"ingest.lines\""), "{snap}");
+    assert!(snap.contains("\"http.responses\""), "{snap}");
+    assert!(snap.contains("\"http.latency_us.healthz\""), "{snap}");
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -229,6 +246,7 @@ fn drain_deadline_overrun_exits_4() {
 
     // One worker, a 3s injected handler delay, and a 0.2s drain budget:
     // SIGTERM while a request is in flight must abandon it and exit 4.
+    let telemetry = dir.join("telemetry.json");
     let (child, addr, _reader) = spawn_serve(
         &trace,
         &[
@@ -242,6 +260,8 @@ fn drain_deadline_overrun_exits_4() {
             "10",
             "--drain-timeout",
             "0.2",
+            "--telemetry",
+            telemetry.to_str().unwrap(),
         ],
         Some(&format!("delay:3000@{DAYS_KEY}")),
     );
@@ -264,6 +284,14 @@ fn drain_deadline_overrun_exits_4() {
         "stderr: {}",
         String::from_utf8_lossy(&out.stderr)
     );
+    // The bugfix under test: even an abandoned drain (exit 4) must flush
+    // the telemetry snapshot on its way out. Startup ingest counters are
+    // always present, whatever the in-flight request's fate.
+    let snap = std::fs::read_to_string(&telemetry)
+        .expect("telemetry snapshot must exist after an abandoned drain");
+    assert!(snap.trim_start().starts_with('{'), "{snap}");
+    assert!(snap.contains("\"counters\""), "{snap}");
+    assert!(snap.contains("\"ingest.lines\""), "{snap}");
     let _ = stuck.join();
     std::fs::remove_dir_all(&dir).ok();
 }

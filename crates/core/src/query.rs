@@ -135,8 +135,15 @@ impl SnapshotQuery {
     /// [`metric_series`]); at build time that means the trace or the
     /// configuration is unusable and the caller should not come up.
     pub fn build(log: &EventLog, cfg: &SnapshotQueryConfig) -> SnapshotQuery {
-        let m = metric_series(log, &cfg.metrics);
-        let (summaries, _) = track(log, &cfg.communities);
+        let _span = osn_obs::span!("query.build");
+        let m = {
+            let _s = osn_obs::span!("metrics");
+            metric_series(log, &cfg.metrics)
+        };
+        let (summaries, _) = {
+            let _s = osn_obs::span!("communities");
+            track(log, &cfg.communities)
+        };
         SnapshotQuery {
             meta: TraceMeta {
                 num_nodes: log.num_nodes(),

@@ -234,6 +234,8 @@ pub struct IngestReport {
     pub format_version: u8,
     /// Total lines read from the stream (including comments/directives).
     pub lines_read: u64,
+    /// Total bytes read from the stream (including line terminators).
+    pub bytes_read: u64,
     /// Events that made it into the returned [`EventLog`].
     pub events_kept: u64,
     /// v2 chunks whose checksum verified.
@@ -278,12 +280,14 @@ impl IngestReport {
     /// Consumed by CI and by the `osn serve` startup preflight.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"format_version\":{},\"lines_read\":{},\"events_kept\":{},\
+            "{{\"format_version\":{},\"lines_read\":{},\"bytes_read\":{},\
+             \"events_kept\":{},\
              \"chunks_verified\":{},\"chunks_dropped\":{},\"footer_verified\":{},\
              \"truncated\":{},\"lines_skipped\":{},\"repairs_applied\":{},\
              \"problems\":{},\"clean\":{}}}",
             self.format_version,
             self.lines_read,
+            self.bytes_read,
             self.events_kept,
             self.chunks_verified,
             self.chunks_dropped,
@@ -303,6 +307,7 @@ impl IngestReport {
         let mut s = String::new();
         let _ = writeln!(s, "format: v{}", self.format_version);
         let _ = writeln!(s, "lines read: {}", self.lines_read);
+        let _ = writeln!(s, "bytes read: {}", self.bytes_read);
         let _ = writeln!(s, "events kept: {}", self.events_kept);
         if self.format_version >= 2 {
             let _ = writeln!(
@@ -452,6 +457,24 @@ pub fn read_log_with_policy<R: Read>(
     reader: R,
     policy: &RecoveryPolicy,
 ) -> Result<(EventLog, IngestReport), ParseError> {
+    let _span = osn_obs::span!("ingest.read");
+    let result = read_log_with_policy_inner(reader, policy);
+    if let Ok((_, report)) = &result {
+        osn_obs::counter!("ingest.lines").add(report.lines_read);
+        osn_obs::counter!("ingest.bytes").add(report.bytes_read);
+        osn_obs::counter!("ingest.events").add(report.events_kept);
+        osn_obs::counter!("ingest.chunks_verified").add(report.chunks_verified);
+        osn_obs::counter!("ingest.chunks_dropped").add(report.chunks_dropped);
+        osn_obs::counter!("ingest.lines_skipped").add(report.skipped.len() as u64);
+        osn_obs::counter!("ingest.repairs").add(report.repairs.len() as u64);
+    }
+    result
+}
+
+fn read_log_with_policy_inner<R: Read>(
+    reader: R,
+    policy: &RecoveryPolicy,
+) -> Result<(EventLog, IngestReport), ParseError> {
     let mut lines = LineReader::new(reader);
     let mut ing = Ingestor::new(policy);
     match lines.next_line()? {
@@ -463,6 +486,7 @@ pub fn read_log_with_policy<R: Read>(
             if trim(&first) == FORMAT_V2_MAGIC.as_bytes() {
                 ing.report.format_version = 2;
                 ing.report.lines_read = 1;
+                ing.report.bytes_read = first.len() as u64;
                 read_v2(lines, ing)
             } else {
                 ing.report.format_version = 1;
@@ -496,6 +520,7 @@ fn read_v1<R: Read>(
     ing.report.lines_read = 1;
     let mut current = Some(first);
     while let Some(raw) = current {
+        ing.report.bytes_read += raw.len() as u64;
         let t = trim(&raw);
         if !(t.is_empty() || t.first() == Some(&b'#')) {
             ing.payload_line(lineno, t)?;
@@ -524,6 +549,7 @@ fn read_v2<R: Read>(
     while let Some(raw) = lines.next_line()? {
         lineno += 1;
         ing.report.lines_read += 1;
+        ing.report.bytes_read += raw.len() as u64;
         let t = trim(&raw);
         if t.is_empty() {
             continue;
@@ -539,6 +565,8 @@ fn read_v2<R: Read>(
             if let Some(rest) = directive.strip_prefix("#%chunk ") {
                 match parse_chunk_directive(rest) {
                     Some((n, crc)) => {
+                        // Only pay for the timestamp when telemetry is on.
+                        let verify_started = osn_obs::enabled().then(std::time::Instant::now);
                         let got = chunk_crc.finalize();
                         if n != pending.len() {
                             let reason = format!(
@@ -560,6 +588,10 @@ fn read_v2<R: Read>(
                                 payload_committed += 1;
                                 ing.payload_line(ln, trim(&bytes))?;
                             }
+                        }
+                        if let Some(t0) = verify_started {
+                            osn_obs::histogram!("ingest.chunk_verify_us")
+                                .record_duration(t0.elapsed());
                         }
                         chunk_crc = Crc32::new();
                     }

@@ -184,6 +184,9 @@ impl<'a> Replayer<'a> {
             }
             self.pos += 1;
         }
+        // One batched add per advance call, not one per event: replay is
+        // the hottest loop in the workspace.
+        osn_obs::counter!("replay.events").add((self.pos - start) as u64);
         self.pos - start
     }
 

@@ -244,10 +244,14 @@ fn attempt_loop<R>(
     let mut attempt = 0u32;
     let over_deadline =
         |elapsed: Duration| cfg.task_timeout.is_some_and(|deadline| elapsed > deadline);
-    loop {
+    let outcome = loop {
         attempt += 1;
         if abandoned() {
-            return Outcome::Abandoned;
+            break Outcome::Abandoned;
+        }
+        osn_obs::counter!("supervisor.attempts").inc();
+        if attempt > 1 {
+            osn_obs::counter!("supervisor.retries").inc();
         }
         note_attempt(attempt);
         let caught = catch_unwind(AssertUnwindSafe(|| run(attempt)));
@@ -264,7 +268,7 @@ fn attempt_loop<R>(
         // result, so deadline semantics do not depend on whether the
         // watchdog's poll happened to fire first.
         if over_deadline(elapsed) {
-            return Outcome::Done(Err(fail(
+            break Outcome::Done(Err(fail(
                 FailureKind::TimedOut,
                 format!(
                     "exceeded soft deadline of {:?}",
@@ -273,25 +277,39 @@ fn attempt_loop<R>(
             )));
         }
         match caught {
-            Ok(Ok(value)) => return Outcome::Done(Ok(value)),
+            Ok(Ok(value)) => break Outcome::Done(Ok(value)),
             Ok(Err(TaskError::Transient(msg))) => {
                 if attempt <= cfg.retries {
                     std::thread::sleep(backoff(cfg, attempt));
                     continue;
                 }
-                return Outcome::Done(Err(fail(FailureKind::TransientExhausted, msg)));
+                break Outcome::Done(Err(fail(FailureKind::TransientExhausted, msg)));
             }
             Ok(Err(TaskError::Fatal(msg))) => {
-                return Outcome::Done(Err(fail(FailureKind::Fatal, msg)))
+                break Outcome::Done(Err(fail(FailureKind::Fatal, msg)))
             }
             Err(payload) => {
-                return Outcome::Done(Err(fail(
+                break Outcome::Done(Err(fail(
                     FailureKind::Panicked,
                     panic_payload_string(payload),
                 )))
             }
         }
+    };
+    if osn_obs::enabled() {
+        if let Outcome::Done(result) = &outcome {
+            osn_obs::histogram!("supervisor.task_us").record_duration(started.elapsed());
+            match result {
+                Ok(_) => osn_obs::counter!("supervisor.tasks_ok").inc(),
+                Err(f) => {
+                    osn_obs::counter!("supervisor.tasks_failed").inc();
+                    // Cold path: the dynamic-name registry lookup is fine.
+                    osn_obs::counter(&format!("supervisor.failed.{}", f.kind.as_str())).inc();
+                }
+            }
+        }
     }
+    outcome
 }
 
 /// Run a single stateful task under supervision: catch-unwind isolation,
@@ -470,6 +488,7 @@ where
                         {
                             if !*quarantined && started.elapsed() > deadline {
                                 *quarantined = true;
+                                osn_obs::counter!("supervisor.quarantined").inc();
                                 let failure = TaskFailure {
                                     index: *index,
                                     label: label.clone(),

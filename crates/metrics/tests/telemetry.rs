@@ -1,0 +1,73 @@
+//! Telemetry integration: counters and histograms recorded concurrently
+//! from `try_par_map` worker threads must add up exactly.
+
+use osn_metrics::supervisor::{try_par_map, SupervisorConfig, TaskError};
+use std::time::Duration;
+
+#[test]
+fn concurrent_workers_count_exactly() {
+    osn_obs::set_enabled(true);
+    let before_attempts = osn_obs::counter("supervisor.attempts").value();
+    let before_ok = osn_obs::counter("supervisor.tasks_ok").value();
+    let before_hist = osn_obs::histogram("supervisor.task_us").snapshot().count;
+    let shared = osn_obs::counter("test.telemetry.worker_incs");
+    let before_shared = shared.value();
+
+    const TASKS: u64 = 200;
+    const INCS_PER_TASK: u64 = 50;
+    let cfg = SupervisorConfig {
+        workers: 8,
+        ..SupervisorConfig::default()
+    };
+    let out = try_par_map(0..TASKS, &cfg, |_, _| {
+        // Hammer one shared counter from every worker thread; the final
+        // value must be exact, not approximate.
+        let handle = osn_obs::counter("test.telemetry.worker_incs");
+        for _ in 0..INCS_PER_TASK {
+            handle.inc();
+        }
+        Ok(())
+    });
+    assert!(out.iter().all(Result::is_ok));
+
+    assert_eq!(shared.value() - before_shared, TASKS * INCS_PER_TASK);
+    assert_eq!(
+        osn_obs::counter("supervisor.attempts").value() - before_attempts,
+        TASKS,
+        "each task succeeds on its first attempt"
+    );
+    assert_eq!(
+        osn_obs::counter("supervisor.tasks_ok").value() - before_ok,
+        TASKS
+    );
+    let hist = osn_obs::histogram("supervisor.task_us").snapshot();
+    assert_eq!(hist.count - before_hist, TASKS);
+}
+
+#[test]
+fn retries_and_failures_are_counted() {
+    osn_obs::set_enabled(true);
+    let before_retries = osn_obs::counter("supervisor.retries").value();
+    let before_failed = osn_obs::counter("supervisor.tasks_failed").value();
+    let cfg = SupervisorConfig {
+        workers: 2,
+        retries: 1,
+        backoff_base: Duration::from_millis(1),
+        ..SupervisorConfig::default()
+    };
+    // Every task fails its transient budget: 2 attempts each, 1 retry.
+    let out = try_par_map(0..6u64, &cfg, |_, &x| -> Result<(), TaskError> {
+        Err(TaskError::Transient(format!("flaky {x}")))
+    });
+    assert!(out.iter().all(Result::is_err));
+    assert_eq!(
+        osn_obs::counter("supervisor.retries").value() - before_retries,
+        6
+    );
+    assert_eq!(
+        osn_obs::counter("supervisor.tasks_failed").value() - before_failed,
+        6
+    );
+    // Kind-specific counter accumulated too.
+    assert!(osn_obs::counter("supervisor.failed.transient-exhausted").value() >= 6);
+}

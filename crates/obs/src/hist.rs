@@ -1,0 +1,281 @@
+//! Fixed-bucket log2 latency histograms, mergeable across threads.
+//!
+//! A [`Histogram`] is an array of 65 atomic bucket counters plus running
+//! `count`, `sum` and `max` atomics. Bucket 0 holds the value `0`;
+//! bucket `i` (for `i >= 1`) holds values in `[2^(i-1), 2^i - 1]`, so the
+//! bucket index of a non-zero value is `64 - leading_zeros(value)` and
+//! recording is one `fetch_add` with no allocation and no locks.
+//!
+//! Merging two [`HistSnapshot`]s is a bucket-wise add, which makes merge
+//! associative and commutative *by construction* — per-thread histograms
+//! can be combined in any order and the result is identical (the
+//! proptests in `tests/proptests.rs` pin this down).
+//!
+//! Quantiles are estimated from the cumulative bucket counts: the
+//! reported quantile is the **upper bound** of the bucket containing the
+//! requested rank, i.e. an over-estimate by at most 2x. That is the
+//! precision contract: good enough to gate a p99 blow-up in CI, cheap
+//! enough to sit on the request path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one for zero plus one per power of two up to
+/// `u64::MAX`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// Bucket index for a recorded value.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Largest value bucket `i` can hold (inclusive).
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+/// A concurrent fixed-bucket histogram. All operations are lock-free
+/// atomic adds; `Relaxed` ordering is enough because the counters are
+/// observational (snapshots tolerate being a few events behind).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value. No-op when the global telemetry gate is off,
+    /// so a disabled pipeline pays one relaxed atomic load per call.
+    pub fn record(&self, value: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Record a duration in microseconds (the unit every `*_us`
+    /// histogram in this workspace uses).
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Point-in-time copy. Not a consistent cut across the atomics —
+    /// fine for observational use.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-data copy of a [`Histogram`], the unit of merging and
+/// rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket counts (see [`bucket_index`]).
+    pub buckets: [u64; NUM_BUCKETS],
+    /// Total values recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Largest value recorded.
+    pub max: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistSnapshot {
+    /// Fold `other` into `self`: bucket-wise add, so merging is
+    /// associative and commutative. `sum` wraps on overflow, matching
+    /// the wrapping `fetch_add` a live [`Histogram`] uses.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Estimated quantile (`0.0 ..= 1.0`): the upper bound of the bucket
+    /// containing the requested rank, or `0` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the requested quantile, 1-based, at least 1.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Never report beyond the observed maximum: the top
+                // bucket's bound can over-state wildly.
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean of recorded values (exact, from `sum/count`).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        for k in 1..64 {
+            let lo = 1u64 << (k - 1);
+            let hi = (1u64 << k) - 1;
+            assert_eq!(bucket_index(lo), k, "lower edge of bucket {k}");
+            assert_eq!(bucket_index(hi), k, "upper edge of bucket {k}");
+            assert_eq!(bucket_upper_bound(k), hi);
+        }
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn record_and_quantiles() {
+        let _g = crate::test_gate();
+        crate::set_enabled(true);
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 3, 10, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 1115);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.buckets[0], 1); // the zero
+        assert_eq!(s.buckets[1], 2); // the two ones
+        assert_eq!(s.buckets[2], 1); // 3
+                                     // Quantile estimates are bucket upper bounds, clamped to max.
+        assert!(s.p50() >= 1 && s.p50() <= 15, "p50 = {}", s.p50());
+        assert_eq!(s.quantile(1.0), 1000);
+        assert_eq!(s.quantile(0.0), 0);
+        // Quantiles are monotone in q.
+        let qs: Vec<u64> = (0..=10).map(|i| s.quantile(i as f64 / 10.0)).collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "{qs:?}");
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_bucketwise() {
+        let _g = crate::test_gate();
+        crate::set_enabled(true);
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [1u64, 5, 9] {
+            a.record(v);
+        }
+        for v in [2u64, 5, 1 << 40] {
+            b.record(v);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 6);
+        assert_eq!(m.sum, 1 + 5 + 9 + 2 + 5 + (1 << 40));
+        assert_eq!(m.max, 1 << 40);
+        assert_eq!(m.buckets[bucket_index(5)], 2);
+
+        // Merging the other way yields the identical snapshot.
+        let mut m2 = b.snapshot();
+        m2.merge(&a.snapshot());
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn disabled_record_is_a_no_op() {
+        let _g = crate::test_gate();
+        crate::set_enabled(false);
+        let h = Histogram::new();
+        h.record(42);
+        assert_eq!(h.snapshot().count, 0);
+        crate::set_enabled(true);
+        h.record(42);
+        assert_eq!(h.snapshot().count, 1);
+    }
+}

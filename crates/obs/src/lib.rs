@@ -1,0 +1,109 @@
+//! `osn-obs`: std-only telemetry for the OSN workspace.
+//!
+//! One global registry of named [`Counter`]s, [`Gauge`]s and log2-bucket
+//! [`Histogram`]s, plus hierarchical wall-clock spans ([`span!`]). The
+//! whole layer sits behind a single process-wide gate: until
+//! [`set_enabled`]`(true)` is called, every record is a no-op costing one
+//! relaxed atomic load, so instrumented pipelines pay nothing when nobody
+//! asked for telemetry.
+//!
+//! Typical use:
+//!
+//! ```
+//! osn_obs::set_enabled(true);
+//! {
+//!     let _span = osn_obs::span!("doc.example");
+//!     osn_obs::counter!("doc.example.events").add(3);
+//!     osn_obs::histogram!("doc.example.latency_us").record(250);
+//! }
+//! let snap = osn_obs::snapshot();
+//! assert!(snap.counters.iter().any(|(k, v)| k == "doc.example.events" && *v >= 3));
+//! ```
+//!
+//! The macros cache the registry handle in a per-call-site `OnceLock`, so
+//! steady-state recording never takes the registry lock. For per-event
+//! hot loops, hoist the handle once (`let c = osn_obs::counter("...")`)
+//! and batch increments where possible.
+//!
+//! The crate has no dependencies by design: every other crate in the
+//! workspace can depend on it without cycles, including `osn_graph`
+//! (which is why atomic snapshot writes are implemented here rather than
+//! borrowed from `osn_graph::atomicfile`).
+
+pub mod hist;
+pub mod json;
+mod registry;
+mod snapshot;
+mod span;
+
+pub use hist::{bucket_index, bucket_upper_bound, HistSnapshot, Histogram, NUM_BUCKETS};
+pub use registry::{counter, gauge, histogram, snapshot, Counter, Gauge};
+pub use snapshot::Snapshot;
+pub use span::SpanGuard;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turn the telemetry layer on or off process-wide. Off by default.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether telemetry is currently enabled. This is the gate every record
+/// checks; callers can also use it to skip the cost of *producing* a
+/// value (e.g. taking an `Instant` timestamp) when disabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The counter named by the literal, resolved once per call site.
+/// Expands to a `&'static Arc<Counter>`.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static __HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Counter>> =
+            ::std::sync::OnceLock::new();
+        __HANDLE.get_or_init(|| $crate::counter($name))
+    }};
+}
+
+/// The gauge named by the literal, resolved once per call site.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static __HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Gauge>> =
+            ::std::sync::OnceLock::new();
+        __HANDLE.get_or_init(|| $crate::gauge($name))
+    }};
+}
+
+/// The histogram named by the literal, resolved once per call site.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static __HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
+            ::std::sync::OnceLock::new();
+        __HANDLE.get_or_init(|| $crate::histogram($name))
+    }};
+}
+
+/// Enter a named span; returns a guard that records `span.<path>` timing
+/// on drop, where `<path>` is the dot-joined stack of enclosing spans on
+/// this thread.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($name)
+    };
+}
+
+/// Serialise tests that toggle the process-wide [`set_enabled`] flag —
+/// cargo runs a binary's tests on parallel threads, and the flag is
+/// shared state. Not part of the public API.
+#[doc(hidden)]
+pub fn test_gate() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    GATE.lock().unwrap_or_else(|p| p.into_inner())
+}

@@ -1,0 +1,203 @@
+//! The global metric registry: name → shared handle.
+//!
+//! Lookups take a `Mutex` over a `BTreeMap` (deterministic snapshot
+//! order); hot paths are expected to cache the returned `Arc` handle —
+//! the [`counter!`](crate::counter!), [`gauge!`](crate::gauge!) and
+//! [`histogram!`](crate::histogram!) macros do that automatically with a
+//! per-call-site `OnceLock`, so steady-state recording never touches the
+//! registry lock.
+
+use crate::hist::Histogram;
+use crate::snapshot::Snapshot;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotone counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`. No-op when telemetry is disabled.
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (queue depths, in-flight requests).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Overwrite the value.
+    pub fn set(&self, v: i64) {
+        if crate::enabled() {
+            self.0.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Add `d` (may be negative).
+    pub fn add(&self, d: i64) {
+        if crate::enabled() {
+            self.0.fetch_add(d, Ordering::Relaxed);
+        }
+    }
+
+    /// Subtract `d`.
+    pub fn sub(&self, d: i64) {
+        self.add(-d);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn registry() -> &'static Registry {
+    static R: OnceLock<Registry> = OnceLock::new();
+    R.get_or_init(Registry::default)
+}
+
+fn intern<T: Default>(map: &Mutex<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    let mut map = map.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(v) = map.get(name) {
+        return Arc::clone(v);
+    }
+    let v = Arc::new(T::default());
+    map.insert(name.to_string(), Arc::clone(&v));
+    v
+}
+
+/// The counter registered under `name` (created on first use). Two calls
+/// with the same name return handles to the same counter.
+pub fn counter(name: &str) -> Arc<Counter> {
+    intern(&registry().counters, name)
+}
+
+/// The gauge registered under `name`.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    intern(&registry().gauges, name)
+}
+
+/// The histogram registered under `name`.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    intern(&registry().histograms, name)
+}
+
+/// Copy every registered metric, in name order.
+pub fn snapshot() -> Snapshot {
+    let r = registry();
+    let counters = r
+        .counters
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .iter()
+        .map(|(k, v)| (k.clone(), v.value()))
+        .collect();
+    let gauges = r
+        .gauges
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .iter()
+        .map(|(k, v)| (k.clone(), v.value()))
+        .collect();
+    let histograms = r
+        .histograms
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .iter()
+        .map(|(k, v)| (k.clone(), v.snapshot()))
+        .collect();
+    Snapshot {
+        counters,
+        gauges,
+        histograms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_is_same_handle() {
+        let _g = crate::test_gate();
+        crate::set_enabled(true);
+        let a = counter("test.registry.same");
+        let b = counter("test.registry.same");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.value(), 3);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn gauges_go_up_and_down() {
+        let _g = crate::test_gate();
+        crate::set_enabled(true);
+        let g = gauge("test.registry.gauge");
+        g.set(5);
+        g.add(3);
+        g.sub(10);
+        assert_eq!(g.value(), -2);
+    }
+
+    #[test]
+    fn snapshot_lists_metrics_in_name_order() {
+        let _g = crate::test_gate();
+        crate::set_enabled(true);
+        counter("test.registry.z").inc();
+        counter("test.registry.a").inc();
+        histogram("test.registry.h").record(7);
+        let snap = snapshot();
+        let names: Vec<&str> = snap
+            .counters
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .filter(|k| k.starts_with("test.registry."))
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        assert!(snap
+            .histograms
+            .iter()
+            .any(|(k, h)| k == "test.registry.h" && h.count >= 1));
+    }
+
+    #[test]
+    fn macros_cache_per_call_site() {
+        let _g = crate::test_gate();
+        crate::set_enabled(true);
+        fn bump() -> u64 {
+            let c = crate::counter!("test.registry.macro");
+            c.inc();
+            c.value()
+        }
+        let first = bump();
+        assert_eq!(bump(), first + 1);
+        crate::histogram!("test.registry.macro_hist").record(1);
+        crate::gauge!("test.registry.macro_gauge").set(9);
+        assert_eq!(crate::gauge("test.registry.macro_gauge").value(), 9);
+    }
+}

@@ -1,0 +1,256 @@
+//! Point-in-time telemetry snapshots and their two wire renderings:
+//! single-line JSON (the `--telemetry` file and `/v1/stats` building
+//! block) and Prometheus text exposition (`/metrics`).
+
+use crate::hist::{bucket_upper_bound, HistSnapshot, NUM_BUCKETS};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Everything the registry held at snapshot time, in name order.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, data)` for every histogram.
+    pub histograms: Vec<(String, HistSnapshot)>,
+}
+
+/// Escape a metric name for embedding in a JSON string. Names in this
+/// workspace are `[a-z0-9._-]`, but corrupt input must not produce
+/// corrupt JSON.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Sanitise a metric name into a Prometheus identifier:
+/// `http.latency_us.metrics` → `osn_http_latency_us_metrics`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("osn_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+impl Snapshot {
+    /// Single-line JSON rendering. Histograms carry their estimated
+    /// quantiles plus the sparse `[upper_bound, count]` bucket list, so
+    /// a snapshot can be re-aggregated offline.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{}\":{}", escape(k), v);
+        }
+        s.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{}\":{}", escape(k), v);
+        }
+        s.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\"{}\":{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+                escape(k),
+                h.count,
+                h.sum,
+                h.max,
+                h.p50(),
+                h.p95(),
+                h.p99(),
+            );
+            let mut first = true;
+            for b in 0..NUM_BUCKETS {
+                if h.buckets[b] > 0 {
+                    if !first {
+                        s.push(',');
+                    }
+                    first = false;
+                    let _ = write!(s, "[{},{}]", bucket_upper_bound(b), h.buckets[b]);
+                }
+            }
+            s.push_str("]}");
+        }
+        s.push_str("}}");
+        s
+    }
+
+    /// Prometheus text exposition (counters, gauges, and cumulative
+    /// histogram buckets with `le` labels).
+    pub fn to_prometheus(&self) -> String {
+        let mut s = String::new();
+        for (k, v) in &self.counters {
+            let n = prom_name(k);
+            let _ = writeln!(s, "# TYPE {n} counter");
+            let _ = writeln!(s, "{n} {v}");
+        }
+        for (k, v) in &self.gauges {
+            let n = prom_name(k);
+            let _ = writeln!(s, "# TYPE {n} gauge");
+            let _ = writeln!(s, "{n} {v}");
+        }
+        for (k, h) in &self.histograms {
+            let n = prom_name(k);
+            let _ = writeln!(s, "# TYPE {n} histogram");
+            let top = (0..NUM_BUCKETS)
+                .rev()
+                .find(|&b| h.buckets[b] > 0)
+                .unwrap_or(0);
+            let mut cum = 0u64;
+            for b in 0..=top {
+                cum += h.buckets[b];
+                let _ = writeln!(s, "{n}_bucket{{le=\"{}\"}} {cum}", bucket_upper_bound(b));
+            }
+            let _ = writeln!(s, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(s, "{n}_sum {}", h.sum);
+            let _ = writeln!(s, "{n}_count {}", h.count);
+        }
+        s
+    }
+
+    /// Write the JSON rendering atomically: temp file in the target's
+    /// directory, fsync, rename. Parent directories are created. The
+    /// file either appears complete or not at all — the same contract as
+    /// every other artifact this workspace writes.
+    pub fn write_json_atomic(&self, path: &Path) -> io::Result<()> {
+        use std::io::Write as _;
+        let dir = match path.parent() {
+            Some(d) if !d.as_os_str().is_empty() => {
+                std::fs::create_dir_all(d)?;
+                d.to_path_buf()
+            }
+            _ => std::path::PathBuf::from("."),
+        };
+        let tmp = dir.join(format!(
+            ".{}.tmp.{}",
+            path.file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "telemetry".into()),
+            std::process::id()
+        ));
+        let mut body = self.to_json();
+        body.push('\n');
+        let result = (|| {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(body.as_bytes())?;
+            f.sync_all()?;
+            std::fs::rename(&tmp, path)
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+
+    fn sample() -> Snapshot {
+        let h = crate::hist::Histogram::new();
+        crate::set_enabled(true);
+        for v in [1u64, 2, 3, 1000] {
+            h.record(v);
+        }
+        Snapshot {
+            counters: vec![("ingest.events".into(), 42)],
+            gauges: vec![("http.queue_depth.work".into(), -1)],
+            histograms: vec![("supervisor.task_us".into(), h.snapshot())],
+        }
+    }
+
+    #[test]
+    fn json_is_single_line_and_parses_back() {
+        let _g = crate::test_gate();
+        let snap = sample();
+        let json = snap.to_json();
+        assert!(!json.contains('\n'), "{json}");
+        let v = parse(&json).expect("own JSON must parse");
+        assert_eq!(
+            v.get("counters").and_then(|c| c.get("ingest.events")),
+            Some(&Json::Num(42.0))
+        );
+        assert_eq!(
+            v.get("gauges")
+                .and_then(|g| g.get("http.queue_depth.work"))
+                .and_then(Json::as_f64),
+            Some(-1.0)
+        );
+        let h = v
+            .get("histograms")
+            .and_then(|h| h.get("supervisor.task_us"))
+            .expect("histogram present");
+        assert_eq!(h.get("count").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(h.get("max").and_then(Json::as_f64), Some(1000.0));
+        assert!(h.get("buckets").is_some());
+    }
+
+    #[test]
+    fn prometheus_rendering_has_cumulative_buckets() {
+        let _g = crate::test_gate();
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE osn_ingest_events counter"));
+        assert!(text.contains("osn_ingest_events 42"));
+        assert!(text.contains("osn_http_queue_depth_work -1"));
+        assert!(text.contains("# TYPE osn_supervisor_task_us histogram"));
+        assert!(text.contains("osn_supervisor_task_us_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("osn_supervisor_task_us_count 4"));
+        // Cumulative: the last finite bucket equals the total count.
+        let last_finite = text
+            .lines()
+            .rfind(|l| l.starts_with("osn_supervisor_task_us_bucket{le=\"1") && !l.contains("Inf"))
+            .unwrap();
+        assert!(last_finite.ends_with(" 4"), "{last_finite}");
+    }
+
+    #[test]
+    fn names_needing_escapes_stay_valid_json() {
+        let snap = Snapshot {
+            counters: vec![("weird\"name\\x".into(), 1)],
+            ..Snapshot::default()
+        };
+        let v = parse(&snap.to_json()).expect("escaped JSON parses");
+        assert!(v.get("counters").unwrap().get("weird\"name\\x").is_some());
+    }
+
+    #[test]
+    fn atomic_write_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("osn_obs_snap_{}", std::process::id()));
+        let path = dir.join("deep/t.json");
+        let _g = crate::test_gate();
+        sample().write_json_atomic(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with('\n'));
+        parse(text.trim()).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

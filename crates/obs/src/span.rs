@@ -1,0 +1,111 @@
+//! Hierarchical wall-clock spans.
+//!
+//! `obs::span!("name")` returns a guard; while the guard lives, the name
+//! sits on a thread-local stack, so nested spans compose into dotted
+//! paths (`query.build`, `query.build.metrics`, ...). When the guard
+//! drops it records the elapsed time, in microseconds, into the
+//! histogram `span.<path>` and bumps the counter `span.<path>.calls`.
+//!
+//! When telemetry is disabled the guard is inert: no timestamp is taken
+//! and nothing is recorded — the cost is one relaxed atomic load.
+//!
+//! Spans are for *phases*, not per-event work: entering one takes a
+//! thread-local push and leaving one takes a registry lookup plus a
+//! string join, which is noise at phase granularity and poison inside a
+//! per-event loop (use a counter or histogram handle there instead).
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard created by [`span!`](crate::span!). Records on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    /// `None` when telemetry was disabled at entry (inert guard).
+    started: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Enter a span. Prefer the [`span!`](crate::span!) macro.
+    pub fn enter(name: &'static str) -> SpanGuard {
+        if !crate::enabled() {
+            return SpanGuard { started: None };
+        }
+        SPAN_STACK.with(|s| s.borrow_mut().push(name));
+        SpanGuard {
+            started: Some(Instant::now()),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(started) = self.started else {
+            return;
+        };
+        let elapsed = started.elapsed();
+        let path = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let path = s.join(".");
+            s.pop();
+            path
+        });
+        if path.is_empty() {
+            return; // stack desync (enabled was toggled mid-span); drop silently
+        }
+        crate::histogram(&format!("span.{path}")).record_duration(elapsed);
+        crate::counter(&format!("span.{path}.calls")).inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_record_dotted_paths() {
+        let _gate = crate::test_gate();
+        crate::set_enabled(true);
+        {
+            let _outer = SpanGuard::enter("testspan_outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = SpanGuard::enter("inner");
+            }
+        }
+        let snap = crate::snapshot();
+        let outer = snap
+            .histograms
+            .iter()
+            .find(|(k, _)| k == "span.testspan_outer")
+            .expect("outer span histogram");
+        assert!(outer.1.count >= 1);
+        assert!(outer.1.max >= 1000, "outer span should be >= 1ms in us");
+        assert!(snap
+            .histograms
+            .iter()
+            .any(|(k, _)| k == "span.testspan_outer.inner"));
+        assert!(snap
+            .counters
+            .iter()
+            .any(|(k, v)| k == "span.testspan_outer.calls" && *v >= 1));
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let _gate = crate::test_gate();
+        crate::set_enabled(false);
+        {
+            let _s = SpanGuard::enter("testspan_disabled");
+        }
+        crate::set_enabled(true);
+        let snap = crate::snapshot();
+        assert!(!snap
+            .histograms
+            .iter()
+            .any(|(k, _)| k == "span.testspan_disabled"));
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for histogram snapshot merging: merging per-thread
+//! histograms must behave like one histogram that saw every value, in
+//! any grouping and any order.
+
+use osn_obs::{bucket_index, HistSnapshot, Histogram};
+use proptest::prelude::*;
+
+/// Build a snapshot by recording `values` into a fresh histogram.
+fn snap_of(values: &[u64]) -> HistSnapshot {
+    osn_obs::set_enabled(true);
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_commutative(
+        a in prop::collection::vec(any::<u64>(), 0..64),
+        b in prop::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let (sa, sb) = (snap_of(&a), snap_of(&b));
+        let mut ab = sa;
+        ab.merge(&sb);
+        let mut ba = sb;
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec(any::<u64>(), 0..48),
+        b in prop::collection::vec(any::<u64>(), 0..48),
+        c in prop::collection::vec(any::<u64>(), 0..48),
+    ) {
+        let (sa, sb, sc) = (snap_of(&a), snap_of(&b), snap_of(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = sa;
+        left.merge(&sb);
+        left.merge(&sc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = sb;
+        bc.merge(&sc);
+        let mut right = sa;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_of_splits_equals_whole(
+        values in prop::collection::vec(any::<u64>(), 0..96),
+        split in 0usize..96,
+    ) {
+        let split = split.min(values.len());
+        let whole = snap_of(&values);
+        let mut merged = snap_of(&values[..split]);
+        merged.merge(&snap_of(&values[split..]));
+        prop_assert_eq!(whole, merged);
+    }
+
+    #[test]
+    fn snapshot_invariants_hold(
+        values in prop::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let s = snap_of(&values);
+        prop_assert_eq!(s.count as usize, values.len());
+        prop_assert_eq!(s.max, values.iter().copied().max().unwrap_or(0));
+        prop_assert_eq!(
+            s.sum,
+            values.iter().fold(0u64, |acc, &v| acc.wrapping_add(v))
+        );
+        prop_assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+        for &v in &values {
+            prop_assert!(s.buckets[bucket_index(v)] >= 1);
+        }
+        // Quantiles never exceed the observed maximum and are monotone.
+        let q50 = s.quantile(0.50);
+        let q99 = s.quantile(0.99);
+        prop_assert!(q50 <= q99);
+        prop_assert!(q99 <= s.max);
+    }
+}

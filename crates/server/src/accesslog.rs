@@ -95,6 +95,24 @@ pub struct StatsSnapshot {
     pub bad_heads: u64,
 }
 
+impl StatsSnapshot {
+    /// Single-line JSON rendering (all fields numeric, no escaping
+    /// needed). The `/v1/stats` endpoint embeds this verbatim.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"accepted\":{},\"ok\":{},\"client_error\":{},\"server_error\":{},\
+             \"shed\":{},\"panicked\":{},\"bad_heads\":{}}}",
+            self.accepted,
+            self.ok,
+            self.client_error,
+            self.server_error,
+            self.shed,
+            self.panicked,
+            self.bad_heads,
+        )
+    }
+}
+
 impl ServerStats {
     /// Classify a finished response into the right counter.
     pub fn count_response(&self, status: u16, load_shed: bool, panicked: bool) {

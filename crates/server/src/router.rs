@@ -15,6 +15,11 @@ pub enum Route {
     Ready,
     /// `GET /v1/days` — trace identity + queryable day lists.
     Days,
+    /// `GET /v1/stats` — server counters + telemetry snapshot as JSON;
+    /// triage-answered so it stays readable under overload.
+    Stats,
+    /// `GET /metrics` — Prometheus text exposition; also triage-answered.
+    Prometheus,
     /// `GET /v1/metrics/{day}` — one Figure 1(c)–(f) CSV row.
     Metrics(Day),
     /// `GET /v1/communities/{day}` — one community-summary CSV row.
@@ -47,6 +52,8 @@ pub fn route(head: &RequestHead) -> Route {
         "/healthz" => Route::Health,
         "/readyz" => Route::Ready,
         "/v1/days" => Route::Days,
+        "/v1/stats" => Route::Stats,
+        "/metrics" => Route::Prometheus,
         path => {
             if let Some(day) = path.strip_prefix("/v1/metrics/") {
                 match day.parse::<Day>() {
@@ -81,6 +88,8 @@ mod tests {
         assert_eq!(route(&head("GET", "/healthz")), Route::Health);
         assert_eq!(route(&head("GET", "/readyz")), Route::Ready);
         assert_eq!(route(&head("GET", "/v1/days")), Route::Days);
+        assert_eq!(route(&head("GET", "/v1/stats")), Route::Stats);
+        assert_eq!(route(&head("GET", "/metrics")), Route::Prometheus);
         assert_eq!(route(&head("GET", "/v1/metrics/42")), Route::Metrics(42));
         assert_eq!(
             route(&head("GET", "/v1/communities/7")),
@@ -96,6 +105,8 @@ mod tests {
     fn fast_path_split() {
         assert!(Route::Health.is_fast_path());
         assert!(Route::NotFound.is_fast_path());
+        assert!(Route::Stats.is_fast_path());
+        assert!(Route::Prometheus.is_fast_path());
         assert!(!Route::Days.is_fast_path());
         assert!(!Route::Metrics(1).is_fast_path());
         assert!(!Route::Communities(1).is_fast_path());

@@ -147,13 +147,48 @@ struct Shared {
 
 impl Shared {
     fn finish(&self, method: &str, path: &str, status: u16, since: Instant, reason: &str) {
+        let elapsed = since.elapsed();
         let load_shed =
             reason == "shed" || reason == "timed-out" || reason == "transient-exhausted";
         self.stats
             .count_response(status, load_shed, reason == "panicked");
-        self.log
-            .record(method, path, status, since.elapsed(), reason);
+        record_http_telemetry(path, status, elapsed, load_shed);
+        self.log.record(method, path, status, elapsed, reason);
         self.in_flight.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Per-route latency histograms plus shed/status counters. The route
+/// label set is closed, so every handle resolves through a cached
+/// per-call-site lookup — no allocation on the request path.
+fn record_http_telemetry(path: &str, status: u16, elapsed: Duration, load_shed: bool) {
+    if !osn_obs::enabled() {
+        return;
+    }
+    let hist = match path {
+        "/healthz" => osn_obs::histogram!("http.latency_us.healthz"),
+        "/readyz" => osn_obs::histogram!("http.latency_us.readyz"),
+        "/v1/days" => osn_obs::histogram!("http.latency_us.days"),
+        "/v1/stats" => osn_obs::histogram!("http.latency_us.stats"),
+        "/metrics" => osn_obs::histogram!("http.latency_us.prometheus"),
+        p if p.starts_with("/v1/metrics/") => osn_obs::histogram!("http.latency_us.metrics"),
+        p if p.starts_with("/v1/communities/") => {
+            osn_obs::histogram!("http.latency_us.communities")
+        }
+        "-" => osn_obs::histogram!("http.latency_us.unparsed"),
+        _ => osn_obs::histogram!("http.latency_us.other"),
+    };
+    hist.record_duration(elapsed);
+    osn_obs::counter!("http.responses").inc();
+    if load_shed {
+        osn_obs::counter!("http.shed").inc();
+    }
+    match status {
+        408 => osn_obs::counter!("http.status.408").inc(),
+        431 => osn_obs::counter!("http.status.431").inc(),
+        500 => osn_obs::counter!("http.status.500").inc(),
+        503 => osn_obs::counter!("http.status.503").inc(),
+        _ => {}
     }
 }
 
@@ -172,6 +207,10 @@ pub struct Server {
 impl Server {
     /// Bind, spawn the pipeline, and return once the listener is live.
     pub fn start(cfg: ServerConfig, query: Arc<SnapshotQuery>) -> io::Result<Server> {
+        // The daemon always runs instrumented: `/v1/stats` and `/metrics`
+        // must answer with live numbers, and the per-record cost is one
+        // relaxed atomic add on paths that already take a mutex.
+        osn_obs::set_enabled(true);
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -306,16 +345,17 @@ fn accept_loop(shared: &Shared, listener: &TcpListener, triage_tx: &SyncSender<C
                     stream,
                     accepted: Instant::now(),
                 };
-                if let Err(TrySendError::Full(conn) | TrySendError::Disconnected(conn)) =
-                    triage_tx.try_send(conn)
-                {
-                    // Even the triage queue is backed up: answer with a
-                    // canned 503 without reading a byte, so the reject
-                    // path costs nothing a flood can amplify.
-                    let mut stream = conn.stream;
-                    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
-                    let _ = stream.write_all(RAW_SHED_503);
-                    shared.finish("-", "-", 503, conn.accepted, "shed");
+                match triage_tx.try_send(conn) {
+                    Ok(()) => osn_obs::gauge!("http.queue_depth.triage").add(1),
+                    Err(TrySendError::Full(conn) | TrySendError::Disconnected(conn)) => {
+                        // Even the triage queue is backed up: answer with a
+                        // canned 503 without reading a byte, so the reject
+                        // path costs nothing a flood can amplify.
+                        let mut stream = conn.stream;
+                        let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+                        let _ = stream.write_all(RAW_SHED_503);
+                        shared.finish("-", "-", 503, conn.accepted, "shed");
+                    }
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -344,6 +384,33 @@ fn fast_response(shared: &Shared, r: Route) -> Response {
                 ),
             )
         }
+        Route::Stats => {
+            // Serving-plane counters plus the full telemetry snapshot in
+            // one document; both renderings are single-line JSON.
+            let body = format!(
+                "{{\"server\":{},\"telemetry\":{}}}",
+                shared.stats.snapshot().to_json(),
+                osn_obs::snapshot().to_json()
+            );
+            Response::json(200, body)
+        }
+        Route::Prometheus => {
+            let s = shared.stats.snapshot();
+            let mut body = String::new();
+            for (name, v) in [
+                ("osn_server_accepted", s.accepted),
+                ("osn_server_ok", s.ok),
+                ("osn_server_client_error", s.client_error),
+                ("osn_server_server_error", s.server_error),
+                ("osn_server_shed", s.shed),
+                ("osn_server_panicked", s.panicked),
+                ("osn_server_bad_heads", s.bad_heads),
+            ] {
+                body.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+            }
+            body.push_str(&osn_obs::snapshot().to_prometheus());
+            Response::text(200, &body)
+        }
         Route::BadDay => Response::text(400, "day must be a non-negative integer\n"),
         Route::NotFound => Response::text(404, "no such endpoint\n"),
         Route::MethodNotAllowed => Response::text(405, "only GET is supported\n"),
@@ -366,6 +433,7 @@ fn triage_loop(shared: &Shared, rx: &Mutex<Receiver<Conn>>, work_tx: &SyncSender
         else {
             return; // acceptor gone and queue drained
         };
+        osn_obs::gauge!("http.queue_depth.triage").sub(1);
         let deadline = accepted + shared.header_timeout;
         match read_head(&mut stream, deadline) {
             Err(err) => {
@@ -397,7 +465,7 @@ fn triage_loop(shared: &Shared, rx: &Mutex<Receiver<Conn>>, work_tx: &SyncSender
                         route: r,
                         accepted,
                     }) {
-                        Ok(()) => {}
+                        Ok(()) => osn_obs::gauge!("http.queue_depth.work").add(1),
                         Err(TrySendError::Full(job) | TrySendError::Disconnected(job)) => {
                             let Job {
                                 mut stream, head, ..
@@ -434,6 +502,7 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
         else {
             return; // triage gone and queue drained
         };
+        osn_obs::gauge!("http.queue_depth.work").sub(1);
         let waited = accepted.elapsed();
         let handled = match shared.request_timeout.checked_sub(waited) {
             // The request's whole budget evaporated in the queue: shed

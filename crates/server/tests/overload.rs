@@ -169,6 +169,124 @@ fn overload_drill_sheds_fast_and_keeps_health_green() {
 }
 
 #[test]
+fn stats_endpoint_agrees_with_the_access_log_after_overload() {
+    use osn_server::AccessLog;
+    use std::io::Write;
+    use std::sync::Mutex;
+
+    // Capture the access log so the drill can audit it afterwards.
+    #[derive(Clone, Default)]
+    struct Buf(Arc<Mutex<Vec<u8>>>);
+    impl Write for Buf {
+        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(data);
+            Ok(data.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    let buf = Buf::default();
+
+    let q = query();
+    let day = q.metric_days()[0];
+    let server = start(ServerConfig {
+        workers: 2,
+        queue_depth: 4,
+        chaos: Some(ChaosTaskPlan::default().with_rule(day as u64, None, ChaosAction::Delay(25))),
+        access_log: AccessLog::to_sink(Box::new(buf.clone())),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr().to_string();
+
+    // Overload: more concurrent clients than queue + workers can absorb.
+    let path = format!("/v1/metrics/{day}");
+    let clients: Vec<_> = (0..32)
+        .map(|_| {
+            let addr = addr.clone();
+            let path = path.clone();
+            std::thread::spawn(move || http_get(&addr, &path, CLIENT_TIMEOUT).unwrap().status)
+        })
+        .collect();
+    for c in clients {
+        let status = c.join().unwrap();
+        assert!(status == 200 || status == 503, "unexpected status {status}");
+    }
+
+    // The live endpoint must answer mid-run with both document sections.
+    let resp = http_get(&addr, "/v1/stats", CLIENT_TIMEOUT).unwrap();
+    assert_eq!(resp.status, 200);
+    let doc = osn_obs::json::parse(resp.body_str()).expect("stats JSON parses");
+    let srv = doc.get("server").expect("server section");
+    assert!(
+        srv.get("accepted")
+            .and_then(osn_obs::json::Json::as_f64)
+            .unwrap()
+            >= 32.0
+    );
+    let telemetry = doc.get("telemetry").expect("telemetry section");
+    let hist = telemetry
+        .get("histograms")
+        .and_then(|h| h.get("http.latency_us.metrics"))
+        .expect("per-route latency histogram present");
+    assert!(
+        hist.get("count")
+            .and_then(osn_obs::json::Json::as_f64)
+            .unwrap()
+            >= 1.0
+    );
+
+    // The Prometheus rendering answers too and carries the same families.
+    let prom = http_get(&addr, "/metrics", CLIENT_TIMEOUT).unwrap();
+    assert_eq!(prom.status, 200);
+    let prom_text = prom.body_str().to_string();
+    assert!(prom_text.contains("# TYPE osn_server_accepted counter"));
+    assert!(prom_text.contains("# TYPE osn_http_latency_us_metrics histogram"));
+
+    // Let the stats/metrics requests' own finish() land (the response is
+    // written before the access line), then freeze the counters.
+    std::thread::sleep(Duration::from_millis(150));
+    let stats = server.stats();
+    server.request_shutdown();
+    assert!(server.join().clean());
+
+    // Every accepted connection has exactly one access line, and
+    // re-classifying those lines must reproduce the server's own
+    // counters.
+    let log_text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+    let lines: Vec<&str> = log_text
+        .lines()
+        .filter(|l| l.starts_with("access "))
+        .collect();
+    assert_eq!(lines.len() as u64, stats.accepted, "one line per accept");
+
+    let field = |line: &str, key: &str| -> String {
+        line.split_whitespace()
+            .find_map(|tok| tok.strip_prefix(&format!("{key}=")).map(str::to_string))
+            .unwrap_or_else(|| panic!("no {key}= in {line}"))
+    };
+    let (mut ok, mut client_error, mut server_error, mut shed) = (0u64, 0u64, 0u64, 0u64);
+    for line in &lines {
+        let status: u16 = field(line, "status").parse().unwrap();
+        let reason = field(line, "reason");
+        let load_shed = matches!(
+            reason.as_str(),
+            "shed" | "timed-out" | "transient-exhausted"
+        );
+        match status {
+            200..=299 => ok += 1,
+            400..=499 => client_error += 1,
+            _ if load_shed => shed += 1,
+            _ => server_error += 1,
+        }
+    }
+    assert_eq!(ok, stats.ok, "2xx lines vs stats.ok");
+    assert_eq!(client_error, stats.client_error);
+    assert_eq!(server_error, stats.server_error);
+    assert_eq!(shed, stats.shed, "shed lines vs stats.shed");
+}
+
+#[test]
 fn handler_panic_is_a_500_not_a_dead_process() {
     let q = query();
     let day = q.metric_days()[0];
