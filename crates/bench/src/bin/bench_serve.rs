@@ -20,7 +20,7 @@
 
 use osn_core::communities::CommunityAnalysisConfig;
 use osn_core::network::MetricSeriesConfig;
-use osn_core::query::{SnapshotQuery, SnapshotQueryConfig};
+use osn_core::query::SnapshotQuery;
 use osn_genstream::{TraceConfig, TraceGenerator};
 use osn_graph::testutil::http_get;
 use osn_server::{Server, ServerConfig};
@@ -73,21 +73,20 @@ fn main() -> ExitCode {
 
     let build_started = Instant::now();
     let log = TraceGenerator::new(TraceConfig::tiny()).generate();
-    let query = Arc::new(SnapshotQuery::build(
-        &log,
-        &SnapshotQueryConfig {
-            metrics: MetricSeriesConfig {
+    let query = Arc::new(
+        SnapshotQuery::builder()
+            .metrics(MetricSeriesConfig {
                 stride: 40,
                 path_sample: 30,
                 clustering_sample: 100,
                 ..Default::default()
-            },
-            communities: CommunityAnalysisConfig {
+            })
+            .communities(CommunityAnalysisConfig {
                 stride: 80,
                 ..Default::default()
-            },
-        },
-    ));
+            })
+            .build(&log),
+    );
     let build_ms = build_started.elapsed().as_millis() as u64;
 
     // Per-request access lines would swamp stderr at bench rates; keep

@@ -2,15 +2,16 @@
 
 use crate::error::CliError;
 use osn_core::checkpoint::{
-    metric_series_checkpointed_supervised, track_checkpointed_supervised, QuarantinedTask,
+    metric_series_checkpointed_supervised_with, track_checkpointed_supervised, QuarantinedTask,
 };
 use osn_core::communities::{track, CommunityAnalysisConfig};
-use osn_core::network::{growth_series, metric_series_supervised, MetricSeriesConfig};
+use osn_core::network::{growth_series, metric_series_supervised_with, MetricSeriesConfig};
 use osn_core::preferential::{alpha_series, AlphaConfig, DestinationRule};
 use osn_core::report::{write_csv, write_run_manifest, ManifestEntry};
 use osn_genstream::{TraceConfig, TraceGenerator};
 use osn_graph::io::{read_log, read_log_with_policy, save_log_v2, RecoveryPolicy};
 use osn_graph::{EventLog, Origin, Replayer};
+use osn_metrics::engine::EngineKind;
 use osn_metrics::supervisor::RunPolicy;
 use osn_stats::Table;
 use std::path::{Path, PathBuf};
@@ -25,17 +26,19 @@ USAGE:
   osn inspect  trace.events
   osn verify   trace.events [--policy strict|skip|repair] [--max-errors N]
                [--window SECONDS] [--json]
-  osn metrics  trace.events [--stride D] [--out DIR] [--checkpoint DIR]
-               [--workers N] [--retries N] [--task-timeout SECS] [--strict]
-  osn communities trace.events [--delta X] [--stride D] [--min-size K]
-               [--out DIR] [--checkpoint DIR] [--retries N]
+  osn metrics  trace.events [--engine batch|incremental] [--stride D]
+               [--out DIR] [--checkpoint DIR] [--workers N] [--retries N]
                [--task-timeout SECS] [--strict]
+  osn communities trace.events [--engine batch|incremental] [--delta X]
+               [--stride D] [--min-size K] [--out DIR] [--checkpoint DIR]
+               [--retries N] [--task-timeout SECS] [--strict]
   osn alpha    trace.events [--window E] [--out DIR]
   osn compare  a.events b.events
-  osn serve    trace.events [--addr HOST] [--port P] [--workers N]
-               [--queue-depth N] [--request-timeout SECS]
-               [--header-timeout SECS] [--drain-timeout SECS] [--retries N]
-               [--stride D] [--community-stride D] [--seed N]
+  osn serve    trace.events [--engine batch|incremental] [--addr HOST]
+               [--port P] [--workers N] [--queue-depth N]
+               [--request-timeout SECS] [--header-timeout SECS]
+               [--drain-timeout SECS] [--retries N] [--stride D]
+               [--community-stride D] [--seed N]
 
 Every command also accepts --telemetry FILE (or the OSN_TELEMETRY env
 var; the flag wins): the in-process telemetry registry (counters,
@@ -45,7 +48,19 @@ runs (exit 4) and serve drains that abandoned in-flight requests.
 
 Traces are written in the checksummed v2 format; v1 traces stay readable.
 With --checkpoint DIR, a killed metrics/communities run resumes from the
-last completed snapshot and produces byte-identical output.
+last completed snapshot and produces byte-identical output — checkpoint
+directories are engine-agnostic, so a run may even switch --engine
+across the kill.
+
+--engine picks how per-day snapshots are computed: 'incremental' (the
+default) maintains one evolving graph with per-metric delta state;
+'batch' rebuilds a frozen CSR per day (kept as the correctness oracle).
+Both produce byte-identical CSV/JSON output; the choice only affects
+speed. Output-path flags are uniform across commands: --out PATH
+(primary output: a file for generate, a directory for the analyses),
+--telemetry FILE, --checkpoint DIR. Older spellings (--output,
+--out-dir, --telemetry-out, --checkpoint-dir, serve's --trace) keep
+working as hidden aliases and print a one-line deprecation note.
 
 metrics/communities run every snapshot task under a supervisor: a panic,
 a deadline overrun (--task-timeout) or exhausted retries (--retries)
@@ -54,14 +69,39 @@ listed in <out>/run_manifest.csv and the process exits 4 (degraded);
 --strict promotes a degraded run to a hard failure (exit 1). Worker
 count (--workers / OSN_WORKERS) never affects results, only speed.
 
-serve answers GET /healthz /readyz /v1/days /v1/metrics/{day}
+serve answers GET /healthz /readyz /v1/meta /v1/days /v1/metrics/{day}
 /v1/communities/{day} with the same bytes the batch commands write,
 plus live observability at /v1/stats (JSON counters + telemetry
-snapshot) and /metrics (Prometheus text exposition).
+snapshot) and /metrics (Prometheus text exposition); see API.md for
+the generated HTTP reference.
 It sheds load (503 + Retry-After) when its bounded queues fill, cuts
 slow-loris clients at --header-timeout, isolates handler panics (500,
 process stays up), and drains on SIGTERM/SIGINT: exit 0 if every
 in-flight request finished, exit 4 if --drain-timeout expired first.";
+
+/// Hidden aliases from the output-flag unification: every command names
+/// its primary output `--out`, the telemetry snapshot `--telemetry`,
+/// and the checkpoint store `--checkpoint`. Old spellings keep working
+/// but print a one-line deprecation note to stderr; they are not
+/// listed in the usage text.
+const FLAG_ALIASES: &[(&str, &str)] = &[
+    ("output", "out"),
+    ("out-dir", "out"),
+    ("telemetry-out", "telemetry"),
+    ("checkpoint-dir", "checkpoint"),
+];
+
+/// Resolve a deprecated alias to its canonical flag name, noting the
+/// rename on stderr (once per occurrence — these are one-shot CLIs).
+fn canonical_flag(key: &str) -> &str {
+    match FLAG_ALIASES.iter().find(|(old, _)| *old == key) {
+        Some((old, new)) => {
+            eprintln!("note: --{old} is deprecated; use --{new}");
+            new
+        }
+        None => key,
+    }
+}
 
 /// Minimal flag parser: `--key value` pairs plus positional arguments.
 #[derive(Debug)]
@@ -81,6 +121,7 @@ impl Flags {
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
+                let key = canonical_flag(key);
                 if switches.contains(&key) {
                     out.switches.push(key.to_string());
                 } else {
@@ -181,6 +222,20 @@ fn out_dir(flags: &Flags) -> PathBuf {
 
 fn checkpoint_dir(flags: &Flags) -> Option<PathBuf> {
     flags.get("checkpoint").map(PathBuf::from)
+}
+
+/// Parse `--engine`; the default is the incremental engine (batch is
+/// kept as the correctness oracle). Both engines produce byte-identical
+/// output, so this flag only ever changes speed.
+pub(crate) fn engine_flag(flags: &Flags) -> Result<EngineKind, CliError> {
+    match flags.get("engine") {
+        None => Ok(EngineKind::default()),
+        Some(v) => v.parse().map_err(|_| {
+            CliError::Usage(format!(
+                "unknown engine '{v}' (expected 'batch' or 'incremental')"
+            ))
+        }),
+    }
 }
 
 /// Build the supervision policy from `--retries` / `--task-timeout` and
@@ -435,15 +490,17 @@ pub fn metrics(args: &[String]) -> Result<(), CliError> {
         ..Default::default()
     };
     let policy = run_policy(&flags)?;
+    let engine = engine_flag(&flags)?;
     let started = std::time::Instant::now();
     let (m, quarantined) = match checkpoint_dir(&flags) {
         Some(ckpt) => {
-            let out = metric_series_checkpointed_supervised(&log, &cfg, &ckpt, &policy)?;
+            let out =
+                metric_series_checkpointed_supervised_with(&log, &cfg, &ckpt, &policy, engine)?;
             println!("checkpoint: {}", ckpt.display());
             out
         }
         None => {
-            let (m, failures) = metric_series_supervised(&log, &cfg, &policy);
+            let (m, failures) = metric_series_supervised_with(&log, &cfg, &policy, engine);
             let quarantined = failures
                 .iter()
                 .map(|f| QuarantinedTask::from_failure(f.day, &f.failure))
@@ -484,10 +541,12 @@ pub fn communities(args: &[String]) -> Result<(), CliError> {
         seed: flags.get_parsed::<u64>("seed")?.unwrap_or(0),
         ..Default::default()
     };
-    // Community tracking is stateful and sequential; --workers is accepted
-    // for CLI symmetry but does not change anything (results never depend
-    // on worker count anyway).
+    // Community tracking is stateful and sequential; --workers and
+    // --engine are accepted for CLI symmetry but do not change anything
+    // (Louvain needs a frozen adjacency, and results never depend on
+    // worker count or engine kind anyway).
     let _ = flags.get_parsed::<usize>("workers")?;
+    let _ = engine_flag(&flags)?;
     let policy = run_policy(&flags)?;
     let started = std::time::Instant::now();
     let ((summaries, output), quarantined) = match checkpoint_dir(&flags) {
@@ -698,6 +757,76 @@ mod tests {
         assert!(f.has("no-merge"));
         assert_eq!(f.get("out"), Some("x"));
         assert_eq!(f.get("missing"), None);
+    }
+
+    #[test]
+    fn deprecated_aliases_resolve_to_canonical_flags() {
+        let args: Vec<String> = [
+            "--output",
+            "a",
+            "--out-dir",
+            "b",
+            "--telemetry-out",
+            "t.json",
+            "--checkpoint-dir",
+            "ckpt",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let f = Flags::parse(&args, &[]).unwrap();
+        // Later spellings win, exactly as with repeated canonical flags.
+        assert_eq!(f.get("out"), Some("b"));
+        assert_eq!(f.get("telemetry"), Some("t.json"));
+        assert_eq!(f.get("checkpoint"), Some("ckpt"));
+        assert_eq!(f.get("output"), None, "alias must not survive parsing");
+    }
+
+    #[test]
+    fn engine_flag_parses_and_rejects_unknowns() {
+        let parse = |v: &str| {
+            let args = vec!["--engine".to_string(), v.to_string()];
+            engine_flag(&Flags::parse(&args, &[]).unwrap())
+        };
+        assert_eq!(parse("batch").unwrap(), EngineKind::Batch);
+        assert_eq!(parse("incremental").unwrap(), EngineKind::Incremental);
+        let err = parse("turbo").unwrap_err();
+        assert!(err.to_string().contains("unknown engine 'turbo'"), "{err}");
+        assert_eq!(err.exit_code(), 2);
+        // Unset → the incremental default.
+        let f = Flags::parse(&[], &[]).unwrap();
+        assert_eq!(engine_flag(&f).unwrap(), EngineKind::Incremental);
+    }
+
+    #[test]
+    fn metrics_csv_is_byte_identical_across_engines() {
+        let dir = std::env::temp_dir().join("osn_cli_engines");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.events");
+        generate(&[
+            "--scale".into(),
+            "tiny".into(),
+            "--out".into(),
+            trace.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        let t = trace.to_str().unwrap().to_string();
+        let run = |engine: &str, out: &str| {
+            metrics(&[
+                t.clone(),
+                "--stride".into(),
+                "40".into(),
+                "--engine".into(),
+                engine.into(),
+                "--out".into(),
+                dir.join(out).to_str().unwrap().into(),
+            ])
+            .unwrap();
+            std::fs::read(dir.join(out).join("metrics.csv")).unwrap()
+        };
+        assert_eq!(run("batch", "out-batch"), run("incremental", "out-inc"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -12,11 +12,11 @@
 //! preflight, `4` drain deadline expired with requests still in flight
 //! (degraded drain), `1` anything else.
 
-use crate::commands::{Flags, TelemetryGuard};
+use crate::commands::{engine_flag, Flags, TelemetryGuard};
 use crate::error::CliError;
 use osn_core::communities::CommunityAnalysisConfig;
 use osn_core::network::MetricSeriesConfig;
-use osn_core::query::{SnapshotQuery, SnapshotQueryConfig};
+use osn_core::query::SnapshotQuery;
 use osn_graph::io::{read_log_with_policy, RecoveryPolicy};
 use osn_server::{Server, ServerConfig};
 use std::path::PathBuf;
@@ -109,7 +109,10 @@ pub fn serve(args: &[String]) -> Result<(), CliError> {
     // work, and preflight failures alike all flush telemetry.
     let _telemetry = TelemetryGuard::from_flags(&flags);
     let path = match flags.get("trace") {
-        Some(t) => t.to_string(),
+        Some(t) => {
+            eprintln!("note: --trace is deprecated; pass the trace file as a positional argument");
+            t.to_string()
+        }
         None => flags.trace_arg("serve")?.to_string(),
     };
 
@@ -118,21 +121,21 @@ pub fn serve(args: &[String]) -> Result<(), CliError> {
 
     // Analysis knobs mirror the batch commands (same defaults), so a
     // batch run with the same flags produces byte-identical CSV.
-    let query_cfg = SnapshotQueryConfig {
-        metrics: MetricSeriesConfig {
+    let query_builder = SnapshotQuery::builder()
+        .metrics(MetricSeriesConfig {
             stride: flags.get_parsed::<u32>("stride")?.unwrap_or(7),
             seed: flags.get_parsed::<u64>("seed")?.unwrap_or(0),
             workers: flags.get_parsed::<usize>("build-workers")?.unwrap_or(0),
             ..Default::default()
-        },
-        communities: CommunityAnalysisConfig {
+        })
+        .communities(CommunityAnalysisConfig {
             stride: flags.get_parsed::<u32>("community-stride")?.unwrap_or(7),
             delta: flags.get_parsed::<f64>("delta")?.unwrap_or(0.04),
             min_size: flags.get_parsed::<u32>("min-size")?.unwrap_or(10),
             seed: flags.get_parsed::<u64>("seed")?.unwrap_or(0),
             ..Default::default()
-        },
-    };
+        })
+        .engine(engine_flag(&flags)?);
 
     let chaos = match std::env::var("OSN_CHAOS") {
         Ok(spec) if !spec.trim().is_empty() => Some(
@@ -155,11 +158,12 @@ pub fn serve(args: &[String]) -> Result<(), CliError> {
 
     let log = preflight(&path)?;
     let started = Instant::now();
-    let query = Arc::new(SnapshotQuery::build(&log, &query_cfg));
+    let query = Arc::new(query_builder.build(&log));
     println!(
-        "materialised {} metric day(s), {} community day(s) in {:.1?}",
+        "materialised {} metric day(s), {} community day(s) with the {} engine in {:.1?}",
         query.metric_days().len(),
         query.community_days().len(),
+        query.engine(),
         started.elapsed()
     );
 

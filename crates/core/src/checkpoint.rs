@@ -42,11 +42,15 @@ use crate::network::{MetricSeries, MetricSeriesConfig};
 use osn_community::{CommunityTracker, SnapshotSummary, TrackerOutput, TrackerState};
 use osn_graph::atomicfile::write_bytes_atomic;
 use osn_graph::{Day, EventLog, ReplayCheckpoint, Replayer, Time};
+use osn_metrics::engine::{EngineKind, EngineState};
 use osn_metrics::supervisor::{
     chaos_gate, supervised_call, try_par_map_labeled, FailureKind, RunPolicy, TaskError,
     TaskFailure,
 };
-use osn_metrics::{average_clustering, avg_path_length_sampled, degree_assortativity};
+use osn_metrics::{
+    average_clustering, avg_path_length_over_component, avg_path_length_sampled,
+    degree_assortativity,
+};
 use osn_stats::sampling::derive_seed;
 use osn_stats::{rng_from_seed, Series};
 use std::collections::BTreeMap;
@@ -392,6 +396,40 @@ fn resume_replayer<'a>(
     Ok((Replayer::new(log), 0))
 }
 
+/// Incremental-engine analogue of [`resume_replayer`]: rebuild an
+/// [`EngineState`] past the contiguous completed prefix. The engine's
+/// per-metric delta state cannot be restored from a byte position alone,
+/// so the prefix is replayed through the delta observer either way; the
+/// recorded checkpoint still validates that the rows belong to this
+/// trace at that exact position.
+fn resume_engine_state<'a>(
+    log: &'a EventLog,
+    dir: &Path,
+    days: &[Day],
+    rows: &BTreeMap<Day, MetricRow>,
+    quarantined: &BTreeMap<Day, QuarantinedTask>,
+) -> io::Result<(EngineState<'a>, usize)> {
+    let contiguous = days
+        .iter()
+        .take_while(|d| rows.contains_key(d) || quarantined.contains_key(d))
+        .count();
+    if contiguous > 0 {
+        if let Some(text) = read_optional(&dir.join("replay.ckpt"))? {
+            if let Ok(cp) = ReplayCheckpoint::from_text(&text) {
+                if cp.day == days[contiguous - 1] {
+                    if let Ok(st) = EngineState::seed(log, &cp, &Default::default()) {
+                        return Ok((st, contiguous));
+                    }
+                }
+            }
+        }
+        let mut st = EngineState::new(log);
+        st.advance_through_day(days[contiguous - 1]);
+        return Ok((st, contiguous));
+    }
+    Ok((EngineState::new(log), 0))
+}
+
 /// Compute the Figure 1(c)–(f) metric series with checkpoint/resume
 /// support: completed snapshot days are persisted to `dir` after every
 /// batch, and a rerun (same log, same config) picks up where the previous
@@ -432,6 +470,84 @@ pub fn metric_series_checkpointed_supervised(
     Ok(out.expect("unlimited run always completes"))
 }
 
+/// [`metric_series_checkpointed_supervised`] with an explicit snapshot
+/// engine. The checkpoint directory format is engine-agnostic — `meta.txt`
+/// deliberately does not record the engine kind, because both engines
+/// produce bit-identical rows — so a run interrupted under one engine can
+/// be resumed under the other without detection or divergence.
+pub fn metric_series_checkpointed_supervised_with(
+    log: &EventLog,
+    cfg: &MetricSeriesConfig,
+    dir: &Path,
+    policy: &RunPolicy,
+    engine: EngineKind,
+) -> Result<(MetricSeries, Vec<QuarantinedTask>), CheckpointStoreError> {
+    let out = run_metrics_with(log, cfg, dir, usize::MAX, policy, engine)?;
+    Ok(out.expect("unlimited run always completes"))
+}
+
+/// Write the current metric-run state (rows, quarantine, replay position)
+/// atomically to `dir`. Shared by both engine arms so the on-disk format
+/// cannot drift between them.
+fn persist_metric_state(
+    log: &EventLog,
+    dir: &Path,
+    days: &[Day],
+    rows: &BTreeMap<Day, MetricRow>,
+    quarantined: &BTreeMap<Day, QuarantinedTask>,
+) -> Result<(), CheckpointStoreError> {
+    write_bytes_atomic(&dir.join("rows.txt"), render_rows(rows).as_bytes())?;
+    if !quarantined.is_empty() {
+        write_bytes_atomic(
+            &dir.join("quarantine.txt"),
+            render_quarantine(quarantined).as_bytes(),
+        )?;
+    }
+    let done = days
+        .iter()
+        .take_while(|d| rows.contains_key(d) || quarantined.contains_key(d))
+        .count();
+    if done > 0 {
+        let cp = replay_checkpoint_at(log, days[done - 1]);
+        write_bytes_atomic(&dir.join("replay.ckpt"), cp.to_text().as_bytes())?;
+    }
+    Ok(())
+}
+
+/// Assemble the final series exactly like `metric_series` does, skipping
+/// quarantined days (they are reported, never blended).
+fn assemble_metric_series(
+    days: &[Day],
+    rows: &BTreeMap<Day, MetricRow>,
+    quarantined: &BTreeMap<Day, QuarantinedTask>,
+    rows_path: &Path,
+) -> Result<MetricSeries, CheckpointStoreError> {
+    let mut out = MetricSeries {
+        avg_degree: Series::new("avg_degree"),
+        path_length: Series::new("avg_path_length"),
+        clustering: Series::new("avg_clustering"),
+        assortativity: Series::new("assortativity"),
+    };
+    for &day in days {
+        if quarantined.contains_key(&day) {
+            continue;
+        }
+        let Some(r) = rows.get(&day) else {
+            return Err(corrupt(rows_path, format!("missing day {day}")));
+        };
+        let d = day as f64;
+        out.avg_degree.push(d, r.avg_degree);
+        if let Some(p) = r.path_length {
+            out.path_length.push(d, p);
+        }
+        out.clustering.push(d, r.clustering);
+        if let Some(a) = r.assortativity {
+            out.assortativity.push(d, a);
+        }
+    }
+    Ok(out)
+}
+
 /// Worker for [`metric_series_checkpointed_supervised`]: computes at most
 /// `limit_new` missing rows, then returns `None` if snapshots remain
 /// (used by tests to simulate an interrupted run).
@@ -442,13 +558,40 @@ pub(crate) fn run_metrics(
     limit_new: usize,
     policy: &RunPolicy,
 ) -> Result<Option<(MetricSeries, Vec<QuarantinedTask>)>, CheckpointStoreError> {
+    run_metrics_with(log, cfg, dir, limit_new, policy, EngineKind::default())
+}
+
+/// [`run_metrics`] with an explicit engine. Both arms share the meta
+/// check, the persistence helpers and the assembly, so their checkpoint
+/// directories are interchangeable.
+pub(crate) fn run_metrics_with(
+    log: &EventLog,
+    cfg: &MetricSeriesConfig,
+    dir: &Path,
+    limit_new: usize,
+    policy: &RunPolicy,
+    engine: EngineKind,
+) -> Result<Option<(MetricSeries, Vec<QuarantinedTask>)>, CheckpointStoreError> {
     std::fs::create_dir_all(dir)?;
     check_or_init_meta(dir, &metrics_meta_text(log, cfg))?;
+    match engine {
+        EngineKind::Batch => run_metrics_batch(log, cfg, dir, limit_new, policy),
+        EngineKind::Incremental => run_metrics_incremental(log, cfg, dir, limit_new, policy),
+    }
+}
 
+/// Batch arm: freeze a CSR per missing day and fan batches of frozen
+/// snapshots out to the supervised parallel map.
+fn run_metrics_batch(
+    log: &EventLog,
+    cfg: &MetricSeriesConfig,
+    dir: &Path,
+    limit_new: usize,
+    policy: &RunPolicy,
+) -> Result<Option<(MetricSeries, Vec<QuarantinedTask>)>, CheckpointStoreError> {
     let rows_path = dir.join("rows.txt");
-    let quarantine_path = dir.join("quarantine.txt");
     let mut rows = load_rows(&rows_path)?;
-    let mut quarantined = load_quarantine(&quarantine_path)?;
+    let mut quarantined = load_quarantine(&dir.join("quarantine.txt"))?;
     let days = snapshot_days(log, cfg.first_day, cfg.stride);
 
     let workers = if cfg.workers == 0 {
@@ -508,19 +651,7 @@ pub(crate) fn run_metrics(
                 }
             }
         }
-        write_bytes_atomic(&rows_path, render_rows(rows).as_bytes())?;
-        if !quarantined.is_empty() {
-            write_bytes_atomic(&quarantine_path, render_quarantine(quarantined).as_bytes())?;
-        }
-        let done = days
-            .iter()
-            .take_while(|d| rows.contains_key(d) || quarantined.contains_key(d))
-            .count();
-        if done > 0 {
-            let cp = replay_checkpoint_at(log, days[done - 1]);
-            write_bytes_atomic(&dir.join("replay.ckpt"), cp.to_text().as_bytes())?;
-        }
-        Ok(())
+        persist_metric_state(log, dir, &days, rows, quarantined)
     };
 
     for (idx, &day) in days.iter().enumerate().skip(skip) {
@@ -544,31 +675,95 @@ pub(crate) fn run_metrics(
     }
     flush(&mut batch, &mut rows, &mut quarantined)?;
 
-    // Assemble exactly like `metric_series` does, skipping quarantined
-    // days (they are reported, never blended).
-    let mut out = MetricSeries {
-        avg_degree: Series::new("avg_degree"),
-        path_length: Series::new("avg_path_length"),
-        clustering: Series::new("avg_clustering"),
-        assortativity: Series::new("assortativity"),
+    let out = assemble_metric_series(&days, &rows, &quarantined, &rows_path)?;
+    Ok(Some((out, quarantined.into_values().collect())))
+}
+
+/// Incremental arm: one evolving [`EngineState`] walks the trace once,
+/// computing each missing day's row in place (no CSR freeze). Rows are
+/// persisted with the same cadence the batch arm uses, so kill-and-resume
+/// behaviour is equivalent.
+fn run_metrics_incremental(
+    log: &EventLog,
+    cfg: &MetricSeriesConfig,
+    dir: &Path,
+    limit_new: usize,
+    policy: &RunPolicy,
+) -> Result<Option<(MetricSeries, Vec<QuarantinedTask>)>, CheckpointStoreError> {
+    let rows_path = dir.join("rows.txt");
+    let mut rows = load_rows(&rows_path)?;
+    let mut quarantined = load_quarantine(&dir.join("quarantine.txt"))?;
+    let days = snapshot_days(log, cfg.first_day, cfg.stride);
+
+    let workers = if cfg.workers == 0 {
+        osn_metrics::parallel::default_workers()
+    } else {
+        cfg.workers
     };
-    for &day in &days {
-        if quarantined.contains_key(&day) {
+    let flush_cap = (workers * 2).max(1);
+    let path_every = cfg.path_every.max(1);
+    let (seed, path_sample, clustering_sample) = (cfg.seed, cfg.path_sample, cfg.clustering_sample);
+    let scfg = policy.supervisor_config(1);
+    let chaos = policy.chaos.as_ref();
+
+    let (mut state, skip) = resume_engine_state(log, dir, &days, &rows, &quarantined)?;
+    let mut new_rows = 0usize;
+    let mut pending = 0usize;
+
+    for (idx, &day) in days.iter().enumerate().skip(skip) {
+        if rows.contains_key(&day) || quarantined.contains_key(&day) {
+            // Already computed (or quarantined) past the contiguous
+            // prefix; still advance so later days see the right graph.
+            state.advance_through_day(day);
             continue;
         }
-        let Some(r) = rows.get(&day) else {
-            return Err(corrupt(&rows_path, format!("missing day {day}")));
-        };
-        let d = day as f64;
-        out.avg_degree.push(d, r.avg_degree);
-        if let Some(p) = r.path_length {
-            out.path_length.push(d, p);
+        if new_rows >= limit_new {
+            if pending > 0 {
+                persist_metric_state(log, dir, &days, &rows, &quarantined)?;
+            }
+            return Ok(None);
         }
-        out.clustering.push(d, r.clustering);
-        if let Some(a) = r.assortativity {
-            out.assortativity.push(d, a);
+        state.advance_through_day(day);
+        let verdict = {
+            let state = &mut state;
+            supervised_call(&format!("day-{day}"), &scfg, |attempt| {
+                chaos_gate(chaos, day as u64, attempt)?;
+                let mut rng = rng_from_seed(derive_seed(seed, day as u64));
+                let path_length = if idx % path_every == 0 {
+                    let giant = state.giant_component();
+                    avg_path_length_over_component(state.graph(), &giant, path_sample, &mut rng)
+                } else {
+                    None
+                };
+                let g = state.graph();
+                Ok(MetricRow {
+                    avg_degree: g.average_degree(),
+                    path_length,
+                    clustering: average_clustering(g, clustering_sample, &mut rng),
+                    assortativity: degree_assortativity(g),
+                })
+            })
+        };
+        match verdict {
+            Ok(row) => {
+                rows.insert(day, row);
+            }
+            Err(failure) => {
+                quarantined.insert(day, QuarantinedTask::from_failure(day, &failure));
+            }
+        }
+        new_rows += 1;
+        pending += 1;
+        if pending >= flush_cap {
+            persist_metric_state(log, dir, &days, &rows, &quarantined)?;
+            pending = 0;
         }
     }
+    if pending > 0 {
+        persist_metric_state(log, dir, &days, &rows, &quarantined)?;
+    }
+
+    let out = assemble_metric_series(&days, &rows, &quarantined, &rows_path)?;
     Ok(Some((out, quarantined.into_values().collect())))
 }
 
@@ -892,6 +1087,68 @@ mod tests {
         assert!(dir.join("rows.txt").exists());
         assert!(dir.join("replay.ckpt").exists());
         let resumed = metric_series_checkpointed(&log, &cfg, &dir).unwrap();
+        assert_series_eq(&resumed, &metric_series(&log, &cfg));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_dirs_are_engine_agnostic() {
+        let log = tiny_log();
+        let cfg = metric_cfg();
+        // Pure runs under each engine: every persisted byte must match.
+        let dir_b = tmp_dir("metrics_engine_b");
+        let dir_i = tmp_dir("metrics_engine_i");
+        let policy = RunPolicy::default();
+        let (s_b, _) = metric_series_checkpointed_supervised_with(
+            &log,
+            &cfg,
+            &dir_b,
+            &policy,
+            EngineKind::Batch,
+        )
+        .unwrap();
+        let (s_i, _) = metric_series_checkpointed_supervised_with(
+            &log,
+            &cfg,
+            &dir_i,
+            &policy,
+            EngineKind::Incremental,
+        )
+        .unwrap();
+        assert_series_eq(&s_i, &s_b);
+        for file in ["meta.txt", "rows.txt", "replay.ckpt"] {
+            let a = std::fs::read(dir_b.join(file)).unwrap();
+            let b = std::fs::read(dir_i.join(file)).unwrap();
+            assert_eq!(a, b, "{file} differs between engines");
+        }
+        std::fs::remove_dir_all(&dir_b).unwrap();
+        std::fs::remove_dir_all(&dir_i).unwrap();
+    }
+
+    #[test]
+    fn interrupted_run_can_switch_engines_on_resume() {
+        let log = tiny_log();
+        let cfg = metric_cfg();
+        let dir = tmp_dir("metrics_engine_switch");
+        // Kill an incremental run mid-way, resume it under batch.
+        let partial = run_metrics_with(
+            &log,
+            &cfg,
+            &dir,
+            3,
+            &RunPolicy::default(),
+            EngineKind::Incremental,
+        )
+        .unwrap();
+        assert!(partial.is_none(), "run should have been interrupted");
+        let (resumed, _) = metric_series_checkpointed_supervised_with(
+            &log,
+            &cfg,
+            &dir,
+            &RunPolicy::default(),
+            EngineKind::Batch,
+        )
+        .unwrap();
         assert_series_eq(&resumed, &metric_series(&log, &cfg));
         std::fs::remove_dir_all(&dir).unwrap();
     }

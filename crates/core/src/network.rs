@@ -5,9 +5,15 @@
 //! length, average clustering coefficient, degree assortativity.
 
 use osn_graph::{Day, EventKind, EventLog, EventLogBuilder, NodeId, Origin, Time};
+use osn_metrics::engine::{day_sweep, EngineConfig, EngineKind};
 use osn_metrics::parallel::par_map;
-use osn_metrics::supervisor::{chaos_gate, try_par_map_labeled, RunPolicy, TaskFailure};
-use osn_metrics::{average_clustering, avg_path_length_sampled, degree_assortativity};
+use osn_metrics::supervisor::{
+    chaos_gate, supervised_call, try_par_map_labeled, RunPolicy, TaskFailure,
+};
+use osn_metrics::{
+    average_clustering, avg_path_length_over_component, avg_path_length_sampled,
+    degree_assortativity,
+};
 use osn_stats::sampling::derive_seed;
 use osn_stats::{rng_from_seed, Series, Table};
 
@@ -201,20 +207,23 @@ pub struct DayFailure {
     pub failure: TaskFailure,
 }
 
-/// Compute the four Figure 1(c)–(f) metrics over per-day snapshots,
-/// fanning snapshots out to supervised worker threads.
-///
-/// Days whose task fails (panic, fatal error, exhausted retries, or
-/// deadline overrun, per `policy`) are *quarantined*: they are absent
-/// from the returned series and reported in the second tuple element so
-/// callers can record them instead of silently blending a gap. Worker
-/// count and supervision policy never affect the values of successful
-/// days.
-pub fn metric_series_supervised(
+/// One finished snapshot row of the Figure 1(c)–(f) sweep.
+struct Row {
+    day: Day,
+    avg_degree: f64,
+    path_length: Option<f64>,
+    clustering: f64,
+    assortativity: Option<f64>,
+}
+
+/// Batch arm: materialise a frozen CSR per snapshot day and fan the days
+/// out to the supervised parallel map. O(N+E) per snapshot; kept as the
+/// oracle the incremental engine is differentially tested against.
+fn sweep_batch(
     log: &EventLog,
     cfg: &MetricSeriesConfig,
     policy: &RunPolicy,
-) -> (MetricSeries, Vec<DayFailure>) {
+) -> Vec<Result<Row, TaskFailure>> {
     let snaps = osn_graph::DailySnapshots::new(log, cfg.first_day, cfg.stride);
     let path_every = cfg.path_every.max(1);
     let seed = cfg.seed;
@@ -222,16 +231,8 @@ pub fn metric_series_supervised(
     let clustering_sample = cfg.clustering_sample;
     let chaos = policy.chaos.as_ref();
 
-    struct Row {
-        day: Day,
-        avg_degree: f64,
-        path_length: Option<f64>,
-        clustering: f64,
-        assortativity: Option<f64>,
-    }
-
     let scfg = policy.supervisor_config(cfg.workers);
-    let verdicts = try_par_map_labeled(
+    try_par_map_labeled(
         snaps.enumerate(),
         &scfg,
         |_, (_, snap)| format!("day-{}", snap.day),
@@ -252,7 +253,98 @@ pub fn metric_series_supervised(
                 assortativity: degree_assortativity(g),
             })
         },
-    );
+    )
+}
+
+/// Incremental arm: one evolving graph per shard, metric state updated
+/// per edge event by the delta observer, no per-day CSR freeze. Byte-
+/// identical to [`sweep_batch`]: the samplers run the same kernels over
+/// [`osn_graph::GraphView`], the giant component uses the same
+/// partition-deterministic tie-break, and the per-day RNG stream is
+/// derived identically.
+fn sweep_incremental(
+    log: &EventLog,
+    cfg: &MetricSeriesConfig,
+    policy: &RunPolicy,
+) -> Vec<Result<Row, TaskFailure>> {
+    assert!(cfg.stride > 0, "stride must be positive");
+    let days: Vec<Day> = (cfg.first_day..=log.end_day())
+        .step_by(cfg.stride as usize)
+        .collect();
+    let path_every = cfg.path_every.max(1);
+    let seed = cfg.seed;
+    let path_sample = cfg.path_sample;
+    let clustering_sample = cfg.clustering_sample;
+    let chaos = policy.chaos.as_ref();
+
+    // Supervision is per day (panic isolation, retries, chaos injection,
+    // post-hoc deadline); the engine sweep handles parallelism itself, so
+    // the per-call supervisor runs inline on the sweep worker.
+    let scfg = policy.supervisor_config(1);
+    let ecfg = EngineConfig::builder().workers(cfg.workers).build();
+    day_sweep(log, &days, &ecfg, |state, idx, day| {
+        supervised_call(&format!("day-{day}"), &scfg, |attempt| {
+            chaos_gate(chaos, day as u64, attempt)?;
+            let mut rng = rng_from_seed(derive_seed(seed, day as u64));
+            let path_length = if idx % path_every == 0 {
+                // Giant component from the live union-find (no BFS
+                // labelling pass), then the same sampled-BFS kernel the
+                // batch arm runs inside `avg_path_length_sampled`.
+                let giant = state.giant_component();
+                avg_path_length_over_component(state.graph(), &giant, path_sample, &mut rng)
+            } else {
+                None
+            };
+            let g = state.graph();
+            Ok(Row {
+                day,
+                avg_degree: g.average_degree(),
+                path_length,
+                clustering: average_clustering(g, clustering_sample, &mut rng),
+                assortativity: degree_assortativity(g),
+            })
+        })
+    })
+}
+
+/// Compute the four Figure 1(c)–(f) metrics over per-day snapshots,
+/// fanning snapshots out to supervised worker threads.
+///
+/// Days whose task fails (panic, fatal error, exhausted retries, or
+/// deadline overrun, per `policy`) are *quarantined*: they are absent
+/// from the returned series and reported in the second tuple element so
+/// callers can record them instead of silently blending a gap. Worker
+/// count and supervision policy never affect the values of successful
+/// days.
+///
+/// Uses the default engine ([`EngineKind::Incremental`]); see
+/// [`metric_series_supervised_with`] to pick explicitly. Both engines
+/// produce byte-identical series.
+pub fn metric_series_supervised(
+    log: &EventLog,
+    cfg: &MetricSeriesConfig,
+    policy: &RunPolicy,
+) -> (MetricSeries, Vec<DayFailure>) {
+    metric_series_supervised_with(log, cfg, policy, EngineKind::default())
+}
+
+/// [`metric_series_supervised`] with an explicit snapshot engine.
+///
+/// `EngineKind::Batch` rebuilds a frozen CSR per snapshot day (the
+/// original oracle path); `EngineKind::Incremental` replays one evolving
+/// graph per shard and maintains metric state per edge event. The two
+/// are byte-identical — same rows, same quarantine decisions under the
+/// same chaos plan — differing only in throughput.
+pub fn metric_series_supervised_with(
+    log: &EventLog,
+    cfg: &MetricSeriesConfig,
+    policy: &RunPolicy,
+    engine: EngineKind,
+) -> (MetricSeries, Vec<DayFailure>) {
+    let verdicts = match engine {
+        EngineKind::Batch => sweep_batch(log, cfg, policy),
+        EngineKind::Incremental => sweep_incremental(log, cfg, policy),
+    };
 
     let mut out = MetricSeries {
         avg_degree: Series::new("avg_degree"),
@@ -479,6 +571,59 @@ mod tests {
         assert_eq!(a.avg_degree.points, b.avg_degree.points);
         assert_eq!(a.path_length.points, b.path_length.points);
         assert_eq!(a.clustering.points, b.clustering.points);
+    }
+
+    #[test]
+    fn engines_are_byte_identical() {
+        let log = tiny_log();
+        let cfg = MetricSeriesConfig {
+            stride: 15,
+            first_day: 3,
+            path_sample: 40,
+            path_every: 2,
+            clustering_sample: 120,
+            workers: 3,
+            seed: 9,
+        };
+        let policy = RunPolicy::default();
+        let (batch, bf) = metric_series_supervised_with(&log, &cfg, &policy, EngineKind::Batch);
+        let (inc, inf) =
+            metric_series_supervised_with(&log, &cfg, &policy, EngineKind::Incremental);
+        assert!(bf.is_empty() && inf.is_empty());
+        // Byte-level: the rendered CSVs must match, not just be close.
+        assert_eq!(batch.to_table().to_csv(), inc.to_table().to_csv());
+    }
+
+    #[test]
+    fn engines_quarantine_identically_under_chaos() {
+        use osn_graph::testutil::{ChaosAction, ChaosTaskPlan};
+        let log = tiny_log();
+        let cfg = MetricSeriesConfig {
+            stride: 20,
+            workers: 2,
+            path_sample: 30,
+            path_every: 1,
+            clustering_sample: 100,
+            ..Default::default()
+        };
+        let bad_day = cfg.first_day + 3 * cfg.stride;
+        let policy = RunPolicy {
+            chaos: Some(ChaosTaskPlan::default().with_rule(
+                bad_day as u64,
+                None,
+                ChaosAction::Panic("poisoned snapshot".into()),
+            )),
+            ..RunPolicy::default()
+        };
+        let (batch, bf) = metric_series_supervised_with(&log, &cfg, &policy, EngineKind::Batch);
+        let (inc, inf) =
+            metric_series_supervised_with(&log, &cfg, &policy, EngineKind::Incremental);
+        assert_eq!(bf.len(), 1);
+        assert_eq!(inf.len(), 1);
+        assert_eq!(bf[0].day, bad_day);
+        assert_eq!(inf[0].day, bad_day);
+        assert_eq!(bf[0].failure.kind, inf[0].failure.kind);
+        assert_eq!(batch.to_table().to_csv(), inc.to_table().to_csv());
     }
 }
 

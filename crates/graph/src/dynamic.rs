@@ -73,6 +73,34 @@ impl fmt::Display for ApplyError {
 
 impl std::error::Error for ApplyError {}
 
+/// Hook invoked by [`DynamicGraph::apply_with`] for every accepted event,
+/// **after validation but before the mutation** — so `edge_added` can
+/// inspect the pre-insert neighbourhoods of both endpoints (the state an
+/// incremental triangle/wedge counter needs).
+///
+/// All methods default to no-ops; implement only what you track. A
+/// rejected event never reaches the observer.
+pub trait DeltaObserver {
+    /// A node arrival was validated and is about to be added. `graph` is
+    /// the state *before* the node exists.
+    fn node_added(&mut self, graph: &DynamicGraph, node: NodeId, origin: Origin, time: Time) {
+        let _ = (graph, node, origin, time);
+    }
+
+    /// An edge arrival was validated and is about to be inserted. `graph`
+    /// is the state *before* the edge exists — `graph.degree(u)` and
+    /// `graph.neighbors(u)` are the pre-insert values.
+    fn edge_added(&mut self, graph: &DynamicGraph, u: NodeId, v: NodeId) {
+        let _ = (graph, u, v);
+    }
+}
+
+/// The no-op observer [`DynamicGraph::apply`] uses; compiles away.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoDelta;
+
+impl DeltaObserver for NoDelta {}
+
 /// Mutable dynamic graph with per-node metadata.
 #[derive(Debug, Clone, Default)]
 pub struct DynamicGraph {
@@ -160,6 +188,17 @@ impl DynamicGraph {
     /// release builds silently corrupt the edge count and adjacency lists.
     /// On error the graph is left exactly as it was (no partial insert).
     pub fn apply(&mut self, event: &Event) -> Result<(), ApplyError> {
+        self.apply_with(event, &mut NoDelta)
+    }
+
+    /// Apply one event, notifying `obs` after validation and before the
+    /// mutation (see [`DeltaObserver`] for the exact contract). A rejected
+    /// event leaves both the graph and the observer untouched.
+    pub fn apply_with<O: DeltaObserver>(
+        &mut self,
+        event: &Event,
+        obs: &mut O,
+    ) -> Result<(), ApplyError> {
         match event.kind {
             EventKind::AddNode { node, origin } => {
                 if node.index() != self.adj.len() {
@@ -168,6 +207,7 @@ impl DynamicGraph {
                         expected: self.adj.len() as u32,
                     });
                 }
+                obs.node_added(self, node, origin, event.time);
                 self.adj.push(Vec::new());
                 self.origins.push(origin);
                 self.join_times.push(event.time);
@@ -190,6 +230,7 @@ impl DynamicGraph {
                     Err(pos) => pos,
                     Ok(_) => return Err(ApplyError::DuplicateEdge { u, v }),
                 };
+                obs.edge_added(self, u, v);
                 self.adj[u.index()].insert(pos_u, v.0);
                 let pos_v = self.adj[v.index()]
                     .binary_search(&u.0)
@@ -330,6 +371,42 @@ mod tests {
         }
         .to_string();
         assert!(shown.contains("duplicate edge 0-1"), "{shown}");
+    }
+
+    /// The observer sees every accepted event with pre-insert state, and
+    /// never sees a rejected one.
+    #[test]
+    fn delta_observer_sees_pre_insert_state() {
+        #[derive(Default)]
+        struct Probe {
+            nodes: usize,
+            edges: Vec<(u32, u32, usize, usize)>, // (u, v, pre-deg u, pre-deg v)
+        }
+        impl DeltaObserver for Probe {
+            fn node_added(&mut self, g: &DynamicGraph, node: NodeId, _: Origin, _: Time) {
+                assert_eq!(node.index(), g.num_nodes(), "called before the push");
+                self.nodes += 1;
+            }
+            fn edge_added(&mut self, g: &DynamicGraph, u: NodeId, v: NodeId) {
+                assert!(!g.has_edge(u, v), "called before the insert");
+                self.edges.push((u.0, v.0, g.degree(u), g.degree(v)));
+            }
+        }
+        let log = sample_log();
+        let mut g = DynamicGraph::new();
+        let mut probe = Probe::default();
+        for e in log.events() {
+            g.apply_with(e, &mut probe).unwrap();
+        }
+        assert_eq!(probe.nodes, 3);
+        // The log builder canonicalises endpoints as (min, max).
+        assert_eq!(probe.edges, vec![(0, 1, 0, 0), (0, 2, 1, 0)]);
+        // Rejected events leave the observe count unchanged.
+        let before = probe.edges.len();
+        assert!(g
+            .apply_with(&Event::edge(Time(9), NodeId(0), NodeId(1)), &mut probe)
+            .is_err());
+        assert_eq!(probe.edges.len(), before);
     }
 
     #[test]

@@ -37,12 +37,14 @@ pub mod snapshots;
 pub mod testutil;
 pub mod time;
 pub mod unionfind;
+pub mod view;
 
 pub use csr::CsrGraph;
-pub use dynamic::{ApplyError, DynamicGraph};
+pub use dynamic::{ApplyError, DeltaObserver, DynamicGraph, NoDelta};
 pub use event::{Event, EventKind, Origin};
 pub use io::{IngestReport, ParseError, RecoveryPolicy};
 pub use log::{EventLog, EventLogBuilder, LogError};
 pub use snapshots::{CheckpointError, DailySnapshots, ReplayCheckpoint, Replayer};
 pub use time::{Day, NodeId, Time, SECONDS_PER_DAY};
 pub use unionfind::UnionFind;
+pub use view::GraphView;

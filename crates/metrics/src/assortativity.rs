@@ -1,6 +1,6 @@
 //! Degree assortativity.
 
-use osn_graph::CsrGraph;
+use osn_graph::GraphView;
 use osn_stats::correlation::PearsonAccumulator;
 
 /// Degree assortativity: the Pearson correlation coefficient of the
@@ -9,7 +9,7 @@ use osn_stats::correlation::PearsonAccumulator;
 /// Each undirected edge contributes both orderings `(deg u, deg v)` and
 /// `(deg v, deg u)`, the standard symmetrisation. Returns `None` when the
 /// correlation is undefined (fewer than two edges, or all degrees equal).
-pub fn degree_assortativity(g: &CsrGraph) -> Option<f64> {
+pub fn degree_assortativity<G: GraphView>(g: &G) -> Option<f64> {
     let mut acc = PearsonAccumulator::new();
     for (u, v) in g.edges() {
         let du = g.degree(u) as f64;
@@ -23,6 +23,7 @@ pub fn degree_assortativity(g: &CsrGraph) -> Option<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use osn_graph::CsrGraph;
 
     #[test]
     fn star_is_disassortative() {

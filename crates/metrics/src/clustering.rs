@@ -7,7 +7,7 @@
 //! node sample, which is the standard practice the paper follows for path
 //! lengths and is accurate to well under the plot's resolution.
 
-use osn_graph::CsrGraph;
+use osn_graph::GraphView;
 use osn_stats::sampling::sample_without_replacement;
 use rand::Rng;
 
@@ -15,7 +15,7 @@ use rand::Rng;
 ///
 /// Nodes of degree < 2 have coefficient 0 (the convention the paper's
 /// network-average uses: they contribute zero to the mean).
-pub fn local_clustering(g: &CsrGraph, node: u32) -> f64 {
+pub fn local_clustering<G: GraphView>(g: &G, node: u32) -> f64 {
     let neigh = g.neighbors(node);
     let d = neigh.len();
     if d < 2 {
@@ -34,7 +34,7 @@ pub fn local_clustering(g: &CsrGraph, node: u32) -> f64 {
 }
 
 /// Number of common elements of two sorted slices.
-fn sorted_intersection_count(a: &[u32], b: &[u32]) -> u64 {
+pub(crate) fn sorted_intersection_count(a: &[u32], b: &[u32]) -> u64 {
     let mut i = 0;
     let mut j = 0;
     let mut count = 0;
@@ -53,7 +53,7 @@ fn sorted_intersection_count(a: &[u32], b: &[u32]) -> u64 {
 }
 
 /// Exact average clustering coefficient over all nodes.
-pub fn average_clustering_exact(g: &CsrGraph) -> f64 {
+pub fn average_clustering_exact<G: GraphView>(g: &G) -> f64 {
     let n = g.num_nodes();
     if n == 0 {
         return 0.0;
@@ -64,7 +64,11 @@ pub fn average_clustering_exact(g: &CsrGraph) -> f64 {
 
 /// Average clustering coefficient, estimated from `sample_size` uniformly
 /// sampled nodes when the graph is larger than that (exact otherwise).
-pub fn average_clustering<R: Rng + ?Sized>(g: &CsrGraph, sample_size: usize, rng: &mut R) -> f64 {
+pub fn average_clustering<G: GraphView, R: Rng + ?Sized>(
+    g: &G,
+    sample_size: usize,
+    rng: &mut R,
+) -> f64 {
     let n = g.num_nodes();
     if n == 0 {
         return 0.0;
@@ -82,7 +86,7 @@ pub fn average_clustering<R: Rng + ?Sized>(g: &CsrGraph, sample_size: usize, rng
 ///
 /// Not used by any figure directly but exposed for completeness and used
 /// by tests as an independent cross-check of the triangle counting.
-pub fn transitivity(g: &CsrGraph) -> f64 {
+pub fn transitivity<G: GraphView>(g: &G) -> f64 {
     let mut triangles3 = 0u64; // 3 × number of triangles
     let mut triples = 0u64;
     for u in 0..g.num_nodes() as u32 {
@@ -103,6 +107,7 @@ pub fn transitivity(g: &CsrGraph) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use osn_graph::CsrGraph;
     use osn_stats::rng_from_seed;
 
     #[test]

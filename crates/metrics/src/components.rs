@@ -1,10 +1,13 @@
 //! Connected components.
+//!
+//! Generic over [`GraphView`] so the kernels run identically on frozen
+//! CSR snapshots and on the incremental engine's live graph.
 
-use osn_graph::{CsrGraph, UnionFind};
+use osn_graph::{GraphView, UnionFind};
 
 /// Sizes of all connected components, largest first. Isolated nodes count
 /// as size-1 components.
-pub fn component_sizes(g: &CsrGraph) -> Vec<u32> {
+pub fn component_sizes<G: GraphView>(g: &G) -> Vec<u32> {
     let mut uf = UnionFind::new(g.num_nodes());
     for (u, v) in g.edges() {
         uf.union(u, v);
@@ -20,24 +23,46 @@ pub fn component_sizes(g: &CsrGraph) -> Vec<u32> {
     sizes
 }
 
-/// The node ids of the largest connected component (empty for an empty
-/// graph). Ties are broken by the smallest representative.
-pub fn largest_component(g: &CsrGraph) -> Vec<u32> {
-    let n = g.num_nodes();
+/// Extract the largest component from an already-populated [`UnionFind`]
+/// over `0..n`, as a sorted node-id list.
+///
+/// Ties are broken by the **smallest member node id**, which depends only
+/// on the partition — not on the shape of the union-find forest — so a
+/// union-find built from canonical edge order (batch) and one built from
+/// event order (incremental engine) select the same component even when
+/// several share the maximal size.
+pub fn largest_component_of(uf: &mut UnionFind, n: usize) -> Vec<u32> {
     if n == 0 {
         return Vec::new();
     }
+    let mut rep = 0u32;
+    let mut best = 0u32;
+    for x in 0..n as u32 {
+        // Strictly-greater keeps the first (smallest-member) component on
+        // ties; scanning ascending makes that partition-deterministic.
+        let s = uf.set_size(x);
+        if s > best {
+            best = s;
+            rep = uf.find(x);
+        }
+    }
+    (0..n as u32).filter(|&x| uf.find(x) == rep).collect()
+}
+
+/// The node ids of the largest connected component (empty for an empty
+/// graph). Ties are broken by the smallest member node id.
+pub fn largest_component<G: GraphView>(g: &G) -> Vec<u32> {
+    let n = g.num_nodes();
     let mut uf = UnionFind::new(n);
     for (u, v) in g.edges() {
         uf.union(u, v);
     }
-    let (rep, _) = uf.largest_set().expect("non-empty graph");
-    (0..n as u32).filter(|&x| uf.find(x) == rep).collect()
+    largest_component_of(&mut uf, n)
 }
 
 /// Membership mask of the largest component: `mask[u]` is true if `u` is
 /// in the giant component.
-pub fn largest_component_mask(g: &CsrGraph) -> Vec<bool> {
+pub fn largest_component_mask<G: GraphView>(g: &G) -> Vec<bool> {
     let n = g.num_nodes();
     let mut mask = vec![false; n];
     for u in largest_component(g) {
@@ -49,6 +74,7 @@ pub fn largest_component_mask(g: &CsrGraph) -> Vec<bool> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use osn_graph::CsrGraph;
 
     fn two_components() -> CsrGraph {
         // {0,1,2} triangle, {3,4} edge, {5} isolated
@@ -81,5 +107,25 @@ mod tests {
         let g = CsrGraph::from_edges(3, &[]);
         assert_eq!(component_sizes(&g), vec![1, 1, 1]);
         assert_eq!(largest_component(&g).len(), 1);
+    }
+
+    /// The tie-break must depend on the partition only: the same two
+    /// same-size components picked via differently-shaped forests (edges
+    /// unioned in opposite orders) select the same winner.
+    #[test]
+    fn tie_break_is_partition_deterministic() {
+        // Components {1,3} and {0,2} — sizes tie; smallest member is 0.
+        let edges_a = [(1, 3), (0, 2)];
+        let edges_b = [(2, 0), (3, 1)];
+        let mut uf_a = UnionFind::new(4);
+        for (u, v) in edges_a {
+            uf_a.union(u, v);
+        }
+        let mut uf_b = UnionFind::new(4);
+        for (u, v) in edges_b {
+            uf_b.union(u, v);
+        }
+        assert_eq!(largest_component_of(&mut uf_a, 4), vec![0, 2]);
+        assert_eq!(largest_component_of(&mut uf_b, 4), vec![0, 2]);
     }
 }

@@ -1,0 +1,602 @@
+//! Delta-driven snapshot engine.
+//!
+//! The batch pipeline (`osn_core::network::metric_series_supervised` with
+//! [`EngineKind::Batch`]) replays the event log and **freezes a CSR
+//! snapshot per day**, paying `O(N + E)` per snapshot before any metric
+//! runs. Day-over-day deltas in OSN traces are tiny relative to the
+//! accumulated graph, so this module maintains **one evolving graph** and
+//! per-metric incremental state instead:
+//!
+//! * degree histogram — `O(1)` per edge event;
+//! * connected components — a live [`UnionFind`] updated per edge, so the
+//!   giant component costs an `O(N α)` scan per snapshot instead of an
+//!   `O(E α)` rebuild;
+//! * wedge/triangle counters — one sorted-adjacency intersection per edge
+//!   (optional: off unless a consumer asks, since the Figure 1 series
+//!   doesn't need them), giving `O(1)` global transitivity;
+//! * degree CCDF — cached, invalidated by any delta, rebuilt from the
+//!   histogram on demand.
+//!
+//! Sampled kernels (BFS path length, clustering, assortativity) run
+//! directly on the live [`DynamicGraph`] through
+//! [`GraphView`](osn_graph::GraphView) — same code, same traversal order,
+//! bit-identical results to the frozen-snapshot path, with the freeze
+//! skipped entirely.
+//!
+//! [`day_sweep`] adds a work-stealing parallel sweep: the day range is
+//! split into contiguous chunks, workers claim chunks from a shared
+//! atomic cursor (so a slow chunk never stalls the others), and each
+//! worker seeds its shard state from a [`ReplayCheckpoint`] at the chunk
+//! boundary. Seeding replays the event prefix through the delta observer
+//! (incremental state cannot be reconstructed any other way), so the
+//! parallel win is in the per-day metric work — BFS sampling, clustering,
+//! assortativity — not the replay itself.
+
+use crate::components::largest_component_of;
+use crate::parallel::default_workers;
+use osn_graph::dynamic::DeltaObserver;
+use osn_graph::{
+    CheckpointError, Day, DynamicGraph, EventLog, NodeId, Origin, ReplayCheckpoint, Replayer, Time,
+    UnionFind,
+};
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Which snapshot engine drives a per-day metric sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Freeze a CSR snapshot per day and recompute everything on it.
+    /// Slower, trivially correct — kept as the oracle the incremental
+    /// engine is differentially tested against.
+    Batch,
+    /// Maintain one evolving graph plus per-metric incremental state;
+    /// never freezes a snapshot. The default.
+    #[default]
+    Incremental,
+}
+
+impl EngineKind {
+    /// Stable lowercase name (`"batch"` / `"incremental"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EngineKind::Batch => "batch",
+            EngineKind::Incremental => "incremental",
+        }
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for EngineKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "batch" => Ok(EngineKind::Batch),
+            "incremental" => Ok(EngineKind::Incremental),
+            other => Err(format!(
+                "unknown engine '{other}' (expected 'batch' or 'incremental')"
+            )),
+        }
+    }
+}
+
+/// Tuning knobs for [`day_sweep`].
+///
+/// Construct via [`EngineConfig::builder`]; the struct is
+/// `#[non_exhaustive]` so new knobs can land without breaking callers.
+#[derive(Debug, Clone, Copy, Default)]
+#[non_exhaustive]
+pub struct EngineConfig {
+    /// Worker threads for the day sweep (0 = auto).
+    pub workers: usize,
+    /// Days per work-stealing chunk (0 = auto: the day list split in
+    /// roughly `4 × workers` contiguous chunks).
+    pub chunk_days: usize,
+    /// Maintain the wedge/triangle counters while replaying. Costs one
+    /// sorted-adjacency intersection per edge event; the Figure 1 series
+    /// doesn't need it, so sweeps leave it off unless asked.
+    pub track_triangles: bool,
+}
+
+impl EngineConfig {
+    /// Start building a config from the defaults.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            cfg: EngineConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`EngineConfig`].
+#[derive(Debug, Clone)]
+pub struct EngineConfigBuilder {
+    cfg: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Worker threads for the day sweep (0 = auto).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.cfg.workers = workers;
+        self
+    }
+
+    /// Days per work-stealing chunk (0 = auto).
+    pub fn chunk_days(mut self, chunk_days: usize) -> Self {
+        self.cfg.chunk_days = chunk_days;
+        self
+    }
+
+    /// Maintain wedge/triangle counters while replaying.
+    pub fn track_triangles(mut self, on: bool) -> Self {
+        self.cfg.track_triangles = on;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> EngineConfig {
+        self.cfg
+    }
+}
+
+/// Per-metric incremental state, fed by the replay's
+/// [`DeltaObserver`] hook.
+#[derive(Debug)]
+pub struct MetricDeltas {
+    /// `hist[d]` = number of nodes with degree `d`.
+    degree_hist: Vec<u64>,
+    /// Live connected components (sized for the whole log up front;
+    /// not-yet-arrived nodes are untouched singletons).
+    uf: UnionFind,
+    /// Exact triangle count (only meaningful when `track_triangles`).
+    triangles: u64,
+    /// Σ deg·(deg−1)/2 — connected triples (ditto).
+    triples: u64,
+    track_triangles: bool,
+    /// Cached CCDF, invalidated by any delta.
+    ccdf: Option<Vec<(f64, f64)>>,
+}
+
+impl MetricDeltas {
+    fn new(total_nodes: usize, track_triangles: bool) -> Self {
+        MetricDeltas {
+            degree_hist: vec![0; 1],
+            uf: UnionFind::new(total_nodes),
+            triangles: 0,
+            triples: 0,
+            track_triangles,
+            ccdf: None,
+        }
+    }
+}
+
+impl DeltaObserver for MetricDeltas {
+    fn node_added(&mut self, _graph: &DynamicGraph, _node: NodeId, _origin: Origin, _time: Time) {
+        self.degree_hist[0] += 1;
+        self.ccdf = None;
+    }
+
+    fn edge_added(&mut self, graph: &DynamicGraph, u: NodeId, v: NodeId) {
+        let (du, dv) = (graph.degree(u), graph.degree(v));
+        if self.track_triangles {
+            // Triangles closed by this edge = |N(u) ∩ N(v)| before insert;
+            // each endpoint's degree bump adds `deg` new connected triples.
+            self.triangles += crate::clustering::sorted_intersection_count(
+                graph.neighbors(u),
+                graph.neighbors(v),
+            );
+            self.triples += (du + dv) as u64;
+        }
+        if self.degree_hist.len() <= du.max(dv) + 1 {
+            self.degree_hist.resize(du.max(dv) + 2, 0);
+        }
+        self.degree_hist[du] -= 1;
+        self.degree_hist[dv] -= 1;
+        self.degree_hist[du + 1] += 1;
+        self.degree_hist[dv + 1] += 1;
+        self.uf.union(u.0, v.0);
+        self.ccdf = None;
+    }
+}
+
+/// One evolving graph plus incremental metric state over an event log —
+/// the incremental engine's shard state.
+#[derive(Debug)]
+pub struct EngineState<'a> {
+    replayer: Replayer<'a>,
+    deltas: MetricDeltas,
+}
+
+impl<'a> EngineState<'a> {
+    /// Fresh engine state at the beginning of `log`.
+    pub fn new(log: &'a EventLog) -> Self {
+        Self::with_config(log, &EngineConfig::default())
+    }
+
+    /// Fresh engine state honouring `cfg.track_triangles`.
+    pub fn with_config(log: &'a EventLog, cfg: &EngineConfig) -> Self {
+        EngineState {
+            replayer: Replayer::new(log),
+            deltas: MetricDeltas::new(log.num_nodes() as usize, cfg.track_triangles),
+        }
+    }
+
+    /// Engine state seeded from a day-boundary [`ReplayCheckpoint`]
+    /// (see [`day_checkpoint`]): the event prefix is replayed through the
+    /// delta observer, because incremental state cannot be reconstructed
+    /// from the position alone. Refuses checkpoints from another trace or
+    /// not on a day boundary.
+    pub fn seed(
+        log: &'a EventLog,
+        cp: &ReplayCheckpoint,
+        cfg: &EngineConfig,
+    ) -> Result<Self, CheckpointError> {
+        if cp.fingerprint != log.fingerprint() {
+            return Err(CheckpointError::FingerprintMismatch {
+                recorded: cp.fingerprint,
+                actual: log.fingerprint(),
+            });
+        }
+        let mut state = Self::with_config(log, cfg);
+        state.advance_through_day(cp.day);
+        if state.replayer.position() != cp.pos {
+            return Err(CheckpointError::Malformed(format!(
+                "checkpoint pos {} is not the day-{} boundary (expected {})",
+                cp.pos,
+                cp.day,
+                state.replayer.position()
+            )));
+        }
+        Ok(state)
+    }
+
+    /// Apply all events up to and including `day`, updating every delta.
+    pub fn advance_through_day(&mut self, day: Day) -> usize {
+        self.replayer
+            .advance_through_day_with(day, &mut self.deltas)
+    }
+
+    /// The live graph as of the last applied event.
+    pub fn graph(&self) -> &DynamicGraph {
+        self.replayer.graph()
+    }
+
+    /// Capture the current position as a [`ReplayCheckpoint`] recording
+    /// `day` as the last fully-processed day.
+    pub fn checkpoint(&self, day: Day) -> ReplayCheckpoint {
+        self.replayer.checkpoint(day)
+    }
+
+    /// Node ids of the largest connected component from the live
+    /// union-find — `O(N α)` per call, no per-day rebuild. Bit-identical
+    /// to [`crate::components::largest_component`] on a frozen snapshot
+    /// of the same instant (the tie-break depends only on the partition).
+    pub fn giant_component(&mut self) -> Vec<u32> {
+        let n = self.graph().num_nodes();
+        largest_component_of(&mut self.deltas.uf, n)
+    }
+
+    /// `hist[d]` = number of nodes with current degree `d`.
+    pub fn degree_histogram(&self) -> &[u64] {
+        &self.deltas.degree_hist
+    }
+
+    /// Complementary CDF of the degree distribution, `(d, P(deg ≥ d))`
+    /// for every occurring degree `d ≥ 1` — same points as
+    /// [`crate::degree::degree_ccdf`] on a frozen snapshot. Cached until
+    /// the next delta.
+    pub fn degree_ccdf(&mut self) -> &[(f64, f64)] {
+        if self.deltas.ccdf.is_none() {
+            osn_obs::counter!("engine.ccdf_rebuilds").inc();
+            self.deltas.ccdf = Some(ccdf_from_histogram(&self.deltas.degree_hist));
+        }
+        self.deltas.ccdf.as_deref().unwrap_or(&[])
+    }
+
+    /// Exact triangle count.
+    ///
+    /// # Panics
+    /// Panics unless the state was built with `track_triangles`.
+    pub fn triangles(&self) -> u64 {
+        assert!(
+            self.deltas.track_triangles,
+            "engine state was built without track_triangles"
+        );
+        self.deltas.triangles
+    }
+
+    /// Global transitivity `3△ / triples` in `O(1)` (0 when no triples).
+    ///
+    /// # Panics
+    /// Panics unless the state was built with `track_triangles`.
+    pub fn transitivity(&self) -> f64 {
+        assert!(
+            self.deltas.track_triangles,
+            "engine state was built without track_triangles"
+        );
+        if self.deltas.triples == 0 {
+            0.0
+        } else {
+            3.0 * self.deltas.triangles as f64 / self.deltas.triples as f64
+        }
+    }
+}
+
+fn ccdf_from_histogram(hist: &[u64]) -> Vec<(f64, f64)> {
+    let n: u64 = hist.iter().sum();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut at_least = n;
+    for (d, &count) in hist.iter().enumerate() {
+        if count > 0 && d > 0 {
+            out.push((d as f64, at_least as f64 / n as f64));
+        }
+        at_least -= count;
+    }
+    out
+}
+
+/// The [`ReplayCheckpoint`] at the end of `day`: position of the first
+/// event past the day boundary, used as a shard seed state by
+/// [`day_sweep`] and by checkpointed resumes.
+pub fn day_checkpoint(log: &EventLog, day: Day) -> ReplayCheckpoint {
+    let boundary = Time::day_end(day);
+    let pos = log.events().partition_point(|e| e.time < boundary);
+    ReplayCheckpoint {
+        pos,
+        day,
+        fingerprint: log.fingerprint(),
+    }
+}
+
+/// Work-stealing incremental day-sweep.
+///
+/// Runs `f(state, index, day)` for every day in `days` (which must be
+/// ascending), with the engine state already advanced through that day.
+/// Results come back in `days` order.
+///
+/// With one worker the sweep runs inline on a single shard — no threads,
+/// no seeding overhead. With more, the day list is split into contiguous
+/// chunks that workers claim from a shared atomic cursor; each worker
+/// owns one shard ([`EngineState`]) seeded from the [`day_checkpoint`]
+/// at its first chunk's boundary and only ever advances forward, so the
+/// expensive per-day kernels (BFS sampling, clustering, assortativity)
+/// run in parallel across shards.
+///
+/// `f` is responsible for its own supervision (the metric pipelines wrap
+/// it in `supervised_call` to keep the quarantine semantics of the batch
+/// path); a panic escaping `f` aborts the sweep.
+pub fn day_sweep<'a, T, F>(log: &'a EventLog, days: &[Day], cfg: &EngineConfig, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&mut EngineState<'a>, usize, Day) -> T + Sync,
+{
+    debug_assert!(days.windows(2).all(|w| w[0] < w[1]), "days must ascend");
+    let _sweep = osn_obs::span!("engine.sweep");
+    osn_obs::counter!("engine.days").add(days.len() as u64);
+    let workers = if cfg.workers == 0 {
+        default_workers()
+    } else {
+        cfg.workers
+    };
+
+    if workers <= 1 || days.len() <= 1 {
+        osn_obs::counter!("engine.chunks").inc();
+        let mut state = EngineState::with_config(log, cfg);
+        return days
+            .iter()
+            .enumerate()
+            .map(|(idx, &day)| {
+                state.advance_through_day(day);
+                f(&mut state, idx, day)
+            })
+            .collect();
+    }
+
+    // Contiguous chunks, claimed in order from a shared cursor: a worker's
+    // chunks strictly increase, so its shard only moves forward.
+    let chunk_days = if cfg.chunk_days == 0 {
+        days.len().div_ceil(workers * 4).max(1)
+    } else {
+        cfg.chunk_days
+    };
+    let chunks: Vec<(usize, &[Day])> = days
+        .chunks(chunk_days)
+        .enumerate()
+        .map(|(i, c)| (i * chunk_days, c))
+        .collect();
+    osn_obs::counter!("engine.chunks").add(chunks.len() as u64);
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(days.len());
+    slots.resize_with(days.len(), || None);
+    let results = Mutex::new(slots);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers.min(chunks.len()) {
+            scope.spawn(|_| {
+                let mut shard: Option<EngineState<'a>> = None;
+                loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    let Some(&(base, chunk)) = chunks.get(i) else {
+                        break;
+                    };
+                    let state = shard.get_or_insert_with(|| {
+                        // Seed the shard at the boundary before this
+                        // chunk's first day (prefix replay through the
+                        // delta observer).
+                        let first = chunk[0];
+                        if first == 0 {
+                            EngineState::with_config(log, cfg)
+                        } else {
+                            let cp = day_checkpoint(log, first - 1);
+                            EngineState::seed(log, &cp, cfg).expect("seed from own checkpoint")
+                        }
+                    });
+                    let mut produced = Vec::with_capacity(chunk.len());
+                    for (off, &day) in chunk.iter().enumerate() {
+                        state.advance_through_day(day);
+                        produced.push(f(state, base + off, day));
+                    }
+                    let mut slots = results.lock().expect("results poisoned");
+                    for (off, value) in produced.into_iter().enumerate() {
+                        slots[base + off] = Some(value);
+                    }
+                }
+            });
+        }
+    })
+    .expect("engine sweep worker panicked");
+
+    results
+        .into_inner()
+        .expect("results poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("every day produced"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clustering::transitivity;
+    use crate::components::largest_component;
+    use crate::degree::{degree_ccdf, degree_distribution};
+    use osn_graph::{EventLogBuilder, GraphView};
+
+    /// A small multi-day log: a growing ring plus chords, two islands.
+    fn multi_day_log() -> EventLog {
+        let mut b = EventLogBuilder::new();
+        let mut nodes = Vec::new();
+        for d in 0..12u64 {
+            for k in 0..3 {
+                let n = b
+                    .add_node(Time::from_days(d).plus_seconds(k), Origin::Core)
+                    .unwrap();
+                nodes.push(n);
+            }
+            let t = Time::from_days(d).plus_seconds(100);
+            let n = nodes.len();
+            // ring-ish growth with chords; leave the last island alone
+            if n >= 6 {
+                b.add_edge(t, nodes[n - 1], nodes[n - 4]).unwrap();
+                b.add_edge(t, nodes[n - 2], nodes[n - 5]).unwrap();
+                if d % 2 == 0 {
+                    b.add_edge(t, nodes[n - 1], nodes[n - 5]).unwrap();
+                }
+                if d % 3 == 0 {
+                    b.add_edge(t, nodes[0], nodes[n - 3]).unwrap();
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn deltas_match_batch_on_every_day() {
+        let log = multi_day_log();
+        let cfg = EngineConfig::builder().track_triangles(true).build();
+        let mut state = EngineState::with_config(&log, &cfg);
+        for day in 0..=log.end_day() {
+            state.advance_through_day(day);
+            let frozen = state.graph().freeze();
+            // degree histogram vs batch distribution
+            let batch_dist = degree_distribution(&frozen);
+            let hist = state.degree_histogram();
+            assert_eq!(&hist[..batch_dist.len()], &batch_dist[..], "day {day}");
+            assert!(hist[batch_dist.len()..].iter().all(|&c| c == 0));
+            // cached CCDF vs batch
+            assert_eq!(state.degree_ccdf(), degree_ccdf(&frozen), "day {day}");
+            // giant component via live union-find vs batch rebuild
+            assert_eq!(
+                state.giant_component(),
+                largest_component(&frozen),
+                "day {day}"
+            );
+            // transitivity from the triangle/wedge counters vs batch
+            assert!(
+                (state.transitivity() - transitivity(&frozen)).abs() < 1e-12,
+                "day {day}"
+            );
+        }
+    }
+
+    #[test]
+    fn ccdf_cache_survives_quiet_days_and_invalidates_on_deltas() {
+        let log = multi_day_log();
+        let mut state = EngineState::new(&log);
+        state.advance_through_day(3);
+        let first = state.degree_ccdf().to_vec();
+        assert_eq!(state.degree_ccdf(), &first[..], "cached read is stable");
+        state.advance_through_day(7);
+        assert_ne!(state.degree_ccdf(), &first[..], "deltas invalidate");
+    }
+
+    #[test]
+    fn seed_matches_fresh_advance() {
+        let log = multi_day_log();
+        let cfg = EngineConfig::default();
+        let cp = day_checkpoint(&log, 5);
+        let mut seeded = EngineState::seed(&log, &cp, &cfg).unwrap();
+        let mut fresh = EngineState::new(&log);
+        fresh.advance_through_day(5);
+        assert_eq!(seeded.checkpoint(5), fresh.checkpoint(5));
+        assert_eq!(seeded.giant_component(), fresh.giant_component());
+        // Both continue in lockstep.
+        seeded.advance_through_day(9);
+        fresh.advance_through_day(9);
+        assert_eq!(seeded.degree_histogram(), fresh.degree_histogram());
+        assert_eq!(seeded.giant_component(), fresh.giant_component());
+    }
+
+    #[test]
+    fn seed_rejects_wrong_trace() {
+        let log = multi_day_log();
+        let mut other_b = EventLogBuilder::new();
+        other_b.add_node(Time(0), Origin::Core).unwrap();
+        let other = other_b.build();
+        let cp = day_checkpoint(&log, 2);
+        assert!(matches!(
+            EngineState::seed(&other, &cp, &EngineConfig::default()),
+            Err(CheckpointError::FingerprintMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn day_sweep_parallel_matches_sequential() {
+        let log = multi_day_log();
+        let days: Vec<Day> = (0..=log.end_day()).collect();
+        let probe = |state: &mut EngineState, idx: usize, day: Day| {
+            let g = state.graph();
+            (
+                idx,
+                day,
+                GraphView::num_nodes(g),
+                g.num_edges(),
+                state.giant_component().len(),
+            )
+        };
+        let sequential = day_sweep(&log, &days, &EngineConfig::default(), probe);
+        let parallel = day_sweep(
+            &log,
+            &days,
+            &EngineConfig::builder().workers(3).chunk_days(2).build(),
+            probe,
+        );
+        assert_eq!(sequential, parallel);
+        assert_eq!(sequential.len(), days.len());
+        for (idx, (i, day, nodes, ..)) in sequential.iter().enumerate() {
+            assert_eq!(*i, idx);
+            assert_eq!(*day, days[idx]);
+            assert!(*nodes > 0);
+        }
+    }
+}

@@ -14,6 +14,11 @@
 //! * [`diameter`] — sampled effective (90th-percentile) diameter, the
 //!   robust diameter of the graphs-over-time literature.
 //! * [`kcore`] — linear-time k-core decomposition (Batagelj–Zaversnik).
+//! * [`engine`] — the delta-driven snapshot engine: one evolving graph
+//!   with per-metric incremental state (degree histogram, live
+//!   union-find components, wedge/triangle counters, cached CCDF) and a
+//!   work-stealing parallel day-sweep; byte-identical to the batch path
+//!   and the default under `osn metrics`.
 //! * [`incremental`] — exact streaming triangle count, transitivity and
 //!   assortativity for append-only graphs (O(deg) per edge insert).
 //! * [`rewire`] — degree-preserving double-edge-swap rewiring, the
@@ -33,6 +38,7 @@ pub mod clustering;
 pub mod components;
 pub mod degree;
 pub mod diameter;
+pub mod engine;
 pub mod incremental;
 pub mod kcore;
 pub mod parallel;
@@ -45,10 +51,13 @@ pub use clustering::{average_clustering, local_clustering};
 pub use components::{component_sizes, largest_component};
 pub use degree::{average_degree, degree_ccdf, degree_distribution};
 pub use diameter::effective_diameter;
+pub use engine::{day_sweep, EngineConfig, EngineKind, EngineState};
 pub use incremental::IncrementalMetrics;
 pub use kcore::{core_numbers, core_profile, degeneracy};
 pub use parallel::par_map;
-pub use paths::{avg_path_length_sampled, bfs_distances, distance_to_group};
+pub use paths::{
+    avg_path_length_over_component, avg_path_length_sampled, bfs_distances, distance_to_group,
+};
 pub use rewire::degree_preserving_shuffle;
 pub use supervisor::{
     chaos_gate, supervised_call, try_par_map, try_par_map_labeled, FailureKind, RunPolicy,

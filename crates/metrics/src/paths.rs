@@ -1,6 +1,9 @@
 //! Shortest paths: BFS, sampled average path length, distance to a group.
+//!
+//! Generic over [`GraphView`] so the kernels run identically on frozen
+//! CSR snapshots and on the incremental engine's live graph.
 
-use osn_graph::CsrGraph;
+use osn_graph::{CsrGraph, GraphView};
 use osn_stats::sampling::sample_without_replacement;
 use rand::Rng;
 use std::collections::VecDeque;
@@ -9,7 +12,7 @@ use std::collections::VecDeque;
 pub const UNREACHABLE: u32 = u32::MAX;
 
 /// BFS distances from `src` to every node (`UNREACHABLE` if disconnected).
-pub fn bfs_distances(g: &CsrGraph, src: u32) -> Vec<u32> {
+pub fn bfs_distances<G: GraphView>(g: &G, src: u32) -> Vec<u32> {
     let mut dist = vec![UNREACHABLE; g.num_nodes()];
     let mut queue = VecDeque::new();
     dist[src as usize] = 0;
@@ -32,21 +35,35 @@ pub fn bfs_distances(g: &CsrGraph, src: u32) -> Vec<u32> {
 /// ("a sample of 1000 nodes from the SCC for each snapshot").
 ///
 /// Returns `None` if the giant component has fewer than two nodes.
-pub fn avg_path_length_sampled<R: Rng + ?Sized>(
-    g: &CsrGraph,
+pub fn avg_path_length_sampled<G: GraphView, R: Rng + ?Sized>(
+    g: &G,
     sample_size: usize,
     rng: &mut R,
 ) -> Option<f64> {
     let giant = crate::components::largest_component(g);
+    avg_path_length_over_component(g, &giant, sample_size, rng)
+}
+
+/// [`avg_path_length_sampled`] with the giant component supplied by the
+/// caller (sorted ascending, as [`crate::components::largest_component`]
+/// returns it). The incremental engine uses this to reuse its live
+/// union-find instead of rebuilding components per snapshot; passing the
+/// same component yields bit-identical results to the one-shot form.
+pub fn avg_path_length_over_component<G: GraphView, R: Rng + ?Sized>(
+    g: &G,
+    giant: &[u32],
+    sample_size: usize,
+    rng: &mut R,
+) -> Option<f64> {
     if giant.len() < 2 {
         return None;
     }
-    let sources = sample_without_replacement(&giant, sample_size, rng);
+    let sources = sample_without_replacement(giant, sample_size, rng);
     let mut total = 0u64;
     let mut count = 0u64;
     for &s in &sources {
         let dist = bfs_distances(g, s);
-        for &u in &giant {
+        for &u in giant {
             let d = dist[u as usize];
             if d != UNREACHABLE && u != s {
                 total += d as u64;
@@ -99,7 +116,11 @@ pub fn distance_to_group(
 
 /// Eccentricity-style diameter lower bound: the largest BFS distance seen
 /// from `rounds` random sources. Exposed for exploratory use and tests.
-pub fn diameter_lower_bound<R: Rng + ?Sized>(g: &CsrGraph, rounds: usize, rng: &mut R) -> u32 {
+pub fn diameter_lower_bound<G: GraphView, R: Rng + ?Sized>(
+    g: &G,
+    rounds: usize,
+    rng: &mut R,
+) -> u32 {
     let n = g.num_nodes();
     if n == 0 {
         return 0;

@@ -80,8 +80,12 @@ pub fn handle(query: &SnapshotQuery, route: Route, policy: &HandlerPolicy) -> Ha
             // outside the day range so drills can target it separately.
             ("days", u64::MAX, |q, _| Some(q.days_json()))
         }
-        Route::Metrics(day) => ("metrics", day as u64, SnapshotQuery::metrics_row),
-        Route::Communities(day) => ("communities", day as u64, SnapshotQuery::communities_row),
+        Route::Metrics(day) => ("metrics", day as u64, SnapshotQuery::metrics_row_csv),
+        Route::Communities(day) => (
+            "communities",
+            day as u64,
+            SnapshotQuery::communities_row_csv,
+        ),
         fast => unreachable!("fast-path route {fast:?} reached the work queue"),
     };
     let cfg = SupervisorConfig {
@@ -109,7 +113,6 @@ pub fn handle(query: &SnapshotQuery, route: Route, policy: &HandlerPolicy) -> Ha
 #[cfg(test)]
 mod tests {
     use super::*;
-    use osn_core::query::SnapshotQueryConfig;
     use osn_genstream::{TraceConfig, TraceGenerator};
     use osn_graph::testutil::ChaosAction;
     use std::sync::OnceLock;
@@ -118,20 +121,19 @@ mod tests {
         static Q: OnceLock<SnapshotQuery> = OnceLock::new();
         Q.get_or_init(|| {
             let log = TraceGenerator::new(TraceConfig::tiny()).generate();
-            let cfg = SnapshotQueryConfig {
-                metrics: osn_core::network::MetricSeriesConfig {
+            SnapshotQuery::builder()
+                .metrics(osn_core::network::MetricSeriesConfig {
                     stride: 40,
                     path_sample: 30,
                     clustering_sample: 100,
                     workers: 2,
                     ..Default::default()
-                },
-                communities: osn_core::communities::CommunityAnalysisConfig {
+                })
+                .communities(osn_core::communities::CommunityAnalysisConfig {
                     stride: 80,
                     ..Default::default()
-                },
-            };
-            SnapshotQuery::build(&log, &cfg)
+                })
+                .build(&log)
         })
     }
 
@@ -144,7 +146,7 @@ mod tests {
         assert_eq!(h.reason, "-");
         assert_eq!(
             String::from_utf8(h.response.body).unwrap(),
-            q.metrics_row(day).unwrap()
+            q.metrics_row_csv(day).unwrap()
         );
     }
 

@@ -9,9 +9,16 @@
 //! |---------------------------|------|-------|
 //! | `GET /healthz`            | `ok` | triage (never queued) |
 //! | `GET /readyz`             | JSON trace identity | triage |
+//! | `GET /v1/meta`            | JSON trace identity + engine kind + version | triage |
+//! | `GET /v1/stats`           | JSON server counters + telemetry | triage |
+//! | `GET /metrics`            | Prometheus text exposition | triage |
 //! | `GET /v1/days`            | JSON day lists | workers |
 //! | `GET /v1/metrics/{day}`   | CSV header + row, byte-identical to `osn metrics` | workers |
 //! | `GET /v1/communities/{day}` | CSV header + row, byte-identical to `osn communities` | workers |
+//!
+//! The full HTTP reference lives in `API.md` at the workspace root; it
+//! is generated from the route table in [`router`] and kept fresh by a
+//! unit test.
 //!
 //! Robustness is the design center, not throughput:
 //!

@@ -1,6 +1,13 @@
 //! Path → route resolution, split out from handling so triage can make
 //! its fast-path decision (health probes, rejects) without touching the
 //! query engine.
+//!
+//! Every externally-visible endpoint is documented *in this file*, as
+//! data: [`Route::doc`] is a closed match (no wildcard arm), so adding a
+//! route variant fails to compile until it is either documented or
+//! explicitly marked as a non-endpoint, and the workspace-root `API.md`
+//! is generated from the table (see [`api_markdown`] and the
+//! `api_md_is_generated_from_the_route_table` test).
 
 use crate::http::RequestHead;
 use osn_graph::Day;
@@ -13,6 +20,8 @@ pub enum Route {
     Health,
     /// `GET /readyz` — readiness; also triage-answered.
     Ready,
+    /// `GET /v1/meta` — trace identity + engine kind + server version.
+    Meta,
     /// `GET /v1/days` — trace identity + queryable day lists.
     Days,
     /// `GET /v1/stats` — server counters + telemetry snapshot as JSON;
@@ -32,6 +41,20 @@ pub enum Route {
     MethodNotAllowed,
 }
 
+/// One row of the generated HTTP reference: everything a client needs
+/// to know about an endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteDoc {
+    /// Path pattern, e.g. `/v1/metrics/{day}`.
+    pub path: &'static str,
+    /// Which plane answers: triage (never queued) or the worker queue.
+    pub plane: &'static str,
+    /// Response body on success.
+    pub body: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+}
+
 impl Route {
     /// True for routes triage resolves inline; false for routes that go
     /// through the bounded work queue.
@@ -41,6 +64,121 @@ impl Route {
             Route::Days | Route::Metrics(_) | Route::Communities(_)
         )
     }
+
+    /// Representative instances of every variant, used to iterate the
+    /// documentation table (parameterised variants use a placeholder
+    /// day).
+    pub const ALL: &'static [Route] = &[
+        Route::Health,
+        Route::Ready,
+        Route::Meta,
+        Route::Days,
+        Route::Stats,
+        Route::Prometheus,
+        Route::Metrics(0),
+        Route::Communities(0),
+        Route::BadDay,
+        Route::NotFound,
+        Route::MethodNotAllowed,
+    ];
+
+    /// Documentation for this route, or `None` for non-endpoints
+    /// (error dispositions). The match is deliberately closed: adding a
+    /// `Route` variant will not compile until it is documented here (or
+    /// consciously declared a non-endpoint), which keeps `API.md`
+    /// complete by construction.
+    pub fn doc(self) -> Option<RouteDoc> {
+        match self {
+            Route::Health => Some(RouteDoc {
+                path: "/healthz",
+                plane: "triage",
+                body: "`text/plain` — `ok`",
+                summary: "Liveness probe; answered even under full overload.",
+            }),
+            Route::Ready => Some(RouteDoc {
+                path: "/readyz",
+                plane: "triage",
+                body: "`application/json` — readiness + trace identity",
+                summary: "Readiness probe; the query engine is always warm once the \
+                          listener is up.",
+            }),
+            Route::Meta => Some(RouteDoc {
+                path: "/v1/meta",
+                plane: "triage",
+                body: "`application/json` — trace identity, snapshot engine, server version",
+                summary: "How the served answers were built: node/edge/day counts, trace \
+                          fingerprint, engine kind (`batch`/`incremental`), crate version.",
+            }),
+            Route::Days => Some(RouteDoc {
+                path: "/v1/days",
+                plane: "workers",
+                body: "`application/json` — metric + community day lists",
+                summary: "Every queryable snapshot day, plus trace identity.",
+            }),
+            Route::Stats => Some(RouteDoc {
+                path: "/v1/stats",
+                plane: "triage",
+                body: "`application/json` — server counters + telemetry snapshot",
+                summary: "Serving-plane counters and the full telemetry snapshot; stays \
+                          readable while the work queue sheds.",
+            }),
+            Route::Prometheus => Some(RouteDoc {
+                path: "/metrics",
+                plane: "triage",
+                body: "`text/plain` — Prometheus exposition",
+                summary: "Server counters and telemetry in Prometheus text format.",
+            }),
+            Route::Metrics(_) => Some(RouteDoc {
+                path: "/v1/metrics/{day}",
+                plane: "workers",
+                body: "`text/csv` — header + one row",
+                summary: "One Figure 1(c)–(f) row, byte-identical to `osn metrics` CSV \
+                          output; 404 for a day with no snapshot.",
+            }),
+            Route::Communities(_) => Some(RouteDoc {
+                path: "/v1/communities/{day}",
+                plane: "workers",
+                body: "`text/csv` — header + one row",
+                summary: "One community-summary row, byte-identical to `osn communities` \
+                          CSV output; 404 for a day with no snapshot.",
+            }),
+            // Error dispositions, not endpoints.
+            Route::BadDay | Route::NotFound | Route::MethodNotAllowed => None,
+        }
+    }
+}
+
+/// Render the workspace-root `API.md` from the route table. Pure
+/// function of [`Route::ALL`] + [`Route::doc`], so the committed file
+/// can be asserted stale-free by a unit test.
+pub fn api_markdown() -> String {
+    let mut out = String::from(
+        "# HTTP API\n\n\
+         `osn serve` endpoints. **Generated file — do not edit by hand.** This \
+         document is rendered from the route table in \
+         `crates/server/src/router.rs` (`Route::doc`); the \
+         `api_md_is_generated_from_the_route_table` test fails when a route is \
+         undocumented or this file is stale. Regenerate with:\n\n\
+         ```sh\n\
+         OSN_REGEN_API_MD=1 cargo test -p osn-server api_md\n\
+         ```\n\n\
+         All endpoints are `GET`; any other method is `405`. Unknown paths are \
+         `404`; a known prefix with an unparseable `{day}` is `400`. Overload is \
+         shed with `503` + `Retry-After`. The *triage* plane answers inline, \
+         before the bounded work queue, so those endpoints stay responsive while \
+         the server sheds load.\n\n\
+         | Method | Path | Plane | Body | Description |\n\
+         |---|---|---|---|---|\n",
+    );
+    for r in Route::ALL {
+        if let Some(d) = r.doc() {
+            out.push_str(&format!(
+                "| GET | `{}` | {} | {} | {} |\n",
+                d.path, d.plane, d.body, d.summary
+            ));
+        }
+    }
+    out
 }
 
 /// Resolve a parsed request head.
@@ -51,6 +189,7 @@ pub fn route(head: &RequestHead) -> Route {
     match head.path.as_str() {
         "/healthz" => Route::Health,
         "/readyz" => Route::Ready,
+        "/v1/meta" => Route::Meta,
         "/v1/days" => Route::Days,
         "/v1/stats" => Route::Stats,
         "/metrics" => Route::Prometheus,
@@ -87,6 +226,7 @@ mod tests {
     fn routes_resolve() {
         assert_eq!(route(&head("GET", "/healthz")), Route::Health);
         assert_eq!(route(&head("GET", "/readyz")), Route::Ready);
+        assert_eq!(route(&head("GET", "/v1/meta")), Route::Meta);
         assert_eq!(route(&head("GET", "/v1/days")), Route::Days);
         assert_eq!(route(&head("GET", "/v1/stats")), Route::Stats);
         assert_eq!(route(&head("GET", "/metrics")), Route::Prometheus);
@@ -104,11 +244,48 @@ mod tests {
     #[test]
     fn fast_path_split() {
         assert!(Route::Health.is_fast_path());
+        assert!(Route::Meta.is_fast_path());
         assert!(Route::NotFound.is_fast_path());
         assert!(Route::Stats.is_fast_path());
         assert!(Route::Prometheus.is_fast_path());
         assert!(!Route::Days.is_fast_path());
         assert!(!Route::Metrics(1).is_fast_path());
         assert!(!Route::Communities(1).is_fast_path());
+    }
+
+    #[test]
+    fn every_resolvable_path_appears_in_the_docs() {
+        // Each documented path pattern must resolve back to its variant
+        // (with a sample day substituted), so the table can't document
+        // paths the router doesn't actually serve.
+        for r in Route::ALL {
+            let Some(d) = r.doc() else { continue };
+            let concrete = d.path.replace("{day}", "42");
+            let resolved = route(&head("GET", &concrete));
+            let matches = match (r, resolved) {
+                (Route::Metrics(_), Route::Metrics(42)) => true,
+                (Route::Communities(_), Route::Communities(42)) => true,
+                (a, b) => *a == b,
+            };
+            assert!(matches, "doc path {} resolved to {resolved:?}", d.path);
+        }
+    }
+
+    /// `API.md` at the workspace root must be exactly what the route
+    /// table renders. Run with `OSN_REGEN_API_MD=1` to (re)write it.
+    #[test]
+    fn api_md_is_generated_from_the_route_table() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../API.md");
+        let expected = api_markdown();
+        if std::env::var_os("OSN_REGEN_API_MD").is_some() {
+            std::fs::write(path, &expected).expect("write API.md");
+            return;
+        }
+        let committed = std::fs::read_to_string(path).unwrap_or_default();
+        assert_eq!(
+            committed, expected,
+            "API.md is stale or missing a route. Regenerate with:\n  \
+             OSN_REGEN_API_MD=1 cargo test -p osn-server api_md"
+        );
     }
 }

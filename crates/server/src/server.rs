@@ -168,6 +168,7 @@ fn record_http_telemetry(path: &str, status: u16, elapsed: Duration, load_shed: 
     let hist = match path {
         "/healthz" => osn_obs::histogram!("http.latency_us.healthz"),
         "/readyz" => osn_obs::histogram!("http.latency_us.readyz"),
+        "/v1/meta" => osn_obs::histogram!("http.latency_us.meta"),
         "/v1/days" => osn_obs::histogram!("http.latency_us.days"),
         "/v1/stats" => osn_obs::histogram!("http.latency_us.stats"),
         "/metrics" => osn_obs::histogram!("http.latency_us.prometheus"),
@@ -384,6 +385,7 @@ fn fast_response(shared: &Shared, r: Route) -> Response {
                 ),
             )
         }
+        Route::Meta => Response::json(200, shared.query.meta_json(env!("CARGO_PKG_VERSION"))),
         Route::Stats => {
             // Serving-plane counters plus the full telemetry snapshot in
             // one document; both renderings are single-line JSON.

@@ -9,7 +9,7 @@
 
 use osn_core::communities::CommunityAnalysisConfig;
 use osn_core::network::MetricSeriesConfig;
-use osn_core::query::{SnapshotQuery, SnapshotQueryConfig};
+use osn_core::query::SnapshotQuery;
 use osn_genstream::{TraceConfig, TraceGenerator};
 use osn_graph::testutil::{
     header_flood, http_get, http_get_half_close, slow_loris, ChaosAction, ChaosHttpOutcome,
@@ -25,20 +25,20 @@ fn query() -> Arc<SnapshotQuery> {
     static Q: OnceLock<Arc<SnapshotQuery>> = OnceLock::new();
     Arc::clone(Q.get_or_init(|| {
         let log = TraceGenerator::new(TraceConfig::tiny()).generate();
-        let cfg = SnapshotQueryConfig {
-            metrics: MetricSeriesConfig {
+        let q = SnapshotQuery::builder()
+            .metrics(MetricSeriesConfig {
                 stride: 40,
                 path_sample: 30,
                 clustering_sample: 100,
                 workers: 2,
                 ..Default::default()
-            },
-            communities: CommunityAnalysisConfig {
+            })
+            .communities(CommunityAnalysisConfig {
                 stride: 80,
                 ..Default::default()
-            },
-        };
-        Arc::new(SnapshotQuery::build(&log, &cfg))
+            })
+            .build(&log);
+        Arc::new(q)
     }))
 }
 
@@ -58,16 +58,24 @@ fn serves_bytes_identical_to_the_query_engine() {
     let resp = http_get(&addr, &format!("/v1/metrics/{day}"), CLIENT_TIMEOUT).unwrap();
     assert_eq!(resp.status, 200);
     assert_eq!(resp.header("content-type"), Some("text/csv; charset=utf-8"));
-    assert_eq!(resp.body, q.metrics_row(day).unwrap().into_bytes());
+    assert_eq!(resp.body, q.metrics_row_csv(day).unwrap().into_bytes());
 
     let cday = q.community_days()[0];
     let resp = http_get(&addr, &format!("/v1/communities/{cday}"), CLIENT_TIMEOUT).unwrap();
     assert_eq!(resp.status, 200);
-    assert_eq!(resp.body, q.communities_row(cday).unwrap().into_bytes());
+    assert_eq!(resp.body, q.communities_row_csv(cday).unwrap().into_bytes());
 
     let resp = http_get(&addr, "/v1/days", CLIENT_TIMEOUT).unwrap();
     assert_eq!(resp.status, 200);
     assert_eq!(resp.body, q.days_json().into_bytes());
+
+    // /v1/meta is triage-answered and reports provenance: the engine
+    // kind plus the server's own version.
+    let resp = http_get(&addr, "/v1/meta", CLIENT_TIMEOUT).unwrap();
+    assert_eq!(resp.status, 200);
+    let body = resp.body_str().to_string();
+    assert!(body.contains("\"engine\":\"incremental\""), "{body}");
+    assert!(body.contains("\"version\":\""), "{body}");
 
     let resp = http_get(&addr, "/readyz", CLIENT_TIMEOUT).unwrap();
     assert_eq!(resp.status, 200);
@@ -389,7 +397,7 @@ fn half_closed_client_still_gets_its_bytes() {
     let day = q.metric_days()[0];
     let resp = http_get_half_close(&addr, &format!("/v1/metrics/{day}"), CLIENT_TIMEOUT).unwrap();
     assert_eq!(resp.status, 200);
-    assert_eq!(resp.body, q.metrics_row(day).unwrap().into_bytes());
+    assert_eq!(resp.body, q.metrics_row_csv(day).unwrap().into_bytes());
     server.request_shutdown();
     assert!(server.join().clean());
 }

@@ -272,7 +272,7 @@ pub mod prop {
         use super::super::{Strategy, TestRng};
         use std::ops::Range;
 
-        /// Element-count specification for [`vec`].
+        /// Element-count specification for [`vec()`].
         #[derive(Debug, Clone)]
         pub struct SizeRange {
             lo: usize,
