@@ -9,7 +9,7 @@
 //!
 //! ```text
 //! bench_serve [--clients N] [--requests N] [--workers N]
-//!             [--queue-depth N] [--out FILE]
+//!             [--queue-depth N] [--ingest-rate R] [--out FILE]
 //! ```
 //!
 //! Both numbers matter: requests/sec says how fast the materialised
@@ -17,14 +17,30 @@
 //! behaves when the closed-loop clients outpace the worker pool (sheds
 //! are counted as correct, fast answers — not errors). Any hard error
 //! or an unclean drain fails the bench.
+//!
+//! With `--ingest-rate R` the bench switches to the **ingest-vs-query
+//! interference** mode (bench name `serve_ingest`): instead of
+//! pre-materialising, a writer thread appends the trace to a temp file
+//! in `R` paced slices per second while the live-ingest head
+//! (`osn_core::live`) tails it, and the same client flood runs against
+//! the growing head. The JSON then adds the ingest side of the
+//! interference: `ingest_lag_p50_ms`/`ingest_lag_p99_ms` (sampled
+//! snapshot staleness while the writer is active — the bounded-staleness
+//! number queries actually observe) next to the unified query
+//! `p50_us`/`p99_us`. Report-only: write it to its own `--out` file so
+//! the regression gate keeps judging the steady-state numbers.
 
 use osn_core::communities::CommunityAnalysisConfig;
+use osn_core::live::{run_follow, IngestHealth, LiveHeadConfig, LiveQuery};
 use osn_core::network::MetricSeriesConfig;
 use osn_core::query::SnapshotQuery;
 use osn_genstream::{TraceConfig, TraceGenerator};
+use osn_graph::io::RecoveryPolicy;
 use osn_graph::testutil::http_get;
 use osn_server::{Server, ServerConfig};
+use std::io::Write;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -33,6 +49,7 @@ struct Args {
     requests: usize,
     workers: usize,
     queue_depth: usize,
+    ingest_rate: Option<f64>,
     out: String,
 }
 
@@ -42,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
         requests: 200,
         workers: 2,
         queue_depth: 32,
+        ingest_rate: None,
         out: "BENCH_serve.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
@@ -54,6 +72,13 @@ fn parse_args() -> Result<Args, String> {
             "--queue-depth" => {
                 args.queue_depth = value()?.parse().map_err(|e| format!("{a}: {e}"))?
             }
+            "--ingest-rate" => {
+                let rate: f64 = value()?.parse().map_err(|e| format!("{a}: {e}"))?;
+                if !(rate > 0.0 && rate.is_finite()) {
+                    return Err(format!("{a} must be a positive number, got {rate}"));
+                }
+                args.ingest_rate = Some(rate);
+            }
             "--out" => args.out = value()?,
             other => return Err(format!("unknown flag {other}")),
         }
@@ -61,11 +86,119 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// Last entry of `"metric_days":[...]` in a `/v1/days` body, if any.
+fn latest_metric_day(days_json: &str) -> Option<String> {
+    let list = days_json
+        .split("\"metric_days\":[")
+        .nth(1)?
+        .split(']')
+        .next()?;
+    let last = list.rsplit(',').next()?.trim();
+    (!last.is_empty() && last.bytes().all(|b| b.is_ascii_digit())).then(|| last.to_string())
+}
+
+/// Integer value of `"key":N` in a one-line JSON body, 0 when absent.
+fn json_u64(body: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    match body.find(&needle) {
+        None => 0,
+        Some(i) => body[i + needle.len()..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect::<String>()
+            .parse()
+            .unwrap_or(0),
+    }
+}
+
+/// Everything the interference mode spins up next to the server.
+struct Interference {
+    writer: std::thread::JoinHandle<()>,
+    head: std::thread::JoinHandle<Result<osn_core::live::FollowReport, osn_core::live::LiveError>>,
+    sampler: std::thread::JoinHandle<(osn_obs::HistSnapshot, Option<u64>)>,
+    stop: Arc<AtomicBool>,
+    trace: std::path::PathBuf,
+}
+
+/// Start the follow head over a growing temp trace plus the paced
+/// writer and the staleness sampler. The first slice is on disk before
+/// the head starts, so it never races an empty file.
+fn start_interference(
+    log: &osn_graph::EventLog,
+    query_cfg: osn_core::query::SnapshotQueryConfig,
+    live: Arc<LiveQuery>,
+    rate: f64,
+) -> Interference {
+    let mut bytes = Vec::new();
+    osn_graph::io::write_log_v2_chunked(log, &mut bytes, 256).expect("serialise trace");
+    let trace =
+        std::env::temp_dir().join(format!("bench_serve_ingest_{}.events", std::process::id()));
+    const SLICES: usize = 128;
+    let slice_len = bytes.len().div_ceil(SLICES);
+    std::fs::write(&trace, &bytes[..slice_len]).expect("write first trace slice");
+
+    let head_cfg = LiveHeadConfig {
+        policy: RecoveryPolicy::Skip {
+            max_errors: usize::MAX,
+        },
+        query: query_cfg,
+        poll_interval: Duration::from_millis(2),
+        ..LiveHeadConfig::new(&trace)
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    let head = {
+        let live = Arc::clone(&live);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || run_follow(&head_cfg, &live, &stop))
+    };
+    let writer = {
+        let trace = trace.clone();
+        let pause = Duration::from_secs_f64(1.0 / rate);
+        std::thread::spawn(move || {
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&trace)
+                .unwrap();
+            for slice in bytes[slice_len..].chunks(slice_len) {
+                std::thread::sleep(pause);
+                f.write_all(slice).unwrap();
+                f.flush().unwrap();
+            }
+        })
+    };
+    // Staleness of the served snapshot, sampled while ingest is live:
+    // the age a query answered *right now* would observe.
+    let sampler = {
+        let live = Arc::clone(&live);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let started = Instant::now();
+            let lag = osn_obs::Histogram::new();
+            let mut first_publish_ms = None;
+            while !stop.load(Ordering::Relaxed) && live.health() != IngestHealth::Complete {
+                if live.is_published() {
+                    first_publish_ms.get_or_insert_with(|| started.elapsed().as_millis() as u64);
+                    lag.record(json_u64(&live.head_json(), "staleness_ms"));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            (lag.snapshot(), first_publish_ms)
+        })
+    };
+    Interference {
+        writer,
+        head,
+        sampler,
+        stop,
+        trace,
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("usage: bench_serve [--clients N] [--requests N] [--workers N] [--queue-depth N] [--out FILE]");
+            eprintln!("usage: bench_serve [--clients N] [--requests N] [--workers N] [--queue-depth N] [--ingest-rate R] [--out FILE]");
             eprintln!("error: {e}");
             return ExitCode::from(2);
         }
@@ -73,47 +206,62 @@ fn main() -> ExitCode {
 
     let build_started = Instant::now();
     let log = TraceGenerator::new(TraceConfig::tiny()).generate();
-    let query = Arc::new(
-        SnapshotQuery::builder()
-            .metrics(MetricSeriesConfig {
-                stride: 40,
-                path_sample: 30,
-                clustering_sample: 100,
-                ..Default::default()
-            })
-            .communities(CommunityAnalysisConfig {
-                stride: 80,
-                ..Default::default()
-            })
-            .build(&log),
-    );
-    let build_ms = build_started.elapsed().as_millis() as u64;
+    let builder = SnapshotQuery::builder()
+        .metrics(MetricSeriesConfig {
+            stride: 40,
+            path_sample: 30,
+            clustering_sample: 100,
+            ..Default::default()
+        })
+        .communities(CommunityAnalysisConfig {
+            stride: 80,
+            ..Default::default()
+        });
 
     // Per-request access lines would swamp stderr at bench rates; keep
     // the counters, drop the lines.
-    let server = Server::start(
-        ServerConfig {
-            workers: args.workers,
-            queue_depth: args.queue_depth,
-            access_log: osn_server::AccessLog::to_sink(Box::new(std::io::sink())),
-            ..ServerConfig::default()
-        },
-        Arc::clone(&query),
-    )
-    .expect("bind ephemeral port");
+    let server_cfg = ServerConfig {
+        workers: args.workers,
+        queue_depth: args.queue_depth,
+        access_log: osn_server::AccessLog::to_sink(Box::new(std::io::sink())),
+        ..ServerConfig::default()
+    };
+    let mut interference = None;
+    let (server, paths) = if let Some(rate) = args.ingest_rate {
+        let live = LiveQuery::for_follow();
+        let server =
+            Server::start_live(server_cfg, Arc::clone(&live)).expect("bind ephemeral port");
+        interference = Some(start_interference(
+            &log,
+            builder.config().clone(),
+            live,
+            rate,
+        ));
+        // Worker-plane-heavy mix against the moving head;
+        // "@metrics-latest" resolves per client to the newest metric day
+        // that client has seen in a `/v1/days` answer.
+        let paths: Vec<String> = ["@metrics-latest", "/v1/days", "@metrics-latest", "/v1/head"]
+            .map(String::from)
+            .to_vec();
+        (server, paths)
+    } else {
+        let query = Arc::new(builder.build(&log));
+        let server = Server::start(server_cfg, Arc::clone(&query)).expect("bind ephemeral port");
+        // Each client rotates over every materialised answer plus the
+        // two fast-path probes, so the mix exercises both planes.
+        let mut paths: Vec<String> = Vec::new();
+        for d in query.metric_days() {
+            paths.push(format!("/v1/metrics/{d}"));
+        }
+        for d in query.community_days() {
+            paths.push(format!("/v1/communities/{d}"));
+        }
+        paths.push("/v1/days".to_string());
+        paths.push("/healthz".to_string());
+        (server, paths)
+    };
+    let mut build_ms = build_started.elapsed().as_millis() as u64;
     let addr = server.local_addr().to_string();
-
-    // Each client rotates over every materialised answer plus the two
-    // fast-path probes, so the mix exercises both planes of the server.
-    let mut paths: Vec<String> = Vec::new();
-    for d in query.metric_days() {
-        paths.push(format!("/v1/metrics/{d}"));
-    }
-    for d in query.community_days() {
-        paths.push(format!("/v1/communities/{d}"));
-    }
-    paths.push("/v1/days".to_string());
-    paths.push("/healthz".to_string());
     let paths = Arc::new(paths);
 
     // Client-side latency histograms are per-thread and merged at the
@@ -129,11 +277,26 @@ fn main() -> ExitCode {
             std::thread::spawn(move || {
                 let (mut ok, mut shed, mut errors) = (0u64, 0u64, 0u64);
                 let latency = osn_obs::Histogram::new();
+                let mut latest: Option<String> = None;
                 for i in 0..requests {
-                    let path = &paths[(c + i) % paths.len()];
+                    let slot = &paths[(c + i) % paths.len()];
+                    let path = if slot == "@metrics-latest" {
+                        match &latest {
+                            Some(d) => format!("/v1/metrics/{d}"),
+                            // Nothing seen yet: learn a day instead.
+                            None => "/v1/days".to_string(),
+                        }
+                    } else {
+                        slot.clone()
+                    };
                     let sent = Instant::now();
-                    match http_get(&addr, path, Duration::from_secs(30)) {
-                        Ok(resp) if resp.status == 200 => ok += 1,
+                    match http_get(&addr, &path, Duration::from_secs(30)) {
+                        Ok(resp) if resp.status == 200 => {
+                            ok += 1;
+                            if path == "/v1/days" {
+                                latest = latest_metric_day(resp.body_str()).or(latest);
+                            }
+                        }
                         Ok(resp) if resp.status == 503 => shed += 1,
                         _ => errors += 1,
                     }
@@ -154,21 +317,59 @@ fn main() -> ExitCode {
     }
     let elapsed = flood_started.elapsed();
 
+    // In interference mode, let the ingest side run to completion (the
+    // writer finishes the file, the head reads the footer) while the
+    // server is still up, then collect the lag numbers.
+    let mut ingest_fields = String::new();
+    if let Some(intf) = interference.take() {
+        intf.writer.join().expect("writer thread");
+        let head = intf
+            .head
+            .join()
+            .expect("head thread")
+            .expect("follow head failed");
+        intf.stop.store(true, Ordering::Relaxed);
+        let (lag, first_publish_ms) = intf.sampler.join().expect("sampler thread");
+        let _ = std::fs::remove_file(&intf.trace);
+        // The interference analogue of materialisation time: how long
+        // queries had to wait for the first published snapshot.
+        if let Some(ms) = first_publish_ms {
+            build_ms = ms;
+        }
+        ingest_fields = format!(
+            concat!(
+                ",\"ingest_rate\":{},\"ingest_lag_p50_ms\":{},",
+                "\"ingest_lag_p99_ms\":{},\"ingest_publishes\":{},",
+                "\"ingest_completed\":{}"
+            ),
+            args.ingest_rate.unwrap(),
+            lag.p50(),
+            lag.p99(),
+            head.publishes,
+            head.completed,
+        );
+    }
+
     server.request_shutdown();
     let report = server.join();
 
     let total = ok + shed + errors;
     let rps = total as f64 / elapsed.as_secs_f64();
     let shed_rate = shed as f64 / total as f64;
+    let bench_name = if args.ingest_rate.is_some() {
+        "serve_ingest"
+    } else {
+        "serve"
+    };
     let json = format!(
         concat!(
             "{{{},\"clients\":{},\"requests_per_client\":{},",
             "\"workers\":{},\"queue_depth\":{},\"build_ms\":{},",
             "\"total_requests\":{},\"ok\":{},\"shed\":{},\"errors\":{},",
             "\"elapsed_ms\":{},\"requests_per_sec\":{:.1},\"shed_rate\":{:.4},",
-            "\"drain_clean\":{}}}"
+            "\"drain_clean\":{}{}}}"
         ),
-        osn_bench::unified_fields("serve", rps, &latency),
+        osn_bench::unified_fields(bench_name, rps, &latency),
         args.clients,
         args.requests,
         args.workers,
@@ -182,6 +383,7 @@ fn main() -> ExitCode {
         rps,
         shed_rate,
         report.clean(),
+        ingest_fields,
     );
     if let Err(e) =
         osn_graph::atomicfile::write_bytes_atomic(std::path::Path::new(&args.out), json.as_bytes())

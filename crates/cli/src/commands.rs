@@ -25,7 +25,7 @@ USAGE:
                [--no-merge] --out trace.events
   osn inspect  trace.events
   osn verify   trace.events [--policy strict|skip|repair] [--max-errors N]
-               [--window SECONDS] [--json]
+               [--window SECONDS] [--json] [--allow-truncated-tail]
   osn metrics  trace.events [--engine batch|incremental] [--stride D]
                [--out DIR] [--checkpoint DIR] [--workers N] [--retries N]
                [--task-timeout SECS] [--strict]
@@ -38,7 +38,8 @@ USAGE:
                [--port P] [--workers N] [--queue-depth N]
                [--request-timeout SECS] [--header-timeout SECS]
                [--drain-timeout SECS] [--retries N] [--stride D]
-               [--community-stride D] [--seed N]
+               [--community-stride D] [--seed N] [--follow]
+               [--checkpoint DIR] [--poll-interval SECS] [--watchdog SECS]
 
 Every command also accepts --telemetry FILE (or the OSN_TELEMETRY env
 var; the flag wins): the in-process telemetry registry (counters,
@@ -72,12 +73,23 @@ count (--workers / OSN_WORKERS) never affects results, only speed.
 serve answers GET /healthz /readyz /v1/meta /v1/days /v1/metrics/{day}
 /v1/communities/{day} with the same bytes the batch commands write,
 plus live observability at /v1/stats (JSON counters + telemetry
-snapshot) and /metrics (Prometheus text exposition); see API.md for
-the generated HTTP reference.
+snapshot), /metrics (Prometheus text exposition) and /v1/head (ingest
+head state); see API.md for the generated HTTP reference.
 It sheds load (503 + Retry-After) when its bounded queues fill, cuts
 slow-loris clients at --header-timeout, isolates handler panics (500,
 process stays up), and drains on SIGTERM/SIGINT: exit 0 if every
-in-flight request finished, exit 4 if --drain-timeout expired first.";
+in-flight request finished, exit 4 if --drain-timeout expired first.
+
+serve --follow tails a trace a live writer is still appending: each
+newly *complete* day is analysed and atomically published, queries
+answer from the latest published snapshot (staleness reported at
+/v1/head), torn tails are retried rather than treated as corruption,
+and with --checkpoint DIR the head survives kill -9: the restarted
+process resumes from the last published day and converges on state
+byte-identical to a batch run over the finished trace. If ingest
+wedges (corruption under the policy, vanished file, watchdog trip)
+the daemon keeps answering from the last good snapshot and /v1/head
+reports health wedged/missing — ingest trouble never turns into 500s.";
 
 /// Hidden aliases from the output-flag unification: every command names
 /// its primary output `--out`, the telemetry snapshot `--telemetry`,
@@ -416,12 +428,23 @@ pub fn inspect(args: &[String]) -> Result<(), CliError> {
 /// print the ingest report, and exit non-zero when anything is wrong.
 /// With `--json`, print the report as one machine-readable JSON line
 /// instead (same exit-code contract), for CI and the `osn serve`
-/// startup preflight.
+/// startup preflight. With `--allow-truncated-tail`, a v2 stream whose
+/// only problem is an unfinished tail (a live writer mid-append; the
+/// report's `tail_pending` field) exits 0 instead of 3 — mid-file
+/// corruption still fails.
 pub fn verify(args: &[String]) -> Result<(), CliError> {
-    let flags = Flags::parse(args, &["json"])?;
+    let flags = Flags::parse(args, &["json", "allow-truncated-tail"])?;
     let _telemetry = TelemetryGuard::from_flags(&flags);
     let path = flags.trace_arg("verify")?;
-    let policy = match flags.get("policy").unwrap_or("strict") {
+    // Strict turns a pending tail into a hard parse error before any
+    // report exists, so --allow-truncated-tail defaults to skip; an
+    // explicit --policy still wins. Non-tail problems exit 3 either way.
+    let default_policy = if flags.has("allow-truncated-tail") {
+        "skip"
+    } else {
+        "strict"
+    };
+    let policy = match flags.get("policy").unwrap_or(default_policy) {
         "strict" => RecoveryPolicy::Strict,
         "skip" => RecoveryPolicy::Skip {
             max_errors: flags
@@ -462,6 +485,13 @@ pub fn verify(args: &[String]) -> Result<(), CliError> {
     if report.is_clean() {
         if !flags.has("json") {
             println!("  verdict: clean");
+        }
+        Ok(())
+    } else if flags.has("allow-truncated-tail") && report.tail_pending() {
+        // A live writer hasn't finished this file yet; nothing verified
+        // so far is wrong. The JSON report carries tail_pending:true.
+        if !flags.has("json") {
+            println!("  verdict: clean so far (tail pending — writer still appending)");
         }
         Ok(())
     } else {
@@ -935,6 +965,40 @@ mod tests {
             "--json".into(),
         ])
         .unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_allow_truncated_tail_accepts_growing_file_not_corruption() {
+        let dir = std::env::temp_dir().join("osn_cli_tailpend");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.events");
+        generate(&[
+            "--scale".into(),
+            "tiny".into(),
+            "--out".into(),
+            trace.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        // A writer mid-append: cut the file inside the last chunk.
+        let bytes = std::fs::read(&trace).unwrap();
+        std::fs::write(&trace, &bytes[..bytes.len() - 200]).unwrap();
+        let t = trace.to_str().unwrap().to_string();
+        // Without the flag the pending tail is a problem (exit 3 under
+        // skip; a parse error under the strict default).
+        let err = verify(&[t.clone(), "--policy".into(), "skip".into()]).unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        // With the flag it's an acceptable in-progress file.
+        verify(&[t.clone(), "--allow-truncated-tail".into()]).unwrap();
+        verify(&[t.clone(), "--allow-truncated-tail".into(), "--json".into()]).unwrap();
+        // Mid-file corruption is NOT excused by the flag.
+        let mut bytes = std::fs::read(&trace).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&trace, &bytes).unwrap();
+        let err = verify(&[t.clone(), "--allow-truncated-tail".into()]).unwrap_err();
         assert_eq!(err.exit_code(), 3, "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -4,7 +4,7 @@
 //! osn generate [--scale tiny|small|paper] [--seed N] [--nodes N] [--days D]
 //!              [--no-merge] --out trace.events
 //! osn inspect  trace.events
-//! osn verify   trace.events [--policy strict|skip|repair]
+//! osn verify   trace.events [--policy strict|skip|repair] [--allow-truncated-tail]
 //! osn metrics  trace.events [--engine batch|incremental] [--stride D]
 //!              [--out DIR] [--checkpoint DIR] [--workers N] [--retries N]
 //!              [--task-timeout SECS] [--strict]
@@ -15,7 +15,8 @@
 //! osn serve    trace.events [--engine batch|incremental] [--addr HOST]
 //!              [--port P] [--workers N] [--queue-depth N]
 //!              [--request-timeout SECS] [--header-timeout SECS]
-//!              [--drain-timeout SECS] [--retries N]
+//!              [--drain-timeout SECS] [--retries N] [--follow]
+//!              [--checkpoint DIR] [--poll-interval SECS] [--watchdog SECS]
 //! ```
 //!
 //! `--engine` selects the snapshot engine: `incremental` (default)
@@ -36,7 +37,11 @@
 //! daemon (std-only HTTP/1.1) with bounded queues, load shedding, and a
 //! graceful drain on SIGTERM/SIGINT; see `osn_server` for the pipeline.
 //! It exposes its live counters and latency histograms at `/v1/stats`
-//! (JSON) and `/metrics` (Prometheus text).
+//! (JSON) and `/metrics` (Prometheus text). With `--follow` it tails a
+//! trace that is still being written, publishing each completed day
+//! behind an atomic snapshot swap and reporting ingest lag and health
+//! at `/v1/head`; `--checkpoint DIR` makes the live head crash-resumable
+//! (see `osn_core::live`).
 //!
 //! Every command accepts `--telemetry FILE` (env `OSN_TELEMETRY`) to
 //! enable the `osn_obs` registry and write a JSON snapshot of all

@@ -8,16 +8,29 @@
 //! shedding), **drain** (SIGTERM/SIGINT stop the accept loop and
 //! in-flight work gets `--drain-timeout` seconds to finish).
 //!
+//! With `--follow` the materialise step moves onto a supervised ingest
+//! head (`osn_core::live`): the daemon comes up immediately, tails the
+//! growing trace, publishes each newly complete day behind an atomic
+//! snapshot swap, and reports lag + health at `/v1/head`. The preflight
+//! then tolerates a pending tail (`osn verify --allow-truncated-tail`
+//! semantics) — mid-file corruption still refuses to start. With
+//! `--checkpoint DIR` the head persists a replay checkpoint at every
+//! publish, so a `kill -9` + restart resumes instead of recomputing
+//! from scratch and converges on batch-identical state.
+//!
 //! Exit codes: `0` clean shutdown, `2` usage error, `3` trace failed
-//! preflight, `4` drain deadline expired with requests still in flight
-//! (degraded drain), `1` anything else.
+//! preflight (or the followed stream turned out corrupt), `4` drain
+//! deadline expired with requests still in flight (degraded drain),
+//! `1` anything else.
 
 use crate::commands::{engine_flag, Flags, TelemetryGuard};
 use crate::error::CliError;
 use osn_core::communities::CommunityAnalysisConfig;
+use osn_core::live::{run_follow, LiveError, LiveHeadConfig, LiveQuery};
 use osn_core::network::MetricSeriesConfig;
 use osn_core::query::SnapshotQuery;
 use osn_graph::io::{read_log_with_policy, RecoveryPolicy};
+use osn_metrics::supervisor::RunPolicy;
 use osn_server::{Server, ServerConfig};
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
@@ -77,7 +90,7 @@ fn duration_flag(flags: &Flags, key: &str, default: Duration) -> Result<Duration
 /// with the same exit-3 contract as `osn verify`. (Skip rather than
 /// Strict so recoverable corruption is *reported* instead of surfacing as
 /// an opaque parse error — the daemon still refuses to start either way.)
-fn preflight(path: &str) -> Result<osn_graph::EventLog, CliError> {
+fn preflight(path: &str, allow_tail: bool) -> Result<osn_graph::EventLog, CliError> {
     let file = std::fs::File::open(path).map_err(|e| CliError::io(format!("open {path}"), e))?;
     let policy = RecoveryPolicy::Skip {
         max_errors: usize::MAX,
@@ -90,7 +103,7 @@ fn preflight(path: &str) -> Result<osn_graph::EventLog, CliError> {
             }
         })?;
     println!("preflight: {}", report.to_json());
-    if report.is_clean() {
+    if report.is_clean() || (allow_tail && report.tail_pending()) {
         Ok(log)
     } else {
         Err(CliError::Corrupt {
@@ -100,9 +113,28 @@ fn preflight(path: &str) -> Result<osn_graph::EventLog, CliError> {
     }
 }
 
+/// Map a follow-head failure onto the CLI's exit-code contract: a
+/// corrupt stream is the same verdict preflight would have given
+/// (exit 3); checkpoint/I/O trouble is a runtime failure (exit 1).
+fn head_error(path: &str, err: LiveError) -> CliError {
+    match err {
+        LiveError::Tail(e) => {
+            eprintln!("error: live ingest failed: {e}");
+            CliError::Corrupt {
+                path: PathBuf::from(path),
+                problems: 1,
+            }
+        }
+        LiveError::Io(e) => CliError::io("live ingest head", e),
+        LiveError::Checkpoint(reason) => {
+            CliError::io("head checkpoint", std::io::Error::other(reason))
+        }
+    }
+}
+
 /// `osn serve`
 pub fn serve(args: &[String]) -> Result<(), CliError> {
-    let flags = Flags::parse(args, &[])?;
+    let flags = Flags::parse(args, &["follow"])?;
     // Constructed before preflight so ingest counters land in the
     // snapshot, and dropped on *every* return — the clean-drain Ok, the
     // exit-4 `CliError::Drain` when the deadline abandons in-flight
@@ -156,20 +188,55 @@ pub fn serve(args: &[String]) -> Result<(), CliError> {
         ..ServerConfig::default()
     };
 
-    let log = preflight(&path)?;
-    let started = Instant::now();
-    let query = Arc::new(query_builder.build(&log));
-    println!(
-        "materialised {} metric day(s), {} community day(s) with the {} engine in {:.1?}",
-        query.metric_days().len(),
-        query.community_days().len(),
-        query.engine(),
-        started.elapsed()
-    );
+    let follow = flags.has("follow");
+    let log = preflight(&path, follow)?;
 
     signals::install();
-    let server =
-        Server::start(server_cfg, query).map_err(|e| CliError::io("bind server socket", e))?;
+    let (server, head) = if follow {
+        // The head owns materialisation: the daemon comes up with nothing
+        // published (data endpoints degrade with 503 + Retry-After) and
+        // catches up as complete days are committed.
+        let head_cfg = LiveHeadConfig {
+            policy: RecoveryPolicy::Skip {
+                max_errors: usize::MAX,
+            },
+            query: query_builder.config().clone(),
+            checkpoint_dir: flags.get("checkpoint").map(PathBuf::from),
+            poll_interval: duration_flag(&flags, "poll-interval", Duration::from_millis(25))?,
+            watchdog: duration_flag(&flags, "watchdog", Duration::from_secs(30))?,
+            run_policy: RunPolicy {
+                retries: flags.get_parsed::<u32>("retries")?.unwrap_or(0),
+                ..RunPolicy::default()
+            },
+            ..LiveHeadConfig::new(&path)
+        };
+        if let Some(dir) = &head_cfg.checkpoint_dir {
+            println!("following {path} (checkpoint: {})", dir.display());
+        } else {
+            println!("following {path} (no checkpoint — restart recomputes from scratch)");
+        }
+        let live = LiveQuery::for_follow();
+        let server = Server::start_live(server_cfg, live.clone())
+            .map_err(|e| CliError::io("bind server socket", e))?;
+        let head = std::thread::Builder::new()
+            .name("osn-head".to_string())
+            .spawn(move || run_follow(&head_cfg, &live, &signals::SIGNALLED))
+            .map_err(|e| CliError::io("spawn ingest head", e))?;
+        (server, Some(head))
+    } else {
+        let started = Instant::now();
+        let query = Arc::new(query_builder.build(&log));
+        println!(
+            "materialised {} metric day(s), {} community day(s) with the {} engine in {:.1?}",
+            query.metric_days().len(),
+            query.community_days().len(),
+            query.engine(),
+            started.elapsed()
+        );
+        let server =
+            Server::start(server_cfg, query).map_err(|e| CliError::io("bind server socket", e))?;
+        (server, None)
+    };
     // Machine-parseable: tests and scripts read the port from this line.
     println!("listening on http://{}", server.local_addr());
 
@@ -188,6 +255,32 @@ pub fn serve(args: &[String]) -> Result<(), CliError> {
         stats_before.shed,
         stats_before.panicked,
     );
+    // The head polls the same shutdown flag, so by now it has stopped
+    // tailing; its last checkpoint was already flushed at publish time.
+    let head_outcome = head.map(|h| h.join());
+    match head_outcome {
+        None => {}
+        Some(Ok(Ok(r))) => eprintln!(
+            "ingest head: {} event(s) committed, {} publish(es), last day {}, {}",
+            r.committed_events,
+            r.publishes,
+            r.published_day
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "-".into()),
+            if r.completed {
+                "stream complete"
+            } else {
+                "drained mid-stream"
+            }
+        ),
+        Some(Ok(Err(e))) => return Err(head_error(&path, e)),
+        Some(Err(_)) => {
+            return Err(CliError::io(
+                "ingest head",
+                std::io::Error::other("head thread panicked"),
+            ))
+        }
+    }
     if report.clean() {
         println!("drain complete");
         Ok(())

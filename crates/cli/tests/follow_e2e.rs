@@ -1,0 +1,415 @@
+//! End-to-end tests of `osn serve --follow` against the real binary:
+//! the kill -9 + resume drill (final served rows must be byte-identical
+//! to the batch CSVs), the SIGTERM mid-follow drain contract (checkpoint
+//! flushed, in-flight queries answered, access log + telemetry snapshot
+//! written, exit 0), and the torn-tail chaos drill (an in-progress
+//! append is never quarantined while genuine corruption still is).
+
+#![cfg(unix)]
+
+use osn_graph::testutil::http_get;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Generous ceiling for snapshot builds in debug binaries on loaded CI.
+const POLL_DEADLINE: Duration = Duration::from_secs(120);
+
+fn osn() -> Command {
+    let mut c = Command::new(env!("CARGO_BIN_EXE_osn"));
+    c.env_remove("OSN_CHAOS")
+        .env_remove("OSN_WORKERS")
+        .env_remove("OSN_TELEMETRY");
+    c
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("osn_follow_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn generate(trace: &Path) {
+    let status = osn()
+        .args(["generate", "--scale", "tiny", "--seed", "9", "--out"])
+        .arg(trace)
+        .status()
+        .unwrap();
+    assert!(status.success());
+}
+
+/// Spawn `osn serve --follow ...`, wait for "listening on http://ADDR",
+/// and hand back the child plus address and the still-open stdout
+/// reader. Every caller reaps the child — that is part of the contract
+/// under test.
+#[allow(clippy::zombie_processes)]
+fn spawn_follow(trace: &Path, extra: &[&str]) -> (Child, String, BufReader<ChildStdout>) {
+    let mut c = osn();
+    c.arg("serve")
+        .arg(trace)
+        .args([
+            "--follow",
+            "--poll-interval",
+            "0.005",
+            "--stride",
+            "20",
+            "--community-stride",
+            "40",
+        ])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    let mut child = c.spawn().unwrap();
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    let mut seen = String::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap() == 0 {
+            let mut err = String::new();
+            child
+                .stderr
+                .take()
+                .unwrap()
+                .read_to_string(&mut err)
+                .unwrap();
+            panic!("serve exited before listening\nstdout:\n{seen}\nstderr:\n{err}");
+        }
+        seen.push_str(&line);
+        if let Some(addr) = line.trim().strip_prefix("listening on http://") {
+            assert!(
+                seen.contains("preflight: {"),
+                "no preflight report before listening:\n{seen}"
+            );
+            assert!(
+                seen.contains("following "),
+                "follow mode did not announce itself:\n{seen}"
+            );
+            return (child, addr.to_string(), reader);
+        }
+    }
+}
+
+fn signal(child: &Child, sig: &str) {
+    let status = Command::new("kill")
+        .args([sig, &child.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(status.success());
+}
+
+fn read_rest(mut reader: BufReader<ChildStdout>) -> String {
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).unwrap();
+    rest
+}
+
+/// Header + the row for `day`, exactly as the daemon serves them.
+fn csv_answer(csv_path: &Path, day_field: &str) -> String {
+    let csv = std::fs::read_to_string(csv_path).unwrap();
+    let mut lines = csv.lines();
+    let header = lines.next().unwrap();
+    let row = lines
+        .find(|l| l.starts_with(&format!("{day_field},")))
+        .unwrap_or_else(|| panic!("no row for day {day_field} in {}", csv_path.display()));
+    format!("{header}\n{row}\n")
+}
+
+fn last_day(csv_path: &Path) -> String {
+    let csv = std::fs::read_to_string(csv_path).unwrap();
+    let last = csv.lines().last().unwrap();
+    last.split(',').next().unwrap().to_string()
+}
+
+/// Poll `path` until the 200 body satisfies `pred`; panics on deadline.
+fn poll_until(addr: &str, path: &str, what: &str, pred: impl Fn(&str) -> bool) -> String {
+    let deadline = Instant::now() + POLL_DEADLINE;
+    loop {
+        if let Ok(resp) = http_get(addr, path, CLIENT_TIMEOUT) {
+            if resp.status == 200 && pred(resp.body_str()) {
+                return resp.body_str().to_string();
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out after {POLL_DEADLINE:?} waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Value of a counter in a `/v1/stats` (or telemetry snapshot) JSON
+/// body; 0 when the counter was never registered.
+fn counter_value(stats: &str, name: &str) -> u64 {
+    let key = format!("\"{name}\":");
+    match stats.find(&key) {
+        None => 0,
+        Some(i) => stats[i + key.len()..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect::<String>()
+            .parse()
+            .unwrap_or(0),
+    }
+}
+
+/// Cut point shortly *after* a newline near `frac` percent of the file,
+/// so the truncated file ends mid-line — an unmistakable torn tail.
+fn torn_cut(bytes: &[u8], frac: usize) -> usize {
+    let base = bytes.len() * frac / 100;
+    let nl = base + bytes[base..].iter().position(|&b| b == b'\n').unwrap();
+    let cut = nl + 3;
+    assert!(cut < bytes.len(), "cut fell off the end of the trace");
+    cut
+}
+
+fn append(trace: &Path, bytes: &[u8]) {
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(trace)
+        .unwrap();
+    f.write_all(bytes).unwrap();
+    f.sync_all().unwrap();
+}
+
+/// The headline robustness drill: follow a half-written trace, kill the
+/// daemon with SIGKILL once it has published (no drain, no atexit),
+/// finish the file, restart with the same checkpoint dir, and require
+/// (a) the restart resumes from the checkpoint instead of recomputing,
+/// and (b) the final served rows are byte-identical to a batch run over
+/// the complete trace.
+#[test]
+fn kill_dash_nine_then_resume_converges_on_batch_identical_state() {
+    let dir = scratch("kill9");
+    let full = dir.join("full.events");
+    generate(&full);
+
+    // Batch reference over the complete trace, same analysis knobs.
+    let out = dir.join("out");
+    assert!(osn()
+        .args(["metrics"])
+        .arg(&full)
+        .args(["--stride", "20", "--out"])
+        .arg(&out)
+        .status()
+        .unwrap()
+        .success());
+    assert!(osn()
+        .args(["communities"])
+        .arg(&full)
+        .args(["--stride", "40", "--out"])
+        .arg(&out)
+        .status()
+        .unwrap()
+        .success());
+
+    let bytes = std::fs::read(&full).unwrap();
+    let cut = torn_cut(&bytes, 45);
+    let trace = dir.join("t.events");
+    std::fs::write(&trace, &bytes[..cut]).unwrap();
+
+    let ckpt = dir.join("ckpt");
+    let ckpt_flag = ckpt.to_str().unwrap().to_string();
+    let (mut child, addr, _reader) = spawn_follow(&trace, &["--checkpoint", &ckpt_flag]);
+
+    // Wait for the first publish *and* its checkpoint to hit disk, so
+    // the SIGKILL below definitely lands after a resumable state exists.
+    poll_until(&addr, "/v1/head", "first publish", |body| {
+        body.contains("\"published\":true")
+    });
+    let deadline = Instant::now() + POLL_DEADLINE;
+    while !ckpt.join("head.ckpt").exists() {
+        assert!(Instant::now() < deadline, "head.ckpt never appeared");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    signal(&child, "-KILL");
+    child.wait().unwrap();
+
+    // The writer finishes the trace while the daemon is dead.
+    append(&trace, &bytes[cut..]);
+
+    let (child, addr, reader) = spawn_follow(&trace, &["--checkpoint", &ckpt_flag]);
+    let head = poll_until(&addr, "/v1/head", "stream completion", |body| {
+        body.contains("\"health\":\"complete\"")
+    });
+    assert!(
+        head.contains("\"resumed_from_day\":") && !head.contains("\"resumed_from_day\":null"),
+        "restart did not resume from the checkpoint: {head}"
+    );
+
+    let mday = last_day(&out.join("metrics.csv"));
+    let expected = csv_answer(&out.join("metrics.csv"), &mday);
+    let resp = http_get(&addr, &format!("/v1/metrics/{mday}"), CLIENT_TIMEOUT).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.body,
+        expected.as_bytes(),
+        "resumed follow served metrics that differ from the batch CSV"
+    );
+
+    let cday = last_day(&out.join("communities.csv"));
+    let expected = csv_answer(&out.join("communities.csv"), &cday);
+    let resp = http_get(&addr, &format!("/v1/communities/{cday}"), CLIENT_TIMEOUT).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.body,
+        expected.as_bytes(),
+        "resumed follow served communities that differ from the batch CSV"
+    );
+
+    signal(&child, "-TERM");
+    let mut child = child;
+    let status = child.wait().unwrap();
+    assert_eq!(status.code(), Some(0), "clean drain must exit 0");
+    assert!(read_rest(reader).contains("drain complete"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// SIGTERM while still tailing an unfinished trace: the drain must
+/// answer in-flight queries, leave the head checkpoint on disk, write
+/// both the access log and the telemetry snapshot, and exit 0.
+#[test]
+fn sigterm_mid_follow_drains_clean_with_checkpoint_and_telemetry() {
+    let dir = scratch("drain");
+    let full = dir.join("full.events");
+    generate(&full);
+    let bytes = std::fs::read(&full).unwrap();
+    let cut = torn_cut(&bytes, 60);
+    let trace = dir.join("t.events");
+    std::fs::write(&trace, &bytes[..cut]).unwrap();
+
+    let ckpt = dir.join("ckpt");
+    let ckpt_flag = ckpt.to_str().unwrap().to_string();
+    let telemetry = dir.join("telemetry.json");
+    let (child, addr, reader) = spawn_follow(
+        &trace,
+        &[
+            "--checkpoint",
+            &ckpt_flag,
+            "--telemetry",
+            telemetry.to_str().unwrap(),
+        ],
+    );
+
+    poll_until(&addr, "/v1/head", "first publish", |body| {
+        body.contains("\"published\":true")
+    });
+    assert_eq!(
+        http_get(&addr, "/v1/days", CLIENT_TIMEOUT).unwrap().status,
+        200,
+        "queries must be answered while the head is still tailing"
+    );
+
+    // One query races the SIGTERM; the drain must still answer it.
+    let in_flight = {
+        let addr = addr.clone();
+        std::thread::spawn(move || http_get(&addr, "/v1/days", CLIENT_TIMEOUT))
+    };
+    std::thread::sleep(Duration::from_millis(50));
+    signal(&child, "-TERM");
+    let resp = in_flight.join().unwrap().unwrap();
+    assert_eq!(resp.status, 200, "in-flight query dropped during drain");
+
+    let mut child = child;
+    let status = child.wait().unwrap();
+    assert_eq!(status.code(), Some(0), "mid-follow drain must exit 0");
+    assert!(read_rest(reader).contains("drain complete"));
+
+    let mut stderr = String::new();
+    child
+        .stderr
+        .take()
+        .unwrap()
+        .read_to_string(&mut stderr)
+        .unwrap();
+    assert!(
+        stderr.contains("access method="),
+        "no access-log lines written: {stderr}"
+    );
+    assert!(
+        stderr.contains("drained mid-stream"),
+        "head summary missing from drain output: {stderr}"
+    );
+
+    assert!(
+        ckpt.join("head.ckpt").exists(),
+        "head checkpoint not flushed by the drain"
+    );
+    let snap = std::fs::read_to_string(&telemetry)
+        .expect("telemetry snapshot must exist after a mid-follow drain");
+    assert!(counter_value(&snap, "head.publishes") >= 1, "{snap}");
+    assert!(counter_value(&snap, "head.checkpoints") >= 1, "{snap}");
+    assert!(counter_value(&snap, "ingest.lines") >= 1, "{snap}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The torn-tail chaos drill: a trace cut mid-line is an in-progress
+/// append — the follow head must keep polling it with *zero* chunk
+/// quarantines — while a genuinely corrupt chunk appended later is
+/// still dropped and counted.
+#[test]
+fn torn_tail_is_never_quarantined_but_genuine_corruption_is() {
+    let dir = scratch("torn");
+    let full = dir.join("full.events");
+    generate(&full);
+    let bytes = std::fs::read(&full).unwrap();
+    let cut = torn_cut(&bytes, 55);
+    let trace = dir.join("t.events");
+    std::fs::write(&trace, &bytes[..cut]).unwrap();
+
+    let (child, addr, reader) = spawn_follow(&trace, &[]);
+
+    poll_until(&addr, "/v1/head", "first publish", |body| {
+        body.contains("\"published\":true")
+    });
+    // Give the head time to re-poll the torn tail, then require that
+    // those polls were classified as pending — not as corruption.
+    let stats = poll_until(&addr, "/v1/stats", "torn-tail polls", |body| {
+        counter_value(body, "ingest.torn_tail_polls") >= 1
+    });
+    assert_eq!(
+        counter_value(&stats, "ingest.chunks_dropped"),
+        0,
+        "an in-progress append was quarantined: {stats}"
+    );
+    assert_eq!(
+        counter_value(&stats, "ingest.lines_skipped"),
+        0,
+        "an in-progress append cost committed lines: {stats}"
+    );
+
+    // Finish the trace, but flip one digit of an event that arrives
+    // with the remainder: that chunk's CRC no longer matches, and this
+    // time it *is* genuine corruption — the chunk must be dropped.
+    let mut rest = bytes[cut..].to_vec();
+    let evt = rest
+        .windows(3)
+        .position(|w| w == b"\nE ")
+        .expect("no event line in the appended remainder");
+    rest[evt + 3] ^= 0x01;
+    append(&trace, &rest);
+
+    poll_until(&addr, "/v1/stats", "corrupt chunk quarantine", |body| {
+        counter_value(body, "ingest.chunks_dropped") >= 1
+    });
+    // The stream still finishes: corruption is contained to its chunk.
+    let head = poll_until(&addr, "/v1/head", "stream completion", |body| {
+        body.contains("\"health\":\"complete\"")
+    });
+    assert!(head.contains("\"published\":true"), "{head}");
+    assert_eq!(
+        http_get(&addr, "/healthz", CLIENT_TIMEOUT).unwrap().status,
+        200
+    );
+
+    signal(&child, "-TERM");
+    let mut child = child;
+    let status = child.wait().unwrap();
+    assert_eq!(status.code(), Some(0));
+    assert!(read_rest(reader).contains("drain complete"));
+    std::fs::remove_dir_all(&dir).ok();
+}

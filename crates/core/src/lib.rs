@@ -21,6 +21,7 @@ pub mod checkpoint;
 pub mod communities;
 pub mod edges;
 pub mod impact;
+pub mod live;
 pub mod merge;
 pub mod models;
 pub mod network;

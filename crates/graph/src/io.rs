@@ -264,6 +264,24 @@ impl IngestReport {
             && (self.format_version < 2 || self.footer_verified)
     }
 
+    /// True when the *only* problems are a growing-file tail: the v2
+    /// stream ended before its `#%end` footer and every skipped line was
+    /// skipped for [`SkipReason::TruncatedTail`] — i.e. the bytes a live
+    /// writer has simply not finished appending yet. Mid-file corruption
+    /// (dropped chunks, repairs, any other skip reason) disqualifies.
+    /// `osn verify --allow-truncated-tail` and the `osn serve --follow`
+    /// preflight treat such a report as acceptable.
+    pub fn tail_pending(&self) -> bool {
+        self.format_version >= 2
+            && self.truncated
+            && self.chunks_dropped == 0
+            && self.repairs.is_empty()
+            && self
+                .skipped
+                .iter()
+                .all(|s| matches!(s.reason, SkipReason::TruncatedTail))
+    }
+
     /// Number of problems the ingest surfaced: skipped lines, applied
     /// repairs, dropped chunks, truncation, and (for v2 input) a footer
     /// that failed to verify. `0` iff [`Self::is_clean`].
@@ -283,7 +301,8 @@ impl IngestReport {
             "{{\"format_version\":{},\"lines_read\":{},\"bytes_read\":{},\
              \"events_kept\":{},\
              \"chunks_verified\":{},\"chunks_dropped\":{},\"footer_verified\":{},\
-             \"truncated\":{},\"lines_skipped\":{},\"repairs_applied\":{},\
+             \"truncated\":{},\"tail_pending\":{},\"lines_skipped\":{},\
+             \"repairs_applied\":{},\
              \"problems\":{},\"clean\":{}}}",
             self.format_version,
             self.lines_read,
@@ -293,6 +312,7 @@ impl IngestReport {
             self.chunks_dropped,
             self.footer_verified,
             self.truncated,
+            self.tail_pending(),
             self.skipped.len(),
             self.repairs.len(),
             self.problem_count(),
@@ -446,6 +466,92 @@ pub fn save_log_v2<P: AsRef<std::path::Path>>(log: &EventLog, path: P) -> io::Re
     crate::atomicfile::write_atomic(path.as_ref(), |w| write_log_v2(log, w))
 }
 
+/// Incremental writer for the checksummed v2 format: the append-only
+/// producer side of live ingest.
+///
+/// [`write_log_v2_chunked`] serialises a finished log in one pass; this
+/// type produces the identical framing one chunk at a time, so a trace
+/// can be grown on disk while `osn serve --follow` tails it. Each
+/// appended chunk (payload lines + its `#%chunk` directive) is written
+/// with a single `write_all` and flushed, so a tailing reader observes
+/// either none of the chunk or all of it — unless the underlying writer
+/// itself tears the write, which the torn-tail chaos tests do on purpose
+/// via `testutil::SlowAppendWriter`.
+#[derive(Debug)]
+pub struct LogAppender<W: Write> {
+    w: W,
+    total: Crc32,
+    events: u64,
+}
+
+impl<W: Write> LogAppender<W> {
+    /// Start a new v2 stream: writes the format magic and flushes.
+    pub fn new(mut w: W) -> io::Result<Self> {
+        w.write_all(format!("{FORMAT_V2_MAGIC}\n").as_bytes())?;
+        w.flush()?;
+        Ok(LogAppender {
+            w,
+            total: Crc32::new(),
+            events: 0,
+        })
+    }
+
+    /// Append one comment line (not checksummed; v1 readers skip it too).
+    pub fn append_comment(&mut self, text: &str) -> io::Result<()> {
+        self.w.write_all(format!("# {text}\n").as_bytes())?;
+        self.w.flush()
+    }
+
+    /// Append `events` as one checksummed chunk. Empty input is a no-op.
+    /// The caller is responsible for overall time-ordering across calls
+    /// (readers validate it, exactly as they do for batch-written files).
+    pub fn append_chunk(&mut self, events: &[crate::event::Event]) -> io::Result<()> {
+        if events.is_empty() {
+            return Ok(());
+        }
+        let mut chunk = Crc32::new();
+        let mut buf = String::new();
+        for e in events {
+            let line = format_event(e);
+            chunk.update(line.as_bytes());
+            chunk.update(b"\n");
+            self.total.update(line.as_bytes());
+            self.total.update(b"\n");
+            buf.push_str(&line);
+            buf.push('\n');
+        }
+        buf.push_str(&format!(
+            "#%chunk lines={} crc={:08x}\n",
+            events.len(),
+            chunk.finalize()
+        ));
+        self.events += events.len() as u64;
+        self.w.write_all(buf.as_bytes())?;
+        self.w.flush()
+    }
+
+    /// Events appended so far.
+    pub fn events_written(&self) -> u64 {
+        self.events
+    }
+
+    /// Terminate the stream with the `#%end` footer and return the inner
+    /// writer. A stream left unfinished reads back as truncated (tail
+    /// pending), which is exactly what a live reader expects mid-write.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.w.write_all(
+            format!(
+                "#%end events={} crc={:08x}\n",
+                self.events,
+                self.total.finalize()
+            )
+            .as_bytes(),
+        )?;
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
 /// Read a log in either format, strictly (first problem aborts).
 pub fn read_log<R: Read>(reader: R) -> Result<EventLog, ParseError> {
     read_log_with_policy(reader, &RecoveryPolicy::Strict).map(|(log, _)| log)
@@ -497,7 +603,7 @@ fn read_log_with_policy_inner<R: Read>(
 }
 
 /// Trim ASCII whitespace (including the line terminator) from both ends.
-fn trim(bytes: &[u8]) -> &[u8] {
+pub(crate) fn trim(bytes: &[u8]) -> &[u8] {
     let start = bytes.iter().position(|b| !b.is_ascii_whitespace());
     match start {
         None => &[],
@@ -655,7 +761,7 @@ fn read_v2<R: Read>(
 }
 
 /// Parse `lines=<n> crc=<hex>`; returns `(lines, crc)`.
-fn parse_chunk_directive(rest: &str) -> Option<(usize, u32)> {
+pub(crate) fn parse_chunk_directive(rest: &str) -> Option<(usize, u32)> {
     let mut it = rest.split_ascii_whitespace();
     let n = it.next()?.strip_prefix("lines=")?.parse().ok()?;
     let crc = u32::from_str_radix(it.next()?.strip_prefix("crc=")?, 16).ok()?;
@@ -666,7 +772,7 @@ fn parse_chunk_directive(rest: &str) -> Option<(usize, u32)> {
 }
 
 /// Parse `events=<n> crc=<hex>`; returns `(events, crc)`.
-fn parse_end_directive(rest: &str) -> Option<(usize, u32)> {
+pub(crate) fn parse_end_directive(rest: &str) -> Option<(usize, u32)> {
     let mut it = rest.split_ascii_whitespace();
     let n = it.next()?.strip_prefix("events=")?.parse().ok()?;
     let crc = u32::from_str_radix(it.next()?.strip_prefix("crc=")?, 16).ok()?;
@@ -711,20 +817,20 @@ impl<R: Read> LineReader<R> {
 
 /// A parsed event line, before policy application.
 #[derive(Debug, Clone, Copy)]
-struct RawEvent {
-    time: u64,
-    kind: RawKind,
+pub(crate) struct RawEvent {
+    pub(crate) time: u64,
+    pub(crate) kind: RawKind,
 }
 
 #[derive(Debug, Clone, Copy)]
-enum RawKind {
+pub(crate) enum RawKind {
     Node(Origin),
     Edge(u32, u32),
 }
 
 /// Parse one payload line. Mirrors the historical v1 parser exactly,
 /// including its error wording.
-fn parse_event_line(line: &str, lineno: usize) -> Result<RawEvent, ParseError> {
+pub(crate) fn parse_event_line(line: &str, lineno: usize) -> Result<RawEvent, ParseError> {
     let mut parts = line.split_ascii_whitespace();
     let tag = parts.next().unwrap_or_default();
     let malformed = |reason: &str| ParseError::Malformed {

@@ -34,6 +34,7 @@ pub mod event;
 pub mod io;
 pub mod log;
 pub mod snapshots;
+pub mod tail;
 pub mod testutil;
 pub mod time;
 pub mod unionfind;
@@ -45,6 +46,7 @@ pub use event::{Event, EventKind, Origin};
 pub use io::{IngestReport, ParseError, RecoveryPolicy};
 pub use log::{EventLog, EventLogBuilder, LogError};
 pub use snapshots::{CheckpointError, DailySnapshots, ReplayCheckpoint, Replayer};
+pub use tail::{TailBatch, TailError, TailEvent, TailReader};
 pub use time::{Day, NodeId, Time, SECONDS_PER_DAY};
 pub use unionfind::UnionFind;
 pub use view::GraphView;

@@ -210,6 +210,84 @@ impl<W: Write> Write for ChaosWriter<W> {
     }
 }
 
+/// The `slow_append` chaos mode: a writer that lands every append in
+/// **two** flushes with a pause in between, deterministically exposing
+/// the torn-tail window a live reader must treat as "not yet written".
+///
+/// Two styles of use:
+///
+/// * Threaded drills call [`SlowAppendWriter::append_slow`], which
+///   flushes the first half, sleeps the configured pause (giving a
+///   concurrently polling reader time to observe the torn state), then
+///   flushes the rest.
+/// * Deterministic unit tests call [`SlowAppendWriter::append_torn`] and
+///   [`SlowAppendWriter::complete`] themselves, polling the reader in
+///   between with no timing dependence at all.
+///
+/// The split point is a pure function of the buffer length (its
+/// midpoint), so equal inputs tear identically on every run.
+#[derive(Debug)]
+pub struct SlowAppendWriter<W> {
+    inner: W,
+    pause: Duration,
+    flushes: u64,
+}
+
+impl<W: Write> SlowAppendWriter<W> {
+    /// Wrap `inner`; `pause` is the torn-window duration for
+    /// [`append_slow`](SlowAppendWriter::append_slow).
+    pub fn new(inner: W, pause: Duration) -> Self {
+        SlowAppendWriter {
+            inner,
+            pause,
+            flushes: 0,
+        }
+    }
+
+    /// Where a buffer of this length tears: its midpoint.
+    pub fn split_point(len: usize) -> usize {
+        len / 2
+    }
+
+    /// Write and flush only the first half of `buf`, leaving the file in
+    /// the torn state. Returns the split offset to pass to
+    /// [`complete`](SlowAppendWriter::complete).
+    pub fn append_torn(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let split = Self::split_point(buf.len());
+        self.inner.write_all(&buf[..split])?;
+        self.inner.flush()?;
+        self.flushes += 1;
+        Ok(split)
+    }
+
+    /// Write and flush the remainder of a previously torn append.
+    pub fn complete(&mut self, buf: &[u8], split: usize) -> io::Result<()> {
+        self.inner.write_all(&buf[split..])?;
+        self.inner.flush()?;
+        self.flushes += 1;
+        Ok(())
+    }
+
+    /// One full append as two flushes separated by the configured pause.
+    pub fn append_slow(&mut self, buf: &[u8]) -> io::Result<()> {
+        let split = self.append_torn(buf)?;
+        if !self.pause.is_zero() {
+            std::thread::sleep(self.pause);
+        }
+        self.complete(buf, split)
+    }
+
+    /// How many flushes have landed (two per completed append).
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Unwrap the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Compute-plane fault injection
 // ---------------------------------------------------------------------------
@@ -698,6 +776,25 @@ mod tests {
         };
         assert!(wrote <= 12, "at most one write may straddle the limit");
         assert!(err.to_string().contains("disk full"));
+    }
+
+    #[test]
+    fn slow_append_tears_every_write_in_two() {
+        let mut w = SlowAppendWriter::new(Vec::new(), Duration::ZERO);
+        let payload = b"0123456789";
+        let split = w.append_torn(payload).unwrap();
+        assert_eq!(split, 5, "split point is the deterministic midpoint");
+        assert_eq!(w.into_inner(), b"01234", "only the first half is flushed");
+
+        let mut w = SlowAppendWriter::new(Vec::new(), Duration::ZERO);
+        w.append_slow(payload).unwrap();
+        w.append_slow(b"ab").unwrap();
+        assert_eq!(w.flushes(), 4, "two flushes per append");
+        assert_eq!(
+            w.into_inner(),
+            b"0123456789ab",
+            "no bytes lost or reordered"
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! | `GET /readyz`             | JSON trace identity | triage |
 //! | `GET /v1/meta`            | JSON trace identity + engine kind + version | triage |
 //! | `GET /v1/stats`           | JSON server counters + telemetry | triage |
+//! | `GET /v1/head`            | JSON live-ingest head state (published day, lag, health) | triage |
 //! | `GET /metrics`            | Prometheus text exposition | triage |
 //! | `GET /v1/days`            | JSON day lists | workers |
 //! | `GET /v1/metrics/{day}`   | CSV header + row, byte-identical to `osn metrics` | workers |

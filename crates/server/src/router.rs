@@ -27,6 +27,10 @@ pub enum Route {
     /// `GET /v1/stats` — server counters + telemetry snapshot as JSON;
     /// triage-answered so it stays readable under overload.
     Stats,
+    /// `GET /v1/head` — live-ingest head state: published day, applied
+    /// events, lag estimate, ingest health; triage-answered so staleness
+    /// stays observable while the work queue sheds (or ingest wedges).
+    Head,
     /// `GET /metrics` — Prometheus text exposition; also triage-answered.
     Prometheus,
     /// `GET /v1/metrics/{day}` — one Figure 1(c)–(f) CSV row.
@@ -74,6 +78,7 @@ impl Route {
         Route::Meta,
         Route::Days,
         Route::Stats,
+        Route::Head,
         Route::Prometheus,
         Route::Metrics(0),
         Route::Communities(0),
@@ -121,6 +126,14 @@ impl Route {
                 body: "`application/json` — server counters + telemetry snapshot",
                 summary: "Serving-plane counters and the full telemetry snapshot; stays \
                           readable while the work queue sheds.",
+            }),
+            Route::Head => Some(RouteDoc {
+                path: "/v1/head",
+                plane: "triage",
+                body: "`application/json` — ingest head state",
+                summary: "Live-ingest head: published day, applied events, ingest lag and \
+                          health, staleness of the served snapshot. In batch mode health is \
+                          `complete` and lag is zero.",
             }),
             Route::Prometheus => Some(RouteDoc {
                 path: "/metrics",
@@ -192,6 +205,7 @@ pub fn route(head: &RequestHead) -> Route {
         "/v1/meta" => Route::Meta,
         "/v1/days" => Route::Days,
         "/v1/stats" => Route::Stats,
+        "/v1/head" => Route::Head,
         "/metrics" => Route::Prometheus,
         path => {
             if let Some(day) = path.strip_prefix("/v1/metrics/") {
@@ -229,6 +243,7 @@ mod tests {
         assert_eq!(route(&head("GET", "/v1/meta")), Route::Meta);
         assert_eq!(route(&head("GET", "/v1/days")), Route::Days);
         assert_eq!(route(&head("GET", "/v1/stats")), Route::Stats);
+        assert_eq!(route(&head("GET", "/v1/head")), Route::Head);
         assert_eq!(route(&head("GET", "/metrics")), Route::Prometheus);
         assert_eq!(route(&head("GET", "/v1/metrics/42")), Route::Metrics(42));
         assert_eq!(
@@ -247,6 +262,7 @@ mod tests {
         assert!(Route::Meta.is_fast_path());
         assert!(Route::NotFound.is_fast_path());
         assert!(Route::Stats.is_fast_path());
+        assert!(Route::Head.is_fast_path());
         assert!(Route::Prometheus.is_fast_path());
         assert!(!Route::Days.is_fast_path());
         assert!(!Route::Metrics(1).is_fast_path());

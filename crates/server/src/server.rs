@@ -32,6 +32,7 @@ use crate::accesslog::{AccessLog, ServerStats, StatsSnapshot};
 use crate::handlers::{handle, HandlerPolicy};
 use crate::http::{read_head, write_response, RequestHead, Response, RAW_SHED_503};
 use crate::router::{route, Route};
+use osn_core::live::LiveQuery;
 use osn_core::query::SnapshotQuery;
 use osn_graph::testutil::ChaosTaskPlan;
 use std::io::{self, Write};
@@ -131,7 +132,7 @@ struct Job {
 /// Shared state every stage touches.
 #[derive(Debug)]
 struct Shared {
-    query: Arc<SnapshotQuery>,
+    live: Arc<LiveQuery>,
     stats: ServerStats,
     log: AccessLog,
     shutdown: AtomicBool,
@@ -171,6 +172,7 @@ fn record_http_telemetry(path: &str, status: u16, elapsed: Duration, load_shed: 
         "/v1/meta" => osn_obs::histogram!("http.latency_us.meta"),
         "/v1/days" => osn_obs::histogram!("http.latency_us.days"),
         "/v1/stats" => osn_obs::histogram!("http.latency_us.stats"),
+        "/v1/head" => osn_obs::histogram!("http.latency_us.head"),
         "/metrics" => osn_obs::histogram!("http.latency_us.prometheus"),
         p if p.starts_with("/v1/metrics/") => osn_obs::histogram!("http.latency_us.metrics"),
         p if p.starts_with("/v1/communities/") => {
@@ -193,9 +195,13 @@ fn record_http_telemetry(path: &str, status: u16, elapsed: Duration, load_shed: 
     }
 }
 
-/// A running daemon. Startup is all-or-nothing: the trace analyses were
-/// already materialised into the [`SnapshotQuery`] before `start`, so by
-/// the time `start` returns the server answers every endpoint.
+/// A running daemon. In batch mode ([`Server::start`]) startup is
+/// all-or-nothing: the trace analyses were already materialised into the
+/// [`SnapshotQuery`] before `start`, so by the time `start` returns the
+/// server answers every endpoint. In follow mode ([`Server::start_live`])
+/// the snapshot behind the [`LiveQuery`] may still be empty or stale;
+/// data endpoints answer `503` + `Retry-After` until the first publish,
+/// and `/v1/head` reports staleness throughout.
 #[derive(Debug)]
 pub struct Server {
     addr: SocketAddr,
@@ -207,7 +213,15 @@ pub struct Server {
 
 impl Server {
     /// Bind, spawn the pipeline, and return once the listener is live.
+    /// Serves one frozen snapshot (batch mode).
     pub fn start(cfg: ServerConfig, query: Arc<SnapshotQuery>) -> io::Result<Server> {
+        Server::start_live(cfg, LiveQuery::fixed(query))
+    }
+
+    /// Bind and serve whatever the [`LiveQuery`] currently publishes —
+    /// the follow-mode entry point, where an ingest head keeps swapping
+    /// fresher snapshots in behind this handle.
+    pub fn start_live(cfg: ServerConfig, live: Arc<LiveQuery>) -> io::Result<Server> {
         // The daemon always runs instrumented: `/v1/stats` and `/metrics`
         // must answer with live numbers, and the per-record cost is one
         // relaxed atomic add on paths that already take a mutex.
@@ -225,7 +239,7 @@ impl Server {
         };
 
         let shared = Arc::new(Shared {
-            query,
+            live,
             stats: ServerStats::default(),
             log: cfg.access_log,
             shutdown: AtomicBool::new(false),
@@ -371,21 +385,54 @@ fn accept_loop(shared: &Shared, listener: &TcpListener, triage_tx: &SyncSender<C
     // Dropping the only triage sender starts the drain cascade.
 }
 
+/// `503` for data requests that arrive before the live head has
+/// published its first snapshot: a degradation, not an error — the
+/// client backs off and retries, and `/v1/head` explains the state.
+fn not_ready_response(shared: &Shared) -> Response {
+    let mut r = Response::text(
+        503,
+        &format!(
+            "no snapshot published yet (ingest {})\n",
+            shared.live.health().as_str()
+        ),
+    );
+    r.retry_after = Some(1);
+    r
+}
+
 /// Inline responses for routes that must not depend on worker capacity.
 fn fast_response(shared: &Shared, r: Route) -> Response {
     match r {
         Route::Health => Response::text(200, "ok\n"),
-        Route::Ready => {
-            let meta = shared.query.meta();
-            Response::json(
-                200,
-                format!(
-                    "{{\"ready\":true,\"days\":{},\"nodes\":{},\"fingerprint\":\"{:016x}\"}}",
-                    meta.num_days, meta.num_nodes, meta.fingerprint
-                ),
-            )
-        }
-        Route::Meta => Response::json(200, shared.query.meta_json(env!("CARGO_PKG_VERSION"))),
+        Route::Ready => match shared.live.get() {
+            Some(query) => {
+                let meta = query.meta();
+                Response::json(
+                    200,
+                    format!(
+                        "{{\"ready\":true,\"days\":{},\"nodes\":{},\"fingerprint\":\"{:016x}\"}}",
+                        meta.num_days, meta.num_nodes, meta.fingerprint
+                    ),
+                )
+            }
+            // Follow mode before the first publish: alive but not ready.
+            None => {
+                let mut r = Response::json(
+                    503,
+                    format!(
+                        "{{\"ready\":false,\"ingest\":\"{}\"}}",
+                        shared.live.health().as_str()
+                    ),
+                );
+                r.retry_after = Some(1);
+                r
+            }
+        },
+        Route::Meta => match shared.live.get() {
+            Some(query) => Response::json(200, query.meta_json(env!("CARGO_PKG_VERSION"))),
+            None => not_ready_response(shared),
+        },
+        Route::Head => Response::json(200, shared.live.head_json()),
         Route::Stats => {
             // Serving-plane counters plus the full telemetry snapshot in
             // one document; both renderings are single-line JSON.
@@ -514,8 +561,19 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
                 reason: "timed-out",
             },
             Some(budget) => {
-                policy.deadline = Some(budget);
-                handle(&shared.query, route, &policy)
+                // One consistent snapshot per request: the Arc is pinned
+                // here, so a concurrent head publish never changes the
+                // data mid-request (bounded staleness, no torn reads).
+                match shared.live.get() {
+                    Some(query) => {
+                        policy.deadline = Some(budget);
+                        handle(&query, route, &policy)
+                    }
+                    None => crate::handlers::Handled {
+                        response: not_ready_response(shared),
+                        reason: "not-ready",
+                    },
+                }
             }
         };
         let status = handled.response.status;

@@ -8,6 +8,7 @@
 //! behaviour.
 
 use osn_core::communities::CommunityAnalysisConfig;
+use osn_core::live::{run_follow, LiveHeadConfig, LiveQuery};
 use osn_core::network::MetricSeriesConfig;
 use osn_core::query::SnapshotQuery;
 use osn_genstream::{TraceConfig, TraceGenerator};
@@ -398,6 +399,83 @@ fn half_closed_client_still_gets_its_bytes() {
     let resp = http_get_half_close(&addr, &format!("/v1/metrics/{day}"), CLIENT_TIMEOUT).unwrap();
     assert_eq!(resp.status, 200);
     assert_eq!(resp.body, q.metrics_row_csv(day).unwrap().into_bytes());
+    server.request_shutdown();
+    assert!(server.join().clean());
+}
+
+#[test]
+fn follow_mode_degrades_before_first_publish_then_serves() {
+    // An empty live handle: the daemon is up but nothing is published.
+    let live = LiveQuery::for_follow();
+    let server = Server::start_live(ServerConfig::default(), live.clone()).expect("server starts");
+    let addr = server.local_addr().to_string();
+
+    // Probes and head state answer; data endpoints degrade with 503 +
+    // Retry-After (never 500, never a hang).
+    assert_eq!(
+        http_get(&addr, "/healthz", CLIENT_TIMEOUT).unwrap().status,
+        200
+    );
+    let head = http_get(&addr, "/v1/head", CLIENT_TIMEOUT).unwrap();
+    assert_eq!(head.status, 200);
+    let head_body = head.body_str().to_string();
+    assert!(head_body.contains("\"published\":false"), "{head_body}");
+    assert!(head_body.contains("\"follow\":true"), "{head_body}");
+    let ready = http_get(&addr, "/readyz", CLIENT_TIMEOUT).unwrap();
+    assert_eq!(ready.status, 503);
+    assert!(ready.body_str().contains("\"ready\":false"));
+    for path in ["/v1/days", "/v1/metrics/0", "/v1/meta"] {
+        let resp = http_get(&addr, path, CLIENT_TIMEOUT).unwrap();
+        assert_eq!(resp.status, 503, "{path} before first publish");
+        assert_eq!(resp.header("retry-after"), Some("1"), "{path}");
+    }
+
+    // Run a head over a complete trace file; once it finishes, the same
+    // server must serve engine-identical bytes without restarting.
+    let dir = std::env::temp_dir().join(format!("osn-follow-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("trace.events");
+    let log = TraceGenerator::new(TraceConfig::tiny()).generate();
+    let mut bytes = Vec::new();
+    osn_graph::io::write_log_v2_chunked(&log, &mut bytes, 256).unwrap();
+    std::fs::write(&trace, &bytes).unwrap();
+
+    let cfg = LiveHeadConfig {
+        poll_interval: Duration::from_millis(1),
+        query: SnapshotQuery::builder()
+            .metrics(MetricSeriesConfig {
+                stride: 40,
+                path_sample: 30,
+                clustering_sample: 100,
+                workers: 2,
+                ..Default::default()
+            })
+            .communities(CommunityAnalysisConfig {
+                stride: 80,
+                ..Default::default()
+            })
+            .config()
+            .clone(),
+        ..LiveHeadConfig::new(&trace)
+    };
+    let report = run_follow(&cfg, &live, &std::sync::atomic::AtomicBool::new(false)).unwrap();
+    assert!(report.completed);
+
+    let batch = SnapshotQuery::build(&log, &cfg.query);
+    let day = batch.metric_days()[0];
+    let resp = http_get(&addr, &format!("/v1/metrics/{day}"), CLIENT_TIMEOUT).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body, batch.metrics_row_csv(day).unwrap().into_bytes());
+    let ready = http_get(&addr, "/readyz", CLIENT_TIMEOUT).unwrap();
+    assert_eq!(ready.status, 200);
+    let head = http_get(&addr, "/v1/head", CLIENT_TIMEOUT).unwrap();
+    assert!(
+        head.body_str().contains("\"health\":\"complete\""),
+        "{}",
+        head.body_str()
+    );
+
     server.request_shutdown();
     assert!(server.join().clean());
 }
