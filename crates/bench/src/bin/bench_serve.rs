@@ -29,6 +29,16 @@
 //! number queries actually observe) next to the unified query
 //! `p50_us`/`p99_us`. Report-only: write it to its own `--out` file so
 //! the regression gate keeps judging the steady-state numbers.
+//!
+//! With `--write-rate R` the bench switches to the **write-plane
+//! interference** mode (bench name `serve_write`): the server starts
+//! with `POST /v1/events` enabled over a temp WAL, a writer client
+//! streams the generated trace through the write plane in paced,
+//! idempotency-keyed batches at `R` batches per second (re-sending
+//! every eighth key to exercise dedup), and the read flood runs against
+//! the live head fed by those accepted writes. The JSON adds the write
+//! side: accepted/duplicate/shed batch counts, write `p50/p99`, and the
+//! WAL's group-commit fsync count. Report-only, like `--ingest-rate`.
 
 use osn_core::communities::CommunityAnalysisConfig;
 use osn_core::live::{run_follow, IngestHealth, LiveHeadConfig, LiveQuery};
@@ -50,6 +60,7 @@ struct Args {
     workers: usize,
     queue_depth: usize,
     ingest_rate: Option<f64>,
+    write_rate: Option<f64>,
     out: String,
 }
 
@@ -60,6 +71,7 @@ fn parse_args() -> Result<Args, String> {
         workers: 2,
         queue_depth: 32,
         ingest_rate: None,
+        write_rate: None,
         out: "BENCH_serve.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
@@ -79,9 +91,19 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.ingest_rate = Some(rate);
             }
+            "--write-rate" => {
+                let rate: f64 = value()?.parse().map_err(|e| format!("{a}: {e}"))?;
+                if !(rate > 0.0 && rate.is_finite()) {
+                    return Err(format!("{a} must be a positive number, got {rate}"));
+                }
+                args.write_rate = Some(rate);
+            }
             "--out" => args.out = value()?,
             other => return Err(format!("unknown flag {other}")),
         }
+    }
+    if args.ingest_rate.is_some() && args.write_rate.is_some() {
+        return Err("--ingest-rate and --write-rate are mutually exclusive".into());
     }
     Ok(args)
 }
@@ -194,11 +216,143 @@ fn start_interference(
     }
 }
 
+/// Everything the write-plane mode spins up next to the server: the
+/// WAL the server appends to, the live head tailing the WAL's trace,
+/// and the batches the paced writer will POST once the port is known.
+struct WriteFlood {
+    head: std::thread::JoinHandle<Result<osn_core::live::FollowReport, osn_core::live::LiveError>>,
+    stop: Arc<AtomicBool>,
+    trace: std::path::PathBuf,
+    wal: Arc<osn_graph::wal::Wal>,
+    batches: Vec<String>,
+    rate: f64,
+}
+
+/// Outcome counters from the paced writer client.
+struct WriteOutcome {
+    accepted: u64,
+    duplicates: u64,
+    shed: u64,
+    errors: u64,
+    latency: osn_obs::HistSnapshot,
+}
+
+const WRITE_TOKEN: &str = "bench-token";
+
+/// Open a fresh WAL over a temp trace, start the follow head over that
+/// trace, and pre-slice the generated log's payload into POST bodies.
+/// Returns the server-side write config plus the bench-side state.
+fn start_write_flood(
+    log: &osn_graph::EventLog,
+    query_cfg: osn_core::query::SnapshotQueryConfig,
+    live: Arc<LiveQuery>,
+    rate: f64,
+) -> (osn_server::WritePlaneConfig, WriteFlood) {
+    let mut bytes = Vec::new();
+    osn_graph::io::write_log_v2_chunked(log, &mut bytes, 256).expect("serialise trace");
+    let batches: Vec<String> = String::from_utf8(bytes)
+        .expect("v2 traces are utf-8")
+        .lines()
+        .filter(|l| l.starts_with("N ") || l.starts_with("E "))
+        .collect::<Vec<_>>()
+        .chunks(64)
+        .map(|c| {
+            let mut s = c.join("\n");
+            s.push('\n');
+            s
+        })
+        .collect();
+
+    let trace =
+        std::env::temp_dir().join(format!("bench_serve_write_{}.events", std::process::id()));
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_dir_all(osn_graph::wal::wal_dir_for(&trace));
+    let (wal, _report) =
+        osn_graph::wal::Wal::open_default(&trace, Default::default()).expect("open bench WAL");
+    let wal = Arc::new(wal);
+
+    // Generous admission: the bench measures throughput under paced
+    // load, so the rate budget sits well above the offered rate and
+    // shed batches come from the durability valves, not the bucket.
+    let mut write_cfg =
+        osn_server::WritePlaneConfig::new(Arc::clone(&wal), vec![WRITE_TOKEN.to_string()]);
+    write_cfg.rate_limit = rate * 4.0;
+    write_cfg.rate_burst = rate * 8.0;
+
+    let head_cfg = LiveHeadConfig {
+        policy: RecoveryPolicy::Strict,
+        query: query_cfg,
+        poll_interval: Duration::from_millis(2),
+        ..LiveHeadConfig::new(&trace)
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    let head = {
+        let live = Arc::clone(&live);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || run_follow(&head_cfg, &live, &stop))
+    };
+    (
+        write_cfg,
+        WriteFlood {
+            head,
+            stop,
+            trace,
+            wal,
+            batches,
+            rate,
+        },
+    )
+}
+
+/// POST every batch at the paced rate, re-sending every eighth key to
+/// exercise the idempotency window.
+fn run_writer(addr: &str, batches: &[String], rate: f64) -> WriteOutcome {
+    let auth = format!("Bearer {WRITE_TOKEN}");
+    let pause = Duration::from_secs_f64(1.0 / rate);
+    let latency = osn_obs::Histogram::new();
+    let mut out = WriteOutcome {
+        accepted: 0,
+        duplicates: 0,
+        shed: 0,
+        errors: 0,
+        latency: osn_obs::HistSnapshot::default(),
+    };
+    let post = |key: &str, body: &str, out: &mut WriteOutcome| {
+        let sent = Instant::now();
+        let resp = osn_graph::testutil::http_post(
+            addr,
+            "/v1/events",
+            &[("Authorization", &auth), ("Idempotency-Key", key)],
+            body.as_bytes(),
+            Duration::from_secs(30),
+        );
+        latency.record_duration(sent.elapsed());
+        match resp {
+            Ok(r) if r.status == 201 => out.accepted += 1,
+            Ok(r) if r.status == 200 => out.duplicates += 1,
+            Ok(r) if r.status == 429 || r.status == 503 => out.shed += 1,
+            _ => out.errors += 1,
+        }
+    };
+    for (i, body) in batches.iter().enumerate() {
+        std::thread::sleep(pause);
+        let key = format!("bench-{i}");
+        post(&key, body, &mut out);
+        if i % 8 == 0 {
+            // Idempotent retry of the batch just sent: must dedup, not
+            // double-apply — the duplicate count proves the window held.
+            post(&key, body, &mut out);
+        }
+    }
+    out.latency = latency.snapshot();
+    out
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("usage: bench_serve [--clients N] [--requests N] [--workers N] [--queue-depth N] [--ingest-rate R] [--out FILE]");
+            eprintln!("usage: bench_serve [--clients N] [--requests N] [--workers N] [--queue-depth N] [--ingest-rate R] [--write-rate R] [--out FILE]");
             eprintln!("error: {e}");
             return ExitCode::from(2);
         }
@@ -220,13 +374,14 @@ fn main() -> ExitCode {
 
     // Per-request access lines would swamp stderr at bench rates; keep
     // the counters, drop the lines.
-    let server_cfg = ServerConfig {
+    let mut server_cfg = ServerConfig {
         workers: args.workers,
         queue_depth: args.queue_depth,
         access_log: osn_server::AccessLog::to_sink(Box::new(std::io::sink())),
         ..ServerConfig::default()
     };
     let mut interference = None;
+    let mut write_flood = None;
     let (server, paths) = if let Some(rate) = args.ingest_rate {
         let live = LiveQuery::for_follow();
         let server =
@@ -241,6 +396,20 @@ fn main() -> ExitCode {
         // "@metrics-latest" resolves per client to the newest metric day
         // that client has seen in a `/v1/days` answer.
         let paths: Vec<String> = ["@metrics-latest", "/v1/days", "@metrics-latest", "/v1/head"]
+            .map(String::from)
+            .to_vec();
+        (server, paths)
+    } else if let Some(rate) = args.write_rate {
+        let live = LiveQuery::for_follow();
+        let (write_cfg, flood) =
+            start_write_flood(&log, builder.config().clone(), Arc::clone(&live), rate);
+        server_cfg.write = Some(write_cfg);
+        let server =
+            Server::start_live(server_cfg, Arc::clone(&live)).expect("bind ephemeral port");
+        write_flood = Some(flood);
+        // Same moving-head read mix as ingest mode: the question is
+        // whether reads stay fast while the write plane is hot.
+        let paths: Vec<String> = ["@metrics-latest", "/v1/days", "/v1/head", "/healthz"]
             .map(String::from)
             .to_vec();
         (server, paths)
@@ -268,6 +437,12 @@ fn main() -> ExitCode {
     // end; recording is gated on the global telemetry flag (which
     // Server::start enabled already, but say so explicitly).
     osn_obs::set_enabled(true);
+    let writer = write_flood.as_ref().map(|f| {
+        let addr = addr.clone();
+        let batches = f.batches.clone();
+        let rate = f.rate;
+        std::thread::spawn(move || run_writer(&addr, &batches, rate))
+    });
     let flood_started = Instant::now();
     let clients: Vec<_> = (0..args.clients)
         .map(|c| {
@@ -350,6 +525,49 @@ fn main() -> ExitCode {
         );
     }
 
+    // In write mode, let the writer stream the whole trace through the
+    // write plane, seal the WAL (which stamps the trace footer so the
+    // head runs to completion), and collect the write-side numbers.
+    let mut write_fields = String::new();
+    let mut write_errors = 0u64;
+    if let Some(flood) = write_flood.take() {
+        let w = writer
+            .expect("writer spawned with flood")
+            .join()
+            .expect("writer thread");
+        flood.wal.seal().expect("seal bench WAL");
+        let head = flood
+            .head
+            .join()
+            .expect("head thread")
+            .expect("follow head failed");
+        flood.stop.store(true, Ordering::Relaxed);
+        let stats = flood.wal.stats();
+        let _ = std::fs::remove_file(&flood.trace);
+        let _ = std::fs::remove_dir_all(osn_graph::wal::wal_dir_for(&flood.trace));
+        write_errors = w.errors;
+        write_fields = format!(
+            concat!(
+                ",\"write_rate\":{},\"write_accepted\":{},",
+                "\"write_duplicates\":{},\"write_shed\":{},",
+                "\"write_errors\":{},\"write_p50_us\":{},\"write_p99_us\":{},",
+                "\"wal_fsyncs\":{},\"wal_last_seq\":{},",
+                "\"head_publishes\":{},\"head_completed\":{}"
+            ),
+            flood.rate,
+            w.accepted,
+            w.duplicates,
+            w.shed,
+            w.errors,
+            w.latency.p50(),
+            w.latency.p99(),
+            stats.fsyncs,
+            stats.last_seq,
+            head.publishes,
+            head.completed,
+        );
+    }
+
     server.request_shutdown();
     let report = server.join();
 
@@ -358,6 +576,8 @@ fn main() -> ExitCode {
     let shed_rate = shed as f64 / total as f64;
     let bench_name = if args.ingest_rate.is_some() {
         "serve_ingest"
+    } else if args.write_rate.is_some() {
+        "serve_write"
     } else {
         "serve"
     };
@@ -367,7 +587,7 @@ fn main() -> ExitCode {
             "\"workers\":{},\"queue_depth\":{},\"build_ms\":{},",
             "\"total_requests\":{},\"ok\":{},\"shed\":{},\"errors\":{},",
             "\"elapsed_ms\":{},\"requests_per_sec\":{:.1},\"shed_rate\":{:.4},",
-            "\"drain_clean\":{}{}}}"
+            "\"drain_clean\":{}{}{}}}"
         ),
         osn_bench::unified_fields(bench_name, rps, &latency),
         args.clients,
@@ -384,6 +604,7 @@ fn main() -> ExitCode {
         shed_rate,
         report.clean(),
         ingest_fields,
+        write_fields,
     );
     if let Err(e) =
         osn_graph::atomicfile::write_bytes_atomic(std::path::Path::new(&args.out), json.as_bytes())
@@ -397,9 +618,9 @@ fn main() -> ExitCode {
         elapsed,
         shed_rate * 100.0
     );
-    if errors > 0 || !report.clean() {
+    if errors > 0 || write_errors > 0 || !report.clean() {
         eprintln!(
-            "error: flood produced {errors} hard errors (drain clean: {})",
+            "error: flood produced {errors} read + {write_errors} write hard errors (drain clean: {})",
             report.clean()
         );
         return ExitCode::FAILURE;

@@ -26,6 +26,7 @@ USAGE:
   osn inspect  trace.events
   osn verify   trace.events [--policy strict|skip|repair] [--max-errors N]
                [--window SECONDS] [--json] [--allow-truncated-tail]
+  osn verify   --wal DIR [--json]
   osn metrics  trace.events [--engine batch|incremental] [--stride D]
                [--out DIR] [--checkpoint DIR] [--workers N] [--retries N]
                [--task-timeout SECS] [--strict]
@@ -40,6 +41,9 @@ USAGE:
                [--drain-timeout SECS] [--retries N] [--stride D]
                [--community-stride D] [--seed N] [--follow]
                [--checkpoint DIR] [--poll-interval SECS] [--watchdog SECS]
+               [--accept-writes] [--wal DIR] [--token TOK]...
+               [--write-rate R] [--write-burst B] [--max-body-bytes N]
+               [--max-write-lag N] [--max-sync-queue N] [--no-wal-fsync]
 
 Every command also accepts --telemetry FILE (or the OSN_TELEMETRY env
 var; the flag wins): the in-process telemetry registry (counters,
@@ -89,7 +93,21 @@ process resumes from the last published day and converges on state
 byte-identical to a batch run over the finished trace. If ingest
 wedges (corruption under the policy, vanished file, watchdog trip)
 the daemon keeps answering from the last good snapshot and /v1/head
-reports health wedged/missing — ingest trouble never turns into 500s.";
+reports health wedged/missing — ingest trouble never turns into 500s.
+
+serve --follow --accept-writes opens the durable write plane: POST
+/v1/events appends CSV or JSON event batches to a write-ahead log that
+feeds the tailed trace (group-commit fsync; kill -9 at any byte leaves
+a recoverable tail, never corruption). Requests need Authorization:
+Bearer <token> (--token, repeatable, or OSN_WRITE_TOKENS, comma-
+separated); an Idempotency-Key header makes at-least-once retries safe
+(a re-sent batch acks 200 duplicate instead of double-applying).
+Admission control sheds writes with 429/503 + Retry-After when the
+per-token budget (--write-rate/--write-burst), the fsync queue
+(--max-sync-queue) or head lag (--max-write-lag) exceeds bounds, so
+reads stay alive under write floods. On clean shutdown the trace is
+sealed back to a strict-clean batch log; osn verify --wal DIR checks
+the retained segments.";
 
 /// Hidden aliases from the output-flag unification: every command names
 /// its primary output `--out`, the telemetry snapshot `--telemetry`,
@@ -104,15 +122,34 @@ const FLAG_ALIASES: &[(&str, &str)] = &[
 ];
 
 /// Resolve a deprecated alias to its canonical flag name, noting the
-/// rename on stderr (once per occurrence — these are one-shot CLIs).
+/// rename on stderr at most once per process (see [`note_deprecation`]).
 fn canonical_flag(key: &str) -> &str {
     match FLAG_ALIASES.iter().find(|(old, _)| *old == key) {
         Some((old, new)) => {
-            eprintln!("note: --{old} is deprecated; use --{new}");
+            note_deprecation(old, &format!("note: --{old} is deprecated; use --{new}"));
             new
         }
         None => key,
     }
+}
+
+/// Print a deprecation note at most once per process per stale flag.
+/// Returns whether this call printed. A parse that mentions the same
+/// old spelling five times (or a long-running `serve` whose wrapper
+/// script re-parses) should nag once, not once per occurrence.
+pub(crate) fn note_deprecation(old_flag: &str, note: &str) -> bool {
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+    static SEEN: OnceLock<Mutex<HashSet<String>>> = OnceLock::new();
+    let seen = SEEN.get_or_init(|| Mutex::new(HashSet::new()));
+    let fresh = seen
+        .lock()
+        .map(|mut s| s.insert(old_flag.to_string()))
+        .unwrap_or(false);
+    if fresh {
+        eprintln!("{note}");
+    }
+    fresh
 }
 
 /// Minimal flag parser: `--key value` pairs plus positional arguments.
@@ -155,6 +192,16 @@ impl Flags {
             .rev()
             .find(|(k, _)| k == key)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Every occurrence of a repeatable flag, in argument order
+    /// (`--token a --token b` → `["a", "b"]`).
+    pub(crate) fn get_all(&self, key: &str) -> Vec<&str> {
+        self.pairs
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
     }
 
     pub(crate) fn get_parsed<T: std::str::FromStr>(
@@ -435,6 +482,11 @@ pub fn inspect(args: &[String]) -> Result<(), CliError> {
 pub fn verify(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args, &["json", "allow-truncated-tail"])?;
     let _telemetry = TelemetryGuard::from_flags(&flags);
+    // `--wal DIR` switches to write-ahead-log mode: verify every
+    // retained segment instead of a trace file.
+    if let Some(dir) = flags.get("wal") {
+        return verify_wal(Path::new(dir), flags.has("json"));
+    }
     let path = flags.trace_arg("verify")?;
     // Strict turns a pending tail into a hard parse error before any
     // report exists, so --allow-truncated-tail defaults to skip; an
@@ -501,6 +553,85 @@ pub fn verify(args: &[String]) -> Result<(), CliError> {
         Err(CliError::Corrupt {
             path: PathBuf::from(path),
             problems,
+        })
+    }
+}
+
+/// `osn verify --wal DIR` — check every retained WAL segment with the
+/// same chunk-framing verification the tail reader applies to traces.
+/// Batch markers are plain comments, so segments verify as ordinary v2
+/// streams. Only the *active* (last) segment may legitimately lack its
+/// footer or end in a torn append — a crash mid-write lands there by
+/// construction; anything unfinished earlier in the sequence is damage.
+/// Exit codes match trace verification: 0 clean, 3 corrupt.
+fn verify_wal(dir: &Path, json: bool) -> Result<(), CliError> {
+    let segments = osn_graph::wal::list_segments(dir)
+        .map_err(|e| CliError::io(format!("list WAL segments in {}", dir.display()), e))?;
+    let mut events = 0u64;
+    let mut chunks = 0u64;
+    let mut problems = 0usize;
+    let mut tail_pending = false;
+    for (i, (index, path)) in segments.iter().enumerate() {
+        let last = i + 1 == segments.len();
+        let mut reader = osn_graph::TailReader::new(path, RecoveryPolicy::Strict);
+        match reader.poll() {
+            Ok(batch) => {
+                events += batch.events.len() as u64;
+                chunks += batch.chunks_verified;
+                let mut verdict = "clean";
+                if batch.tail_pending || batch.footer.is_none() {
+                    if last {
+                        // The active segment is allowed to be unfinished.
+                        tail_pending = true;
+                        verdict = "active (tail pending)";
+                    } else {
+                        problems += 1;
+                        verdict = "UNFINISHED (not the active segment)";
+                    }
+                }
+                if !json {
+                    println!(
+                        "  seg-{index:06}: {} event(s), {} chunk(s), {verdict}",
+                        batch.events.len(),
+                        batch.chunks_verified
+                    );
+                }
+            }
+            Err(e) => {
+                problems += 1;
+                if !json {
+                    println!("  seg-{index:06}: CORRUPT ({e})");
+                } else {
+                    eprintln!("{}: {e}", path.display());
+                }
+            }
+        }
+    }
+    if json {
+        println!(
+            "{{\"wal\":\"{}\",\"segments\":{},\"events\":{events},\"chunks\":{chunks},\
+             \"problems\":{problems},\"tail_pending\":{tail_pending}}}",
+            dir.display(),
+            segments.len()
+        );
+    } else {
+        println!(
+            "{}: {} segment(s), {events} event(s), {chunks} chunk(s)",
+            dir.display(),
+            segments.len()
+        );
+        if problems == 0 {
+            println!("  verdict: clean");
+        } else {
+            println!("  verdict: NOT clean ({problems} problem(s) — see above)");
+        }
+    }
+    if problems == 0 {
+        Ok(())
+    } else {
+        Err(CliError::Corrupt {
+            path: dir.to_path_buf(),
+            problems: problems as u64,
         })
     }
 }
@@ -787,6 +918,82 @@ mod tests {
         assert!(f.has("no-merge"));
         assert_eq!(f.get("out"), Some("x"));
         assert_eq!(f.get("missing"), None);
+    }
+
+    #[test]
+    fn deprecation_notes_print_once_per_process() {
+        // First sighting of a flag prints; every later sighting of the
+        // same flag is silent, even with different advice text.
+        assert!(note_deprecation(
+            "test-once-flag",
+            "note: --test-once-flag is deprecated"
+        ));
+        assert!(!note_deprecation(
+            "test-once-flag",
+            "note: --test-once-flag is deprecated"
+        ));
+        assert!(!note_deprecation(
+            "test-once-flag",
+            "different text, same flag"
+        ));
+        // A different flag gets its own one-shot note.
+        assert!(note_deprecation(
+            "test-other-flag",
+            "note: --test-other-flag is deprecated"
+        ));
+    }
+
+    #[test]
+    fn get_all_returns_repeated_flags_in_order() {
+        let args: Vec<String> = ["--token", "a", "--seed", "1", "--token", "b"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = Flags::parse(&args, &[]).unwrap();
+        assert_eq!(f.get_all("token"), vec!["a", "b"]);
+        assert_eq!(f.get("token"), Some("b"), "get keeps last-wins semantics");
+        assert!(f.get_all("missing").is_empty());
+    }
+
+    #[test]
+    fn verify_wal_checks_segments_and_flags_corruption() {
+        use osn_graph::wal::{Wal, WalEvent, WalOptions};
+        use osn_graph::Origin;
+        let dir = std::env::temp_dir().join(format!("osn_cli_walverify_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.events");
+        let wal_dir = dir.join("wal");
+        let opts = WalOptions {
+            fsync: false,
+            rotate_bytes: 128,
+            ..WalOptions::default()
+        };
+        {
+            let (wal, _) = Wal::open(&trace, &wal_dir, opts).unwrap();
+            let mut evs = vec![WalEvent::node(0, Origin::Core)];
+            for i in 1..12 {
+                evs.push(WalEvent::node(i, Origin::Core));
+            }
+            for batch in evs.chunks(2) {
+                wal.append(None, batch).unwrap();
+            }
+        }
+        let w = wal_dir.to_str().unwrap().to_string();
+        // Several rotated segments, all clean (active one tail-allowed).
+        verify(&["--wal".into(), w.clone()]).unwrap();
+        verify(&["--wal".into(), w.clone(), "--json".into()]).unwrap();
+        // Flip one payload byte in the first (sealed) segment.
+        let segments = osn_graph::wal::list_segments(&wal_dir).unwrap();
+        assert!(segments.len() > 1, "rotation should have produced segments");
+        let victim = &segments[0].1;
+        let mut bytes = std::fs::read(victim).unwrap();
+        let pos = bytes.iter().position(|&b| b == b'N').unwrap();
+        bytes[pos] = b'E';
+        std::fs::write(victim, &bytes).unwrap();
+        let err = verify(&["--wal".into(), w]).unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -23,16 +23,17 @@
 //! deadline expired with requests still in flight (degraded drain),
 //! `1` anything else.
 
-use crate::commands::{engine_flag, Flags, TelemetryGuard};
+use crate::commands::{engine_flag, note_deprecation, Flags, TelemetryGuard};
 use crate::error::CliError;
 use osn_core::communities::CommunityAnalysisConfig;
 use osn_core::live::{run_follow, LiveError, LiveHeadConfig, LiveQuery};
 use osn_core::network::MetricSeriesConfig;
 use osn_core::query::SnapshotQuery;
 use osn_graph::io::{read_log_with_policy, RecoveryPolicy};
+use osn_graph::wal::{wal_dir_for, Wal, WalError, WalOptions};
 use osn_metrics::supervisor::RunPolicy;
-use osn_server::{Server, ServerConfig};
-use std::path::PathBuf;
+use osn_server::{Server, ServerConfig, WritePlaneConfig};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -132,9 +133,100 @@ fn head_error(path: &str, err: LiveError) -> CliError {
     }
 }
 
+/// Map a WAL open failure onto the CLI's exit-code contract: corruption
+/// the recovery machinery refuses to repair is the preflight verdict
+/// (exit 3); anything else is an I/O failure (exit 1).
+fn wal_error(path: &str, err: WalError) -> CliError {
+    match err {
+        WalError::Corrupt { .. } => {
+            eprintln!("error: write-ahead log is corrupt: {err}");
+            CliError::Corrupt {
+                path: PathBuf::from(path),
+                problems: 1,
+            }
+        }
+        WalError::Io(e) => CliError::io("open write-ahead log", e),
+        other => CliError::io(
+            "open write-ahead log",
+            std::io::Error::other(other.to_string()),
+        ),
+    }
+}
+
+/// Parse the `--accept-writes` flag family into a [`WritePlaneConfig`],
+/// opening (and, after a crash, recovering) the WAL. Must run before
+/// preflight: recovery may repair the trace's tail and unseal it.
+fn write_plane(
+    flags: &Flags,
+    path: &str,
+) -> Result<Option<(Arc<Wal>, WritePlaneConfig)>, CliError> {
+    if !flags.has("accept-writes") {
+        return Ok(None);
+    }
+    if !flags.has("follow") {
+        return Err(CliError::Usage(
+            "--accept-writes requires --follow (accepted writes become visible \
+             through the live ingest head)"
+                .to_string(),
+        ));
+    }
+    let mut tokens: Vec<String> = flags
+        .get_all("token")
+        .iter()
+        .map(|t| t.to_string())
+        .collect();
+    if let Ok(env) = std::env::var("OSN_WRITE_TOKENS") {
+        tokens.extend(
+            env.split(',')
+                .map(str::trim)
+                .filter(|t| !t.is_empty())
+                .map(str::to_string),
+        );
+    }
+    if tokens.is_empty() {
+        return Err(CliError::Usage(
+            "--accept-writes needs at least one --token (or OSN_WRITE_TOKENS)".to_string(),
+        ));
+    }
+    let dir = flags
+        .get("wal")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| wal_dir_for(Path::new(path)));
+    let opts = WalOptions {
+        fsync: !flags.has("no-wal-fsync"),
+        ..WalOptions::default()
+    };
+    let (wal, report) = Wal::open(Path::new(path), &dir, opts).map_err(|e| wal_error(path, e))?;
+    println!("wal: {} ({})", dir.display(), report.summary());
+    let wal = Arc::new(wal);
+    let mut cfg = WritePlaneConfig::new(Arc::clone(&wal), tokens);
+    if let Some(rate) = flags.get_parsed::<f64>("write-rate")? {
+        if !(rate > 0.0 && rate.is_finite()) {
+            return Err(CliError::Usage(format!(
+                "--write-rate must be a positive number, got {rate}"
+            )));
+        }
+        cfg.rate_limit = rate;
+        cfg.rate_burst = rate * 2.0;
+    }
+    if let Some(burst) = flags.get_parsed::<f64>("write-burst")? {
+        cfg.rate_burst = burst;
+    }
+    if let Some(n) = flags.get_parsed::<u64>("max-body-bytes")? {
+        cfg.max_body_bytes = n;
+    }
+    if let Some(n) = flags.get_parsed::<u64>("max-write-lag")? {
+        cfg.max_lag_events = n;
+    }
+    if let Some(n) = flags.get_parsed::<u64>("max-sync-queue")? {
+        cfg.max_sync_queue = n;
+    }
+    Ok(Some((wal, cfg)))
+}
+
 /// `osn serve`
 pub fn serve(args: &[String]) -> Result<(), CliError> {
-    let flags = Flags::parse(args, &["follow"])?;
+    let flags = Flags::parse(args, &["follow", "accept-writes", "no-wal-fsync"])?;
     // Constructed before preflight so ingest counters land in the
     // snapshot, and dropped on *every* return — the clean-drain Ok, the
     // exit-4 `CliError::Drain` when the deadline abandons in-flight
@@ -142,7 +234,10 @@ pub fn serve(args: &[String]) -> Result<(), CliError> {
     let _telemetry = TelemetryGuard::from_flags(&flags);
     let path = match flags.get("trace") {
         Some(t) => {
-            eprintln!("note: --trace is deprecated; pass the trace file as a positional argument");
+            note_deprecation(
+                "trace",
+                "note: --trace is deprecated; pass the trace file as a positional argument",
+            );
             t.to_string()
         }
         None => flags.trace_arg("serve")?.to_string(),
@@ -176,6 +271,11 @@ pub fn serve(args: &[String]) -> Result<(), CliError> {
         ),
         _ => None,
     };
+    // Opening the WAL must precede preflight: recovery re-applies any
+    // durable chunks the trace is missing and unseals a footered trace
+    // so the live head can tail it.
+    let write = write_plane(&flags, &path)?;
+    let wal = write.as_ref().map(|(w, _)| Arc::clone(w));
     let server_cfg = ServerConfig {
         addr: format!("{host}:{port}"),
         workers: flags.get_parsed::<usize>("workers")?.unwrap_or(0),
@@ -185,6 +285,7 @@ pub fn serve(args: &[String]) -> Result<(), CliError> {
         drain_timeout: duration_flag(&flags, "drain-timeout", Duration::from_secs(5))?,
         retries: flags.get_parsed::<u32>("retries")?.unwrap_or(0),
         chaos,
+        write: write.map(|(_, cfg)| cfg),
         ..ServerConfig::default()
     };
 
@@ -280,6 +381,22 @@ pub fn serve(args: &[String]) -> Result<(), CliError> {
                 std::io::Error::other("head thread panicked"),
             ))
         }
+    }
+    // Seal last, after the head has stopped tailing: fsync the active
+    // segment, flush every accepted batch into the trace, and write the
+    // v2 footer so the trace is a strict-clean batch log again. A crash
+    // before this point is fine — the next --accept-writes open replays
+    // the WAL — but a *clean* shutdown that cannot seal is a durability
+    // failure worth a non-zero exit.
+    if let Some(wal) = &wal {
+        wal.seal().map_err(|e| {
+            CliError::io("seal write-ahead log", std::io::Error::other(e.to_string()))
+        })?;
+        let s = wal.stats();
+        eprintln!(
+            "wal sealed: {} append(s) ({} duplicate(s) deduplicated), {} fsync(s), last seq {}",
+            s.appends, s.duplicates, s.fsyncs, s.last_seq
+        );
     }
     if report.clean() {
         println!("drain complete");

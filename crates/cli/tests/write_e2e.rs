@@ -1,0 +1,423 @@
+//! End-to-end drills of the durable write plane (`osn serve --follow
+//! --accept-writes`) against the real binary:
+//!
+//! * the kill -9 drill — SIGKILL while a `POST /v1/events` is in
+//!   flight, restart, re-send the in-flight batch with the same
+//!   `Idempotency-Key`; no acknowledged event may be lost, no event may
+//!   be applied twice, and after a clean seal the trace must produce
+//!   CSVs byte-identical to a batch run over the same events;
+//! * the write-flood drill — shed writes answer `429`/`503` with
+//!   `Retry-After` while reads keep answering `200`.
+
+#![cfg(unix)]
+
+use osn_graph::testutil::{http_get, http_post, HttpResponse};
+use std::io::{BufRead, BufReader, Read};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(10);
+const POLL_DEADLINE: Duration = Duration::from_secs(120);
+const TOKEN: &str = "drill-token";
+
+fn osn() -> Command {
+    let mut c = Command::new(env!("CARGO_BIN_EXE_osn"));
+    c.env_remove("OSN_CHAOS")
+        .env_remove("OSN_WORKERS")
+        .env_remove("OSN_TELEMETRY")
+        .env_remove("OSN_WRITE_TOKENS");
+    c
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("osn_write_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn generate(trace: &Path) {
+    let status = osn()
+        .args(["generate", "--scale", "tiny", "--seed", "9", "--out"])
+        .arg(trace)
+        .status()
+        .unwrap();
+    assert!(status.success());
+}
+
+/// Spawn `osn serve --follow --accept-writes ...` and wait for the
+/// listening line. Callers reap the child.
+#[allow(clippy::zombie_processes)]
+fn spawn_write_serve(trace: &Path, extra: &[&str]) -> (Child, String, BufReader<ChildStdout>) {
+    let mut c = osn();
+    c.arg("serve")
+        .arg(trace)
+        .args([
+            "--follow",
+            "--accept-writes",
+            "--token",
+            TOKEN,
+            "--poll-interval",
+            "0.005",
+            "--stride",
+            "20",
+            "--community-stride",
+            "40",
+        ])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    let mut child = c.spawn().unwrap();
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    let mut seen = String::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap() == 0 {
+            let mut err = String::new();
+            child
+                .stderr
+                .take()
+                .unwrap()
+                .read_to_string(&mut err)
+                .unwrap();
+            panic!("serve exited before listening\nstdout:\n{seen}\nstderr:\n{err}");
+        }
+        seen.push_str(&line);
+        if let Some(addr) = line.trim().strip_prefix("listening on http://") {
+            assert!(
+                seen.contains("wal: "),
+                "write plane did not announce its WAL:\n{seen}"
+            );
+            return (child, addr.to_string(), reader);
+        }
+    }
+}
+
+fn signal(child: &Child, sig: &str) {
+    let status = Command::new("kill")
+        .args([sig, &child.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(status.success());
+}
+
+fn post_events(
+    addr: &str,
+    key: Option<&str>,
+    token: Option<&str>,
+    body: &str,
+) -> std::io::Result<HttpResponse> {
+    let auth = token.map(|t| format!("Bearer {t}"));
+    let mut headers: Vec<(&str, &str)> = Vec::new();
+    if let Some(auth) = auth.as_deref() {
+        headers.push(("Authorization", auth));
+    }
+    if let Some(key) = key {
+        headers.push(("Idempotency-Key", key));
+    }
+    http_post(
+        addr,
+        "/v1/events",
+        &headers,
+        body.as_bytes(),
+        CLIENT_TIMEOUT,
+    )
+}
+
+/// Event payload lines (`N`/`E`) of a v2 trace, comments and framing
+/// stripped.
+fn payload_lines(trace: &Path) -> Vec<String> {
+    std::fs::read_to_string(trace)
+        .unwrap()
+        .lines()
+        .filter(|l| l.starts_with("N ") || l.starts_with("E "))
+        .map(str::to_string)
+        .collect()
+}
+
+fn batch_reference(trace: &Path, out: &Path) {
+    assert!(osn()
+        .args(["metrics"])
+        .arg(trace)
+        .args(["--stride", "20", "--out"])
+        .arg(out)
+        .status()
+        .unwrap()
+        .success());
+    assert!(osn()
+        .args(["communities"])
+        .arg(trace)
+        .args(["--stride", "40", "--out"])
+        .arg(out)
+        .status()
+        .unwrap()
+        .success());
+}
+
+/// The headline durability drill. Every event reaches the trace only
+/// through `POST /v1/events`; the daemon is SIGKILLed with a batch in
+/// flight; the batch is re-sent after restart under the same
+/// `Idempotency-Key`. The sealed trace must then be strict-clean and
+/// produce metrics/communities CSVs byte-identical to a batch run over
+/// the same events written directly.
+#[test]
+fn kill_dash_nine_mid_post_then_idempotent_resend_converges_on_batch_csvs() {
+    let dir = scratch("kill9");
+    let full = dir.join("full.events");
+    generate(&full);
+    let reference = dir.join("reference");
+    batch_reference(&full, &reference);
+
+    let lines = payload_lines(&full);
+    assert!(lines.len() > 500, "tiny trace too small for the drill");
+    let batches: Vec<String> = lines
+        .chunks(400)
+        .map(|c| {
+            let mut s = c.join("\n");
+            s.push('\n');
+            s
+        })
+        .collect();
+
+    // Phase 1: stream the first half of the batches, then die hard with
+    // one POST in flight.
+    let trace = dir.join("t.events");
+    let (mut child, addr, _reader) = spawn_write_serve(&trace, &[]);
+    let half = batches.len() / 2;
+    let mut last_seq = 0u64;
+    for (i, body) in batches[..half].iter().enumerate() {
+        let resp = post_events(&addr, Some(&format!("batch-{i}")), Some(TOKEN), body).unwrap();
+        assert_eq!(resp.status, 201, "batch {i}: {}", resp.body_str());
+        assert!(
+            resp.body_str().contains("\"duplicate\":false"),
+            "{}",
+            resp.body_str()
+        );
+        let seq: u64 = resp
+            .body_str()
+            .split("\"seq\":")
+            .nth(1)
+            .and_then(|s| s.split(|c: char| !c.is_ascii_digit()).next())
+            .and_then(|s| s.parse().ok())
+            .unwrap();
+        assert!(seq > last_seq, "seqs must be strictly increasing");
+        last_seq = seq;
+    }
+
+    // A retried batch under the same key must ack as a duplicate and
+    // not double-apply.
+    let resp = post_events(&addr, Some("batch-0"), Some(TOKEN), &batches[0]).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    assert!(
+        resp.body_str().contains("\"duplicate\":true"),
+        "{}",
+        resp.body_str()
+    );
+
+    // Kill -9 with the next batch in flight: the client may see an ack,
+    // a shed, or a dead socket — every outcome must be safe to retry.
+    let in_flight = {
+        let addr = addr.clone();
+        let body = batches[half].clone();
+        std::thread::spawn(move || {
+            post_events(&addr, Some(&format!("batch-{half}")), Some(TOKEN), &body)
+        })
+    };
+    signal(&child, "-KILL");
+    child.wait().unwrap();
+    let _ = in_flight.join().unwrap();
+
+    // Phase 2: restart over the same trace + WAL (crash recovery), then
+    // re-send the in-flight batch with the SAME key and finish the
+    // stream. Exactly-once is the WAL's job, not the client's.
+    let (child, addr, reader) = spawn_write_serve(&trace, &[]);
+    let resp = post_events(
+        &addr,
+        Some(&format!("batch-{half}")),
+        Some(TOKEN),
+        &batches[half],
+    )
+    .unwrap();
+    assert!(
+        resp.status == 200 || resp.status == 201,
+        "re-sent in-flight batch must be accepted or deduplicated: {} {}",
+        resp.status,
+        resp.body_str()
+    );
+    for (i, body) in batches.iter().enumerate().skip(half + 1) {
+        let resp = post_events(&addr, Some(&format!("batch-{i}")), Some(TOKEN), body).unwrap();
+        assert_eq!(resp.status, 201, "batch {i}: {}", resp.body_str());
+    }
+
+    // Drain cleanly: the CLI seals the WAL back into a strict-clean
+    // batch trace on the way out.
+    signal(&child, "-TERM");
+    let mut child = child;
+    let status = child.wait().unwrap();
+    assert_eq!(status.code(), Some(0), "clean drain must exit 0");
+    let mut rest = String::new();
+    let mut reader = reader;
+    reader.read_to_string(&mut rest).unwrap();
+    let mut stderr = String::new();
+    child
+        .stderr
+        .take()
+        .unwrap()
+        .read_to_string(&mut stderr)
+        .unwrap();
+    assert!(
+        stderr.contains("wal sealed:"),
+        "seal summary missing from drain output: {stderr}"
+    );
+
+    // No acknowledged event lost, none applied twice: the sealed trace
+    // carries exactly the generated payload, in order.
+    assert_eq!(payload_lines(&trace), lines, "merged trace diverged");
+
+    // The sealed trace passes strict verification, and so do the
+    // retained WAL segments.
+    assert!(osn()
+        .args(["verify"])
+        .arg(&trace)
+        .status()
+        .unwrap()
+        .success());
+    let wal_dir = format!("{}.wal", trace.display());
+    assert!(osn()
+        .args(["verify", "--wal", &wal_dir])
+        .status()
+        .unwrap()
+        .success());
+
+    // Byte-identical analyses: batch runs over the written-via-POST
+    // trace match the reference runs over the directly generated trace.
+    let replayed = dir.join("replayed");
+    batch_reference(&trace, &replayed);
+    for name in ["metrics.csv", "growth.csv", "communities.csv"] {
+        let a = std::fs::read(reference.join(name)).unwrap();
+        let b = std::fs::read(replayed.join(name)).unwrap();
+        assert_eq!(a, b, "{name} diverged between direct and POSTed traces");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Admission control under pressure: unauthenticated and unknown-token
+/// writes are refused, a drained rate budget answers `429` +
+/// `Retry-After`, the head-lag valve answers `503` + `Retry-After`,
+/// and throughout all of it reads keep answering `200`.
+#[test]
+fn write_flood_is_shed_with_retry_after_while_reads_stay_alive() {
+    let dir = scratch("flood");
+    let trace = dir.join("t.events");
+
+    // Tight budget: burst of 2, effectively no refill.
+    let (child, addr, _reader) =
+        spawn_write_serve(&trace, &["--write-rate", "0.01", "--write-burst", "2"]);
+
+    // Auth gate before anything else.
+    let resp = post_events(&addr, None, None, "N 0 core\n").unwrap();
+    assert_eq!(resp.status, 401, "{}", resp.body_str());
+    let resp = post_events(&addr, None, Some("wrong-token"), "N 0 core\n").unwrap();
+    assert_eq!(resp.status, 403, "{}", resp.body_str());
+
+    // Two batches fit the burst — the first as JSON to cover that body
+    // format end-to-end — then the budget is dry.
+    let json_body = r#"{"events": ["N 0 core"]}"#;
+    let resp = http_post(
+        &addr,
+        "/v1/events",
+        &[
+            ("Authorization", &format!("Bearer {TOKEN}")),
+            ("Content-Type", "application/json"),
+        ],
+        json_body.as_bytes(),
+        CLIENT_TIMEOUT,
+    )
+    .unwrap();
+    assert_eq!(resp.status, 201, "{}", resp.body_str());
+    let resp = post_events(&addr, None, Some(TOKEN), "N 10 core\n").unwrap();
+    assert_eq!(resp.status, 201, "{}", resp.body_str());
+    let resp = post_events(&addr, None, Some(TOKEN), "N 20 core\n").unwrap();
+    assert_eq!(resp.status, 429, "{}", resp.body_str());
+    assert!(
+        resp.header("Retry-After").is_some(),
+        "429 must carry Retry-After"
+    );
+
+    // Reads stay alive while writes shed; the write plane's gauges are
+    // first-class Prometheus metrics.
+    assert_eq!(
+        http_get(&addr, "/healthz", CLIENT_TIMEOUT).unwrap().status,
+        200
+    );
+    assert_eq!(
+        http_get(&addr, "/v1/head", CLIENT_TIMEOUT).unwrap().status,
+        200
+    );
+    let prom = http_get(&addr, "/metrics", CLIENT_TIMEOUT).unwrap();
+    assert_eq!(prom.status, 200);
+    for gauge in [
+        "osn_head_published",
+        "osn_head_published_day",
+        "osn_head_lag_events",
+        "osn_head_lag_bytes",
+        "osn_head_staleness_ms",
+        "osn_wal_appends",
+        "osn_wal_sync_queue",
+    ] {
+        assert!(
+            prom.body_str().contains(gauge),
+            "missing {gauge} in /metrics:\n{}",
+            prom.body_str()
+        );
+    }
+    signal(&child, "-TERM");
+    let mut child = child;
+    assert_eq!(child.wait().unwrap().code(), Some(0));
+
+    // Second configuration: a zero head-lag allowance. Once the head
+    // has committed events that are not yet published, every further
+    // write is shed with 503 — reads still answer.
+    let trace2 = dir.join("t2.events");
+    let (child, addr, _reader) = spawn_write_serve(&trace2, &["--max-write-lag", "0"]);
+    let resp = post_events(&addr, None, Some(TOKEN), "N 0 core\nN 5 core\n").unwrap();
+    assert_eq!(resp.status, 201, "{}", resp.body_str());
+    // The head tails the committed events within a few polls; once lag
+    // is visible the valve closes.
+    let deadline = Instant::now() + POLL_DEADLINE;
+    let shed = loop {
+        let resp = post_events(&addr, None, Some(TOKEN), "N 30 core\n").unwrap();
+        if resp.status == 503 {
+            break resp;
+        }
+        assert_eq!(resp.status, 201, "{}", resp.body_str());
+        assert!(
+            Instant::now() < deadline,
+            "head-lag valve never closed despite --max-write-lag 0"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(
+        shed.header("Retry-After").is_some(),
+        "503 shed must carry Retry-After"
+    );
+    assert!(
+        shed.body_str().contains("behind"),
+        "shed body should explain the lag: {}",
+        shed.body_str()
+    );
+    assert_eq!(
+        http_get(&addr, "/healthz", CLIENT_TIMEOUT).unwrap().status,
+        200
+    );
+    assert_eq!(
+        http_get(&addr, "/v1/head", CLIENT_TIMEOUT).unwrap().status,
+        200
+    );
+
+    signal(&child, "-TERM");
+    let mut child = child;
+    assert_eq!(child.wait().unwrap().code(), Some(0));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -183,6 +183,27 @@ impl LiveQuery {
             .then(|| self.day.load(Ordering::Relaxed))
     }
 
+    /// Committed-but-not-yet-published events: they belong to a day that
+    /// is not final yet. The write-plane admission controller sheds
+    /// writes when this exceeds its bound.
+    pub fn lag_events(&self) -> u64 {
+        self.committed_events
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.published_pos.load(Ordering::Relaxed))
+    }
+
+    /// Uncommitted bytes at the tail (a chunk mid-append).
+    pub fn lag_bytes(&self) -> u64 {
+        self.pending_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Milliseconds since the last snapshot publish (since construction
+    /// when nothing has been published yet).
+    pub fn staleness_ms(&self) -> u64 {
+        self.now_ms()
+            .saturating_sub(self.last_publish_ms.load(Ordering::Relaxed))
+    }
+
     fn now_ms(&self) -> u64 {
         self.epoch.elapsed().as_millis() as u64
     }
@@ -237,11 +258,8 @@ impl LiveQuery {
     pub fn head_json(&self) -> String {
         let published = self.is_published();
         let day = self.day.load(Ordering::Relaxed);
-        let pos = self.published_pos.load(Ordering::Relaxed);
         let committed = self.committed_events.load(Ordering::Relaxed);
-        let staleness = self
-            .now_ms()
-            .saturating_sub(self.last_publish_ms.load(Ordering::Relaxed));
+        let staleness = self.staleness_ms();
         let resumed = self.resumed_from.load(Ordering::Relaxed);
         let mut out = String::with_capacity(256);
         out.push('{');
@@ -258,14 +276,8 @@ impl LiveQuery {
             self.events_applied.load(Ordering::Relaxed)
         ));
         out.push_str(&format!(",\"committed_events\":{committed}"));
-        out.push_str(&format!(
-            ",\"lag_events\":{}",
-            committed.saturating_sub(pos)
-        ));
-        out.push_str(&format!(
-            ",\"lag_bytes\":{}",
-            self.pending_bytes.load(Ordering::Relaxed)
-        ));
+        out.push_str(&format!(",\"lag_events\":{}", self.lag_events()));
+        out.push_str(&format!(",\"lag_bytes\":{}", self.lag_bytes()));
         out.push_str(&format!(
             ",\"committed_bytes\":{}",
             self.committed_bytes.load(Ordering::Relaxed)
@@ -456,7 +468,7 @@ pub fn run_follow(
         completed: false,
     };
     let mut failed_at: Option<usize> = None;
-    let mut backoff = 0u32;
+    let mut backoff = PollBackoff::new();
     let mut last_progress = Instant::now();
 
     loop {
@@ -468,8 +480,7 @@ pub fn run_follow(
             Err(TailError::Missing) => {
                 live.set_health(IngestHealth::Missing);
                 osn_obs::counter!("head.file_missing_polls").inc();
-                backoff = (backoff + 1).min(3);
-                sleep_interruptible(cfg.poll_interval * (1 << backoff), shutdown);
+                sleep_interruptible(backoff.on_poll(false, cfg.poll_interval), shutdown);
                 continue;
             }
             Err(e) => {
@@ -490,7 +501,6 @@ pub fn run_follow(
         );
         if progressed {
             last_progress = Instant::now();
-            backoff = 0;
         }
 
         // Checkpoint validation: the re-read prefix at cp.pos must carry
@@ -599,10 +609,7 @@ pub fn run_follow(
             live.set_health(IngestHealth::Ok);
         }
 
-        if !progressed {
-            backoff = (backoff + 1).min(3);
-        }
-        sleep_interruptible(cfg.poll_interval * (1 << backoff), shutdown);
+        sleep_interruptible(backoff.on_poll(progressed, cfg.poll_interval), shutdown);
     }
     Ok(report)
 }
@@ -628,6 +635,39 @@ fn publish_target(events: &[TailEvent], finished: bool, min_day: Option<Day>) ->
     }
     let pos = events.partition_point(|e| e.time() < Time::day_end(day));
     (pos, day)
+}
+
+/// Exponential poll pacing for the follow loop: every poll that makes no
+/// progress doubles the delay, capped at 8× the base interval; any
+/// progress (committed events, a verified footer) resets to the base.
+/// Extracted so the schedule is testable without a real clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PollBackoff {
+    level: u32,
+}
+
+impl PollBackoff {
+    /// Highest doubling level: delays cap at `base * 2^MAX_LEVEL` = 8×.
+    pub const MAX_LEVEL: u32 = 3;
+
+    pub fn new() -> Self {
+        PollBackoff { level: 0 }
+    }
+
+    /// Record one poll outcome and return the delay before the next poll.
+    pub fn on_poll(&mut self, progressed: bool, base: Duration) -> Duration {
+        if progressed {
+            self.level = 0;
+        } else {
+            self.level = (self.level + 1).min(Self::MAX_LEVEL);
+        }
+        base * (1 << self.level)
+    }
+
+    /// Current doubling level (0 = base interval).
+    pub fn level(&self) -> u32 {
+        self.level
+    }
 }
 
 /// Sleep in small slices so a shutdown request interrupts promptly.
@@ -685,6 +725,92 @@ mod tests {
             query: fast_query_cfg(),
             ..LiveHeadConfig::new(path)
         }
+    }
+
+    #[test]
+    fn poll_backoff_schedule_caps_at_8x_and_resets_on_progress() {
+        let base = Duration::from_millis(10);
+        let mut bo = PollBackoff::new();
+        assert_eq!(bo.level(), 0);
+        // No-progress polls double the delay: 2×, 4×, 8×, then stay capped.
+        assert_eq!(bo.on_poll(false, base), base * 2);
+        assert_eq!(bo.on_poll(false, base), base * 4);
+        assert_eq!(bo.on_poll(false, base), base * 8);
+        assert_eq!(bo.on_poll(false, base), base * 8);
+        assert_eq!(bo.on_poll(false, base), base * 8);
+        assert_eq!(bo.level(), PollBackoff::MAX_LEVEL);
+        // Any progress drops straight back to the base interval.
+        assert_eq!(bo.on_poll(true, base), base);
+        assert_eq!(bo.level(), 0);
+        assert_eq!(bo.on_poll(false, base), base * 2);
+    }
+
+    #[test]
+    fn tail_pending_survives_pause_longer_than_backoff_cap_then_commits() {
+        use osn_graph::crc32::Crc32;
+        use osn_graph::io::FORMAT_V2_MAGIC;
+        use osn_graph::testutil::SlowAppendWriter;
+
+        let dir = scratch("slow-writer");
+        let path = dir.join("trace.events");
+        std::fs::write(&path, format!("{FORMAT_V2_MAGIC}\n")).unwrap();
+
+        let mut chunk = String::new();
+        let mut crc = Crc32::new();
+        for line in ["N 0 core", "N 10 core", "E 20 0 1"] {
+            chunk.push_str(line);
+            chunk.push('\n');
+            crc.update(line.as_bytes());
+            crc.update(b"\n");
+        }
+        chunk.push_str(&format!("#%chunk lines=3 crc={:08x}\n", crc.finalize()));
+
+        let file = OpenOptions::new().append(true).open(&path).unwrap();
+        let mut w = SlowAppendWriter::new(file, Duration::ZERO);
+        let split = w.append_torn(chunk.as_bytes()).unwrap();
+
+        let mut tail = TailReader::new(
+            &path,
+            RecoveryPolicy::Skip {
+                max_errors: usize::MAX,
+            },
+        );
+        let base = Duration::from_millis(2);
+        let cap = base * (1 << PollBackoff::MAX_LEVEL);
+        let mut bo = PollBackoff::new();
+        let mut delays = Vec::new();
+        // The writer stays paused for several multiples of the capped
+        // delay; every poll sees the same torn tail and never an error.
+        let pause_until = Instant::now() + cap * 3;
+        while Instant::now() < pause_until {
+            let b = tail.poll().unwrap();
+            assert!(b.events.is_empty(), "torn chunk must not emit events");
+            assert!(b.tail_pending && b.pending_bytes > 0);
+            assert_eq!(b.chunks_dropped, 0, "a slow writer is not corruption");
+            let d = bo.on_poll(false, base);
+            delays.push(d);
+            std::thread::sleep(d);
+        }
+        assert!(delays.len() >= 4, "several polls happened during the pause");
+        assert_eq!(delays[0], base * 2);
+        assert_eq!(delays[1], base * 4);
+        assert_eq!(delays[2], base * 8);
+        assert!(
+            delays[2..].iter().all(|d| *d == cap),
+            "delay stays at the cap while the pause outlasts it"
+        );
+        assert_eq!(bo.level(), PollBackoff::MAX_LEVEL);
+
+        // Writer resumes: the next poll commits the whole chunk and the
+        // backoff resets to the base interval.
+        w.complete(chunk.as_bytes(), split).unwrap();
+        let b = tail.poll().unwrap();
+        assert_eq!(b.events.len(), 3);
+        assert_eq!(b.chunks_verified, 1);
+        assert!(!b.tail_pending);
+        assert_eq!(bo.on_poll(true, base), base);
+        assert_eq!(bo.level(), 0);
+        assert_eq!(w.flushes(), 2);
     }
 
     #[test]

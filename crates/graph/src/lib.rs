@@ -39,6 +39,7 @@ pub mod testutil;
 pub mod time;
 pub mod unionfind;
 pub mod view;
+pub mod wal;
 
 pub use csr::CsrGraph;
 pub use dynamic::{ApplyError, DeltaObserver, DynamicGraph, NoDelta};
@@ -50,3 +51,4 @@ pub use tail::{TailBatch, TailError, TailEvent, TailReader};
 pub use time::{Day, NodeId, Time, SECONDS_PER_DAY};
 pub use unionfind::UnionFind;
 pub use view::GraphView;
+pub use wal::{Wal, WalAck, WalError, WalEvent, WalEventKind, WalOpenReport, WalOptions, WalStats};

@@ -570,6 +570,26 @@ pub fn http_get(addr: &str, path: &str, timeout: Duration) -> io::Result<HttpRes
     http_request_raw(addr, req.as_bytes(), timeout)
 }
 
+/// `POST path` with a body, `Connection: close`, and arbitrary extra
+/// headers (`("Authorization", "Bearer t")`-style pairs). The write-plane
+/// analogue of [`http_get`], for drills against `POST /v1/events`.
+pub fn http_post(
+    addr: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+    timeout: Duration,
+) -> io::Result<HttpResponse> {
+    let mut req = format!("POST {path} HTTP/1.1\r\nHost: osn\r\nConnection: close\r\n");
+    for (k, v) in headers {
+        req.push_str(&format!("{k}: {v}\r\n"));
+    }
+    req.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+    let mut raw = req.into_bytes();
+    raw.extend_from_slice(body);
+    http_request_raw(addr, &raw, timeout)
+}
+
 /// `GET path`, then immediately half-close the write side (`shutdown(Write)`)
 /// before reading. A robust server must still answer: FIN on the client's
 /// send direction is not an abort.

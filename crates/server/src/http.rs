@@ -1,11 +1,13 @@
-//! Minimal HTTP/1.1 plumbing: deadline-bounded request-head reading and
-//! response writing over a raw `TcpStream`.
+//! Minimal HTTP/1.1 plumbing: deadline-bounded request-head and body
+//! reading and response writing over a raw `TcpStream`.
 //!
-//! Only the sliver of HTTP the daemon needs is implemented — `GET` with
-//! a path, `Connection: close` on every response — but the *failure*
-//! surface is handled in full: a peer that drips one header byte per
-//! second, floods megabytes of header lines, or half-closes its send
-//! direction must never pin a thread past the configured deadline.
+//! Only the sliver of HTTP the daemon needs is implemented — `GET`/`POST`
+//! with a path, the four headers the write plane consumes,
+//! `Connection: close` on every response — but the *failure* surface is
+//! handled in full: a peer that drips one header byte per second, floods
+//! megabytes of header lines, half-closes its send direction, or posts a
+//! body slower than the deadline allows must never pin a thread past the
+//! configured budget.
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -14,14 +16,41 @@ use std::time::{Duration, Instant};
 /// Hard cap on request-head bytes; beyond this the peer gets a 431.
 pub const MAX_HEAD_BYTES: usize = 8 * 1024;
 
-/// The parsed request line (headers are read, enforced against the
-/// byte budget, and discarded — no endpoint consumes them).
+/// The parsed request line plus the handful of headers the write plane
+/// consumes (all other headers are read, enforced against the byte
+/// budget, and discarded).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RequestHead {
-    /// HTTP method, verbatim (`GET`, `HEAD`, ...).
+    /// HTTP method, verbatim (`GET`, `POST`, ...).
     pub method: String,
     /// Request target with any `?query` suffix stripped.
     pub path: String,
+    /// `Content-Length`, when present and numeric.
+    pub content_length: Option<u64>,
+    /// `Content-Type`, lower-cased.
+    pub content_type: Option<String>,
+    /// `Authorization`, verbatim.
+    pub authorization: Option<String>,
+    /// `Idempotency-Key`, verbatim.
+    pub idempotency_key: Option<String>,
+    /// Body bytes that arrived in the same reads as the head; the body
+    /// reader consumes these before touching the socket again.
+    pub body_prefix: Vec<u8>,
+}
+
+impl RequestHead {
+    /// A bare head with no headers — router tests and synthetic requests.
+    pub fn new(method: &str, path: &str) -> RequestHead {
+        RequestHead {
+            method: method.to_string(),
+            path: path.to_string(),
+            content_length: None,
+            content_type: None,
+            authorization: None,
+            idempotency_key: None,
+            body_prefix: Vec::new(),
+        }
+    }
 }
 
 /// Why a request head could not be read.
@@ -63,7 +92,10 @@ pub fn read_head(stream: &mut TcpStream, deadline: Instant) -> Result<RequestHea
     let mut chunk = [0u8; 1024];
     loop {
         if let Some(head_end) = find_head_end(&buf) {
-            return parse_head(&buf[..head_end]);
+            let mut head = parse_head(&buf[..head_end])?;
+            // Bytes past the blank line are the start of the body.
+            head.body_prefix = buf[head_end..].to_vec();
+            return Ok(head);
         }
         if buf.len() >= MAX_HEAD_BYTES {
             return Err(HeadError::TooLarge);
@@ -97,21 +129,103 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
 
 fn parse_head(head: &[u8]) -> Result<RequestHead, HeadError> {
     let text = std::str::from_utf8(head).map_err(|_| HeadError::Malformed)?;
-    let request_line = text.split("\r\n").next().unwrap_or("");
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split(' ');
     let method = parts.next().filter(|m| !m.is_empty());
     let target = parts.next();
     let version = parts.next();
-    match (method, target, version) {
+    let mut out = match (method, target, version) {
         (Some(method), Some(target), Some(version)) if version.starts_with("HTTP/1") => {
             let path = target.split('?').next().unwrap_or(target);
-            Ok(RequestHead {
-                method: method.to_string(),
-                path: path.to_string(),
-            })
+            RequestHead::new(method, path)
         }
-        _ => Err(HeadError::Malformed),
+        _ => return Err(HeadError::Malformed),
+    };
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            out.content_length = value.parse().ok();
+        } else if name.eq_ignore_ascii_case("content-type") {
+            out.content_type = Some(value.to_ascii_lowercase());
+        } else if name.eq_ignore_ascii_case("authorization") {
+            out.authorization = Some(value.to_string());
+        } else if name.eq_ignore_ascii_case("idempotency-key") {
+            out.idempotency_key = Some(value.to_string());
+        }
     }
+    Ok(out)
+}
+
+/// Why a request body could not be read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BodyError {
+    /// No (or unparseable) `Content-Length` — the daemon does not accept
+    /// chunked bodies.
+    LengthRequired,
+    /// Declared length exceeds the configured cap.
+    TooLarge,
+    /// The deadline expired with body bytes still outstanding.
+    TimedOut,
+    /// The peer vanished mid-body.
+    ConnectionLost,
+}
+
+impl BodyError {
+    /// Reason token for the access log.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BodyError::LengthRequired => "length-required",
+            BodyError::TooLarge => "body-too-large",
+            BodyError::TimedOut => "body-timeout",
+            BodyError::ConnectionLost => "connection-lost",
+        }
+    }
+}
+
+/// Read exactly `Content-Length` body bytes, starting from whatever
+/// arrived with the head, giving up at `deadline`. The same re-armed
+/// timeout discipline as [`read_head`] applies: a client dripping body
+/// bytes cannot hold the thread past the deadline.
+pub fn read_body(
+    stream: &mut TcpStream,
+    head: &RequestHead,
+    max_bytes: u64,
+    deadline: Instant,
+) -> Result<Vec<u8>, BodyError> {
+    let len = head.content_length.ok_or(BodyError::LengthRequired)?;
+    if len > max_bytes {
+        return Err(BodyError::TooLarge);
+    }
+    let len = len as usize;
+    let mut body = Vec::with_capacity(len.min(64 * 1024));
+    body.extend_from_slice(&head.body_prefix[..head.body_prefix.len().min(len)]);
+    let mut chunk = [0u8; 4096];
+    while body.len() < len {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(BodyError::TimedOut);
+        }
+        if stream
+            .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
+            .is_err()
+        {
+            return Err(BodyError::ConnectionLost);
+        }
+        let want = (len - body.len()).min(chunk.len());
+        match stream.read(&mut chunk[..want]) {
+            Ok(0) => return Err(BodyError::ConnectionLost),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Err(BodyError::TimedOut),
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => return Err(BodyError::TimedOut),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(BodyError::ConnectionLost),
+        }
+    }
+    Ok(body)
 }
 
 /// A response ready to serialise. Every response closes the connection;
@@ -176,10 +290,17 @@ impl Response {
 fn reason_phrase(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        201 => "Created",
         400 => "Bad Request",
+        401 => "Unauthorized",
+        403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -231,6 +352,35 @@ mod tests {
         assert!(parse_head(b"garbage").is_err());
         assert!(parse_head(b"GET /x SPDY/3\r\n").is_err());
         assert!(parse_head(b"GET\r\n").is_err());
+    }
+
+    #[test]
+    fn parses_write_plane_headers_case_insensitively() {
+        let head = parse_head(
+            b"POST /v1/events HTTP/1.1\r\n\
+              content-length: 42\r\n\
+              CONTENT-TYPE: Application/JSON\r\n\
+              Authorization: Bearer s3cret\r\n\
+              idempotency-KEY: batch-9\r\n",
+        )
+        .unwrap();
+        assert_eq!(head.method, "POST");
+        assert_eq!(head.content_length, Some(42));
+        assert_eq!(head.content_type.as_deref(), Some("application/json"));
+        assert_eq!(head.authorization.as_deref(), Some("Bearer s3cret"));
+        assert_eq!(head.idempotency_key.as_deref(), Some("batch-9"));
+        // Absent headers stay None.
+        let bare = parse_head(b"GET / HTTP/1.1\r\nHost: x\r\n").unwrap();
+        assert_eq!(bare.content_length, None);
+        assert_eq!(bare.authorization, None);
+    }
+
+    #[test]
+    fn body_error_reasons_are_stable() {
+        assert_eq!(BodyError::LengthRequired.as_str(), "length-required");
+        assert_eq!(BodyError::TooLarge.as_str(), "body-too-large");
+        assert_eq!(BodyError::TimedOut.as_str(), "body-timeout");
+        assert_eq!(BodyError::ConnectionLost.as_str(), "connection-lost");
     }
 
     #[test]

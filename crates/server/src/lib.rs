@@ -16,6 +16,13 @@
 //! | `GET /v1/days`            | JSON day lists | workers |
 //! | `GET /v1/metrics/{day}`   | CSV header + row, byte-identical to `osn metrics` | workers |
 //! | `GET /v1/communities/{day}` | CSV header + row, byte-identical to `osn communities` | workers |
+//! | `POST /v1/events`         | JSON append ack (WAL seq, dedup flag) | workers |
+//!
+//! `POST /v1/events` is the durable write plane (`serve
+//! --accept-writes`): bearer-token auth, CSV or JSON batches, per-batch
+//! `Idempotency-Key` dedup, and admission control that sheds writes with
+//! `429`/`503` + `Retry-After` while reads keep answering — see
+//! [`write`].
 //!
 //! The full HTTP reference lives in `API.md` at the workspace root; it
 //! is generated from the route table in [`router`] and kept fresh by a
@@ -44,8 +51,10 @@ pub mod handlers;
 pub mod http;
 pub mod router;
 pub mod server;
+pub mod write;
 
 pub use accesslog::{AccessLog, ServerStats, StatsSnapshot};
 pub use http::{HeadError, RequestHead, Response};
 pub use router::Route;
 pub use server::{DrainReport, Server, ServerConfig};
+pub use write::WritePlaneConfig;

@@ -37,11 +37,16 @@ pub enum Route {
     Metrics(Day),
     /// `GET /v1/communities/{day}` — one community-summary CSV row.
     Communities(Day),
+    /// `POST /v1/events` — durable write plane: append one authenticated,
+    /// idempotent event batch to the WAL-backed trace. Admission-checked
+    /// at triage (auth, rate budget, fsync queue, head lag), body read
+    /// and applied on a worker.
+    PostEvents,
     /// Known prefix, unparseable day segment.
     BadDay,
     /// No such path.
     NotFound,
-    /// Anything but GET.
+    /// A method the target path does not serve.
     MethodNotAllowed,
 }
 
@@ -49,6 +54,8 @@ pub enum Route {
 /// to know about an endpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RouteDoc {
+    /// HTTP method.
+    pub method: &'static str,
     /// Path pattern, e.g. `/v1/metrics/{day}`.
     pub path: &'static str,
     /// Which plane answers: triage (never queued) or the worker queue.
@@ -65,7 +72,7 @@ impl Route {
     pub fn is_fast_path(self) -> bool {
         !matches!(
             self,
-            Route::Days | Route::Metrics(_) | Route::Communities(_)
+            Route::Days | Route::Metrics(_) | Route::Communities(_) | Route::PostEvents
         )
     }
 
@@ -82,6 +89,7 @@ impl Route {
         Route::Prometheus,
         Route::Metrics(0),
         Route::Communities(0),
+        Route::PostEvents,
         Route::BadDay,
         Route::NotFound,
         Route::MethodNotAllowed,
@@ -95,12 +103,14 @@ impl Route {
     pub fn doc(self) -> Option<RouteDoc> {
         match self {
             Route::Health => Some(RouteDoc {
+                method: "GET",
                 path: "/healthz",
                 plane: "triage",
                 body: "`text/plain` — `ok`",
                 summary: "Liveness probe; answered even under full overload.",
             }),
             Route::Ready => Some(RouteDoc {
+                method: "GET",
                 path: "/readyz",
                 plane: "triage",
                 body: "`application/json` — readiness + trace identity",
@@ -108,6 +118,7 @@ impl Route {
                           listener is up.",
             }),
             Route::Meta => Some(RouteDoc {
+                method: "GET",
                 path: "/v1/meta",
                 plane: "triage",
                 body: "`application/json` — trace identity, snapshot engine, server version",
@@ -115,12 +126,14 @@ impl Route {
                           fingerprint, engine kind (`batch`/`incremental`), crate version.",
             }),
             Route::Days => Some(RouteDoc {
+                method: "GET",
                 path: "/v1/days",
                 plane: "workers",
                 body: "`application/json` — metric + community day lists",
                 summary: "Every queryable snapshot day, plus trace identity.",
             }),
             Route::Stats => Some(RouteDoc {
+                method: "GET",
                 path: "/v1/stats",
                 plane: "triage",
                 body: "`application/json` — server counters + telemetry snapshot",
@@ -128,6 +141,7 @@ impl Route {
                           readable while the work queue sheds.",
             }),
             Route::Head => Some(RouteDoc {
+                method: "GET",
                 path: "/v1/head",
                 plane: "triage",
                 body: "`application/json` — ingest head state",
@@ -136,12 +150,14 @@ impl Route {
                           `complete` and lag is zero.",
             }),
             Route::Prometheus => Some(RouteDoc {
+                method: "GET",
                 path: "/metrics",
                 plane: "triage",
                 body: "`text/plain` — Prometheus exposition",
                 summary: "Server counters and telemetry in Prometheus text format.",
             }),
             Route::Metrics(_) => Some(RouteDoc {
+                method: "GET",
                 path: "/v1/metrics/{day}",
                 plane: "workers",
                 body: "`text/csv` — header + one row",
@@ -149,11 +165,24 @@ impl Route {
                           output; 404 for a day with no snapshot.",
             }),
             Route::Communities(_) => Some(RouteDoc {
+                method: "GET",
                 path: "/v1/communities/{day}",
                 plane: "workers",
                 body: "`text/csv` — header + one row",
                 summary: "One community-summary row, byte-identical to `osn communities` \
                           CSV output; 404 for a day with no snapshot.",
+            }),
+            Route::PostEvents => Some(RouteDoc {
+                method: "POST",
+                path: "/v1/events",
+                plane: "workers",
+                body: "`application/json` — `{\"seq\":N,\"events\":N,\"duplicate\":bool}`",
+                summary: "Append one event batch (CSV `N`/`E` lines or JSON \
+                          `{\"events\":[...]}`) to the WAL-backed trace. Requires \
+                          `Authorization: Bearer <token>`; an `Idempotency-Key` header makes \
+                          retries safe (duplicates answer `200`, first commit `201`). Shed \
+                          with `429`/`503` + `Retry-After` under rate, fsync-queue, or \
+                          head-lag pressure; `409` for out-of-order batches.",
             }),
             // Error dispositions, not endpoints.
             Route::BadDay | Route::NotFound | Route::MethodNotAllowed => None,
@@ -175,19 +204,20 @@ pub fn api_markdown() -> String {
          ```sh\n\
          OSN_REGEN_API_MD=1 cargo test -p osn-server api_md\n\
          ```\n\n\
-         All endpoints are `GET`; any other method is `405`. Unknown paths are \
-         `404`; a known prefix with an unparseable `{day}` is `400`. Overload is \
-         shed with `503` + `Retry-After`. The *triage* plane answers inline, \
-         before the bounded work queue, so those endpoints stay responsive while \
-         the server sheds load.\n\n\
+         Endpoints are `GET` unless the table says otherwise; a known path with \
+         the wrong method is `405`. Unknown paths are `404`; a known prefix with \
+         an unparseable `{day}` is `400`. Overload is shed with `503` (or `429` \
+         for a per-token write budget) + `Retry-After`. The *triage* plane \
+         answers inline, before the bounded work queue, so those endpoints stay \
+         responsive while the server sheds load.\n\n\
          | Method | Path | Plane | Body | Description |\n\
          |---|---|---|---|---|\n",
     );
     for r in Route::ALL {
         if let Some(d) = r.doc() {
             out.push_str(&format!(
-                "| GET | `{}` | {} | {} | {} |\n",
-                d.path, d.plane, d.body, d.summary
+                "| {} | `{}` | {} | {} | {} |\n",
+                d.method, d.path, d.plane, d.body, d.summary
             ));
         }
     }
@@ -196,6 +226,13 @@ pub fn api_markdown() -> String {
 
 /// Resolve a parsed request head.
 pub fn route(head: &RequestHead) -> Route {
+    if head.method == "POST" {
+        return if head.path == "/v1/events" {
+            Route::PostEvents
+        } else {
+            Route::MethodNotAllowed
+        };
+    }
     if head.method != "GET" {
         return Route::MethodNotAllowed;
     }
@@ -206,6 +243,8 @@ pub fn route(head: &RequestHead) -> Route {
         "/v1/days" => Route::Days,
         "/v1/stats" => Route::Stats,
         "/v1/head" => Route::Head,
+        // The write plane is POST-only.
+        "/v1/events" => Route::MethodNotAllowed,
         "/metrics" => Route::Prometheus,
         path => {
             if let Some(day) = path.strip_prefix("/v1/metrics/") {
@@ -230,10 +269,7 @@ mod tests {
     use super::*;
 
     fn head(method: &str, path: &str) -> RequestHead {
-        RequestHead {
-            method: method.to_string(),
-            path: path.to_string(),
-        }
+        RequestHead::new(method, path)
     }
 
     #[test]
@@ -254,6 +290,10 @@ mod tests {
         assert_eq!(route(&head("GET", "/v1/metrics/-3")), Route::BadDay);
         assert_eq!(route(&head("GET", "/nope")), Route::NotFound);
         assert_eq!(route(&head("POST", "/healthz")), Route::MethodNotAllowed);
+        assert_eq!(route(&head("POST", "/v1/events")), Route::PostEvents);
+        assert_eq!(route(&head("GET", "/v1/events")), Route::MethodNotAllowed);
+        assert_eq!(route(&head("PUT", "/v1/events")), Route::MethodNotAllowed);
+        assert_eq!(route(&head("POST", "/nope")), Route::MethodNotAllowed);
     }
 
     #[test]
@@ -267,6 +307,10 @@ mod tests {
         assert!(!Route::Days.is_fast_path());
         assert!(!Route::Metrics(1).is_fast_path());
         assert!(!Route::Communities(1).is_fast_path());
+        assert!(
+            !Route::PostEvents.is_fast_path(),
+            "body read + WAL append happen on a worker"
+        );
     }
 
     #[test]
@@ -277,7 +321,7 @@ mod tests {
         for r in Route::ALL {
             let Some(d) = r.doc() else { continue };
             let concrete = d.path.replace("{day}", "42");
-            let resolved = route(&head("GET", &concrete));
+            let resolved = route(&head(d.method, &concrete));
             let matches = match (r, resolved) {
                 (Route::Metrics(_), Route::Metrics(42)) => true,
                 (Route::Communities(_), Route::Communities(42)) => true,

@@ -32,6 +32,7 @@ use crate::accesslog::{AccessLog, ServerStats, StatsSnapshot};
 use crate::handlers::{handle, HandlerPolicy};
 use crate::http::{read_head, write_response, RequestHead, Response, RAW_SHED_503};
 use crate::router::{route, Route};
+use crate::write::{WritePlaneConfig, WriteState};
 use osn_core::live::LiveQuery;
 use osn_core::query::SnapshotQuery;
 use osn_graph::testutil::ChaosTaskPlan;
@@ -81,6 +82,9 @@ pub struct ServerConfig {
     pub chaos: Option<ChaosTaskPlan>,
     /// Access-line sink.
     pub access_log: AccessLog,
+    /// Durable write plane (`POST /v1/events`). `None` — the default —
+    /// keeps the daemon read-only: the route answers `403`.
+    pub write: Option<WritePlaneConfig>,
 }
 
 impl Default for ServerConfig {
@@ -96,6 +100,7 @@ impl Default for ServerConfig {
             retries: 0,
             chaos: None,
             access_log: AccessLog::default(),
+            write: None,
         }
     }
 }
@@ -144,6 +149,7 @@ struct Shared {
     header_timeout: Duration,
     retries: u32,
     chaos: Option<ChaosTaskPlan>,
+    write: Option<WriteState>,
 }
 
 impl Shared {
@@ -173,6 +179,7 @@ fn record_http_telemetry(path: &str, status: u16, elapsed: Duration, load_shed: 
         "/v1/days" => osn_obs::histogram!("http.latency_us.days"),
         "/v1/stats" => osn_obs::histogram!("http.latency_us.stats"),
         "/v1/head" => osn_obs::histogram!("http.latency_us.head"),
+        "/v1/events" => osn_obs::histogram!("http.latency_us.events"),
         "/metrics" => osn_obs::histogram!("http.latency_us.prometheus"),
         p if p.starts_with("/v1/metrics/") => osn_obs::histogram!("http.latency_us.metrics"),
         p if p.starts_with("/v1/communities/") => {
@@ -249,6 +256,7 @@ impl Server {
             header_timeout: cfg.header_timeout,
             retries: cfg.retries,
             chaos: cfg.chaos,
+            write: cfg.write.map(WriteState::new),
         });
 
         let (triage_tx, triage_rx) = sync_channel::<Conn>(cfg.accept_backlog.max(1));
@@ -457,6 +465,34 @@ fn fast_response(shared: &Shared, r: Route) -> Response {
             ] {
                 body.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
             }
+            // Live-head freshness as first-class gauges, so scrapers do
+            // not have to parse the `/v1/head` JSON. `published_day` is
+            // -1 until the first publish (Prometheus has no null).
+            let day = shared.live.published_day().map(|d| d as i64).unwrap_or(-1);
+            for (name, v) in [
+                ("osn_head_published", i64::from(shared.live.is_published())),
+                ("osn_head_published_day", day),
+                ("osn_head_lag_events", shared.live.lag_events() as i64),
+                ("osn_head_lag_bytes", shared.live.lag_bytes() as i64),
+                ("osn_head_staleness_ms", shared.live.staleness_ms() as i64),
+            ] {
+                body.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+            }
+            if let Some(write) = &shared.write {
+                let w = write.wal().stats();
+                for (name, v) in [
+                    ("osn_wal_appends", w.appends),
+                    ("osn_wal_duplicates", w.duplicates),
+                    ("osn_wal_fsyncs", w.fsyncs),
+                    ("osn_wal_last_seq", w.last_seq),
+                ] {
+                    body.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+                }
+                body.push_str(&format!(
+                    "# TYPE osn_wal_sync_queue gauge\nosn_wal_sync_queue {}\n",
+                    write.wal().sync_queue_depth()
+                ));
+            }
             body.push_str(&osn_obs::snapshot().to_prometheus());
             Response::text(200, &body)
         }
@@ -508,6 +544,30 @@ fn triage_loop(shared: &Shared, rx: &Mutex<Receiver<Conn>>, work_tx: &SyncSender
                     let _ = write_response(&mut stream, &resp, WRITE_TIMEOUT);
                     shared.finish(&head.method, &head.path, status, accepted, "-");
                 } else {
+                    // Write admission runs at triage, before the request
+                    // can hold a queue slot or a worker: auth, rate
+                    // budget, and the fsync/lag valves are all cheap
+                    // header-only checks, and rejecting here keeps a
+                    // write flood from starving queued reads.
+                    if matches!(r, Route::PostEvents) {
+                        let rejection = match &shared.write {
+                            None => Some(Response::text(
+                                403,
+                                "write plane disabled (start with --accept-writes)\n",
+                            )),
+                            Some(w) => w.admit(&head, &shared.live),
+                        };
+                        if let Some(resp) = rejection {
+                            let status = resp.status;
+                            let reason = match status {
+                                429 | 503 => "shed",
+                                _ => "denied",
+                            };
+                            let _ = write_response(&mut stream, &resp, WRITE_TIMEOUT);
+                            shared.finish(&head.method, &head.path, status, accepted, reason);
+                            continue;
+                        }
+                    }
                     match work_tx.try_send(Job {
                         stream,
                         head,
@@ -561,18 +621,35 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
                 reason: "timed-out",
             },
             Some(budget) => {
-                // One consistent snapshot per request: the Arc is pinned
-                // here, so a concurrent head publish never changes the
-                // data mid-request (bounded staleness, no torn reads).
-                match shared.live.get() {
-                    Some(query) => {
-                        policy.deadline = Some(budget);
-                        handle(&query, route, &policy)
+                if matches!(route, Route::PostEvents) {
+                    // Writes never touch the snapshot; they go straight
+                    // to the WAL (already admitted at triage). The body
+                    // read shares the request's remaining soft budget.
+                    match &shared.write {
+                        Some(write) => {
+                            write.handle_post(&mut stream, &head, accepted + shared.request_timeout)
+                        }
+                        // Triage rejects this before enqueue; kept for
+                        // defence in depth.
+                        None => crate::handlers::Handled {
+                            response: Response::text(403, "write plane disabled\n"),
+                            reason: "denied",
+                        },
                     }
-                    None => crate::handlers::Handled {
-                        response: not_ready_response(shared),
-                        reason: "not-ready",
-                    },
+                } else {
+                    // One consistent snapshot per request: the Arc is pinned
+                    // here, so a concurrent head publish never changes the
+                    // data mid-request (bounded staleness, no torn reads).
+                    match shared.live.get() {
+                        Some(query) => {
+                            policy.deadline = Some(budget);
+                            handle(&query, route, &policy)
+                        }
+                        None => crate::handlers::Handled {
+                            response: not_ready_response(shared),
+                            reason: "not-ready",
+                        },
+                    }
                 }
             }
         };
