@@ -790,6 +790,23 @@ impl Wal {
             });
         }
         let (side_off, side_seq) = sidecar.unwrap_or((trace_len, 0));
+        if sidecar.is_some() && side_off > tscan.committed {
+            // The checkpoint claims durably-applied trace bytes that are not
+            // there. The sidecar is only ever written after the trace is
+            // fsynced, so this means the trace was truncated or replaced
+            // outside the write plane — and the batches the checkpoint
+            // covers may already be pruned from the segments. Refuse rather
+            // than silently resume with acknowledged events missing.
+            return Err(WalError::Corrupt {
+                path: trace_path.to_path_buf(),
+                line: 0,
+                reason: format!(
+                    "applied.ckpt records trace offset {side_off} but only {} verified byte(s) \
+                     exist; the trace lost durably-applied data",
+                    tscan.committed
+                ),
+            });
+        }
         let extra_trace = tscan
             .chunks
             .iter()
@@ -883,6 +900,10 @@ impl Wal {
 
         let next_seq = max_seq + 1;
         report.next_seq = next_seq;
+        // Invariant: the sidecar never claims trace bytes that are not
+        // durable. The scanned prefix may still be dirty page cache from a
+        // crashed predecessor in this boot, so sync before checkpointing.
+        trace.sync_data()?;
         write_sidecar(dir, trace_len, max_seq)?;
 
         let wal = Wal {
@@ -960,7 +981,8 @@ impl Wal {
     /// Append one batch. Validates against the running log state, writes
     /// marker + chunk to the active segment in one `write(2)`, group-commits
     /// the fsync, then applies the same chunk to the trace. Returns after
-    /// the batch is durable (or immediately with `duplicate = true`).
+    /// the batch is durable; a duplicate key returns `duplicate = true`,
+    /// also only once the original batch's fsync horizon is reached.
     pub fn append(&self, key: Option<&str>, events: &[WalEvent]) -> Result<WalAck, WalError> {
         if events.is_empty() {
             return Err(WalError::BadEvent {
@@ -978,10 +1000,18 @@ impl Wal {
                 return Err(WalError::Sealed);
             }
             if let Some(k) = key {
-                if let Some(&(seq, n)) = inner.idem.get(k) {
+                if let Some(&(dup_seq, n)) = inner.idem.get(k) {
                     self.duplicates.fetch_add(1, Ordering::Relaxed);
+                    drop(inner);
+                    // The key is registered at write time, so the original
+                    // batch may still be waiting on its group-commit fsync.
+                    // A duplicate ack claims the batch is committed — block
+                    // until its seq is past the durability horizon, or a
+                    // retry racing the original could be acked as durable
+                    // right before a crash loses both.
+                    self.group_commit(dup_seq)?;
                     return Ok(WalAck {
-                        seq,
+                        seq: dup_seq,
                         events: n,
                         duplicate: true,
                     });
@@ -1137,6 +1167,10 @@ impl Wal {
         self.fsyncs.fetch_add(1, Ordering::Relaxed);
         let upto = self.written_seq.load(Ordering::Acquire);
         inner.apply_pending(upto)?;
+        // The sidecar below advances applied_seq and may unlock pruning of
+        // the segments holding these batches, so the trace bytes must be
+        // durable first — apply_pending only writes into page cache.
+        inner.trace.sync_data()?;
         {
             let mut sync = self.sync.lock().unwrap();
             sync.synced_seq = sync.synced_seq.max(upto);
@@ -1536,6 +1570,53 @@ mod tests {
         wal.seal().unwrap();
         let log = read_log(File::open(&trace).unwrap()).unwrap();
         assert_eq!(log.events().len(), 1, "nothing extra was applied");
+    }
+
+    #[test]
+    fn trace_truncated_below_checkpoint_refuses_to_open() {
+        let dir = scratch("ckpt");
+        let trace = dir.join("t.events");
+        save_log_v2(&base_log(), &trace).unwrap();
+        let wdir = dir.join("wal");
+        {
+            let (wal, _) = Wal::open(&trace, &wdir, opts_nosync()).unwrap();
+            wal.append(Some("k1"), &batch_a()).unwrap();
+            wal.seal().unwrap();
+        }
+        // Chop the trace below the durable checkpoint: recovery must refuse
+        // rather than trust applied.ckpt and silently drop acked batches.
+        let f = OpenOptions::new().write(true).open(&trace).unwrap();
+        f.set_len(20).unwrap();
+        drop(f);
+        match Wal::open(&trace, &wdir, opts_nosync()) {
+            Err(WalError::Corrupt { .. }) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_hit_with_fsync_enabled_acks_committed_batch() {
+        let dir = scratch("dupsync");
+        let trace = dir.join("t.events");
+        let opts = WalOptions {
+            fsync: true,
+            ..WalOptions::default()
+        };
+        let (wal, _) = Wal::open(&trace, &dir.join("wal"), opts).unwrap();
+        let first = wal
+            .append(Some("d1"), &[WalEvent::node(0, Origin::Core)])
+            .unwrap();
+        // The duplicate path goes through group_commit: it must return the
+        // original ack only once that seq is durable.
+        let dup = wal
+            .append(Some("d1"), &[WalEvent::node(0, Origin::Core)])
+            .unwrap();
+        assert!(dup.duplicate);
+        assert_eq!(dup.seq, first.seq);
+        assert!(wal.stats().fsyncs >= 1);
+        wal.seal().unwrap();
+        let log = read_log(File::open(&trace).unwrap()).unwrap();
+        assert_eq!(log.events().len(), 1);
     }
 
     #[test]

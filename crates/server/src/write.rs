@@ -141,7 +141,7 @@ impl WriteState {
             }
             BearerToken::Token(t) => t,
         };
-        if !self.cfg.tokens.iter().any(|t| t == token) {
+        if !token_authorized(&self.cfg.tokens, token) {
             return Some(Response::text(403, "unknown write token\n"));
         }
         // Rate budget before the durability valves: a noisy client gets
@@ -228,6 +228,31 @@ impl WriteState {
             Err(err) => wal_error_response(&err),
         }
     }
+}
+
+/// Membership test for the configured token set. Every token is compared
+/// (no short-circuit) with a constant-time byte fold, so the 403 timing
+/// does not leak how long a matching prefix a guessed token had.
+fn token_authorized(tokens: &[String], candidate: &str) -> bool {
+    let mut ok = false;
+    for t in tokens {
+        ok |= ct_eq(t.as_bytes(), candidate.as_bytes());
+    }
+    ok
+}
+
+/// Constant-time byte-slice equality: XOR-accumulate over the longer of
+/// the two lengths, folding the length difference in as well. Timing
+/// depends only on the candidate's and tokens' lengths, never on where
+/// the first mismatching byte sits.
+fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0) as usize;
+        let y = b.get(i).copied().unwrap_or(0) as usize;
+        diff |= x ^ y;
+    }
+    diff == 0
 }
 
 /// Outcome of pulling a bearer token out of the Authorization header.
@@ -432,6 +457,18 @@ mod tests {
         assert!(s.admit(&post_head(Some("Bearer s3cret")), &live).is_none());
         // Scheme is case-insensitive per RFC 6750.
         assert!(s.admit(&post_head(Some("bearer s3cret")), &live).is_none());
+    }
+
+    #[test]
+    fn token_check_is_exact_match_only() {
+        let toks = vec!["s3cret".to_string(), "other".to_string()];
+        assert!(token_authorized(&toks, "s3cret"));
+        assert!(token_authorized(&toks, "other"));
+        assert!(!token_authorized(&toks, "s3cre"));
+        assert!(!token_authorized(&toks, "s3cretX"));
+        assert!(!token_authorized(&toks, "s3crex"));
+        assert!(!token_authorized(&toks, ""));
+        assert!(!token_authorized(&[], "anything"));
     }
 
     #[test]
