@@ -8,9 +8,22 @@
 //! archive them per commit.
 //!
 //! ```text
-//! bench_serve [--clients N] [--requests N] [--workers N]
-//!             [--queue-depth N] [--ingest-rate R] [--out FILE]
+//! bench_serve [--clients N] [--requests N] [--workers N] [--shards N]
+//!             [--queue-depth N] [--connection-close] [--gzip]
+//!             [--ingest-rate R] [--out FILE] [--telemetry-out FILE]
 //! ```
+//!
+//! Clients speak HTTP/1.1 keep-alive by default — one connection per
+//! client thread, reused for every request, reconnecting when the
+//! server closes it (shed, cull). `--connection-close` restores the
+//! old one-connection-per-request flood for comparison. `--gzip` adds
+//! `Accept-Encoding: gzip` to every request and decompresses (and
+//! validates) each gzip-encoded answer client-side, so the measured
+//! latency includes the decode the real consumer would pay. `--shards`
+//! sets the server's acceptor shard count (0 = auto), and
+//! `--telemetry-out FILE` snapshots the whole osn-obs registry —
+//! including the per-shard `http.shard.*` queue/shed series — after
+//! the flood, for CI to archive next to the bench JSON.
 //!
 //! Both numbers matter: requests/sec says how fast the materialised
 //! answers come off the wire, and the shed rate says how the daemon
@@ -45,8 +58,9 @@ use osn_core::live::{run_follow, IngestHealth, LiveHeadConfig, LiveQuery};
 use osn_core::network::MetricSeriesConfig;
 use osn_core::query::SnapshotQuery;
 use osn_genstream::{TraceConfig, TraceGenerator};
+use osn_graph::gzip::gzip_decompress;
 use osn_graph::io::RecoveryPolicy;
-use osn_graph::testutil::http_get;
+use osn_graph::testutil::{http_get, HttpClient};
 use osn_server::{Server, ServerConfig};
 use std::io::Write;
 use std::process::ExitCode;
@@ -58,10 +72,14 @@ struct Args {
     clients: usize,
     requests: usize,
     workers: usize,
+    shards: usize,
     queue_depth: usize,
+    keepalive: bool,
+    gzip: bool,
     ingest_rate: Option<f64>,
     write_rate: Option<f64>,
     out: String,
+    telemetry_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -69,10 +87,14 @@ fn parse_args() -> Result<Args, String> {
         clients: 16,
         requests: 200,
         workers: 2,
+        shards: 1,
         queue_depth: 32,
+        keepalive: true,
+        gzip: false,
         ingest_rate: None,
         write_rate: None,
         out: "BENCH_serve.json".to_string(),
+        telemetry_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -81,6 +103,10 @@ fn parse_args() -> Result<Args, String> {
             "--clients" => args.clients = value()?.parse().map_err(|e| format!("{a}: {e}"))?,
             "--requests" => args.requests = value()?.parse().map_err(|e| format!("{a}: {e}"))?,
             "--workers" => args.workers = value()?.parse().map_err(|e| format!("{a}: {e}"))?,
+            "--shards" => args.shards = value()?.parse().map_err(|e| format!("{a}: {e}"))?,
+            "--connection-close" => args.keepalive = false,
+            "--gzip" => args.gzip = true,
+            "--telemetry-out" => args.telemetry_out = Some(value()?),
             "--queue-depth" => {
                 args.queue_depth = value()?.parse().map_err(|e| format!("{a}: {e}"))?
             }
@@ -104,6 +130,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.ingest_rate.is_some() && args.write_rate.is_some() {
         return Err("--ingest-rate and --write-rate are mutually exclusive".into());
+    }
+    if args.gzip && !args.keepalive {
+        return Err("--gzip needs keep-alive clients (drop --connection-close)".into());
     }
     Ok(args)
 }
@@ -239,6 +268,111 @@ struct WriteOutcome {
 
 const WRITE_TOKEN: &str = "bench-token";
 
+/// Per-client flood outcome, merged across the pool at the end.
+#[derive(Default)]
+struct ClientOutcome {
+    ok: u64,
+    shed: u64,
+    errors: u64,
+    gzip_hits: u64,
+    reconnects: u64,
+    latency: osn_obs::HistSnapshot,
+}
+
+/// One closed-loop client: `requests` round trips over the rotating
+/// path mix. Keep-alive mode holds a single connection for the whole
+/// run and redials (retrying the request once) when the server hangs
+/// up on it — a shed, a keep-alive cull, or a drain all look like that
+/// from here. Close mode opens a fresh connection per request, which
+/// is what the flood did before the serve plane learned keep-alive.
+fn run_client(
+    addr: &str,
+    paths: &[String],
+    first: usize,
+    requests: usize,
+    keepalive: bool,
+    gzip: bool,
+) -> ClientOutcome {
+    const TIMEOUT: Duration = Duration::from_secs(30);
+    let latency = osn_obs::Histogram::new();
+    let mut out = ClientOutcome::default();
+    let mut latest: Option<String> = None;
+    let mut conn: Option<HttpClient> = None;
+    let accept: &[(&str, &str)] = if gzip {
+        &[("Accept-Encoding", "gzip")]
+    } else {
+        &[]
+    };
+    for i in 0..requests {
+        let slot = &paths[(first + i) % paths.len()];
+        let path = if slot == "@metrics-latest" {
+            match &latest {
+                Some(d) => format!("/v1/metrics/{d}"),
+                // Nothing seen yet: learn a day instead.
+                None => "/v1/days".to_string(),
+            }
+        } else {
+            slot.clone()
+        };
+        let sent = Instant::now();
+        let resp = if keepalive {
+            let reused = conn.as_mut().map(|c| c.get_with(&path, accept, TIMEOUT));
+            match reused {
+                Some(Ok(r)) => Ok(r),
+                reused => {
+                    // No live connection, or the reused one died under
+                    // us: dial fresh and retry this request once.
+                    if reused.is_some() {
+                        out.reconnects += 1;
+                    }
+                    conn = None;
+                    HttpClient::connect(addr).and_then(|mut c| {
+                        let r = c.get_with(&path, accept, TIMEOUT);
+                        conn = Some(c);
+                        r
+                    })
+                }
+            }
+        } else {
+            http_get(addr, &path, TIMEOUT)
+        };
+        latency.record_duration(sent.elapsed());
+        match resp {
+            Ok(resp) => {
+                if resp.header("connection") == Some("close") {
+                    conn = None;
+                }
+                let body = if resp.header("content-encoding") == Some("gzip") {
+                    out.gzip_hits += 1;
+                    match gzip_decompress(&resp.body) {
+                        Ok(b) => b,
+                        Err(_) => {
+                            out.errors += 1;
+                            continue;
+                        }
+                    }
+                } else {
+                    resp.body
+                };
+                match resp.status {
+                    200 => {
+                        out.ok += 1;
+                        if path == "/v1/days" {
+                            let text = String::from_utf8_lossy(&body);
+                            latest = latest_metric_day(&text).or(latest);
+                        }
+                    }
+                    503 => out.shed += 1,
+                    _ => out.errors += 1,
+                }
+            }
+            Err(_) => out.errors += 1,
+        }
+    }
+    out.latency = latency.snapshot();
+    out
+}
+
 /// Open a fresh WAL over a temp trace, start the follow head over that
 /// trace, and pre-slice the generated log's payload into POST bodies.
 /// Returns the server-side write config plus the bench-side state.
@@ -352,7 +486,7 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("usage: bench_serve [--clients N] [--requests N] [--workers N] [--queue-depth N] [--ingest-rate R] [--write-rate R] [--out FILE]");
+            eprintln!("usage: bench_serve [--clients N] [--requests N] [--workers N] [--shards N] [--queue-depth N] [--connection-close] [--gzip] [--ingest-rate R] [--write-rate R] [--out FILE] [--telemetry-out FILE]");
             eprintln!("error: {e}");
             return ExitCode::from(2);
         }
@@ -360,9 +494,15 @@ fn main() -> ExitCode {
 
     let build_started = Instant::now();
     let log = TraceGenerator::new(TraceConfig::tiny()).generate();
+    // In gzip mode the metric series is denser: the daemon only serves
+    // a gzip variant when it is actually smaller than the plain body,
+    // and the tiny fixture's default answers sit under the ~130-byte
+    // gzip envelope break-even, so a sparse series would measure a
+    // flood of identity fallbacks instead of the decode path.
+    let metrics_stride = if args.gzip { 8 } else { 40 };
     let builder = SnapshotQuery::builder()
         .metrics(MetricSeriesConfig {
-            stride: 40,
+            stride: metrics_stride,
             path_sample: 30,
             clustering_sample: 100,
             ..Default::default()
@@ -376,6 +516,7 @@ fn main() -> ExitCode {
     // the counters, drop the lines.
     let mut server_cfg = ServerConfig {
         workers: args.workers,
+        shards: args.shards,
         queue_depth: args.queue_depth,
         access_log: osn_server::AccessLog::to_sink(Box::new(std::io::sink())),
         ..ServerConfig::default()
@@ -449,47 +590,22 @@ fn main() -> ExitCode {
             let addr = addr.clone();
             let paths = Arc::clone(&paths);
             let requests = args.requests;
-            std::thread::spawn(move || {
-                let (mut ok, mut shed, mut errors) = (0u64, 0u64, 0u64);
-                let latency = osn_obs::Histogram::new();
-                let mut latest: Option<String> = None;
-                for i in 0..requests {
-                    let slot = &paths[(c + i) % paths.len()];
-                    let path = if slot == "@metrics-latest" {
-                        match &latest {
-                            Some(d) => format!("/v1/metrics/{d}"),
-                            // Nothing seen yet: learn a day instead.
-                            None => "/v1/days".to_string(),
-                        }
-                    } else {
-                        slot.clone()
-                    };
-                    let sent = Instant::now();
-                    match http_get(&addr, &path, Duration::from_secs(30)) {
-                        Ok(resp) if resp.status == 200 => {
-                            ok += 1;
-                            if path == "/v1/days" {
-                                latest = latest_metric_day(resp.body_str()).or(latest);
-                            }
-                        }
-                        Ok(resp) if resp.status == 503 => shed += 1,
-                        _ => errors += 1,
-                    }
-                    latency.record_duration(sent.elapsed());
-                }
-                (ok, shed, errors, latency.snapshot())
-            })
+            let (keepalive, gzip) = (args.keepalive, args.gzip);
+            std::thread::spawn(move || run_client(&addr, &paths, c, requests, keepalive, gzip))
         })
         .collect();
-    let (mut ok, mut shed, mut errors) = (0u64, 0u64, 0u64);
+    let mut flood = ClientOutcome::default();
     let mut latency = osn_obs::HistSnapshot::default();
     for c in clients {
-        let (o, s, e, lat) = c.join().expect("client thread");
-        ok += o;
-        shed += s;
-        errors += e;
-        latency.merge(&lat);
+        let out = c.join().expect("client thread");
+        flood.ok += out.ok;
+        flood.shed += out.shed;
+        flood.errors += out.errors;
+        flood.gzip_hits += out.gzip_hits;
+        flood.reconnects += out.reconnects;
+        latency.merge(&out.latency);
     }
+    let (ok, shed, errors) = (flood.ok, flood.shed, flood.errors);
     let elapsed = flood_started.elapsed();
 
     // In interference mode, let the ingest side run to completion (the
@@ -568,6 +684,17 @@ fn main() -> ExitCode {
         );
     }
 
+    // Snapshot the whole telemetry registry — server counters, latency
+    // histograms, and the per-shard `http.shard.*` queue/shed series —
+    // while the server is still up, so the shard gauges reflect the
+    // post-flood steady state rather than the drained zeros.
+    if let Some(path) = &args.telemetry_out {
+        if let Err(e) = osn_obs::snapshot().write_json_atomic(std::path::Path::new(path)) {
+            eprintln!("error: write telemetry snapshot {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
     server.request_shutdown();
     let report = server.join();
 
@@ -578,14 +705,18 @@ fn main() -> ExitCode {
         "serve_ingest"
     } else if args.write_rate.is_some() {
         "serve_write"
+    } else if args.gzip {
+        "serve_gzip"
     } else {
         "serve"
     };
     let json = format!(
         concat!(
             "{{{},\"clients\":{},\"requests_per_client\":{},",
-            "\"workers\":{},\"queue_depth\":{},\"build_ms\":{},",
+            "\"workers\":{},\"shards\":{},\"queue_depth\":{},",
+            "\"keepalive\":{},\"gzip\":{},\"build_ms\":{},",
             "\"total_requests\":{},\"ok\":{},\"shed\":{},\"errors\":{},",
+            "\"gzip_hits\":{},\"reconnects\":{},",
             "\"elapsed_ms\":{},\"requests_per_sec\":{:.1},\"shed_rate\":{:.4},",
             "\"drain_clean\":{}{}{}}}"
         ),
@@ -593,12 +724,17 @@ fn main() -> ExitCode {
         args.clients,
         args.requests,
         args.workers,
+        args.shards,
         args.queue_depth,
+        args.keepalive,
+        args.gzip,
         build_ms,
         total,
         ok,
         shed,
         errors,
+        flood.gzip_hits,
+        flood.reconnects,
         elapsed.as_millis(),
         rps,
         shed_rate,
@@ -618,6 +754,12 @@ fn main() -> ExitCode {
         elapsed,
         shed_rate * 100.0
     );
+    if args.gzip && flood.gzip_hits == 0 {
+        // A gzip bench that only ever measured identity fallbacks is
+        // not measuring the decode path; fail loudly instead.
+        eprintln!("error: --gzip flood never saw a gzip-encoded answer");
+        return ExitCode::FAILURE;
+    }
     if errors > 0 || write_errors > 0 || !report.clean() {
         eprintln!(
             "error: flood produced {errors} read + {write_errors} write hard errors (drain clean: {})",

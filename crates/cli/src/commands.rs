@@ -36,7 +36,8 @@ USAGE:
   osn alpha    trace.events [--window E] [--out DIR]
   osn compare  a.events b.events
   osn serve    trace.events [--engine batch|incremental] [--addr HOST]
-               [--port P] [--workers N] [--queue-depth N]
+               [--port P] [--workers N] [--queue-depth N] [--shards N]
+               [--keepalive-timeout SECS] [--no-response-cache]
                [--request-timeout SECS] [--header-timeout SECS]
                [--drain-timeout SECS] [--retries N] [--stride D]
                [--community-stride D] [--seed N] [--follow]

@@ -13,7 +13,8 @@
 //!              [--retries N] [--task-timeout SECS] [--strict]
 //! osn alpha    trace.events [--window E] [--out DIR]
 //! osn serve    trace.events [--engine batch|incremental] [--addr HOST]
-//!              [--port P] [--workers N] [--queue-depth N]
+//!              [--port P] [--workers N] [--queue-depth N] [--shards N]
+//!              [--keepalive-timeout SECS] [--no-response-cache]
 //!              [--request-timeout SECS] [--header-timeout SECS]
 //!              [--drain-timeout SECS] [--retries N] [--follow]
 //!              [--checkpoint DIR] [--poll-interval SECS] [--watchdog SECS]

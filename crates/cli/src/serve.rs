@@ -226,7 +226,15 @@ fn write_plane(
 
 /// `osn serve`
 pub fn serve(args: &[String]) -> Result<(), CliError> {
-    let flags = Flags::parse(args, &["follow", "accept-writes", "no-wal-fsync"])?;
+    let flags = Flags::parse(
+        args,
+        &[
+            "follow",
+            "accept-writes",
+            "no-wal-fsync",
+            "no-response-cache",
+        ],
+    )?;
     // Constructed before preflight so ingest counters land in the
     // snapshot, and dropped on *every* return — the clean-drain Ok, the
     // exit-4 `CliError::Drain` when the deadline abandons in-flight
@@ -286,6 +294,11 @@ pub fn serve(args: &[String]) -> Result<(), CliError> {
         retries: flags.get_parsed::<u32>("retries")?.unwrap_or(0),
         chaos,
         write: write.map(|(_, cfg)| cfg),
+        // 0 = one shard per core (capped); the default single shard is
+        // the pre-sharding layout.
+        shards: flags.get_parsed::<usize>("shards")?.unwrap_or(1),
+        keepalive_timeout: duration_flag(&flags, "keepalive-timeout", Duration::from_secs(5))?,
+        response_cache: !flags.has("no-response-cache"),
         ..ServerConfig::default()
     };
 

@@ -204,6 +204,93 @@ fn served_rows_are_byte_identical_to_batch_csv_and_drain_is_clean() {
 }
 
 #[test]
+fn keep_alive_gzip_and_shards_preserve_batch_parity() {
+    use osn_graph::gzip::gzip_decompress;
+    use osn_graph::testutil::HttpClient;
+
+    let dir = scratch("gzip");
+    let trace = dir.join("t.events");
+    generate(&trace);
+
+    let out = dir.join("out");
+    assert!(osn()
+        .args(["metrics"])
+        .arg(&trace)
+        .args(["--stride", "20", "--out"])
+        .arg(&out)
+        .status()
+        .unwrap()
+        .success());
+
+    let (child, addr, reader) = spawn_serve(
+        &trace,
+        &[
+            "--stride",
+            "20",
+            "--community-stride",
+            "40",
+            "--shards",
+            "2",
+        ],
+        None,
+    );
+
+    let mday = last_day(&out.join("metrics.csv"));
+    let expected = csv_answer(&out.join("metrics.csv"), &mday);
+    let path = format!("/v1/metrics/{mday}");
+
+    // One keep-alive connection: identity request (fills the cache),
+    // then a gzip request for the same day, then /v1/days with gzip —
+    // every body must decode to exactly the batch bytes.
+    let mut client = HttpClient::connect(&addr).unwrap();
+    let plain = client.get(&path, CLIENT_TIMEOUT).unwrap();
+    assert_eq!(plain.status, 200);
+    assert_eq!(plain.body, expected.as_bytes());
+
+    let gz = client
+        .get_with(&path, &[("Accept-Encoding", "gzip")], CLIENT_TIMEOUT)
+        .unwrap();
+    assert_eq!(gz.status, 200);
+    let body = match gz.header("content-encoding") {
+        Some("gzip") => gzip_decompress(&gz.body).unwrap(),
+        // Tiny rows may be served identity (gzip would inflate them);
+        // parity must hold either way.
+        _ => gz.body.clone(),
+    };
+    assert_eq!(
+        body,
+        expected.as_bytes(),
+        "gzip response does not decompress to the batch CSV"
+    );
+
+    let days = client
+        .get_with("/v1/days", &[("Accept-Encoding", "gzip")], CLIENT_TIMEOUT)
+        .unwrap();
+    assert_eq!(days.status, 200);
+    let days_body = match days.header("content-encoding") {
+        Some("gzip") => gzip_decompress(&days.body).unwrap(),
+        _ => days.body.clone(),
+    };
+    assert!(String::from_utf8(days_body)
+        .unwrap()
+        .contains("\"metric_days\":"));
+    drop(client);
+
+    // Both shards are reported on the stats surface.
+    let stats = http_get(&addr, "/v1/stats", CLIENT_TIMEOUT).unwrap();
+    assert_eq!(stats.status, 200);
+    let doc = stats.body_str().to_string();
+    assert!(doc.contains("\"shards\":["), "{doc}");
+
+    sigterm(&child);
+    let mut child = child;
+    let status = child.wait().unwrap();
+    assert_eq!(status.code(), Some(0), "clean drain must exit 0");
+    assert!(read_rest(reader).contains("drain complete"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn injected_panic_is_a_500_and_the_daemon_drains_clean() {
     let dir = scratch("panic");
     let trace = dir.join("t.events");

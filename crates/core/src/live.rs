@@ -124,6 +124,10 @@ pub struct LiveQuery {
     pending_bytes: AtomicU64,
     last_publish_ms: AtomicU64,
     resumed_from: AtomicU32,
+    /// Bumped on every snapshot install; response caches key the one
+    /// mutable published day (and the day list) to this, so a publish
+    /// invalidates exactly what it can have changed.
+    generation: AtomicU64,
 }
 
 impl LiveQuery {
@@ -142,6 +146,7 @@ impl LiveQuery {
             pending_bytes: AtomicU64::new(0),
             last_publish_ms: AtomicU64::new(0),
             resumed_from: AtomicU32::new(RESUMED_NONE),
+            generation: AtomicU64::new(0),
         }
     }
 
@@ -175,6 +180,13 @@ impl LiveQuery {
     /// Whether at least one snapshot is available to serve.
     pub fn is_published(&self) -> bool {
         self.published.load(Ordering::Relaxed)
+    }
+
+    /// Monotone publish generation: 0 before the first install, bumped
+    /// on every snapshot swap. Read it around [`LiveQuery::get`] (equal
+    /// before and after) to key caches to one consistent snapshot.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
     }
 
     /// The last published (final) day, if any.
@@ -218,6 +230,10 @@ impl LiveQuery {
     fn install_arc(&self, query: Arc<SnapshotQuery>, day: Day, pos: u64, applied: u64) {
         if let Ok(mut cur) = self.current.write() {
             *cur = Some(query);
+            // Bumped while the swap lock is held, so a reader seeing the
+            // same generation before and after `get` is guaranteed the
+            // snapshot it got belongs to that generation.
+            self.generation.fetch_add(1, Ordering::Release);
         }
         self.day.store(day, Ordering::Relaxed);
         self.events_applied.store(applied, Ordering::Relaxed);

@@ -1,0 +1,507 @@
+//! Minimal std-only gzip (RFC 1952) over DEFLATE (RFC 1951).
+//!
+//! The serve plane pre-compresses immutable per-day CSV bodies once and
+//! serves the bytes verbatim on `Accept-Encoding: gzip`, so the encoder
+//! optimises for simplicity and determinism, not ratio: greedy LZ77 over
+//! a hash-chain with **fixed-Huffman** blocks only. The decoder accepts
+//! exactly what the encoder emits (stored + fixed-Huffman blocks) — it
+//! exists so parity drills can prove a gzip response decompresses to the
+//! byte-identical CSV, and it deliberately rejects dynamic-Huffman
+//! streams rather than half-supporting them.
+//!
+//! The CRC-32 in the gzip trailer is the same reflected-polynomial CRC
+//! the v2 trace format already uses ([`crate::crc32`]).
+
+use crate::crc32::crc32;
+
+/// Why a gzip stream could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GzipError {
+    /// Not a gzip stream (bad magic / method / reserved flags).
+    BadHeader,
+    /// The deflate payload is malformed or truncated.
+    BadDeflate(&'static str),
+    /// A valid-looking stream using a feature this decoder does not
+    /// support (dynamic Huffman blocks, header extras).
+    Unsupported(&'static str),
+    /// Trailer CRC or length disagrees with the decompressed bytes.
+    TrailerMismatch,
+}
+
+impl std::fmt::Display for GzipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GzipError::BadHeader => write!(f, "not a gzip stream"),
+            GzipError::BadDeflate(what) => write!(f, "malformed deflate stream: {what}"),
+            GzipError::Unsupported(what) => write!(f, "unsupported gzip feature: {what}"),
+            GzipError::TrailerMismatch => write!(f, "gzip trailer mismatch (corrupt stream)"),
+        }
+    }
+}
+
+impl std::error::Error for GzipError {}
+
+// ---------------------------------------------------------------------------
+// Bit-level plumbing. DEFLATE packs bits LSB-first within bytes; Huffman
+// codes are emitted most-significant code bit first, so they are
+// bit-reversed before hitting the writer.
+// ---------------------------------------------------------------------------
+
+struct BitWriter {
+    out: Vec<u8>,
+    acc: u64,
+    bits: u32,
+}
+
+impl BitWriter {
+    fn new(out: Vec<u8>) -> BitWriter {
+        BitWriter {
+            out,
+            acc: 0,
+            bits: 0,
+        }
+    }
+
+    /// Append the low `n` bits of `v`, LSB-first.
+    fn put(&mut self, v: u32, n: u32) {
+        self.acc |= u64::from(v) << self.bits;
+        self.bits += n;
+        while self.bits >= 8 {
+            self.out.push((self.acc & 0xFF) as u8);
+            self.acc >>= 8;
+            self.bits -= 8;
+        }
+    }
+
+    /// Append a Huffman code of `n` bits (given MSB-first, as the spec
+    /// tables write them).
+    fn put_code(&mut self, code: u32, n: u32) {
+        let mut rev = 0u32;
+        for i in 0..n {
+            rev |= ((code >> i) & 1) << (n - 1 - i);
+        }
+        self.put(rev, n);
+    }
+
+    /// Flush the partial byte (zero-padded) and return the buffer.
+    fn finish(mut self) -> Vec<u8> {
+        if self.bits > 0 {
+            self.out.push((self.acc & 0xFF) as u8);
+        }
+        self.out
+    }
+}
+
+struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    acc: u64,
+    bits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(data: &'a [u8]) -> BitReader<'a> {
+        BitReader {
+            data,
+            pos: 0,
+            acc: 0,
+            bits: 0,
+        }
+    }
+
+    fn take(&mut self, n: u32) -> Result<u32, GzipError> {
+        while self.bits < n {
+            let byte = *self
+                .data
+                .get(self.pos)
+                .ok_or(GzipError::BadDeflate("unexpected end of stream"))?;
+            self.acc |= u64::from(byte) << self.bits;
+            self.bits += 8;
+            self.pos += 1;
+        }
+        let v = (self.acc & ((1u64 << n) - 1)) as u32;
+        self.acc >>= n;
+        self.bits -= n;
+        Ok(v)
+    }
+
+    /// Discard bits up to the next byte boundary (stored-block headers).
+    fn align(&mut self) {
+        let drop = self.bits % 8;
+        self.acc >>= drop;
+        self.bits -= drop;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-Huffman tables (RFC 1951 §3.2.5/§3.2.6).
+// ---------------------------------------------------------------------------
+
+/// Length symbol for a match length 3..=258: `(symbol, extra_bits, base)`.
+const LENGTH_TABLE: [(u32, u32, u32); 29] = [
+    (257, 0, 3),
+    (258, 0, 4),
+    (259, 0, 5),
+    (260, 0, 6),
+    (261, 0, 7),
+    (262, 0, 8),
+    (263, 0, 9),
+    (264, 0, 10),
+    (265, 1, 11),
+    (266, 1, 13),
+    (267, 1, 15),
+    (268, 1, 17),
+    (269, 2, 19),
+    (270, 2, 23),
+    (271, 2, 27),
+    (272, 2, 31),
+    (273, 3, 35),
+    (274, 3, 43),
+    (275, 3, 51),
+    (276, 3, 59),
+    (277, 4, 67),
+    (278, 4, 83),
+    (279, 4, 99),
+    (280, 4, 115),
+    (281, 5, 131),
+    (282, 5, 163),
+    (283, 5, 195),
+    (284, 5, 227),
+    (285, 0, 258),
+];
+
+/// Distance symbol for 1..=32768: `(symbol, extra_bits, base)`.
+const DIST_TABLE: [(u32, u32, u32); 30] = [
+    (0, 0, 1),
+    (1, 0, 2),
+    (2, 0, 3),
+    (3, 0, 4),
+    (4, 1, 5),
+    (5, 1, 7),
+    (6, 2, 9),
+    (7, 2, 13),
+    (8, 3, 17),
+    (9, 3, 25),
+    (10, 4, 33),
+    (11, 4, 49),
+    (12, 5, 65),
+    (13, 5, 97),
+    (14, 6, 129),
+    (15, 6, 193),
+    (16, 7, 257),
+    (17, 7, 385),
+    (18, 8, 513),
+    (19, 8, 769),
+    (20, 9, 1025),
+    (21, 9, 1537),
+    (22, 10, 2049),
+    (23, 10, 3073),
+    (24, 11, 4097),
+    (25, 11, 6145),
+    (26, 12, 8193),
+    (27, 12, 12289),
+    (28, 13, 16385),
+    (29, 13, 24577),
+];
+
+fn put_litlen(w: &mut BitWriter, sym: u32) {
+    match sym {
+        0..=143 => w.put_code(0x30 + sym, 8),
+        144..=255 => w.put_code(0x190 + sym - 144, 9),
+        256..=279 => w.put_code(sym - 256, 7),
+        _ => w.put_code(0xC0 + sym - 280, 8),
+    }
+}
+
+fn put_length(w: &mut BitWriter, len: u32) {
+    debug_assert!((3..=258).contains(&len));
+    // Last entry whose base fits; 258 maps to the extra-free code 285.
+    let &(sym, extra, base) = LENGTH_TABLE
+        .iter()
+        .rev()
+        .find(|&&(_, _, base)| base <= len)
+        .expect("length in range");
+    put_litlen(w, sym);
+    if extra > 0 {
+        w.put(len - base, extra);
+    }
+}
+
+fn put_distance(w: &mut BitWriter, dist: u32) {
+    debug_assert!((1..=32768).contains(&dist));
+    let &(sym, extra, base) = DIST_TABLE
+        .iter()
+        .rev()
+        .find(|&&(_, _, base)| base <= dist)
+        .expect("distance in range");
+    w.put_code(sym, 5);
+    if extra > 0 {
+        w.put(dist - base, extra);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Greedy LZ77 over a hash chain.
+// ---------------------------------------------------------------------------
+
+const WINDOW: usize = 32 * 1024;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 258;
+const HASH_BITS: u32 = 15;
+/// Longest hash chain walked per position; ratio/speed knob.
+const MAX_CHAIN: usize = 64;
+
+fn hash3(data: &[u8], i: usize) -> usize {
+    let v = (u32::from(data[i]) << 16) | (u32::from(data[i + 1]) << 8) | u32::from(data[i + 2]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Deflate `data` as one final fixed-Huffman block.
+fn deflate_fixed(data: &[u8], w: &mut BitWriter) {
+    // BFINAL=1, BTYPE=01 (fixed Huffman).
+    w.put(1, 1);
+    w.put(1, 2);
+
+    let mut head = vec![u32::MAX; 1 << HASH_BITS];
+    let mut prev = vec![u32::MAX; data.len()];
+    let mut i = 0usize;
+    while i < data.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= data.len() {
+            let mut cand = head[hash3(data, i)];
+            let mut chain = 0;
+            while cand != u32::MAX && chain < MAX_CHAIN {
+                let c = cand as usize;
+                if i - c > WINDOW {
+                    break;
+                }
+                let limit = (data.len() - i).min(MAX_MATCH);
+                let mut l = 0usize;
+                while l < limit && data[c + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = i - c;
+                    if l == limit {
+                        break;
+                    }
+                }
+                cand = prev[c];
+                chain += 1;
+            }
+        }
+        if best_len >= MIN_MATCH {
+            put_length(w, best_len as u32);
+            put_distance(w, best_dist as u32);
+            // Register every covered position so later matches can
+            // reach back into this run.
+            let end = (i + best_len).min(data.len().saturating_sub(MIN_MATCH - 1));
+            for (j, slot) in prev.iter_mut().enumerate().take(end).skip(i) {
+                let h = hash3(data, j);
+                *slot = head[h];
+                head[h] = j as u32;
+            }
+            i += best_len;
+        } else {
+            put_litlen(w, u32::from(data[i]));
+            if i + MIN_MATCH <= data.len() {
+                let h = hash3(data, i);
+                prev[i] = head[h];
+                head[h] = i as u32;
+            }
+            i += 1;
+        }
+    }
+    put_litlen(w, 256); // end of block
+}
+
+/// Compress `data` into a complete gzip member (header + fixed-Huffman
+/// deflate + CRC-32/length trailer). Deterministic: the same input
+/// always yields the same bytes, so cached variants are stable.
+pub fn gzip_compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 32);
+    // Header: magic, deflate, no flags, zero mtime, no XFL hints,
+    // "unknown" OS — nothing environment-dependent.
+    out.extend_from_slice(&[0x1F, 0x8B, 0x08, 0, 0, 0, 0, 0, 0, 0xFF]);
+    let mut w = BitWriter::new(out);
+    deflate_fixed(data, &mut w);
+    let mut out = w.finish();
+    out.extend_from_slice(&crc32(data).to_le_bytes());
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out
+}
+
+/// Decode one fixed-Huffman literal/length symbol (canonical tree,
+/// MSB-first code accumulation).
+fn read_litlen(r: &mut BitReader) -> Result<u32, GzipError> {
+    let mut code = 0u32;
+    for _ in 0..7 {
+        code = (code << 1) | r.take(1)?;
+    }
+    if code <= 0x17 {
+        return Ok(256 + code);
+    }
+    code = (code << 1) | r.take(1)?;
+    if (0x30..=0xBF).contains(&code) {
+        return Ok(code - 0x30);
+    }
+    if (0xC0..=0xC7).contains(&code) {
+        return Ok(280 + code - 0xC0);
+    }
+    code = (code << 1) | r.take(1)?;
+    if (0x190..=0x1FF).contains(&code) {
+        return Ok(144 + code - 0x190);
+    }
+    Err(GzipError::BadDeflate("invalid fixed litlen code"))
+}
+
+fn inflate(r: &mut BitReader, out: &mut Vec<u8>) -> Result<(), GzipError> {
+    loop {
+        let bfinal = r.take(1)?;
+        match r.take(2)? {
+            0 => {
+                r.align();
+                let len = r.take(16)?;
+                let nlen = r.take(16)?;
+                if len != (!nlen & 0xFFFF) {
+                    return Err(GzipError::BadDeflate("stored block LEN/NLEN mismatch"));
+                }
+                for _ in 0..len {
+                    out.push(r.take(8)? as u8);
+                }
+            }
+            1 => loop {
+                let sym = read_litlen(r)?;
+                match sym {
+                    0..=255 => out.push(sym as u8),
+                    256 => break,
+                    257..=285 => {
+                        let &(_, extra, base) = &LENGTH_TABLE[(sym - 257) as usize];
+                        let len = (base + if extra > 0 { r.take(extra)? } else { 0 }) as usize;
+                        let mut dcode = 0u32;
+                        for _ in 0..5 {
+                            dcode = (dcode << 1) | r.take(1)?;
+                        }
+                        if dcode >= 30 {
+                            return Err(GzipError::BadDeflate("invalid distance code"));
+                        }
+                        let &(_, dextra, dbase) = &DIST_TABLE[dcode as usize];
+                        let dist = (dbase + if dextra > 0 { r.take(dextra)? } else { 0 }) as usize;
+                        if dist == 0 || dist > out.len() {
+                            return Err(GzipError::BadDeflate("distance before stream start"));
+                        }
+                        let start = out.len() - dist;
+                        // Byte-at-a-time: RLE-style overlapping copies
+                        // (dist < len) are valid deflate.
+                        for j in 0..len {
+                            let b = out[start + j];
+                            out.push(b);
+                        }
+                    }
+                    _ => return Err(GzipError::BadDeflate("invalid litlen symbol")),
+                }
+            },
+            2 => return Err(GzipError::Unsupported("dynamic Huffman block")),
+            _ => return Err(GzipError::BadDeflate("reserved block type")),
+        }
+        if bfinal == 1 {
+            return Ok(());
+        }
+    }
+}
+
+/// Decompress one gzip member produced by [`gzip_compress`] (stored and
+/// fixed-Huffman deflate blocks), verifying the CRC-32/length trailer.
+pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, GzipError> {
+    if data.len() < 18 || data[0] != 0x1F || data[1] != 0x8B {
+        return Err(GzipError::BadHeader);
+    }
+    if data[2] != 0x08 {
+        return Err(GzipError::BadHeader);
+    }
+    if data[3] != 0 {
+        // FTEXT/FHCRC/FEXTRA/FNAME/FCOMMENT — we never emit them.
+        return Err(GzipError::Unsupported("gzip header flags"));
+    }
+    let deflate = &data[10..data.len() - 8];
+    let mut out = Vec::with_capacity(data.len() * 3);
+    let mut r = BitReader::new(deflate);
+    inflate(&mut r, &mut out)?;
+    let trailer = &data[data.len() - 8..];
+    let want_crc = u32::from_le_bytes(trailer[0..4].try_into().unwrap());
+    let want_len = u32::from_le_bytes(trailer[4..8].try_into().unwrap());
+    if crc32(&out) != want_crc || out.len() as u32 != want_len {
+        return Err(GzipError::TrailerMismatch);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let z = gzip_compress(data);
+        let back = gzip_decompress(&z).expect("decompress");
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn roundtrips_representative_payloads() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"day,nodes,edges\n120,54000,770000\n");
+        roundtrip(&vec![0u8; 100_000]);
+        roundtrip(&(0..=255u8).cycle().take(70_000).collect::<Vec<_>>());
+        // CSV-shaped: repetitive rows, the serve plane's actual payload.
+        let csv: String = (0..500)
+            .map(|i| format!("{i},0.123456,0.654321,42,17\n"))
+            .collect();
+        roundtrip(csv.as_bytes());
+    }
+
+    #[test]
+    fn compresses_repetitive_text() {
+        let csv: Vec<u8> = std::iter::repeat_n(&b"7,0.25,0.5,1000,3\n"[..], 200)
+            .flatten()
+            .copied()
+            .collect();
+        let z = gzip_compress(&csv);
+        assert!(
+            z.len() < csv.len() / 4,
+            "repetitive CSV should shrink well: {} -> {}",
+            csv.len(),
+            z.len()
+        );
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let data = b"determinism matters for cached variants";
+        assert_eq!(gzip_compress(data), gzip_compress(data));
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert_eq!(
+            gzip_decompress(b"not gzip").unwrap_err(),
+            GzipError::BadHeader
+        );
+        let mut z = gzip_compress(b"hello world, hello world, hello world");
+        z.truncate(z.len() - 3);
+        assert!(gzip_decompress(&z).is_err());
+        let mut z = gzip_compress(b"flip a payload bit and the trailer must catch it");
+        let mid = z.len() / 2;
+        z[mid] ^= 0x10;
+        assert!(gzip_decompress(&z).is_err());
+    }
+
+    #[test]
+    fn overlapping_copy_is_rle() {
+        // dist=1 len>1 is the classic RLE encoding; the matcher finds it
+        // on runs and the decoder must copy byte-at-a-time.
+        roundtrip(&[b'x'; 1000]);
+    }
+}

@@ -611,6 +611,138 @@ pub fn http_get_half_close(addr: &str, path: &str, timeout: Duration) -> io::Res
     parse_response(&bytes)
 }
 
+/// A persistent (keep-alive) HTTP/1.1 client: many requests per
+/// connection, responses framed by `Content-Length` instead of EOF.
+/// Drives the server's pipelining, parking, and response-cache paths;
+/// the `Connection: close` helpers above cannot reach them.
+#[derive(Debug)]
+pub struct HttpClient {
+    stream: TcpStream,
+    /// Bytes read past the end of the last parsed response (the head of
+    /// the next pipelined response).
+    buf: Vec<u8>,
+}
+
+impl HttpClient {
+    /// Open a persistent connection.
+    pub fn connect(addr: &str) -> io::Result<HttpClient> {
+        Ok(HttpClient {
+            stream: TcpStream::connect(addr)?,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Write raw bytes (for pipelining several requests in one burst, or
+    /// splitting a request across arbitrary chunk boundaries).
+    pub fn send_raw(&mut self, raw: &[u8]) -> io::Result<()> {
+        self.stream.write_all(raw)?;
+        self.stream.flush()
+    }
+
+    /// Send `GET path` with optional extra headers, keeping the
+    /// connection open.
+    pub fn send_get(&mut self, path: &str, headers: &[(&str, &str)]) -> io::Result<()> {
+        let mut req = format!("GET {path} HTTP/1.1\r\nHost: osn\r\n");
+        for (k, v) in headers {
+            req.push_str(&format!("{k}: {v}\r\n"));
+        }
+        req.push_str("\r\n");
+        self.send_raw(req.as_bytes())
+    }
+
+    /// Send `POST path` with a body, keeping the connection open.
+    pub fn send_post(
+        &mut self,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> io::Result<()> {
+        let mut req = format!("POST {path} HTTP/1.1\r\nHost: osn\r\n");
+        for (k, v) in headers {
+            req.push_str(&format!("{k}: {v}\r\n"));
+        }
+        req.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+        let mut raw = req.into_bytes();
+        raw.extend_from_slice(body);
+        self.send_raw(&raw)
+    }
+
+    /// Read exactly one response, framed by its `Content-Length` header.
+    /// Bytes past the response (the next pipelined response) stay
+    /// buffered for the next call.
+    pub fn read_response(&mut self, timeout: Duration) -> io::Result<HttpResponse> {
+        let deadline = Instant::now() + timeout;
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        // Head first.
+        let head_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            self.fill(deadline)?;
+        };
+        let head = parse_response(&self.buf[..head_end + 4])?;
+        let len: usize = head
+            .header("Content-Length")
+            .ok_or_else(|| bad("response without Content-Length on a keep-alive connection"))?
+            .parse()
+            .map_err(|_| bad("unparseable Content-Length"))?;
+        let total = head_end + 4 + len;
+        while self.buf.len() < total {
+            self.fill(deadline)?;
+        }
+        let body = self.buf[head_end + 4..total].to_vec();
+        self.buf.drain(..total);
+        Ok(HttpResponse { body, ..head })
+    }
+
+    /// One round trip: `GET path`, read the framed response.
+    pub fn get(&mut self, path: &str, timeout: Duration) -> io::Result<HttpResponse> {
+        self.get_with(path, &[], timeout)
+    }
+
+    /// One round trip with extra request headers (e.g.
+    /// `("Accept-Encoding", "gzip")`).
+    pub fn get_with(
+        &mut self,
+        path: &str,
+        headers: &[(&str, &str)],
+        timeout: Duration,
+    ) -> io::Result<HttpResponse> {
+        self.send_get(path, headers)?;
+        self.read_response(timeout)
+    }
+
+    /// Half-close the write side (tests of server-side hangup handling).
+    pub fn shutdown_write(&self) {
+        let _ = self.stream.shutdown(Shutdown::Write);
+    }
+
+    fn fill(&mut self, deadline: Instant) -> io::Result<()> {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "deadline while reading response",
+            ));
+        }
+        self.stream
+            .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))?;
+        let mut chunk = [0u8; 4096];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => Err(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "server closed mid-response",
+            )),
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                Ok(())
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
 /// What became of a deliberately hostile connection.
 #[derive(Debug)]
 pub enum ChaosHttpOutcome {

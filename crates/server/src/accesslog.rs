@@ -60,6 +60,10 @@ impl AccessLog {
 pub struct ServerStats {
     /// Connections accepted (including ones later shed).
     pub accepted: AtomicU64,
+    /// Responses written, across every request on every connection.
+    /// Equals `accepted` only when clients send `Connection: close`;
+    /// with keep-alive one accepted connection carries many requests.
+    pub requests: AtomicU64,
     /// Responses with 2xx status.
     pub ok: AtomicU64,
     /// Responses with 4xx status.
@@ -81,6 +85,8 @@ pub struct ServerStats {
 pub struct StatsSnapshot {
     /// See [`ServerStats::accepted`].
     pub accepted: u64,
+    /// See [`ServerStats::requests`].
+    pub requests: u64,
     /// See [`ServerStats::ok`].
     pub ok: u64,
     /// See [`ServerStats::client_error`].
@@ -100,9 +106,10 @@ impl StatsSnapshot {
     /// needed). The `/v1/stats` endpoint embeds this verbatim.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"accepted\":{},\"ok\":{},\"client_error\":{},\"server_error\":{},\
-             \"shed\":{},\"panicked\":{},\"bad_heads\":{}}}",
+            "{{\"accepted\":{},\"requests\":{},\"ok\":{},\"client_error\":{},\
+             \"server_error\":{},\"shed\":{},\"panicked\":{},\"bad_heads\":{}}}",
             self.accepted,
+            self.requests,
             self.ok,
             self.client_error,
             self.server_error,
@@ -116,6 +123,7 @@ impl StatsSnapshot {
 impl ServerStats {
     /// Classify a finished response into the right counter.
     pub fn count_response(&self, status: u16, load_shed: bool, panicked: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
         match status {
             200..=299 => self.ok.fetch_add(1, Ordering::Relaxed),
             400..=499 => self.client_error.fetch_add(1, Ordering::Relaxed),
@@ -131,6 +139,7 @@ impl ServerStats {
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             accepted: self.accepted.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
             ok: self.ok.load(Ordering::Relaxed),
             client_error: self.client_error.load(Ordering::Relaxed),
             server_error: self.server_error.load(Ordering::Relaxed),

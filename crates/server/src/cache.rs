@@ -1,0 +1,191 @@
+//! Hot-day response cache: pre-rendered per-day CSV bodies (and the
+//! `/v1/days` JSON) plus a precompressed gzip variant of each, shared
+//! across requests as `Arc`s.
+//!
+//! Correctness rests on two facts about the serving plane:
+//!
+//! * Per-day rows are **immutable history** once a later day has been
+//!   published — the ingest head appends monotonically and the resume
+//!   drills prove recomputation is byte-identical — so an entry for
+//!   `day < latest published day` stays valid across snapshot swaps.
+//! * Only the **latest published day** (and the day *list*) can change
+//!   when the live head publishes, so those entries are keyed to the
+//!   publish generation ([`osn_core::live::LiveQuery::generation`]) and
+//!   die with it. That is the "invalidation limited to the one mutable
+//!   published day" contract the `--follow`/`--accept-writes` parity
+//!   drills pin down.
+//!
+//! The cache is disabled entirely when chaos injection is configured:
+//! overload and panic drills rely on every request actually reaching a
+//! handler.
+
+use osn_graph::gzip::gzip_compress;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// Which response family an entry caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheKind {
+    /// `/v1/metrics/{day}` CSV.
+    Metrics,
+    /// `/v1/communities/{day}` CSV.
+    Communities,
+    /// `/v1/days` JSON (one entry, always generation-keyed).
+    Days,
+}
+
+/// A cached body pair: the verbatim bytes and their gzip twin.
+#[derive(Debug, Clone)]
+pub struct CachedBody {
+    /// Pre-rendered response bytes, byte-identical to the handler's
+    /// fresh rendering.
+    pub plain: Arc<Vec<u8>>,
+    /// `gzip_compress(plain)`, rendered once at store time.
+    pub gzip: Arc<Vec<u8>>,
+}
+
+#[derive(Debug)]
+struct Entry {
+    /// Publish generation the body was rendered under.
+    generation: u64,
+    body: CachedBody,
+}
+
+/// Shared across all shards; reads take the lock only long enough to
+/// clone two `Arc`s.
+#[derive(Debug, Default)]
+pub struct ResponseCache {
+    metrics: RwLock<HashMap<u32, Entry>>,
+    communities: RwLock<HashMap<u32, Entry>>,
+    days: RwLock<Option<Entry>>,
+}
+
+impl ResponseCache {
+    /// Look up `(kind, day)` as seen by a snapshot at `generation` whose
+    /// days strictly below `frozen_below` are immutable history. `day`
+    /// is ignored for [`CacheKind::Days`].
+    pub fn lookup(
+        &self,
+        kind: CacheKind,
+        day: u32,
+        generation: u64,
+        frozen_below: u32,
+    ) -> Option<CachedBody> {
+        let hit = match kind {
+            CacheKind::Days => self
+                .days
+                .read()
+                .ok()?
+                .as_ref()
+                .filter(|e| e.generation == generation)
+                .map(|e| e.body.clone()),
+            CacheKind::Metrics | CacheKind::Communities => {
+                let map = if kind == CacheKind::Metrics {
+                    self.metrics.read().ok()?
+                } else {
+                    self.communities.read().ok()?
+                };
+                map.get(&day)
+                    .filter(|e| e.generation == generation || day < frozen_below)
+                    .map(|e| e.body.clone())
+            }
+        };
+        if osn_obs::enabled() {
+            if hit.is_some() {
+                osn_obs::counter!("http.cache.hits").inc();
+            } else {
+                osn_obs::counter!("http.cache.misses").inc();
+            }
+        }
+        hit
+    }
+
+    /// Render `body` into the cache under `generation` and hand back the
+    /// shared pair for the response that triggered the fill.
+    pub fn store(&self, kind: CacheKind, day: u32, generation: u64, body: Vec<u8>) -> CachedBody {
+        let body = CachedBody {
+            gzip: Arc::new(gzip_compress(&body)),
+            plain: Arc::new(body),
+        };
+        let entry = Entry {
+            generation,
+            body: body.clone(),
+        };
+        match kind {
+            CacheKind::Days => {
+                if let Ok(mut slot) = self.days.write() {
+                    *slot = Some(entry);
+                }
+            }
+            CacheKind::Metrics => {
+                if let Ok(mut map) = self.metrics.write() {
+                    map.insert(day, entry);
+                }
+            }
+            CacheKind::Communities => {
+                if let Ok(mut map) = self.communities.write() {
+                    map.insert(day, entry);
+                }
+            }
+        }
+        body
+    }
+
+    /// Entry counts (metrics, communities, days) — `/v1/stats` surfacing
+    /// and tests.
+    pub fn sizes(&self) -> (usize, usize, usize) {
+        (
+            self.metrics.read().map(|m| m.len()).unwrap_or(0),
+            self.communities.read().map(|m| m.len()).unwrap_or(0),
+            self.days
+                .read()
+                .map(|d| usize::from(d.is_some()))
+                .unwrap_or(0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_graph::gzip::gzip_decompress;
+
+    #[test]
+    fn frozen_days_survive_publishes_and_the_hot_day_does_not() {
+        let cache = ResponseCache::default();
+        let body = b"day,users\n3,42\n".to_vec();
+        cache.store(CacheKind::Metrics, 3, 1, body.clone());
+
+        // Same generation: hit regardless of the frozen horizon.
+        assert!(cache.lookup(CacheKind::Metrics, 3, 1, 0).is_some());
+        // New generation, day now frozen history: still a hit.
+        let hit = cache.lookup(CacheKind::Metrics, 3, 2, 4).unwrap();
+        assert_eq!(*hit.plain, body);
+        assert_eq!(gzip_decompress(&hit.gzip).unwrap(), body);
+        // New generation, day 3 is the mutable published day (< 3 is
+        // frozen): the stale entry must not serve.
+        assert!(cache.lookup(CacheKind::Metrics, 3, 2, 3).is_none());
+    }
+
+    #[test]
+    fn days_listing_is_generation_keyed_only() {
+        let cache = ResponseCache::default();
+        cache.store(CacheKind::Days, 0, 7, b"{\"days\":5}".to_vec());
+        assert!(cache.lookup(CacheKind::Days, 0, 7, u32::MAX).is_some());
+        // A publish changes the day list: generation mismatch misses
+        // even with everything "frozen".
+        assert!(cache.lookup(CacheKind::Days, 0, 8, u32::MAX).is_none());
+    }
+
+    #[test]
+    fn kinds_do_not_collide_and_sizes_report() {
+        let cache = ResponseCache::default();
+        cache.store(CacheKind::Metrics, 1, 1, b"m".to_vec());
+        cache.store(CacheKind::Communities, 1, 1, b"c".to_vec());
+        let m = cache.lookup(CacheKind::Metrics, 1, 1, 9).unwrap();
+        let c = cache.lookup(CacheKind::Communities, 1, 1, 9).unwrap();
+        assert_eq!(*m.plain, b"m".to_vec());
+        assert_eq!(*c.plain, b"c".to_vec());
+        assert_eq!(cache.sizes(), (1, 1, 0));
+    }
+}

@@ -145,7 +145,7 @@ mod tests {
         assert_eq!(h.response.status, 200);
         assert_eq!(h.reason, "-");
         assert_eq!(
-            String::from_utf8(h.response.body).unwrap(),
+            String::from_utf8(h.response.body.into_vec()).unwrap(),
             q.metrics_row_csv(day).unwrap()
         );
     }
@@ -163,7 +163,10 @@ mod tests {
         let q = query();
         let h = handle(q, Route::Days, &HandlerPolicy::default());
         assert_eq!(h.response.status, 200);
-        assert_eq!(String::from_utf8(h.response.body).unwrap(), q.days_json());
+        assert_eq!(
+            String::from_utf8(h.response.body.into_vec()).unwrap(),
+            q.days_json()
+        );
     }
 
     #[test]

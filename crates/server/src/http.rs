@@ -1,24 +1,30 @@
-//! Minimal HTTP/1.1 plumbing: deadline-bounded request-head and body
-//! reading and response writing over a raw `TcpStream`.
+//! Minimal HTTP/1.1 plumbing: buffered keep-alive connections with
+//! deadline-bounded request-head and body reading, and response writing
+//! over a raw `TcpStream`.
 //!
 //! Only the sliver of HTTP the daemon needs is implemented — `GET`/`POST`
-//! with a path, the four headers the write plane consumes,
-//! `Connection: close` on every response — but the *failure* surface is
-//! handled in full: a peer that drips one header byte per second, floods
-//! megabytes of header lines, half-closes its send direction, or posts a
-//! body slower than the deadline allows must never pin a thread past the
-//! configured budget.
+//! with a path, the handful of headers the serve and write planes
+//! consume, `Connection: keep-alive` with request pipelining — but the
+//! *failure* surface is handled in full: a peer that drips one header
+//! byte per second, floods megabytes of header lines, half-closes its
+//! send direction, or posts a body slower than the deadline allows must
+//! never pin a thread past the configured budget. The loris budget is
+//! re-armed *per request*: it is anchored at the moment the current
+//! request's first byte arrives (or at accept, for the first request),
+//! so a kept-alive connection gets a fresh header window for every
+//! request but can never stretch a single head beyond one window.
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Hard cap on request-head bytes; beyond this the peer gets a 431.
 pub const MAX_HEAD_BYTES: usize = 8 * 1024;
 
-/// The parsed request line plus the handful of headers the write plane
-/// consumes (all other headers are read, enforced against the byte
-/// budget, and discarded).
+/// The parsed request line plus the handful of headers the serve and
+/// write planes consume (all other headers are read, enforced against
+/// the byte budget, and discarded).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RequestHead {
     /// HTTP method, verbatim (`GET`, `POST`, ...).
@@ -33,9 +39,13 @@ pub struct RequestHead {
     pub authorization: Option<String>,
     /// `Idempotency-Key`, verbatim.
     pub idempotency_key: Option<String>,
-    /// Body bytes that arrived in the same reads as the head; the body
-    /// reader consumes these before touching the socket again.
-    pub body_prefix: Vec<u8>,
+    /// The peer asked for the connection to be closed after this
+    /// response (`Connection: close`, or HTTP/1.0 without an explicit
+    /// `keep-alive`).
+    pub wants_close: bool,
+    /// `Accept-Encoding` listed `gzip` — the response may be served from
+    /// the precompressed cache variant.
+    pub accept_gzip: bool,
 }
 
 impl RequestHead {
@@ -48,7 +58,8 @@ impl RequestHead {
             content_type: None,
             authorization: None,
             idempotency_key: None,
-            body_prefix: Vec::new(),
+            wants_close: false,
+            accept_gzip: false,
         }
     }
 }
@@ -66,6 +77,9 @@ pub enum HeadError {
     Malformed,
     /// The peer vanished before completing the head.
     ConnectionLost,
+    /// A kept-alive peer closed cleanly between requests — not an error,
+    /// just the end of the connection (no access line, no counter).
+    Closed,
 }
 
 impl HeadError {
@@ -77,47 +91,245 @@ impl HeadError {
             HeadError::TooLarge => "header-flood",
             HeadError::Malformed => "malformed",
             HeadError::ConnectionLost => "connection-lost",
+            HeadError::Closed => "closed",
         }
     }
 }
 
-/// Read a request head from `stream`, giving up at `deadline`.
-///
-/// The socket read timeout is re-armed to the *remaining* budget before
-/// every read, so a peer trickling one byte per timeout window cannot
-/// extend its welcome — total wall time is bounded by the deadline no
-/// matter how the bytes arrive.
-pub fn read_head(stream: &mut TcpStream, deadline: Instant) -> Result<RequestHead, HeadError> {
-    let mut buf: Vec<u8> = Vec::with_capacity(512);
-    let mut chunk = [0u8; 1024];
-    loop {
-        if let Some(head_end) = find_head_end(&buf) {
-            let mut head = parse_head(&buf[..head_end])?;
-            // Bytes past the blank line are the start of the body.
-            head.body_prefix = buf[head_end..].to_vec();
-            return Ok(head);
+/// What [`Conn::await_request`] found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnProgress {
+    /// A complete request head (or an oversize one, which
+    /// [`Conn::read_head`] will turn into a 431) is buffered —
+    /// `read_head` will not block.
+    HeadReady,
+    /// Nothing arrived within the wait window; the connection is idle.
+    Idle,
+    /// The peer closed (EOF with no pending request bytes).
+    Closed,
+}
+
+/// One accepted connection: the socket plus whatever request bytes have
+/// been read but not yet consumed. Keep-alive lives here — after a head
+/// (and body) is consumed, leftover bytes are the start of the next
+/// pipelined request.
+#[derive(Debug)]
+pub struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    /// When the connection was accepted.
+    pub accepted: Instant,
+    /// Requests fully answered on this connection so far.
+    pub served: u64,
+    /// When the current request window opened: accept time for the
+    /// first request, then re-armed whenever a new request starts
+    /// arriving (first byte into an empty buffer, or a pipelined head
+    /// already waiting when the previous request completed). The header
+    /// deadline is always `anchor + header_timeout`.
+    anchor: Instant,
+}
+
+impl Conn {
+    /// Wrap a freshly accepted stream.
+    pub fn new(stream: TcpStream) -> Conn {
+        let now = Instant::now();
+        Conn {
+            stream,
+            buf: Vec::new(),
+            accepted: now,
+            served: 0,
+            anchor: now,
         }
-        if buf.len() >= MAX_HEAD_BYTES {
-            return Err(HeadError::TooLarge);
+    }
+
+    /// The underlying socket (peer address, raw fd for the parker).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// True when `read_head` can make a verdict without blocking: a
+    /// complete head is buffered, or the buffer already blew the 431 cap.
+    pub fn head_ready(&self) -> bool {
+        find_head_end(&self.buf).is_some() || self.buf.len() >= MAX_HEAD_BYTES
+    }
+
+    /// True when unconsumed request bytes are buffered.
+    pub fn has_buffered(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Re-open the request window (e.g. when a parked connection wakes
+    /// up with fresh bytes pending, or after a fairness recycle): the
+    /// next head gets a full `header_timeout` from now.
+    pub fn rearm(&mut self) {
+        self.anchor = Instant::now();
+    }
+
+    /// Append freshly read bytes, re-arming the anchor when they open a
+    /// new request window (first bytes after an empty buffer).
+    fn fill(&mut self, bytes: &[u8]) {
+        if self.buf.is_empty() {
+            self.anchor = Instant::now();
         }
-        let remaining = deadline.saturating_duration_since(Instant::now());
-        if remaining.is_zero() {
-            return Err(HeadError::TimedOut);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Read one request head, giving up at `anchor + header_timeout`.
+    ///
+    /// The socket read timeout is re-armed to the *remaining* budget
+    /// before every read, so a peer trickling one byte per timeout
+    /// window cannot extend its welcome — wall time for one head is
+    /// bounded no matter how the bytes arrive. Consumed bytes are
+    /// drained from the buffer; anything past the blank line (a body, or
+    /// the next pipelined request) stays buffered.
+    pub fn read_head(&mut self, header_timeout: Duration) -> Result<RequestHead, HeadError> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(head_end) = find_head_end(&self.buf) {
+                let head = parse_head(&self.buf[..head_end])?;
+                self.buf.drain(..head_end);
+                if !self.buf.is_empty() {
+                    // The next pipelined request is already here; its
+                    // window opens when this parse completes, not when
+                    // its bytes happened to arrive behind a busy server.
+                    self.anchor = Instant::now();
+                }
+                return Ok(head);
+            }
+            if self.buf.len() >= MAX_HEAD_BYTES {
+                return Err(HeadError::TooLarge);
+            }
+            let deadline = self.anchor + header_timeout;
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(HeadError::TimedOut);
+            }
+            if self
+                .stream
+                .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
+                .is_err()
+            {
+                return Err(HeadError::ConnectionLost);
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // EOF between requests on a kept-alive connection is
+                    // a clean hangup, not a protocol failure.
+                    return if self.buf.is_empty() && self.served > 0 {
+                        Err(HeadError::Closed)
+                    } else {
+                        Err(HeadError::ConnectionLost)
+                    };
+                }
+                Ok(n) => self.fill(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Err(HeadError::TimedOut),
+                Err(e) if e.kind() == io::ErrorKind::TimedOut => return Err(HeadError::TimedOut),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return Err(HeadError::ConnectionLost),
+            }
         }
-        if stream
-            .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
-            .is_err()
-        {
-            return Err(HeadError::ConnectionLost);
+    }
+
+    /// Wait up to `wait` for the next pipelined request. Returns as soon
+    /// as a complete head is buffered, the peer hangs up, or the window
+    /// elapses — a worker lingers here briefly after a response before
+    /// handing the idle connection to the parker.
+    pub fn await_request(&mut self, wait: Duration) -> ConnProgress {
+        let deadline = Instant::now() + wait;
+        let mut chunk = [0u8; 4096];
+        loop {
+            if self.head_ready() {
+                return ConnProgress::HeadReady;
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return ConnProgress::Idle;
+            }
+            if self
+                .stream
+                .set_read_timeout(Some(remaining.max(Duration::from_micros(100))))
+                .is_err()
+            {
+                return ConnProgress::Closed;
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        ConnProgress::Closed
+                    } else {
+                        // Half-closed with a partial request buffered:
+                        // let read_head classify it (connection-lost).
+                        ConnProgress::HeadReady
+                    };
+                }
+                Ok(n) => self.fill(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return ConnProgress::Idle,
+                Err(e) if e.kind() == io::ErrorKind::TimedOut => return ConnProgress::Idle,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return ConnProgress::Closed,
+            }
         }
-        match stream.read(&mut chunk) {
-            Ok(0) => return Err(HeadError::ConnectionLost),
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Err(HeadError::TimedOut),
-            Err(e) if e.kind() == io::ErrorKind::TimedOut => return Err(HeadError::TimedOut),
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(_) => return Err(HeadError::ConnectionLost),
+    }
+
+    /// Read exactly `Content-Length` body bytes, starting from whatever
+    /// is already buffered, giving up at `deadline`. The same re-armed
+    /// timeout discipline as [`Conn::read_head`] applies: a client
+    /// dripping body bytes cannot hold the thread past the deadline.
+    pub fn read_body(
+        &mut self,
+        head: &RequestHead,
+        max_bytes: u64,
+        deadline: Instant,
+    ) -> Result<Vec<u8>, BodyError> {
+        let len = head.content_length.ok_or(BodyError::LengthRequired)?;
+        if len > max_bytes {
+            return Err(BodyError::TooLarge);
         }
+        let len = len as usize;
+        let take = self.buf.len().min(len);
+        let mut body: Vec<u8> = self.buf.drain(..take).collect();
+        body.reserve(len.saturating_sub(body.len()));
+        if !self.buf.is_empty() {
+            // Pipelined bytes beyond this body: the next request's
+            // window opens once this body is complete.
+            self.anchor = Instant::now();
+        }
+        let mut chunk = [0u8; 4096];
+        while body.len() < len {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(BodyError::TimedOut);
+            }
+            if self
+                .stream
+                .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
+                .is_err()
+            {
+                return Err(BodyError::ConnectionLost);
+            }
+            let want = (len - body.len()).min(chunk.len());
+            match self.stream.read(&mut chunk[..want]) {
+                Ok(0) => return Err(BodyError::ConnectionLost),
+                Ok(n) => body.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Err(BodyError::TimedOut),
+                Err(e) if e.kind() == io::ErrorKind::TimedOut => return Err(BodyError::TimedOut),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return Err(BodyError::ConnectionLost),
+            }
+        }
+        Ok(body)
+    }
+
+    /// Serialise `resp` onto the socket with a write timeout. `close`
+    /// selects the `Connection:` header; the caller drops the `Conn` to
+    /// actually close.
+    pub fn write_response(
+        &mut self,
+        resp: &Response,
+        timeout: Duration,
+        close: bool,
+    ) -> io::Result<()> {
+        write_response_to(&mut self.stream, resp, timeout, close)
     }
 }
 
@@ -135,13 +347,14 @@ fn parse_head(head: &[u8]) -> Result<RequestHead, HeadError> {
     let method = parts.next().filter(|m| !m.is_empty());
     let target = parts.next();
     let version = parts.next();
-    let mut out = match (method, target, version) {
+    let (mut out, http10) = match (method, target, version) {
         (Some(method), Some(target), Some(version)) if version.starts_with("HTTP/1") => {
             let path = target.split('?').next().unwrap_or(target);
-            RequestHead::new(method, path)
+            (RequestHead::new(method, path), version == "HTTP/1.0")
         }
         _ => return Err(HeadError::Malformed),
     };
+    let mut keep_alive_token = false;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
@@ -155,7 +368,26 @@ fn parse_head(head: &[u8]) -> Result<RequestHead, HeadError> {
             out.authorization = Some(value.to_string());
         } else if name.eq_ignore_ascii_case("idempotency-key") {
             out.idempotency_key = Some(value.to_string());
+        } else if name.eq_ignore_ascii_case("connection") {
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    out.wants_close = true;
+                } else if token.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive_token = true;
+                }
+            }
+        } else if name.eq_ignore_ascii_case("accept-encoding") {
+            out.accept_gzip |= value
+                .split(',')
+                .map(|t| t.trim())
+                .map(|t| t.split(';').next().unwrap_or(t).trim())
+                .any(|t| t.eq_ignore_ascii_case("gzip"));
         }
+    }
+    // HTTP/1.0 defaults to close unless the peer opts in.
+    if http10 && !keep_alive_token {
+        out.wants_close = true;
     }
     Ok(out)
 }
@@ -186,52 +418,53 @@ impl BodyError {
     }
 }
 
-/// Read exactly `Content-Length` body bytes, starting from whatever
-/// arrived with the head, giving up at `deadline`. The same re-armed
-/// timeout discipline as [`read_head`] applies: a client dripping body
-/// bytes cannot hold the thread past the deadline.
-pub fn read_body(
-    stream: &mut TcpStream,
-    head: &RequestHead,
-    max_bytes: u64,
-    deadline: Instant,
-) -> Result<Vec<u8>, BodyError> {
-    let len = head.content_length.ok_or(BodyError::LengthRequired)?;
-    if len > max_bytes {
-        return Err(BodyError::TooLarge);
-    }
-    let len = len as usize;
-    let mut body = Vec::with_capacity(len.min(64 * 1024));
-    body.extend_from_slice(&head.body_prefix[..head.body_prefix.len().min(len)]);
-    let mut chunk = [0u8; 4096];
-    while body.len() < len {
-        let remaining = deadline.saturating_duration_since(Instant::now());
-        if remaining.is_zero() {
-            return Err(BodyError::TimedOut);
-        }
-        if stream
-            .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
-            .is_err()
-        {
-            return Err(BodyError::ConnectionLost);
-        }
-        let want = (len - body.len()).min(chunk.len());
-        match stream.read(&mut chunk[..want]) {
-            Ok(0) => return Err(BodyError::ConnectionLost),
-            Ok(n) => body.extend_from_slice(&chunk[..n]),
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Err(BodyError::TimedOut),
-            Err(e) if e.kind() == io::ErrorKind::TimedOut => return Err(BodyError::TimedOut),
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(_) => return Err(BodyError::ConnectionLost),
-        }
-    }
-    Ok(body)
+/// A response body: owned bytes for one-off answers, or a shared slice
+/// out of the hot-day response cache (pre-rendered CSV and its
+/// precompressed gzip twin are `Arc`s cloned per response — zero copies
+/// on the cache hit path).
+#[derive(Debug, Clone)]
+pub enum Body {
+    /// Freshly rendered for this request.
+    Owned(Vec<u8>),
+    /// Served out of the response cache.
+    Shared(Arc<Vec<u8>>),
 }
 
-/// A response ready to serialise. Every response closes the connection;
-/// the daemon's clients are batch tools and probes, not browsers, and
-/// `Connection: close` keeps the drain story simple (no idle keep-alive
-/// sockets to account for).
+impl Body {
+    /// The bytes to put on the wire.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            Body::Owned(v) => v,
+            Body::Shared(v) => v,
+        }
+    }
+
+    /// Body length in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// True when the body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// Owned copy (clones only for `Shared`).
+    pub fn into_vec(self) -> Vec<u8> {
+        match self {
+            Body::Owned(v) => v,
+            Body::Shared(v) => Arc::try_unwrap(v).unwrap_or_else(|v| (*v).clone()),
+        }
+    }
+}
+
+impl From<Vec<u8>> for Body {
+    fn from(v: Vec<u8>) -> Body {
+        Body::Owned(v)
+    }
+}
+
+/// A response ready to serialise.
 #[derive(Debug, Clone)]
 pub struct Response {
     /// Status code.
@@ -239,10 +472,13 @@ pub struct Response {
     /// `Content-Type` header value.
     pub content_type: &'static str,
     /// Response body.
-    pub body: Vec<u8>,
+    pub body: Body,
     /// Optional `Retry-After` (seconds) — set on load-shed 503s so
     /// well-behaved clients back off instead of hammering.
     pub retry_after: Option<u32>,
+    /// `Content-Encoding` header, when the body is precompressed
+    /// (`Some("gzip")` for cache hits negotiated via `Accept-Encoding`).
+    pub content_encoding: Option<&'static str>,
 }
 
 impl Response {
@@ -251,8 +487,9 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; charset=utf-8",
-            body: body.as_bytes().to_vec(),
+            body: Body::Owned(body.as_bytes().to_vec()),
             retry_after: None,
+            content_encoding: None,
         }
     }
 
@@ -261,8 +498,9 @@ impl Response {
         Response {
             status: 200,
             content_type: "text/csv; charset=utf-8",
-            body: body.into_bytes(),
+            body: Body::Owned(body.into_bytes()),
             retry_after: None,
+            content_encoding: None,
         }
     }
 
@@ -271,8 +509,21 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
-            body: body.into_bytes(),
+            body: Body::Owned(body.into_bytes()),
             retry_after: None,
+            content_encoding: None,
+        }
+    }
+
+    /// A 200 straight out of the response cache: a shared pre-rendered
+    /// body, optionally the precompressed gzip variant.
+    pub fn cached(content_type: &'static str, body: Arc<Vec<u8>>, gzip: bool) -> Response {
+        Response {
+            status: 200,
+            content_type,
+            body: Body::Shared(body),
+            retry_after: None,
+            content_encoding: gzip.then_some("gzip"),
         }
     }
 
@@ -281,8 +532,9 @@ impl Response {
         Response {
             status: 503,
             content_type: "text/plain; charset=utf-8",
-            body: format!("overloaded: {reason}\n").into_bytes(),
+            body: Body::Owned(format!("overloaded: {reason}\n").into_bytes()),
             retry_after: Some(1),
+            content_encoding: None,
         }
     }
 }
@@ -308,29 +560,44 @@ fn reason_phrase(status: u16) -> &'static str {
     }
 }
 
-/// Serialise `resp` onto `stream` with a write timeout, then let the
-/// caller drop the stream (which closes it). Write errors are returned
-/// but callers generally ignore them: a peer that hung up before its
-/// response is its own problem.
-pub fn write_response(
+/// Serialise `resp` onto `stream` with a write timeout. Every response
+/// carries an explicit `Content-Length` and a `Connection:` verdict, so
+/// a keep-alive peer can frame the next response without sniffing.
+/// Write errors are returned but callers generally ignore them beyond
+/// closing: a peer that hung up before its response is its own problem.
+pub fn write_response_to(
     stream: &mut TcpStream,
     resp: &Response,
     timeout: Duration,
+    close: bool,
 ) -> io::Result<()> {
     let _ = stream.set_write_timeout(Some(timeout));
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         resp.status,
         reason_phrase(resp.status),
         resp.content_type,
         resp.body.len(),
+        if close { "close" } else { "keep-alive" },
     );
+    if let Some(encoding) = resp.content_encoding {
+        head.push_str(&format!("Content-Encoding: {encoding}\r\n"));
+    }
     if let Some(secs) = resp.retry_after {
         head.push_str(&format!("Retry-After: {secs}\r\n"));
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(&resp.body)?;
+    // One write for head + small bodies halves the syscalls on the hot
+    // path; large bodies go out as a second write to skip the copy.
+    let body = resp.body.as_slice();
+    if body.len() <= 16 * 1024 {
+        let mut frame = head.into_bytes();
+        frame.extend_from_slice(body);
+        stream.write_all(&frame)?;
+    } else {
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body)?;
+    }
     stream.flush()
 }
 
@@ -376,6 +643,30 @@ mod tests {
     }
 
     #[test]
+    fn connection_and_encoding_negotiation() {
+        // HTTP/1.1 defaults to keep-alive.
+        let h = parse_head(b"GET / HTTP/1.1\r\nHost: x\r\n").unwrap();
+        assert!(!h.wants_close);
+        assert!(!h.accept_gzip);
+        let h = parse_head(b"GET / HTTP/1.1\r\nConnection: Close\r\n").unwrap();
+        assert!(h.wants_close);
+        let h = parse_head(b"GET / HTTP/1.1\r\nConnection: upgrade, close\r\n").unwrap();
+        assert!(h.wants_close);
+        // HTTP/1.0 defaults to close unless the peer opts in.
+        let h = parse_head(b"GET / HTTP/1.0\r\nHost: x\r\n").unwrap();
+        assert!(h.wants_close);
+        let h = parse_head(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n").unwrap();
+        assert!(!h.wants_close);
+        // Accept-Encoding token parsing, with q-values and noise.
+        let h = parse_head(b"GET / HTTP/1.1\r\nAccept-Encoding: GZIP\r\n").unwrap();
+        assert!(h.accept_gzip);
+        let h = parse_head(b"GET / HTTP/1.1\r\nAccept-Encoding: br, gzip;q=0.8\r\n").unwrap();
+        assert!(h.accept_gzip);
+        let h = parse_head(b"GET / HTTP/1.1\r\nAccept-Encoding: gzipped\r\n").unwrap();
+        assert!(!h.accept_gzip);
+    }
+
+    #[test]
     fn body_error_reasons_are_stable() {
         assert_eq!(BodyError::LengthRequired.as_str(), "length-required");
         assert_eq!(BodyError::TooLarge.as_str(), "body-too-large");
@@ -405,5 +696,18 @@ mod tests {
         assert_eq!(HeadError::TooLarge.as_str(), "header-flood");
         assert_eq!(HeadError::Malformed.as_str(), "malformed");
         assert_eq!(HeadError::ConnectionLost.as_str(), "connection-lost");
+        assert_eq!(HeadError::Closed.as_str(), "closed");
+    }
+
+    #[test]
+    fn shared_bodies_expose_the_same_bytes() {
+        let shared = Arc::new(b"day,value\n1,2\n".to_vec());
+        let resp = Response::cached("text/csv; charset=utf-8", Arc::clone(&shared), true);
+        assert_eq!(resp.body.as_slice(), shared.as_slice());
+        assert_eq!(resp.content_encoding, Some("gzip"));
+        assert_eq!(resp.body.clone().into_vec(), *shared);
+        let owned: Body = b"x".to_vec().into();
+        assert_eq!(owned.len(), 1);
+        assert!(!owned.is_empty());
     }
 }

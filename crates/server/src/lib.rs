@@ -22,7 +22,7 @@
 //! --accept-writes`): bearer-token auth, CSV or JSON batches, per-batch
 //! `Idempotency-Key` dedup, and admission control that sheds writes with
 //! `429`/`503` + `Retry-After` while reads keep answering — see
-//! [`write`].
+//! [`mod@write`].
 //!
 //! The full HTTP reference lives in `API.md` at the workspace root; it
 //! is generated from the route table in [`router`] and kept fresh by a
@@ -47,14 +47,16 @@
 //! See `DESIGN.md` (workspace root) for the full runbook.
 
 pub mod accesslog;
+pub mod cache;
 pub mod handlers;
 pub mod http;
+pub mod net;
 pub mod router;
 pub mod server;
 pub mod write;
 
 pub use accesslog::{AccessLog, ServerStats, StatsSnapshot};
-pub use http::{HeadError, RequestHead, Response};
+pub use http::{Body, Conn, HeadError, RequestHead, Response};
 pub use router::Route;
 pub use server::{DrainReport, Server, ServerConfig};
 pub use write::WritePlaneConfig;

@@ -210,6 +210,11 @@ pub fn api_markdown() -> String {
          for a per-token write budget) + `Retry-After`. The *triage* plane \
          answers inline, before the bounded work queue, so those endpoints stay \
          responsive while the server sheds load.\n\n\
+         Connections are HTTP/1.1 keep-alive (pipelining included; \
+         `Connection: close` honored). The worker-plane day endpoints and \
+         `/v1/days` additionally honor `Accept-Encoding: gzip`, answering \
+         `Content-Encoding: gzip` whenever the precompressed body is smaller \
+         than the plain one (tiny bodies always come back identity).\n\n\
          | Method | Path | Plane | Body | Description |\n\
          |---|---|---|---|---|\n",
     );

@@ -26,11 +26,10 @@
 //! instead of double-applying.
 
 use crate::handlers::Handled;
-use crate::http::{read_body, BodyError, RequestHead, Response};
+use crate::http::{BodyError, Conn, RequestHead, Response};
 use osn_core::live::LiveQuery;
 use osn_graph::wal::{Wal, WalError, WalEvent};
 use std::collections::HashMap;
-use std::net::TcpStream;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -183,13 +182,8 @@ impl WriteState {
     /// Execute an admitted `POST /v1/events`: read the body under the
     /// request deadline, parse it, and append to the WAL. Returns the
     /// response plus the access-log reason.
-    pub fn handle_post(
-        &self,
-        stream: &mut TcpStream,
-        head: &RequestHead,
-        deadline: Instant,
-    ) -> Handled {
-        let body = match read_body(stream, head, self.cfg.max_body_bytes, deadline) {
+    pub fn handle_post(&self, conn: &mut Conn, head: &RequestHead, deadline: Instant) -> Handled {
+        let body = match conn.read_body(head, self.cfg.max_body_bytes, deadline) {
             Ok(body) => body,
             Err(err) => return body_error_response(&err),
         };

@@ -199,6 +199,10 @@ fn stats_endpoint_agrees_with_the_access_log_after_overload() {
 
     let q = query();
     let day = q.metric_days()[0];
+    // The shard shed counters live in the global telemetry registry
+    // (shared by every server in this test process), so the drill
+    // asserts on deltas.
+    let shard_shed_base = osn_obs::counter("http.shard.0.shed").value();
     let server = start(ServerConfig {
         workers: 2,
         queue_depth: 4,
@@ -233,6 +237,17 @@ fn stats_endpoint_agrees_with_the_access_log_after_overload() {
             .unwrap()
             >= 32.0
     );
+    // The per-shard queue section is part of the document now: one
+    // entry per shard (a default server has one), each with queue
+    // depths and its shed counter.
+    let shards = doc
+        .get("shards")
+        .and_then(osn_obs::json::Json::as_arr)
+        .expect("shards section");
+    assert_eq!(shards.len(), 1, "a default server has one shard");
+    for key in ["triage", "work", "parked", "shed"] {
+        assert!(shards[0].get(key).is_some(), "shard entry missing {key}");
+    }
     let telemetry = doc.get("telemetry").expect("telemetry section");
     let hist = telemetry
         .get("histograms")
@@ -259,15 +274,17 @@ fn stats_endpoint_agrees_with_the_access_log_after_overload() {
     server.request_shutdown();
     assert!(server.join().clean());
 
-    // Every accepted connection has exactly one access line, and
-    // re-classifying those lines must reproduce the server's own
-    // counters.
+    // Every *response* has exactly one access line (with keep-alive one
+    // accepted connection may carry many), and re-classifying those
+    // lines must reproduce the server's own counters. These clients all
+    // send `Connection: close`, so requests and accepts coincide here.
     let log_text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
     let lines: Vec<&str> = log_text
         .lines()
         .filter(|l| l.starts_with("access "))
         .collect();
-    assert_eq!(lines.len() as u64, stats.accepted, "one line per accept");
+    assert_eq!(lines.len() as u64, stats.requests, "one line per response");
+    assert_eq!(stats.requests, stats.accepted, "close-framed clients");
 
     let field = |line: &str, key: &str| -> String {
         line.split_whitespace()
@@ -293,6 +310,16 @@ fn stats_endpoint_agrees_with_the_access_log_after_overload() {
     assert_eq!(client_error, stats.client_error);
     assert_eq!(server_error, stats.server_error);
     assert_eq!(shed, stats.shed, "shed lines vs stats.shed");
+
+    // Sheds are also attributed per shard. The registry is global to
+    // the process (other drills' servers share shard 0), so the summed
+    // delta bounds this server's count from above.
+    let shard_shed_delta = osn_obs::counter("http.shard.0.shed").value() - shard_shed_base;
+    assert!(
+        shard_shed_delta >= stats.shed,
+        "summed shard sheds ({shard_shed_delta}) lost track of stats.shed ({})",
+        stats.shed
+    );
 }
 
 #[test]
@@ -553,4 +580,241 @@ fn drain_deadline_abandons_stuck_work_and_reports_it() {
     // abandoned worker — the abort is about the drain contract, not
     // about resetting sockets out from under handlers.
     let _ = stuck.join().unwrap();
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    use osn_graph::testutil::HttpClient;
+
+    let server = start(ServerConfig::default());
+    let addr = server.local_addr().to_string();
+    let q = query();
+    let day = q.metric_days()[0];
+    let expected = q.metrics_row_csv(day).unwrap().into_bytes();
+
+    let mut client = HttpClient::connect(&addr).unwrap();
+    // Mixed fast-path and data requests on the same socket, every body
+    // byte-identical to the engine (the second data hit comes from the
+    // response cache and must not differ).
+    for _ in 0..3 {
+        let resp = client
+            .get(&format!("/v1/metrics/{day}"), CLIENT_TIMEOUT)
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, expected);
+        let resp = client.get("/healthz", CLIENT_TIMEOUT).unwrap();
+        assert_eq!(resp.status, 200);
+    }
+    let resp = client.get("/v1/days", CLIENT_TIMEOUT).unwrap();
+    assert_eq!(resp.body, q.days_json().into_bytes());
+    drop(client);
+
+    // Give the server a beat to observe the hangup, then check the
+    // books: one accept, many requests, nothing miscounted as an error.
+    std::thread::sleep(Duration::from_millis(100));
+    let stats = server.stats();
+    assert_eq!(stats.accepted, 1, "keep-alive must reuse the connection");
+    assert_eq!(stats.requests, 7);
+    assert_eq!(stats.ok, 7);
+    assert_eq!(
+        stats.bad_heads, 0,
+        "clean hangup must not count as a bad head"
+    );
+
+    server.request_shutdown();
+    assert!(server.join().clean());
+}
+
+#[test]
+fn pipelined_requests_answer_in_order() {
+    use osn_graph::testutil::HttpClient;
+
+    let server = start(ServerConfig::default());
+    let addr = server.local_addr().to_string();
+    let q = query();
+    let days: Vec<u32> = q.metric_days().iter().take(3).copied().collect();
+    assert!(days.len() >= 2, "need at least two days to prove ordering");
+
+    // One burst carrying every request back-to-back; responses must come
+    // back in request order with intact bodies.
+    let mut burst = String::new();
+    for day in &days {
+        burst.push_str(&format!(
+            "GET /v1/metrics/{day} HTTP/1.1\r\nHost: osn\r\n\r\n"
+        ));
+    }
+    let mut client = HttpClient::connect(&addr).unwrap();
+    client.send_raw(burst.as_bytes()).unwrap();
+    for day in &days {
+        let resp = client.read_response(CLIENT_TIMEOUT).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.body,
+            q.metrics_row_csv(*day).unwrap().into_bytes(),
+            "response out of order or torn for day {day}"
+        );
+    }
+
+    server.request_shutdown();
+    assert!(server.join().clean());
+}
+
+#[test]
+fn gzip_responses_decompress_to_identical_bytes() {
+    use osn_graph::gzip::gzip_decompress;
+    use osn_graph::testutil::HttpClient;
+
+    // The shared fixture's bodies are all under ~130 bytes, where the
+    // gzip envelope inflates instead of shrinking; a dense metric-day
+    // stride gives this drill a day listing long enough to compress.
+    let log = TraceGenerator::new(TraceConfig::tiny()).generate();
+    let q = Arc::new(
+        SnapshotQuery::builder()
+            .metrics(MetricSeriesConfig {
+                stride: 2,
+                path_sample: 10,
+                clustering_sample: 20,
+                workers: 2,
+                ..Default::default()
+            })
+            .communities(CommunityAnalysisConfig {
+                stride: 80,
+                ..Default::default()
+            })
+            .build(&log),
+    );
+    let server = Server::start(ServerConfig::default(), Arc::clone(&q)).expect("server starts");
+    let addr = server.local_addr().to_string();
+    let day = q.metric_days()[0];
+    let expected = q.metrics_row_csv(day).unwrap().into_bytes();
+
+    let mut client = HttpClient::connect(&addr).unwrap();
+    // Warm the cache with a plain request, then ask for gzip. The days
+    // listing is the compressible body here (the per-day CSV rows are
+    // tiny enough that gzip would inflate them — covered below).
+    let days_json = q.days_json().into_bytes();
+    let plain = client.get("/v1/days", CLIENT_TIMEOUT).unwrap();
+    assert_eq!(plain.body, days_json);
+    assert_eq!(plain.header("content-encoding"), None);
+
+    let gz = client
+        .get_with("/v1/days", &[("Accept-Encoding", "gzip")], CLIENT_TIMEOUT)
+        .unwrap();
+    assert_eq!(gz.status, 200);
+    assert_eq!(gz.header("content-encoding"), Some("gzip"));
+    assert!(
+        gz.body.len() < days_json.len(),
+        "gzip did not shrink the body"
+    );
+    assert_eq!(gzip_decompress(&gz.body).unwrap(), days_json);
+
+    // A body the compressor cannot shrink is served as identity even
+    // when the client accepts gzip — never pay to inflate.
+    let small = client
+        .get_with(
+            &format!("/v1/metrics/{day}"),
+            &[("Accept-Encoding", "gzip")],
+            CLIENT_TIMEOUT,
+        )
+        .unwrap();
+    assert_eq!(small.header("content-encoding"), None);
+    assert_eq!(small.body, expected);
+
+    // A client that does not accept gzip keeps getting identity bytes.
+    let plain_again = client.get("/v1/days", CLIENT_TIMEOUT).unwrap();
+    assert_eq!(plain_again.body, days_json);
+
+    server.request_shutdown();
+    assert!(server.join().clean());
+}
+
+#[test]
+fn multi_shard_server_serves_all_routes_and_reports_per_shard_state() {
+    let server = start(ServerConfig {
+        shards: 3,
+        workers: 3,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr().to_string();
+    let q = query();
+    let day = q.metric_days()[0];
+    let expected = q.metrics_row_csv(day).unwrap().into_bytes();
+
+    // Spray connections so every shard sees traffic (reuseport hashes by
+    // 4-tuple; 24 distinct source ports cover 3 shards comfortably).
+    let clients: Vec<_> = (0..24)
+        .map(|_| {
+            let addr = addr.clone();
+            let path = format!("/v1/metrics/{day}");
+            std::thread::spawn(move || http_get(&addr, &path, CLIENT_TIMEOUT).unwrap())
+        })
+        .collect();
+    for c in clients {
+        let resp = c.join().unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, expected, "shard served different bytes");
+    }
+
+    // Per-shard state is visible on both surfaces.
+    let stats = http_get(&addr, "/v1/stats", CLIENT_TIMEOUT).unwrap();
+    let doc = osn_obs::json::parse(stats.body_str()).unwrap();
+    let shards = doc
+        .get("shards")
+        .and_then(osn_obs::json::Json::as_arr)
+        .expect("shards section");
+    assert_eq!(shards.len(), 3);
+
+    let prom = http_get(&addr, "/metrics", CLIENT_TIMEOUT).unwrap();
+    let text = prom.body_str().to_string();
+    for shard in 0..3 {
+        for queue in ["triage", "work", "parked"] {
+            assert!(
+                text.contains(&format!(
+                    "osn_http_queue_depth{{shard=\"{shard}\",queue=\"{queue}\"}}"
+                )),
+                "missing labeled gauge for shard {shard}/{queue}"
+            );
+        }
+        assert!(text.contains(&format!("osn_http_shard_shed{{shard=\"{shard}\"}}")));
+    }
+
+    server.request_shutdown();
+    assert!(server.join().clean());
+}
+
+#[test]
+fn idle_keep_alive_connections_park_wake_and_cull() {
+    use osn_graph::testutil::HttpClient;
+
+    let server = start(ServerConfig {
+        keepalive_timeout: Duration::from_millis(400),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr().to_string();
+
+    // Idle well past the worker linger (so the connection parks), then
+    // send again: the parker must wake it back into service.
+    let mut client = HttpClient::connect(&addr).unwrap();
+    assert_eq!(client.get("/healthz", CLIENT_TIMEOUT).unwrap().status, 200);
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(client.get("/v1/meta", CLIENT_TIMEOUT).unwrap().status, 200);
+
+    // Idle past the keep-alive budget: the server must close the parked
+    // connection, and the close must be silent (no error counters).
+    std::thread::sleep(Duration::from_millis(900));
+    let err = client
+        .send_get("/healthz", &[])
+        .err()
+        .or_else(|| client.read_response(Duration::from_secs(2)).err());
+    assert!(
+        err.is_some(),
+        "idle connection survived the keep-alive cull"
+    );
+
+    let stats = server.stats();
+    assert_eq!(stats.bad_heads, 0, "cull must not be scored as a bad head");
+    assert_eq!(stats.accepted, 1);
+
+    server.request_shutdown();
+    assert!(server.join().clean());
 }

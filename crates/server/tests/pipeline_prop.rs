@@ -1,0 +1,146 @@
+//! Property drill: pipelined requests split across arbitrary chunk
+//! boundaries — paced like a slow (but honest) writer — must come back
+//! as exactly one response per request, in request order, each with an
+//! intact body.
+//!
+//! This is the wire-level contract behind the keep-alive rebuild: the
+//! server's buffered connection reads may see a request head sliced at
+//! any byte (including mid-token and mid-CRLF), several heads in one
+//! read, or a head glued to the tail of the previous request, and none
+//! of that may reorder, tear, or drop a response.
+
+use osn_core::communities::CommunityAnalysisConfig;
+use osn_core::network::MetricSeriesConfig;
+use osn_core::query::SnapshotQuery;
+use osn_genstream::{TraceConfig, TraceGenerator};
+use osn_graph::testutil::HttpClient;
+use osn_server::{Server, ServerConfig};
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// One server shared by every proptest case (building the engine and
+/// binding once keeps the property fast enough to run many cases).
+fn server() -> &'static (Server, Arc<SnapshotQuery>) {
+    static S: OnceLock<(Server, Arc<SnapshotQuery>)> = OnceLock::new();
+    S.get_or_init(|| {
+        let log = TraceGenerator::new(TraceConfig::tiny()).generate();
+        let q = Arc::new(
+            SnapshotQuery::builder()
+                .metrics(MetricSeriesConfig {
+                    stride: 40,
+                    path_sample: 30,
+                    clustering_sample: 100,
+                    workers: 2,
+                    ..Default::default()
+                })
+                .communities(CommunityAnalysisConfig {
+                    stride: 80,
+                    ..Default::default()
+                })
+                .build(&log),
+        );
+        let server = Server::start(
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+            Arc::clone(&q),
+        )
+        .expect("server starts");
+        (server, q)
+    })
+}
+
+/// A request the property can pipeline, with its expected answer.
+#[derive(Debug, Clone, Copy)]
+enum Req {
+    Health,
+    Days,
+    Metrics(usize),
+    Communities(usize),
+}
+
+fn render(req: Req, q: &SnapshotQuery) -> (String, Vec<u8>) {
+    match req {
+        Req::Health => ("/healthz".to_string(), b"ok\n".to_vec()),
+        Req::Days => ("/v1/days".to_string(), q.days_json().into_bytes()),
+        Req::Metrics(i) => {
+            let day = q.metric_days()[i % q.metric_days().len()];
+            (
+                format!("/v1/metrics/{day}"),
+                q.metrics_row_csv(day).unwrap().into_bytes(),
+            )
+        }
+        Req::Communities(i) => {
+            let day = q.community_days()[i % q.community_days().len()];
+            (
+                format!("/v1/communities/{day}"),
+                q.communities_row_csv(day).unwrap().into_bytes(),
+            )
+        }
+    }
+}
+
+fn req_strategy() -> impl Strategy<Value = Req> {
+    (0..4usize, 0..8usize).prop_map(|(kind, i)| match kind {
+        0 => Req::Health,
+        1 => Req::Days,
+        2 => Req::Metrics(i),
+        _ => Req::Communities(i),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24 })]
+
+    #[test]
+    fn pipelined_chunked_requests_never_reorder_or_tear(
+        reqs in prop::collection::vec(req_strategy(), 1..6),
+        // Chunk sizes the burst is sliced into, cycled; 1 forces
+        // byte-at-a-time worst cases into the mix.
+        chunks in prop::collection::vec(1..24usize, 1..8),
+        // Pacing between chunks, in ms (0 = all chunks back-to-back).
+        pace_ms in 0u64..4,
+    ) {
+        let (server, q) = server();
+        let addr = server.local_addr().to_string();
+
+        let mut burst = Vec::new();
+        let mut expected = Vec::new();
+        for req in &reqs {
+            let (path, body) = render(*req, q);
+            burst.extend_from_slice(
+                format!("GET {path} HTTP/1.1\r\nHost: osn\r\n\r\n").as_bytes(),
+            );
+            expected.push(body);
+        }
+
+        let mut client = HttpClient::connect(&addr).unwrap();
+        let mut offset = 0;
+        let mut chunk_idx = 0;
+        while offset < burst.len() {
+            let len = chunks[chunk_idx % chunks.len()].min(burst.len() - offset);
+            chunk_idx += 1;
+            client.send_raw(&burst[offset..offset + len]).unwrap();
+            offset += len;
+            if pace_ms > 0 {
+                std::thread::sleep(Duration::from_millis(pace_ms));
+            }
+        }
+
+        for (i, want) in expected.iter().enumerate() {
+            let resp = client
+                .read_response(Duration::from_secs(10))
+                .unwrap_or_else(|e| panic!("response {i} missing: {e}"));
+            prop_assert_eq!(resp.status, 200, "request {} failed", i);
+            prop_assert_eq!(
+                &resp.body,
+                want,
+                "response {} reordered or torn (paths: {:?})",
+                i,
+                reqs
+            );
+        }
+    }
+}
